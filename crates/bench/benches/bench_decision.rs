@@ -1,0 +1,91 @@
+//! Criterion bench: scaling-decision computation (paper Fig. 8's runtime
+//! axis) — the sort-and-search Algorithm 3, the quantile rule of eq. (3),
+//! and a full planning window as a function of QPS and of the Monte Carlo
+//! sample count R.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use robustscaler_nhpp::PiecewiseConstantIntensity;
+use robustscaler_scaling::{
+    solve_waiting_root, ArrivalSampler, DecisionConfig, DecisionRule, PendingTimeModel,
+    PlannerConfig, PlannerState, SequentialPlanner,
+};
+
+fn bench_sort_and_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_and_search_vs_samples");
+    for &r in &[100usize, 1_000, 10_000] {
+        let mut rng = StdRng::seed_from_u64(r as u64);
+        let samples: Vec<(f64, f64)> = (0..r)
+            .map(|_| (rng.gen_range(0.0..500.0), rng.gen_range(1.0..30.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(r), &samples, |b, samples| {
+            b.iter(|| solve_waiting_root(samples, 3.0).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hp_decision_vs_samples");
+    let intensity = PiecewiseConstantIntensity::new(0.0, 1e6, vec![5.0]).unwrap();
+    for &r in &[100usize, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                let sampler = ArrivalSampler::new(&intensity, 0.0, 5, r, &mut rng).unwrap();
+                robustscaler_scaling::decisions::decide(
+                    &sampler,
+                    3,
+                    &DecisionConfig {
+                        rule: DecisionRule::HittingProbability { alpha: 0.1 },
+                        pending: PendingTimeModel::Deterministic(13.0),
+                        monte_carlo_samples: r,
+                    },
+                    &mut rng,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_planning_window_vs_qps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planning_window_vs_qps");
+    group.sample_size(10);
+    for &qps in &[1.0_f64, 10.0, 100.0] {
+        let intensity = PiecewiseConstantIntensity::new(0.0, 1e6, vec![qps]).unwrap();
+        let planner = SequentialPlanner::new(PlannerConfig {
+            decision: DecisionConfig {
+                rule: DecisionRule::HittingProbability { alpha: 0.1 },
+                pending: PendingTimeModel::Deterministic(13.0),
+                monte_carlo_samples: 300,
+            },
+            planning_interval: 5.0,
+            max_decisions_per_round: 10_000,
+        })
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(qps as u64),
+            &intensity,
+            |b, intensity| {
+                let mut rng = StdRng::seed_from_u64(11);
+                b.iter(|| {
+                    planner
+                        .plan_window(intensity, 0.0, PlannerState { covered: 0 }, &mut rng)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sort_and_search,
+    bench_single_decision,
+    bench_planning_window_vs_qps
+);
+criterion_main!(benches);

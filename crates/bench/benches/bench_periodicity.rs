@@ -1,0 +1,32 @@
+//! Criterion bench: robust periodicity detection cost as a function of the
+//! series length (module 1 of the pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use robustscaler_timeseries::{detect_period, PeriodicityConfig, TimeSeries};
+
+fn noisy_periodic_series(n: usize, period: usize, seed: u64) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..n)
+        .map(|i| {
+            let phase = std::f64::consts::TAU * (i % period) as f64 / period as f64;
+            10.0 + 4.0 * phase.sin() + rng.gen_range(-1.0..1.0)
+        })
+        .collect();
+    TimeSeries::from_values(0.0, 60.0, values).unwrap()
+}
+
+fn bench_periodicity_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("periodicity_detection_vs_length");
+    for &n in &[1_000usize, 4_000, 10_000] {
+        let series = noisy_periodic_series(n, 288, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &series, |b, series| {
+            b.iter(|| detect_period(series, &PeriodicityConfig::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_periodicity_detection);
+criterion_main!(benches);

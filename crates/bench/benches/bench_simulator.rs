@@ -1,0 +1,58 @@
+//! Criterion bench: throughput of the scaling-per-query event simulator
+//! (queries replayed per second) under the reactive, Backup Pool and
+//! Adaptive Backup Pool policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use robustscaler_simulator::{
+    AdaptiveBackupPool, BackupPool, PendingTimeDistribution, Query, Reactive, SimulationConfig,
+    Simulator, Trace,
+};
+
+fn uniform_trace(n: usize) -> Trace {
+    Trace::new(
+        "bench",
+        (0..n)
+            .map(|i| Query {
+                arrival: i as f64 * 3.0,
+                processing: 5.0,
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    let n = 20_000;
+    let trace = uniform_trace(n);
+    group.throughput(Throughput::Elements(n as u64));
+    let sim = Simulator::new(SimulationConfig {
+        pending: PendingTimeDistribution::Deterministic(13.0),
+        seed: 1,
+        recent_history_window: 600.0,
+    })
+    .unwrap();
+
+    group.bench_with_input(BenchmarkId::new("reactive", n), &trace, |b, trace| {
+        b.iter(|| {
+            let mut policy = Reactive::new();
+            sim.run(trace, &mut policy).unwrap()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("backup_pool_8", n), &trace, |b, trace| {
+        b.iter(|| {
+            let mut policy = BackupPool::new(8);
+            sim.run(trace, &mut policy).unwrap()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("adaptive_bp", n), &trace, |b, trace| {
+        b.iter(|| {
+            let mut policy = AdaptiveBackupPool::new(30.0);
+            sim.run(trace, &mut policy).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: end-to-end training of modules 1–3 (aggregation,
+//! periodicity detection, ADMM fit) on the Google-like workload — the
+//! "training time of modules 1-3" measurement of paper §VII-B2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robustscaler_core::{RobustScalerConfig, RobustScalerPipeline, RobustScalerVariant};
+use robustscaler_traces::{google_like, ProcessingTimeModel, TraceConfig};
+
+fn bench_pipeline_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_training_vs_history_length");
+    group.sample_size(10);
+    for &hours in &[6u64, 12] {
+        let trace = google_like(&TraceConfig {
+            duration: hours as f64 * 3_600.0,
+            traffic_scale: 0.4,
+            processing: ProcessingTimeModel::Exponential { mean: 60.0 },
+            seed: 5,
+        });
+        let mut config = RobustScalerConfig::for_variant(
+            RobustScalerVariant::HittingProbability { target: 0.9 },
+        );
+        config.mean_processing = 60.0;
+        config.admm.max_iterations = 60;
+        let pipeline = RobustScalerPipeline::new(config).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(hours), &trace, |b, trace| {
+            b.iter(|| pipeline.train(trace).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_training);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Table I: accuracy of the Monte Carlo approximated decisions on the
+//! simulated high-QPS workload.
+//!
+//! The paper trains on 6 hours of the closed-form hourly-peak intensity,
+//! tests on the 7th hour, uses a fixed 13 s pod pending time, Exp(20 s)
+//! processing, updates decisions every 5 s with R = 1000, and reports:
+//! target HP 0.9 → achieved ≈ 0.99; target extra-RT 1 s → achieved ≈ 0.5 s;
+//! target idle cost 2 s → achieved ≈ 2.5 s. The shape to reproduce is
+//! "achieved ≈ target (HP conservatively above)".
+
+use robustscaler_bench::workloads::scale_from_env;
+use robustscaler_core::{
+    evaluate_policy, RobustScalerConfig, RobustScalerPipeline, RobustScalerVariant,
+};
+use robustscaler_simulator::{PendingTimeDistribution, SimulationConfig};
+use robustscaler_traces::{simulated_high_qps, ProcessingTimeModel};
+
+const HOUR: f64 = 3_600.0;
+
+fn main() {
+    let scale = scale_from_env(1.0);
+    // Peak QPS: the paper uses 10^4; 40·scale keeps the run to a couple of
+    // minutes while exercising the same code path (set RS_SCALE higher to
+    // push towards the paper's level).
+    let peak = 40.0 * scale;
+    println!("Table I reproduction — Monte Carlo decision accuracy (peak {peak} QPS)");
+
+    let trace = simulated_high_qps(
+        peak,
+        7.0 * HOUR,
+        ProcessingTimeModel::Exponential { mean: 20.0 },
+        2024,
+    );
+    let (train, test) = trace.split_at(trace.start() + 6.0 * HOUR).unwrap();
+    println!("workload: {} train / {} test queries", train.len(), test.len());
+
+    let sim = SimulationConfig {
+        pending: PendingTimeDistribution::Deterministic(13.0),
+        seed: 20,
+        recent_history_window: 600.0,
+    };
+
+    let mut build = |variant: RobustScalerVariant| {
+        let mut config = RobustScalerConfig::for_variant(variant);
+        config.mean_processing = 20.0;
+        config.planning_interval = 5.0;
+        config.monte_carlo_samples = 1_000;
+        RobustScalerPipeline::new(config)
+            .expect("valid configuration")
+            .build_policy(&train)
+            .expect("training succeeds")
+    };
+
+    println!(
+        "\n{:<20} {:>16} {:>16}",
+        "variant", "target level", "achieved level"
+    );
+
+    // RobustScaler-HP: target hitting probability 0.9.
+    let mut hp = build(RobustScalerVariant::HittingProbability { target: 0.9 });
+    let (hp_result, _) = evaluate_policy(&test, &mut hp, sim).unwrap();
+    println!("{:<20} {:>16.2} {:>16.3}", "RobustScaler-HP", 0.9, hp_result.hit_rate);
+
+    // RobustScaler-RT: target of 1 s of waiting on top of the 20 s processing
+    // mean (the paper reports the d − µ_s part).
+    let mut rt = build(RobustScalerVariant::ResponseTime { target: 21.0 });
+    let (_, rt_metrics) = evaluate_policy(&test, &mut rt, sim).unwrap();
+    println!(
+        "{:<20} {:>16.2} {:>16.3}",
+        "RobustScaler-RT", 1.0, rt_metrics.waiting_avg()
+    );
+
+    // RobustScaler-cost: idle budget of 2 s per instance on top of the fixed
+    // 13 + 20 s.
+    let mut cost = build(RobustScalerVariant::CostBudget { budget: 35.0 });
+    let (_, cost_metrics) = evaluate_policy(&test, &mut cost, sim).unwrap();
+    let achieved_idle = cost_metrics.cost_per_query() - 13.0 - 20.0;
+    println!(
+        "{:<20} {:>16.2} {:>16.3}",
+        "RobustScaler-cost", 2.0, achieved_idle
+    );
+
+    println!(
+        "\nExpected shape (paper Table I): HP achieved ≥ target (0.99 vs 0.9),\n\
+         RT-waiting achieved ≤ target (0.51 vs 1), idle cost achieved slightly\n\
+         above target (2.5 vs 2) — Monte Carlo with R = 1000 is accurate enough."
+    );
+}

@@ -1,0 +1,90 @@
+//! Table III: impact of the periodicity regularization on the NHPP
+//! intensity estimation error.
+//!
+//! Arrival data are generated from the paper's closed-form daily intensity
+//! `λ(t) = 4¹⁰·u¹⁰(1−u)¹⁰ + 0.1` over one week; the regularized loss (eq. 1)
+//! is trained with and without the `D_L` periodic penalty and the MSE/MAE of
+//! the two intensity estimates against the ground truth are compared. The
+//! paper reports a 56% MSE / 39% MAE improvement from the regularizer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use robustscaler_bench::workloads::scale_from_env;
+use robustscaler_nhpp::{sample_arrivals_thinning, AdmmConfig, ClosedFormIntensity, NhppModel};
+use robustscaler_timeseries::TimeSeries;
+use robustscaler_traces::periodic_ground_truth;
+
+const DAY: f64 = 86_400.0;
+
+fn main() {
+    // Scale controls the bucket width (and therefore the problem size):
+    // scale 1.0 → 10-minute buckets over one week (1008 buckets).
+    let scale = scale_from_env(1.0);
+    let bucket = (600.0 / scale).max(60.0);
+    let duration = 7.0 * DAY;
+    println!(
+        "Table III reproduction — periodicity regularization (Δt = {bucket:.0} s, 1 week)"
+    );
+
+    let (rate, period_seconds) = periodic_ground_truth();
+    let intensity = ClosedFormIntensity::new(rate.clone(), 30.0).expect("valid resolution");
+    let mut rng = StdRng::seed_from_u64(33);
+    let arrivals = sample_arrivals_thinning(&intensity, 0.0, duration, &mut rng);
+    println!("generated {} arrivals from the ground-truth intensity", arrivals.len());
+
+    let counts =
+        TimeSeries::from_event_times(&arrivals, 0.0, duration, bucket).expect("valid series");
+    let period_buckets = (period_seconds / bucket).round() as usize;
+
+    let fit = |period: Option<usize>, beta2: f64| {
+        let config = AdmmConfig {
+            beta1: 2.0,
+            beta2,
+            max_iterations: 150,
+            ..AdmmConfig::default()
+        };
+        NhppModel::fit(&counts, period, config).expect("fit succeeds")
+    };
+
+    let with_reg = fit(Some(period_buckets), 10.0);
+    let without_reg = fit(None, 0.0);
+
+    let errors = |model: &NhppModel| {
+        let mut squared = 0.0;
+        let mut absolute = 0.0;
+        let rates = model.rates();
+        for (idx, fitted) in rates.iter().enumerate() {
+            let mid = (idx as f64 + 0.5) * bucket;
+            let truth = rate(mid);
+            squared += (fitted - truth) * (fitted - truth);
+            absolute += (fitted - truth).abs();
+        }
+        (squared / rates.len() as f64, absolute / rates.len() as f64)
+    };
+
+    let (mse_with, mae_with) = errors(&with_reg);
+    let (mse_without, mae_without) = errors(&without_reg);
+
+    println!(
+        "\n{:<8} {:>16} {:>16} {:>14}",
+        "metric", "NHPP w/o reg.", "NHPP w/ reg.", "improvement"
+    );
+    println!(
+        "{:<8} {:>16.3e} {:>16.3e} {:>13.0}%",
+        "MSE",
+        mse_without,
+        mse_with,
+        100.0 * (1.0 - mse_with / mse_without)
+    );
+    println!(
+        "{:<8} {:>16.3e} {:>16.3e} {:>13.0}%",
+        "MAE",
+        mae_without,
+        mae_with,
+        100.0 * (1.0 - mae_with / mae_without)
+    );
+    println!(
+        "\nExpected shape (paper Table III): the periodicity regularization cuts\n\
+         both errors substantially (paper: 56% MSE, 39% MAE)."
+    );
+}

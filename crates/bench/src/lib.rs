@@ -1,0 +1,19 @@
+//! Experiment harness reproducing the paper's tables and figures.
+//!
+//! Each table/figure has a dedicated binary in `src/bin/` (see `DESIGN.md`
+//! for the experiment index); this library provides the shared pieces:
+//! scaled-down versions of the three evaluation workloads, Pareto sweep
+//! helpers, and plain-text table printing. The synthetic workloads are
+//! smaller than the originals (see the substitution table in `DESIGN.md`) so
+//! that every experiment runs in minutes on a laptop, while preserving the
+//! qualitative structure — periodicity, noise, spikes and bursts — that the
+//! paper's comparisons rely on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod sweep;
+pub mod workloads;
+
+pub use sweep::{print_table, run_policy_spec, ParetoPoint, PolicySpec};
+pub use workloads::{alibaba_workload, crs_workload, google_workload, Workload};

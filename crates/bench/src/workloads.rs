@@ -1,0 +1,146 @@
+//! The three evaluation workloads, scaled for laptop-speed experiments.
+
+use robustscaler_simulator::{PendingTimeDistribution, SimulationConfig, Trace};
+use robustscaler_traces::{
+    alibaba_like, crs_like, google_like, ProcessingTimeModel, TraceConfig,
+};
+
+/// Seconds per day.
+pub const DAY: f64 = 86_400.0;
+/// Seconds per hour.
+pub const HOUR: f64 = 3_600.0;
+
+/// Traffic scale used by the experiment binaries: read from the `RS_SCALE`
+/// environment variable, defaulting to `default` (the value each experiment
+/// was tuned for). Larger scales reproduce the paper's volumes more closely
+/// at the price of longer runs.
+pub fn scale_from_env(default: f64) -> f64 {
+    std::env::var("RS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(default)
+}
+
+/// A workload ready for experiments: a train/test split plus the simulation
+/// configuration (pending-time model and seed) used when replaying it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name used in report tables ("crs", "alibaba", "google").
+    pub name: &'static str,
+    /// Training portion of the trace.
+    pub train: Trace,
+    /// Testing portion of the trace.
+    pub test: Trace,
+    /// Mean processing time of the workload's queries (seconds).
+    pub mean_processing: f64,
+    /// Simulation configuration used for replay.
+    pub sim: SimulationConfig,
+}
+
+fn sim_config(seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        pending: PendingTimeDistribution::Deterministic(13.0),
+        seed,
+        recent_history_window: 600.0,
+    }
+}
+
+/// CRS-like workload: three weeks of low, noisy, weekly-periodic traffic
+/// with long build-like processing times; train on the first two weeks.
+///
+/// `scale` multiplies the traffic volume (1.0 ≈ a few tens of thousands of
+/// queries; use smaller values for quick runs).
+pub fn crs_workload(scale: f64) -> Workload {
+    let trace = crs_like(&TraceConfig {
+        duration: 21.0 * DAY,
+        traffic_scale: 4.0 * scale,
+        processing: ProcessingTimeModel::LogNormal {
+            mean: 180.0,
+            std_dev: 240.0,
+        },
+        seed: 2022,
+    });
+    let (train, test) = trace
+        .split_at(trace.start() + 14.0 * DAY)
+        .expect("three-week trace splits at two weeks");
+    Workload {
+        name: "crs",
+        train,
+        test,
+        mean_processing: 180.0,
+        sim: sim_config(11),
+    }
+}
+
+/// Alibaba-like workload: five days of strongly daily-periodic traffic with
+/// recurrent spikes and a burst anomaly on day 4; train on the first four
+/// days, test on the last.
+pub fn alibaba_workload(scale: f64) -> Workload {
+    let trace = alibaba_like(&TraceConfig {
+        duration: 5.0 * DAY,
+        traffic_scale: 0.08 * scale,
+        processing: ProcessingTimeModel::Exponential { mean: 30.0 },
+        seed: 2018,
+    });
+    let (train, test) = trace
+        .split_at(trace.start() + 4.0 * DAY)
+        .expect("five-day trace splits at four days");
+    Workload {
+        name: "alibaba",
+        train,
+        test,
+        mean_processing: 30.0,
+        sim: sim_config(12),
+    }
+}
+
+/// Google-like workload: 24 hours of diurnal traffic with recurrent spikes;
+/// train on the first 18 hours, test on the last 6 (the paper's split).
+pub fn google_workload(scale: f64) -> Workload {
+    let trace = google_like(&TraceConfig {
+        duration: 24.0 * HOUR,
+        traffic_scale: 1.0 * scale,
+        processing: ProcessingTimeModel::Exponential { mean: 60.0 },
+        seed: 2019,
+    });
+    let (train, test) = trace
+        .split_at(trace.start() + 18.0 * HOUR)
+        .expect("24-hour trace splits at 18 hours");
+    Workload {
+        name: "google",
+        train,
+        test,
+        mean_processing: 60.0,
+        sim: sim_config(13),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_sensible_shapes() {
+        let crs = crs_workload(0.3);
+        assert!(crs.train.len() > 200, "crs train {}", crs.train.len());
+        assert!(crs.test.len() > 100);
+        assert!(crs.train.duration() > 13.0 * DAY);
+
+        let ali = alibaba_workload(0.3);
+        assert!(ali.train.len() > 1_000);
+        assert!(ali.test.len() > 200);
+
+        let goo = google_workload(0.3);
+        assert!(goo.train.len() > 500);
+        assert!(goo.test.len() > 100);
+        assert!(goo.test.duration() < 6.1 * HOUR);
+    }
+
+    #[test]
+    fn scaling_the_workload_scales_the_volume() {
+        let small = google_workload(0.2);
+        let large = google_workload(0.6);
+        assert!(large.train.len() > 2 * small.train.len());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the RobustScaler pipeline.
+
+use robustscaler_nhpp::NhppError;
+use robustscaler_scaling::ScalingError;
+use robustscaler_simulator::SimulatorError;
+use robustscaler_timeseries::TimeSeriesError;
+use std::fmt;
+
+/// Errors produced by the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration value was invalid.
+    InvalidConfig(&'static str),
+    /// The time-series layer failed.
+    TimeSeries(TimeSeriesError),
+    /// The NHPP layer failed.
+    Nhpp(NhppError),
+    /// The scaling decision layer failed.
+    Scaling(ScalingError),
+    /// The simulator failed.
+    Simulator(SimulatorError),
+    /// The training trace is unusable (too few queries, zero duration, ...).
+    InvalidTrainingData(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::TimeSeries(e) => write!(f, "time-series error: {e}"),
+            CoreError::Nhpp(e) => write!(f, "NHPP error: {e}"),
+            CoreError::Scaling(e) => write!(f, "scaling error: {e}"),
+            CoreError::Simulator(e) => write!(f, "simulator error: {e}"),
+            CoreError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<TimeSeriesError> for CoreError {
+    fn from(e: TimeSeriesError) -> Self {
+        CoreError::TimeSeries(e)
+    }
+}
+
+impl From<NhppError> for CoreError {
+    fn from(e: NhppError) -> Self {
+        CoreError::Nhpp(e)
+    }
+}
+
+impl From<ScalingError> for CoreError {
+    fn from(e: ScalingError) -> Self {
+        CoreError::Scaling(e)
+    }
+}
+
+impl From<SimulatorError> for CoreError {
+    fn from(e: SimulatorError) -> Self {
+        CoreError::Simulator(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = TimeSeriesError::AllMissing.into();
+        assert!(e.to_string().contains("time-series"));
+        let e: CoreError = NhppError::InvalidParameter("x").into();
+        assert!(e.to_string().contains("NHPP"));
+        let e: CoreError = ScalingError::InvalidParameter("x").into();
+        assert!(e.to_string().contains("scaling"));
+        let e: CoreError = SimulatorError::EmptyMetrics.into();
+        assert!(e.to_string().contains("simulator"));
+        assert!(CoreError::InvalidConfig("bucket")
+            .to_string()
+            .contains("bucket"));
+        assert!(CoreError::InvalidTrainingData("empty")
+            .to_string()
+            .contains("empty"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Evaluation helpers shared by the integration tests, the examples and the
+//! experiment harness: run a policy over a test trace and report the
+//! paper's metrics (hit rate, rt_avg, total cost, relative cost).
+
+use crate::error::CoreError;
+use robustscaler_simulator::{
+    Autoscaler, Reactive, SimulationConfig, SimulationMetrics, Simulator, Trace,
+};
+use serde::{Deserialize, Serialize};
+
+/// The paper's headline metrics for one (policy, trace) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvaluationResult {
+    /// Name of the evaluated policy.
+    pub policy: String,
+    /// Fraction of queries that found a ready instance.
+    pub hit_rate: f64,
+    /// Average response time in seconds.
+    pub rt_avg: f64,
+    /// Total cost (sum of instance lifecycle lengths, seconds).
+    pub total_cost: f64,
+    /// Cost of the purely reactive strategy on the same trace and seed.
+    pub reactive_cost: f64,
+    /// `total_cost / reactive_cost` — the paper's `relative_cost`.
+    pub relative_cost: f64,
+    /// Number of queries replayed.
+    pub queries: usize,
+}
+
+/// `total / reactive`, guarding against a zero denominator.
+pub fn relative_cost(total: f64, reactive: f64) -> f64 {
+    if reactive <= 0.0 {
+        if total <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        total / reactive
+    }
+}
+
+/// Run `policy` on `trace` and compute the headline metrics, including the
+/// relative cost against the reactive baseline simulated with the same
+/// configuration.
+pub fn evaluate_policy<A: Autoscaler>(
+    trace: &Trace,
+    policy: &mut A,
+    sim_config: SimulationConfig,
+) -> Result<(EvaluationResult, SimulationMetrics), CoreError> {
+    let simulator = Simulator::new(sim_config)?;
+    let metrics = simulator.run(trace, policy)?;
+    let mut reactive = Reactive::new();
+    let reactive_metrics = simulator.run(trace, &mut reactive)?;
+    let result = EvaluationResult {
+        policy: policy.name().to_string(),
+        hit_rate: metrics.hit_rate(),
+        rt_avg: metrics.rt_avg(),
+        total_cost: metrics.total_cost(),
+        reactive_cost: reactive_metrics.total_cost(),
+        relative_cost: relative_cost(metrics.total_cost(), reactive_metrics.total_cost()),
+        queries: metrics.query_count(),
+    };
+    Ok((result, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustscaler_simulator::{BackupPool, PendingTimeDistribution, Query};
+
+    fn trace() -> Trace {
+        Trace::new(
+            "t",
+            (0..200)
+                .map(|i| Query {
+                    arrival: i as f64 * 40.0,
+                    processing: 5.0,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn relative_cost_handles_degenerate_denominators() {
+        assert_eq!(relative_cost(10.0, 5.0), 2.0);
+        assert_eq!(relative_cost(0.0, 0.0), 1.0);
+        assert!(relative_cost(3.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn reactive_policy_has_relative_cost_one() {
+        let mut policy = Reactive::new();
+        let (result, metrics) = evaluate_policy(
+            &trace(),
+            &mut policy,
+            SimulationConfig {
+                pending: PendingTimeDistribution::Deterministic(13.0),
+                seed: 1,
+                recent_history_window: 600.0,
+            },
+        )
+        .unwrap();
+        assert!((result.relative_cost - 1.0).abs() < 1e-9);
+        assert_eq!(result.queries, 200);
+        assert_eq!(result.policy, "reactive");
+        assert_eq!(result.hit_rate, 0.0);
+        assert_eq!(metrics.query_count(), 200);
+    }
+
+    #[test]
+    fn backup_pool_trades_cost_for_hits() {
+        let sim_config = SimulationConfig {
+            pending: PendingTimeDistribution::Deterministic(13.0),
+            seed: 2,
+            recent_history_window: 600.0,
+        };
+        let mut pool = BackupPool::new(2);
+        let (result, _) = evaluate_policy(&trace(), &mut pool, sim_config).unwrap();
+        assert!(result.relative_cost > 1.0);
+        assert!(result.hit_rate > 0.9);
+        assert!(result.rt_avg < 18.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! The three RobustScaler variants of the evaluation (§VII-A1).
+
+use crate::error::CoreError;
+use robustscaler_scaling::DecisionRule;
+use serde::{Deserialize, Serialize};
+
+/// Which constraint the autoscaler enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RobustScalerVariant {
+    /// RobustScaler-HP: target hitting probability (e.g. 0.9).
+    HittingProbability {
+        /// Desired probability that an instance is ready upon arrival.
+        target: f64,
+    },
+    /// RobustScaler-RT: target expected response time `d` in seconds
+    /// (including the mean processing time).
+    ResponseTime {
+        /// Desired expected response time in seconds.
+        target: f64,
+    },
+    /// RobustScaler-cost: per-instance cost budget `B` in seconds of
+    /// lifecycle (including pending and processing).
+    CostBudget {
+        /// Desired expected per-instance lifecycle cost in seconds.
+        budget: f64,
+    },
+}
+
+impl RobustScalerVariant {
+    /// Short name used in experiment reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RobustScalerVariant::HittingProbability { .. } => "robustscaler-hp",
+            RobustScalerVariant::ResponseTime { .. } => "robustscaler-rt",
+            RobustScalerVariant::CostBudget { .. } => "robustscaler-cost",
+        }
+    }
+
+    /// Translate the variant into the decision rule of the scaling layer,
+    /// given the mean processing time `µ_s` and mean pending time `µ_τ`.
+    ///
+    /// * HP: the rule's `alpha` is `1 − target`.
+    /// * RT: the rule's waiting budget is `d − µ_s` (infeasible if `d ≤ µ_s`).
+    /// * cost: the rule's idle budget is `B − µ_τ − µ_s` (clamped at 0 when
+    ///   the budget is tighter than the irreducible cost — the strictest
+    ///   achievable setting).
+    pub fn to_rule(
+        &self,
+        mean_processing: f64,
+        mean_pending: f64,
+    ) -> Result<DecisionRule, CoreError> {
+        match *self {
+            RobustScalerVariant::HittingProbability { target } => {
+                if !(target > 0.0 && target < 1.0) {
+                    return Err(CoreError::InvalidConfig(
+                        "target hitting probability must be in (0, 1)",
+                    ));
+                }
+                Ok(DecisionRule::HittingProbability {
+                    alpha: 1.0 - target,
+                })
+            }
+            RobustScalerVariant::ResponseTime { target } => {
+                if !(target > 0.0) || !target.is_finite() {
+                    return Err(CoreError::InvalidConfig(
+                        "target response time must be finite and > 0",
+                    ));
+                }
+                Ok(DecisionRule::ResponseTime {
+                    target_waiting: (target - mean_processing).max(0.0),
+                })
+            }
+            RobustScalerVariant::CostBudget { budget } => {
+                if !(budget > 0.0) || !budget.is_finite() {
+                    return Err(CoreError::InvalidConfig(
+                        "cost budget must be finite and > 0",
+                    ));
+                }
+                Ok(DecisionRule::CostBudget {
+                    target_idle: (budget - mean_pending - mean_processing).max(0.0),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_the_paper() {
+        assert_eq!(
+            RobustScalerVariant::HittingProbability { target: 0.9 }.name(),
+            "robustscaler-hp"
+        );
+        assert_eq!(
+            RobustScalerVariant::ResponseTime { target: 20.0 }.name(),
+            "robustscaler-rt"
+        );
+        assert_eq!(
+            RobustScalerVariant::CostBudget { budget: 40.0 }.name(),
+            "robustscaler-cost"
+        );
+    }
+
+    #[test]
+    fn hp_variant_maps_to_alpha() {
+        let rule = RobustScalerVariant::HittingProbability { target: 0.9 }
+            .to_rule(20.0, 13.0)
+            .unwrap();
+        match rule {
+            DecisionRule::HittingProbability { alpha } => assert!((alpha - 0.1).abs() < 1e-12),
+            _ => panic!("wrong rule"),
+        }
+        assert!(RobustScalerVariant::HittingProbability { target: 1.0 }
+            .to_rule(20.0, 13.0)
+            .is_err());
+        assert!(RobustScalerVariant::HittingProbability { target: 0.0 }
+            .to_rule(20.0, 13.0)
+            .is_err());
+    }
+
+    #[test]
+    fn rt_variant_subtracts_processing_time() {
+        let rule = RobustScalerVariant::ResponseTime { target: 25.0 }
+            .to_rule(20.0, 13.0)
+            .unwrap();
+        match rule {
+            DecisionRule::ResponseTime { target_waiting } => {
+                assert!((target_waiting - 5.0).abs() < 1e-12)
+            }
+            _ => panic!("wrong rule"),
+        }
+        // Target below the processing time clamps the waiting budget to 0.
+        let strict = RobustScalerVariant::ResponseTime { target: 10.0 }
+            .to_rule(20.0, 13.0)
+            .unwrap();
+        match strict {
+            DecisionRule::ResponseTime { target_waiting } => assert_eq!(target_waiting, 0.0),
+            _ => panic!("wrong rule"),
+        }
+        assert!(RobustScalerVariant::ResponseTime { target: -1.0 }
+            .to_rule(20.0, 13.0)
+            .is_err());
+    }
+
+    #[test]
+    fn cost_variant_subtracts_fixed_costs() {
+        let rule = RobustScalerVariant::CostBudget { budget: 40.0 }
+            .to_rule(20.0, 13.0)
+            .unwrap();
+        match rule {
+            DecisionRule::CostBudget { target_idle } => assert!((target_idle - 7.0).abs() < 1e-12),
+            _ => panic!("wrong rule"),
+        }
+        let tight = RobustScalerVariant::CostBudget { budget: 10.0 }
+            .to_rule(20.0, 13.0)
+            .unwrap();
+        match tight {
+            DecisionRule::CostBudget { target_idle } => assert_eq!(target_idle, 0.0),
+            _ => panic!("wrong rule"),
+        }
+        assert!(RobustScalerVariant::CostBudget { budget: 0.0 }
+            .to_rule(20.0, 13.0)
+            .is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Small dense matrices with a reference Cholesky factorization.
+//!
+//! The dense path exists for correctness testing of the banded and iterative
+//! solvers and for tiny systems (e.g. unit tests); the production ADMM path
+//! uses [`crate::banded`] or [`crate::cg`].
+
+use crate::error::LinalgError;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Create a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major slice.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+                context: "DenseMatrix::from_rows",
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+                context: "DenseMatrix::matvec",
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Transpose-vector product `Aᵀ x`.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.rows,
+                actual: x.len(),
+                context: "DenseMatrix::matvec_transpose",
+            });
+        }
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (yj, a) in y.iter_mut().zip(row.iter()) {
+                *yj += a * x[i];
+            }
+        }
+        Ok(y)
+    }
+
+    /// Gram matrix `AᵀA`.
+    pub fn gram(&self) -> DenseMatrix {
+        let mut g = DenseMatrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for a in 0..self.cols {
+                if row[a] == 0.0 {
+                    continue;
+                }
+                for b in 0..self.cols {
+                    g[(a, b)] += row[a] * row[b];
+                }
+            }
+        }
+        g
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` for a symmetric positive definite
+    /// matrix; returns the lower factor.
+    pub fn cholesky(&self) -> Result<DenseMatrix, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::InvalidArgument(
+                "cholesky requires a square matrix",
+            ));
+        }
+        let n = self.rows;
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = self[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            l[(j, j)] = diag.sqrt();
+            for i in j + 1..n {
+                let mut v = self[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / l[(j, j)];
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solve `A x = b` for symmetric positive definite `A` via Cholesky.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.rows,
+                actual: b.len(),
+                context: "DenseMatrix::solve_spd",
+            });
+        }
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward substitution L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[i];
+            for k in 0..i {
+                v -= l[(i, k)] * y[k];
+            }
+            y[i] = v / l[(i, i)];
+        }
+        // Backward substitution Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for k in i + 1..n {
+                v -= l[(k, i)] * x[k];
+            }
+            x[i] = v / l[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = DenseMatrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert!(DenseMatrix::from_rows(2, 2, &[1.0]).is_err());
+        let id = DenseMatrix::identity(3);
+        assert_eq!(id[(1, 1)], 1.0);
+        assert_eq!(id[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let m = DenseMatrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![6.0, 15.0]);
+        assert_eq!(
+            m.matvec_transpose(&[1.0, 1.0]).unwrap(),
+            vec![5.0, 7.0, 9.0]
+        );
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.matvec_transpose(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn gram_matches_manual_computation() {
+        let m = DenseMatrix::from_rows(3, 2, &[1.0, 0.0, 1.0, 1.0, 0.0, 2.0]).unwrap();
+        let g = m.gram();
+        assert_eq!(g[(0, 0)], 2.0);
+        assert_eq!(g[(0, 1)], 1.0);
+        assert_eq!(g[(1, 0)], 1.0);
+        assert_eq!(g[(1, 1)], 5.0);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2,0],[2,5,2],[0,2,6]] is SPD.
+        let a = DenseMatrix::from_rows(3, 3, &[4.0, 2.0, 0.0, 2.0, 5.0, 2.0, 0.0, 2.0, 6.0])
+            .unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve_spd(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_detects_non_spd() {
+        let a = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(rect.cholesky().is_err());
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = DenseMatrix::identity(3);
+        assert!(a.solve_spd(&[1.0, 2.0]).is_err());
+    }
+}

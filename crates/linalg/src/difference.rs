@@ -1,0 +1,316 @@
+//! Difference operators used by the NHPP regularizers.
+//!
+//! The paper's loss (eq. 1) penalizes `‖D₂ r‖₁` (second-order smoothness,
+//! the ℓ1 trend-filtering operator) and `‖D_L r‖₂²` (smoothness across one
+//! period of length `L`). Both operators are sparse stencils; this module
+//! implements their forward action, transpose action and the banded Gram
+//! matrices `D₂ᵀD₂`, `D_LᵀD_L` needed to assemble the ADMM system matrix.
+
+use crate::banded::SymmetricBandedMatrix;
+use crate::error::LinalgError;
+
+/// A sparse difference operator mapping `R^T → R^m`.
+pub trait DifferenceOperator {
+    /// Length of the input vector `T`.
+    fn input_dim(&self) -> usize;
+    /// Number of rows `m` of the operator.
+    fn output_dim(&self) -> usize;
+    /// Forward action `D x`.
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError>;
+    /// Transpose action `Dᵀ y`.
+    fn apply_transpose(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError>;
+    /// Half-bandwidth of the Gram matrix `DᵀD`.
+    fn gram_half_bandwidth(&self) -> usize;
+
+    /// Add `weight · DᵀD` into a symmetric banded accumulator.
+    fn add_gram_to(
+        &self,
+        target: &mut SymmetricBandedMatrix,
+        weight: f64,
+    ) -> Result<(), LinalgError>;
+}
+
+/// Second-order difference operator `D₂ ∈ R^{(T−2)×T}` with stencil
+/// `[1, −2, 1]` on consecutive triplets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondDifference {
+    t: usize,
+}
+
+impl SecondDifference {
+    /// Create the operator for series length `t` (requires `t ≥ 3` to have
+    /// any rows; shorter inputs yield an empty operator).
+    pub fn new(t: usize) -> Self {
+        Self { t }
+    }
+}
+
+impl DifferenceOperator for SecondDifference {
+    fn input_dim(&self) -> usize {
+        self.t
+    }
+
+    fn output_dim(&self) -> usize {
+        self.t.saturating_sub(2)
+    }
+
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.t {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.t,
+                actual: x.len(),
+                context: "SecondDifference::apply",
+            });
+        }
+        Ok((0..self.output_dim())
+            .map(|i| x[i] - 2.0 * x[i + 1] + x[i + 2])
+            .collect())
+    }
+
+    fn apply_transpose(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if y.len() != self.output_dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.output_dim(),
+                actual: y.len(),
+                context: "SecondDifference::apply_transpose",
+            });
+        }
+        let mut x = vec![0.0; self.t];
+        for (i, &v) in y.iter().enumerate() {
+            x[i] += v;
+            x[i + 1] -= 2.0 * v;
+            x[i + 2] += v;
+        }
+        Ok(x)
+    }
+
+    fn gram_half_bandwidth(&self) -> usize {
+        2
+    }
+
+    fn add_gram_to(
+        &self,
+        target: &mut SymmetricBandedMatrix,
+        weight: f64,
+    ) -> Result<(), LinalgError> {
+        if target.dim() != self.t {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.t,
+                actual: target.dim(),
+                context: "SecondDifference::add_gram_to",
+            });
+        }
+        // Each row contributes the 3x3 outer product of [1, -2, 1].
+        const STENCIL: [f64; 3] = [1.0, -2.0, 1.0];
+        for row in 0..self.output_dim() {
+            for a in 0..3 {
+                for b in a..3 {
+                    target.add_at(row + b, row + a, weight * STENCIL[a] * STENCIL[b])?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// L-step forward difference operator `D_L ∈ R^{(T−L)×T}` with rows
+/// `e_iᵀ − e_{i+L}ᵀ` (paper Section V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForwardDifference {
+    t: usize,
+    lag: usize,
+}
+
+impl ForwardDifference {
+    /// Create the operator for series length `t` and lag `lag ≥ 1`.
+    pub fn new(t: usize, lag: usize) -> Result<Self, LinalgError> {
+        if lag == 0 {
+            return Err(LinalgError::InvalidArgument(
+                "forward difference lag must be >= 1",
+            ));
+        }
+        Ok(Self { t, lag })
+    }
+
+    /// The lag (period length `L`).
+    pub fn lag(&self) -> usize {
+        self.lag
+    }
+}
+
+impl DifferenceOperator for ForwardDifference {
+    fn input_dim(&self) -> usize {
+        self.t
+    }
+
+    fn output_dim(&self) -> usize {
+        self.t.saturating_sub(self.lag)
+    }
+
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.t {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.t,
+                actual: x.len(),
+                context: "ForwardDifference::apply",
+            });
+        }
+        Ok((0..self.output_dim())
+            .map(|i| x[i] - x[i + self.lag])
+            .collect())
+    }
+
+    fn apply_transpose(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if y.len() != self.output_dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.output_dim(),
+                actual: y.len(),
+                context: "ForwardDifference::apply_transpose",
+            });
+        }
+        let mut x = vec![0.0; self.t];
+        for (i, &v) in y.iter().enumerate() {
+            x[i] += v;
+            x[i + self.lag] -= v;
+        }
+        Ok(x)
+    }
+
+    fn gram_half_bandwidth(&self) -> usize {
+        self.lag
+    }
+
+    fn add_gram_to(
+        &self,
+        target: &mut SymmetricBandedMatrix,
+        weight: f64,
+    ) -> Result<(), LinalgError> {
+        if target.dim() != self.t {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.t,
+                actual: target.dim(),
+                context: "ForwardDifference::add_gram_to",
+            });
+        }
+        for row in 0..self.output_dim() {
+            target.add_at(row, row, weight)?;
+            target.add_at(row + self.lag, row + self.lag, weight)?;
+            target.add_at(row + self.lag, row, -weight)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    fn dense_from_operator<D: DifferenceOperator>(op: &D) -> DenseMatrix {
+        let t = op.input_dim();
+        let m = op.output_dim();
+        let mut dense = DenseMatrix::zeros(m, t);
+        for j in 0..t {
+            let mut e = vec![0.0; t];
+            e[j] = 1.0;
+            let col = op.apply(&e).unwrap();
+            for i in 0..m {
+                dense[(i, j)] = col[i];
+            }
+        }
+        dense
+    }
+
+    #[test]
+    fn second_difference_matches_definition() {
+        let d2 = SecondDifference::new(5);
+        assert_eq!(d2.input_dim(), 5);
+        assert_eq!(d2.output_dim(), 3);
+        let x = [1.0, 2.0, 4.0, 7.0, 11.0];
+        assert_eq!(d2.apply(&x).unwrap(), vec![1.0, 1.0, 1.0]);
+        // A straight line has zero second difference.
+        let line = [3.0, 5.0, 7.0, 9.0, 11.0];
+        assert_eq!(d2.apply(&line).unwrap(), vec![0.0, 0.0, 0.0]);
+        assert!(d2.apply(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn forward_difference_matches_definition() {
+        let dl = ForwardDifference::new(6, 2).unwrap();
+        assert_eq!(dl.lag(), 2);
+        assert_eq!(dl.output_dim(), 4);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(dl.apply(&x).unwrap(), vec![-2.0, -2.0, -2.0, -2.0]);
+        // A 2-periodic signal has zero lag-2 difference.
+        let periodic = [1.0, 5.0, 1.0, 5.0, 1.0, 5.0];
+        assert_eq!(dl.apply(&periodic).unwrap(), vec![0.0; 4]);
+        assert!(ForwardDifference::new(6, 0).is_err());
+    }
+
+    #[test]
+    fn transpose_agrees_with_dense_transpose() {
+        let d2 = SecondDifference::new(8);
+        let dl = ForwardDifference::new(8, 3).unwrap();
+        let dense2 = dense_from_operator(&d2);
+        let densel = dense_from_operator(&dl);
+        let y2: Vec<f64> = (0..d2.output_dim()).map(|i| (i as f64) - 2.0).collect();
+        let yl: Vec<f64> = (0..dl.output_dim()).map(|i| (i as f64) * 0.5 + 1.0).collect();
+        assert_eq!(
+            d2.apply_transpose(&y2).unwrap(),
+            dense2.matvec_transpose(&y2).unwrap()
+        );
+        assert_eq!(
+            dl.apply_transpose(&yl).unwrap(),
+            densel.matvec_transpose(&yl).unwrap()
+        );
+        assert!(d2.apply_transpose(&[1.0]).is_err());
+        assert!(dl.apply_transpose(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_matrix_matches_dense_gram() {
+        for (t, lag) in [(10usize, 3usize), (12, 5), (9, 1)] {
+            let d2 = SecondDifference::new(t);
+            let dl = ForwardDifference::new(t, lag).unwrap();
+            let weight2 = 0.7;
+            let weightl = 1.3;
+
+            let mut banded =
+                SymmetricBandedMatrix::zeros(t, d2.gram_half_bandwidth().max(dl.gram_half_bandwidth()));
+            d2.add_gram_to(&mut banded, weight2).unwrap();
+            dl.add_gram_to(&mut banded, weightl).unwrap();
+
+            let dense2 = dense_from_operator(&d2).gram();
+            let densel = dense_from_operator(&dl).gram();
+            for i in 0..t {
+                for j in 0..t {
+                    let expected = weight2 * dense2[(i, j)] + weightl * densel[(i, j)];
+                    assert!(
+                        (banded.get(i, j) - expected).abs() < 1e-12,
+                        "t={t} lag={lag} ({i},{j}): {} vs {expected}",
+                        banded.get(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_accumulation_rejects_wrong_dimension() {
+        let d2 = SecondDifference::new(10);
+        let mut target = SymmetricBandedMatrix::zeros(9, 2);
+        assert!(d2.add_gram_to(&mut target, 1.0).is_err());
+        let dl = ForwardDifference::new(10, 2).unwrap();
+        assert!(dl.add_gram_to(&mut target, 1.0).is_err());
+    }
+
+    #[test]
+    fn short_series_yield_empty_operators() {
+        let d2 = SecondDifference::new(2);
+        assert_eq!(d2.output_dim(), 0);
+        assert_eq!(d2.apply(&[1.0, 2.0]).unwrap(), Vec::<f64>::new());
+        let dl = ForwardDifference::new(3, 5).unwrap();
+        assert_eq!(dl.output_dim(), 0);
+        assert_eq!(dl.apply(&[1.0, 2.0, 3.0]).unwrap(), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the linear algebra substrate.
+
+use std::fmt;
+
+/// Errors produced by factorizations and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Dimensions of operands do not agree.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+        /// Which operation raised the error.
+        context: &'static str,
+    },
+    /// A matrix expected to be positive definite was not.
+    NotPositiveDefinite {
+        /// The pivot index where the factorization broke down.
+        pivot: usize,
+    },
+    /// An iterative solver did not reach the requested tolerance.
+    NonConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Relative residual at the last iteration.
+        residual: f64,
+    },
+    /// A parameter was invalid (e.g. zero bandwidth request on empty matrix).
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::NonConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_mention_context() {
+        let e = LinalgError::DimensionMismatch {
+            expected: 4,
+            actual: 3,
+            context: "matvec",
+        };
+        assert!(e.to_string().contains("matvec"));
+        assert!(LinalgError::NotPositiveDefinite { pivot: 2 }
+            .to_string()
+            .contains("pivot 2"));
+        assert!(LinalgError::NonConvergence {
+            iterations: 10,
+            residual: 1e-3
+        }
+        .to_string()
+        .contains("10"));
+        assert!(LinalgError::InvalidArgument("bad")
+            .to_string()
+            .contains("bad"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Linear algebra substrate for the RobustScaler reproduction.
+//!
+//! The ADMM training loop of the NHPP model (paper Algorithm 2) repeatedly
+//! solves a sparse symmetric positive definite system
+//! `A_k = Δt·diag(e^{r_k}) + ρ D₂ᵀD₂ + ρ D_LᵀD_L`. This crate provides, from
+//! scratch:
+//!
+//! * dense vectors and a small dense matrix with a reference Cholesky
+//!   factorization (used for testing and tiny problems),
+//! * a symmetric banded matrix with a banded Cholesky factorization whose
+//!   cost is `O(T·w²)` for bandwidth `w` — matching the `O(T·L²)` complexity
+//!   the paper quotes,
+//! * a Jacobi-preconditioned conjugate gradient solver for the matrix-free
+//!   representation of `A_k` (far cheaper than a banded factorization when
+//!   the period length `L` is large), and
+//! * the second-order and L-step forward difference operators `D₂`, `D_L`
+//!   together with their transposes and Gram products.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod banded;
+pub mod cg;
+pub mod dense;
+pub mod difference;
+pub mod error;
+pub mod vector;
+
+pub use banded::SymmetricBandedMatrix;
+pub use cg::{conjugate_gradient, CgOptions, CgOutcome, LinearOperator};
+pub use dense::DenseMatrix;
+pub use difference::{DifferenceOperator, ForwardDifference, SecondDifference};
+pub use error::LinalgError;

@@ -1,0 +1,104 @@
+//! Error type for the NHPP crate.
+
+use robustscaler_linalg::LinalgError;
+use robustscaler_stats::StatsError;
+use robustscaler_timeseries::TimeSeriesError;
+use std::fmt;
+
+/// Errors produced by NHPP modeling, training and sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NhppError {
+    /// A parameter was invalid.
+    InvalidParameter(&'static str),
+    /// The training series is unusable (too short, all missing, ...).
+    InvalidSeries(TimeSeriesError),
+    /// The ADMM linear algebra failed.
+    Linalg(LinalgError),
+    /// A statistical routine failed.
+    Stats(StatsError),
+    /// The trainer did not converge within its iteration budget.
+    NonConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final primal residual.
+        residual: f64,
+    },
+    /// A query was made outside the model's defined time range.
+    OutOfRange {
+        /// The offending time.
+        time: f64,
+        /// Start of the valid range.
+        start: f64,
+        /// End of the valid range.
+        end: f64,
+    },
+}
+
+impl fmt::Display for NhppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NhppError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            NhppError::InvalidSeries(e) => write!(f, "invalid training series: {e}"),
+            NhppError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            NhppError::Stats(e) => write!(f, "statistics failure: {e}"),
+            NhppError::NonConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "ADMM did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            NhppError::OutOfRange { time, start, end } => {
+                write!(f, "time {time} outside the model range [{start}, {end})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NhppError {}
+
+impl From<LinalgError> for NhppError {
+    fn from(e: LinalgError) -> Self {
+        NhppError::Linalg(e)
+    }
+}
+
+impl From<StatsError> for NhppError {
+    fn from(e: StatsError) -> Self {
+        NhppError::Stats(e)
+    }
+}
+
+impl From<TimeSeriesError> for NhppError {
+    fn from(e: TimeSeriesError) -> Self {
+        NhppError::InvalidSeries(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: NhppError = LinalgError::InvalidArgument("x").into();
+        assert!(e.to_string().contains("linear algebra"));
+        let e: NhppError = StatsError::EmptySample.into();
+        assert!(e.to_string().contains("statistics"));
+        let e: NhppError = TimeSeriesError::AllMissing.into();
+        assert!(e.to_string().contains("training series"));
+        let e = NhppError::OutOfRange {
+            time: 5.0,
+            start: 0.0,
+            end: 3.0,
+        };
+        assert!(e.to_string().contains("outside"));
+        assert!(NhppError::NonConvergence {
+            iterations: 7,
+            residual: 0.1
+        }
+        .to_string()
+        .contains("7"));
+        assert!(NhppError::InvalidParameter("rho").to_string().contains("rho"));
+    }
+}

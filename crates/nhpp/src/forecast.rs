@@ -1,0 +1,243 @@
+//! Query arrival prediction (module 3 of the paper's framework).
+//!
+//! The fitted intensity is extrapolated into the near future. When a period
+//! was detected, the forecast repeats the per-phase intensity estimated from
+//! the most recent periods (robustly, via the median across periods); when
+//! the workload is aperiodic, the forecast carries the recent local level
+//! forward — the same "local intensity" the paper recommends for computing
+//! the κ threshold.
+
+use crate::error::NhppError;
+use crate::intensity::PiecewiseConstantIntensity;
+use crate::model::NhppModel;
+use robustscaler_stats::median;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the intensity forecaster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForecastConfig {
+    /// How many of the most recent periods to pool when estimating the
+    /// per-phase pattern (periodic workloads).
+    pub lookback_periods: usize,
+    /// How many recent buckets to average for aperiodic workloads (and as a
+    /// fallback when fewer than one full period of history exists).
+    pub recent_window: usize,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> Self {
+        Self {
+            lookback_periods: 4,
+            recent_window: 10,
+        }
+    }
+}
+
+/// Forecaster wrapping a fitted [`NhppModel`].
+#[derive(Debug, Clone)]
+pub struct Forecaster {
+    model: NhppModel,
+    config: ForecastConfig,
+}
+
+impl Forecaster {
+    /// Create a forecaster.
+    pub fn new(model: NhppModel, config: ForecastConfig) -> Result<Self, NhppError> {
+        if config.lookback_periods == 0 || config.recent_window == 0 {
+            return Err(NhppError::InvalidParameter(
+                "lookback_periods and recent_window must be >= 1",
+            ));
+        }
+        Ok(Self { model, config })
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &NhppModel {
+        &self.model
+    }
+
+    /// Forecast the intensity for `[from, from + horizon)`.
+    ///
+    /// `from` is usually the end of the training window ("now"); forecasts
+    /// starting later are supported and simply shift the periodic phase.
+    pub fn forecast(
+        &self,
+        from: f64,
+        horizon: f64,
+    ) -> Result<PiecewiseConstantIntensity, NhppError> {
+        if !(horizon > 0.0) {
+            return Err(NhppError::InvalidParameter("horizon must be > 0"));
+        }
+        if from < self.model.start() {
+            return Err(NhppError::OutOfRange {
+                time: from,
+                start: self.model.start(),
+                end: f64::INFINITY,
+            });
+        }
+        let dt = self.model.bucket_width();
+        let rates = self.model.rates();
+        let t = rates.len();
+        let buckets = (horizon / dt).ceil() as usize;
+        let buckets = buckets.max(1);
+
+        let predicted: Vec<f64> = match self.model.period() {
+            Some(period) if period >= 1 && t >= period => {
+                // Per-phase robust pattern over the last `lookback_periods`.
+                let lookback = self.config.lookback_periods.min(t / period).max(1);
+                let pattern: Vec<f64> = (0..period)
+                    .map(|phase| {
+                        let mut values = Vec::with_capacity(lookback);
+                        for k in 1..=lookback {
+                            let idx = t as i64 - (k * period) as i64 + phase as i64;
+                            if idx >= 0 {
+                                values.push(rates[idx as usize]);
+                            }
+                        }
+                        if values.is_empty() {
+                            rates[t - 1]
+                        } else {
+                            median(&values).expect("non-empty")
+                        }
+                    })
+                    .collect();
+                // Phase of the first forecast bucket relative to the training
+                // start, so the pattern lines up with wall-clock time.
+                let first_bucket_index =
+                    ((from - self.model.start()) / dt).round() as i64;
+                (0..buckets)
+                    .map(|i| {
+                        let phase =
+                            ((first_bucket_index + i as i64).rem_euclid(period as i64)) as usize;
+                        pattern[phase]
+                    })
+                    .collect()
+            }
+            _ => {
+                // Aperiodic: carry the recent local level forward.
+                let window = self.config.recent_window.min(t).max(1);
+                let recent = &rates[t - window..];
+                let level = recent.iter().sum::<f64>() / window as f64;
+                vec![level; buckets]
+            }
+        };
+
+        PiecewiseConstantIntensity::new(from, dt, predicted)
+    }
+
+    /// Forecast the *local* intensity level at `from` — a single scalar used
+    /// by the κ threshold of Algorithm 4 (paper §VI-C recommends using the
+    /// local intensity rather than a global upper bound).
+    pub fn local_intensity(&self, from: f64) -> Result<f64, NhppError> {
+        let horizon = self.model.bucket_width();
+        let forecast = self.forecast(from, horizon)?;
+        Ok(forecast.rates()[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::Intensity;
+
+    fn periodic_model(buckets: usize, period: usize) -> NhppModel {
+        // rate alternates by phase: λ(phase) = 0.1·(phase+1)
+        let log_rates: Vec<f64> = (0..buckets)
+            .map(|i| (0.1 * ((i % period) as f64 + 1.0)).ln())
+            .collect();
+        NhppModel::from_log_rates(0.0, 60.0, log_rates, Some(period)).unwrap()
+    }
+
+    #[test]
+    fn constructor_validates_config() {
+        let m = periodic_model(40, 4);
+        assert!(Forecaster::new(
+            m.clone(),
+            ForecastConfig {
+                lookback_periods: 0,
+                recent_window: 10
+            }
+        )
+        .is_err());
+        assert!(Forecaster::new(
+            m,
+            ForecastConfig {
+                lookback_periods: 4,
+                recent_window: 0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn periodic_forecast_repeats_the_phase_pattern() {
+        let m = periodic_model(48, 4);
+        let f = Forecaster::new(m.clone(), ForecastConfig::default()).unwrap();
+        let forecast = f.forecast(m.end(), 8.0 * 60.0).unwrap();
+        assert_eq!(forecast.len(), 8);
+        // Training covered exactly 12 periods, so the forecast picks up at
+        // phase 0 again.
+        for (i, &rate) in forecast.rates().iter().enumerate() {
+            let expected = 0.1 * ((i % 4) as f64 + 1.0);
+            assert!(
+                (rate - expected).abs() < 1e-9,
+                "bucket {i}: {rate} vs {expected}"
+            );
+        }
+        // The forecast starts where requested.
+        assert_eq!(forecast.start(), m.end());
+    }
+
+    #[test]
+    fn forecast_phase_alignment_respects_the_requested_start() {
+        let m = periodic_model(48, 4);
+        let f = Forecaster::new(m.clone(), ForecastConfig::default()).unwrap();
+        // Start two buckets after the end of training: phase shifts by 2.
+        let from = m.end() + 2.0 * 60.0;
+        let forecast = f.forecast(from, 4.0 * 60.0).unwrap();
+        let expected_phases = [2usize, 3, 0, 1];
+        for (i, &rate) in forecast.rates().iter().enumerate() {
+            let expected = 0.1 * (expected_phases[i] as f64 + 1.0);
+            assert!((rate - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn aperiodic_forecast_carries_recent_level() {
+        let log_rates: Vec<f64> = (0..30)
+            .map(|i| if i < 20 { (0.2_f64).ln() } else { (0.6_f64).ln() })
+            .collect();
+        let m = NhppModel::from_log_rates(0.0, 60.0, log_rates, None).unwrap();
+        let f = Forecaster::new(m.clone(), ForecastConfig::default()).unwrap();
+        let forecast = f.forecast(m.end(), 5.0 * 60.0).unwrap();
+        for &rate in forecast.rates() {
+            assert!((rate - 0.6).abs() < 1e-9);
+        }
+        assert!((f.local_intensity(m.end()).unwrap() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_invalid_horizon_and_start() {
+        let m = periodic_model(20, 4);
+        let f = Forecaster::new(m.clone(), ForecastConfig::default()).unwrap();
+        assert!(f.forecast(m.end(), 0.0).is_err());
+        assert!(f.forecast(m.start() - 1.0, 60.0).is_err());
+    }
+
+    #[test]
+    fn forecast_total_mass_matches_periodic_average() {
+        let m = periodic_model(400, 4);
+        let f = Forecaster::new(m.clone(), ForecastConfig::default()).unwrap();
+        let horizon = 400.0 * 60.0;
+        let forecast = f.forecast(m.end(), horizon).unwrap();
+        // Average rate of the pattern is 0.1·(1+2+3+4)/4 = 0.25.
+        let expected_mass = 0.25 * horizon;
+        assert!(
+            (forecast.total_mass() - expected_mass).abs() / expected_mass < 1e-9,
+            "mass {} vs {}",
+            forecast.total_mass(),
+            expected_mass
+        );
+        assert!((forecast.integrated(m.end(), m.end() + 240.0) - 0.25 * 240.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,444 @@
+//! Intensity functions of non-homogeneous Poisson processes.
+//!
+//! Both the scaling optimizer (which needs the distribution of the time of
+//! the i-th upcoming arrival) and the trace generators (which need to sample
+//! arrivals from closed-form intensities) work through the [`Intensity`]
+//! trait: the rate `λ(t)`, the integrated intensity
+//! `Λ(a, b) = ∫_a^b λ(t) dt` and its inverse in the second argument.
+
+use crate::error::NhppError;
+use serde::{Deserialize, Serialize};
+
+/// An intensity function `λ(t) ≥ 0` of an NHPP.
+pub trait Intensity {
+    /// The instantaneous rate at time `t`.
+    fn rate(&self, t: f64) -> f64;
+
+    /// Integrated intensity `Λ(from, to) = ∫_from^to λ(t) dt` with
+    /// `to ≥ from`.
+    fn integrated(&self, from: f64, to: f64) -> f64;
+
+    /// The smallest `t ≥ from` such that `Λ(from, t) ≥ target`
+    /// (`target ≥ 0`). Returns `f64::INFINITY` when the cumulative intensity
+    /// never reaches the target.
+    fn inverse_integrated(&self, from: f64, target: f64) -> f64;
+
+    /// An upper bound of the rate over `[from, to)`, used by thinning
+    /// samplers and by the κ threshold of Algorithm 4.
+    fn max_rate(&self, from: f64, to: f64) -> f64;
+}
+
+/// Piecewise-constant intensity over equal-width buckets, the natural output
+/// of the NHPP trainer (`λ_t = exp(r_t)` on bucket `t`).
+///
+/// Outside the covered range the intensity continues with the first/last
+/// bucket's rate, so forecasts can extend a little past the planned horizon
+/// without panicking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseConstantIntensity {
+    start: f64,
+    bucket_width: f64,
+    rates: Vec<f64>,
+    /// Cumulative integrated intensity at bucket boundaries; length
+    /// `rates.len() + 1`, `cumulative[0] = 0`.
+    cumulative: Vec<f64>,
+}
+
+impl PiecewiseConstantIntensity {
+    /// Create a piecewise-constant intensity. All rates must be finite and
+    /// non-negative.
+    pub fn new(start: f64, bucket_width: f64, rates: Vec<f64>) -> Result<Self, NhppError> {
+        if !(bucket_width > 0.0) {
+            return Err(NhppError::InvalidParameter("bucket width must be > 0"));
+        }
+        if rates.is_empty() {
+            return Err(NhppError::InvalidParameter("rates must be non-empty"));
+        }
+        if rates.iter().any(|r| !r.is_finite() || *r < 0.0) {
+            return Err(NhppError::InvalidParameter(
+                "rates must be finite and non-negative",
+            ));
+        }
+        let mut cumulative = Vec::with_capacity(rates.len() + 1);
+        cumulative.push(0.0);
+        let mut acc = 0.0;
+        for &r in &rates {
+            acc += r * bucket_width;
+            cumulative.push(acc);
+        }
+        Ok(Self {
+            start,
+            bucket_width,
+            rates,
+            cumulative,
+        })
+    }
+
+    /// Build from log-intensities `r_t` (the trainer's parameterization).
+    pub fn from_log_rates(
+        start: f64,
+        bucket_width: f64,
+        log_rates: &[f64],
+    ) -> Result<Self, NhppError> {
+        Self::new(
+            start,
+            bucket_width,
+            log_rates.iter().map(|r| r.exp()).collect(),
+        )
+    }
+
+    /// Start of the covered range.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// End of the covered range.
+    pub fn end(&self) -> f64 {
+        self.start + self.bucket_width * self.rates.len() as f64
+    }
+
+    /// Bucket width in seconds.
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
+    }
+
+    /// The per-bucket rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the intensity covers no buckets (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Total integrated intensity over the covered range (expected number of
+    /// arrivals).
+    pub fn total_mass(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty")
+    }
+
+    fn bucket_of(&self, t: f64) -> usize {
+        if t <= self.start {
+            return 0;
+        }
+        let idx = ((t - self.start) / self.bucket_width) as usize;
+        idx.min(self.rates.len() - 1)
+    }
+
+    /// Integrated intensity from the start of coverage up to `t` (clamping
+    /// `t` into the covered range; beyond the end the final rate extends).
+    fn cumulative_at(&self, t: f64) -> f64 {
+        if t <= self.start {
+            // Extend the first bucket's rate backwards in time.
+            return (t - self.start) * self.rates[0];
+        }
+        let end = self.end();
+        if t >= end {
+            return self.total_mass() + (t - end) * *self.rates.last().expect("non-empty");
+        }
+        let idx = self.bucket_of(t);
+        let left = self.start + idx as f64 * self.bucket_width;
+        self.cumulative[idx] + (t - left) * self.rates[idx]
+    }
+}
+
+impl Intensity for PiecewiseConstantIntensity {
+    fn rate(&self, t: f64) -> f64 {
+        if t < self.start {
+            self.rates[0]
+        } else if t >= self.end() {
+            *self.rates.last().expect("non-empty")
+        } else {
+            self.rates[self.bucket_of(t)]
+        }
+    }
+
+    fn integrated(&self, from: f64, to: f64) -> f64 {
+        debug_assert!(to >= from, "integrated requires to >= from");
+        self.cumulative_at(to) - self.cumulative_at(from)
+    }
+
+    fn inverse_integrated(&self, from: f64, target: f64) -> f64 {
+        debug_assert!(target >= 0.0, "target must be non-negative");
+        if target == 0.0 {
+            return from;
+        }
+        let base = self.cumulative_at(from);
+        let goal = base + target;
+        let end = self.end();
+        let total = self.total_mass();
+        if goal > total || from >= end {
+            // Continue with the final bucket's rate beyond the end.
+            let tail_rate = *self.rates.last().expect("non-empty");
+            if tail_rate <= 0.0 {
+                return f64::INFINITY;
+            }
+            let from_for_tail = from.max(end);
+            let already = self.cumulative_at(from_for_tail);
+            return from_for_tail + (goal - already) / tail_rate;
+        }
+        // Binary search the bucket whose cumulative bound reaches the goal.
+        let idx = self.cumulative.partition_point(|&c| c < goal);
+        // idx >= 1 because goal > 0 and cumulative[0] = 0.
+        let idx = idx.min(self.rates.len());
+        let bucket = idx - 1;
+        let left = self.start + bucket as f64 * self.bucket_width;
+        let rate = self.rates[bucket];
+        if rate <= 0.0 {
+            // Zero-rate bucket cannot accumulate mass; move to its right edge
+            // and recurse (the remaining mass must lie in a later bucket).
+            let right = left + self.bucket_width;
+            return self.inverse_integrated(right, goal - self.cumulative_at(right));
+        }
+        let t = left + (goal - self.cumulative[bucket]) / rate;
+        t.max(from)
+    }
+
+    fn max_rate(&self, from: f64, to: f64) -> f64 {
+        let lo = self.bucket_of(from.max(self.start));
+        let hi = self.bucket_of(to.min(self.end() - 1e-12).max(self.start));
+        self.rates[lo..=hi]
+            .iter()
+            .cloned()
+            .fold(0.0_f64, f64::max)
+            .max(if to > self.end() {
+                *self.rates.last().expect("non-empty")
+            } else {
+                0.0
+            })
+    }
+}
+
+/// A closed-form intensity defined by an arbitrary function, integrated
+/// numerically with the composite Simpson rule. Used for the paper's
+/// synthetic ground-truth intensities (scalability test of Fig. 8 and the
+/// periodicity-regularization study of Table III).
+#[derive(Clone)]
+pub struct ClosedFormIntensity<F>
+where
+    F: Fn(f64) -> f64,
+{
+    f: F,
+    /// Step used for numeric integration and for the max-rate scan.
+    resolution: f64,
+}
+
+impl<F> ClosedFormIntensity<F>
+where
+    F: Fn(f64) -> f64,
+{
+    /// Wrap a rate function; `resolution` is the numeric-integration step in
+    /// seconds (must be > 0).
+    pub fn new(f: F, resolution: f64) -> Result<Self, NhppError> {
+        if !(resolution > 0.0) {
+            return Err(NhppError::InvalidParameter("resolution must be > 0"));
+        }
+        Ok(Self { f, resolution })
+    }
+}
+
+impl<F> Intensity for ClosedFormIntensity<F>
+where
+    F: Fn(f64) -> f64,
+{
+    fn rate(&self, t: f64) -> f64 {
+        (self.f)(t).max(0.0)
+    }
+
+    fn integrated(&self, from: f64, to: f64) -> f64 {
+        debug_assert!(to >= from);
+        if to == from {
+            return 0.0;
+        }
+        // Cap the number of Simpson panels so that pathological ranges (e.g.
+        // the bracket expansion of `inverse_integrated` over a near-zero
+        // intensity) neither overflow the step count nor take unbounded time;
+        // the effective resolution simply coarsens for huge ranges.
+        let steps = ((to - from) / self.resolution)
+            .ceil()
+            .clamp(1.0, 2_000_000.0) as usize;
+        // Composite Simpson needs an even number of sub-intervals.
+        let steps = if steps % 2 == 1 { steps + 1 } else { steps };
+        let h = (to - from) / steps as f64;
+        let mut acc = self.rate(from) + self.rate(to);
+        for i in 1..steps {
+            let weight = if i % 2 == 1 { 4.0 } else { 2.0 };
+            acc += weight * self.rate(from + i as f64 * h);
+        }
+        acc * h / 3.0
+    }
+
+    fn inverse_integrated(&self, from: f64, target: f64) -> f64 {
+        debug_assert!(target >= 0.0);
+        if target == 0.0 {
+            return from;
+        }
+        // Expand an upper bracket (accumulating mass incrementally so each
+        // expansion only integrates the new segment), then bisect.
+        let mut step = self.resolution.max(1e-9);
+        let mut hi = from + step;
+        let mut mass = self.integrated(from, hi);
+        let mut expansions = 0;
+        while mass < target {
+            step *= 2.0;
+            let next_hi = hi + step;
+            mass += self.integrated(hi, next_hi);
+            hi = next_hi;
+            expansions += 1;
+            // After ~60 doublings the bracket spans ~1e18 resolutions; an
+            // intensity that has not accumulated the target by then is
+            // treated as never reaching it.
+            if expansions > 60 {
+                return f64::INFINITY;
+            }
+        }
+        let mut lo = from;
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if self.integrated(from, mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-9 * (1.0 + hi.abs()) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    fn max_rate(&self, from: f64, to: f64) -> f64 {
+        let steps = (((to - from) / self.resolution).ceil() as usize).max(1);
+        let h = (to - from) / steps as f64;
+        let mut max = 0.0_f64;
+        for i in 0..=steps {
+            max = max.max(self.rate(from + i as f64 * h));
+        }
+        // Small safety margin for the scan's finite resolution.
+        max * 1.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piecewise_constructor_validates_inputs() {
+        assert!(PiecewiseConstantIntensity::new(0.0, 0.0, vec![1.0]).is_err());
+        assert!(PiecewiseConstantIntensity::new(0.0, 1.0, vec![]).is_err());
+        assert!(PiecewiseConstantIntensity::new(0.0, 1.0, vec![-1.0]).is_err());
+        assert!(PiecewiseConstantIntensity::new(0.0, 1.0, vec![f64::NAN]).is_err());
+        let p = PiecewiseConstantIntensity::from_log_rates(0.0, 2.0, &[0.0, 1.0_f64.ln()])
+            .unwrap();
+        assert_eq!(p.rates(), &[1.0, 1.0]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn piecewise_rate_lookup() {
+        let p = PiecewiseConstantIntensity::new(10.0, 5.0, vec![1.0, 3.0, 0.5]).unwrap();
+        assert_eq!(p.rate(10.0), 1.0);
+        assert_eq!(p.rate(14.9), 1.0);
+        assert_eq!(p.rate(15.0), 3.0);
+        assert_eq!(p.rate(24.9), 0.5);
+        // Extension beyond the covered range.
+        assert_eq!(p.rate(5.0), 1.0);
+        assert_eq!(p.rate(100.0), 0.5);
+        assert_eq!(p.start(), 10.0);
+        assert_eq!(p.end(), 25.0);
+    }
+
+    #[test]
+    fn piecewise_integration_is_exact() {
+        let p = PiecewiseConstantIntensity::new(0.0, 2.0, vec![1.0, 3.0, 0.0, 2.0]).unwrap();
+        assert!((p.total_mass() - 12.0).abs() < 1e-12);
+        assert!((p.integrated(0.0, 2.0) - 2.0).abs() < 1e-12);
+        assert!((p.integrated(1.0, 3.0) - (1.0 + 3.0)).abs() < 1e-12);
+        assert!((p.integrated(0.0, 8.0) - 12.0).abs() < 1e-12);
+        // Crossing the right boundary extends with the last rate.
+        assert!((p.integrated(6.0, 10.0) - (4.0 + 4.0)).abs() < 1e-12);
+        assert_eq!(p.integrated(3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn piecewise_inverse_integrated_round_trips() {
+        let p = PiecewiseConstantIntensity::new(0.0, 2.0, vec![1.0, 3.0, 0.0, 2.0]).unwrap();
+        for &from in &[0.0, 1.0, 2.5, 5.0] {
+            for &target in &[0.1, 0.5, 1.0, 3.0, 6.0] {
+                let t = p.inverse_integrated(from, target);
+                let mass = p.integrated(from, t);
+                assert!(
+                    (mass - target).abs() < 1e-9,
+                    "from={from} target={target}: t={t}, mass={mass}"
+                );
+            }
+        }
+        // Zero target returns the starting point.
+        assert_eq!(p.inverse_integrated(1.5, 0.0), 1.5);
+    }
+
+    #[test]
+    fn piecewise_inverse_handles_zero_rate_buckets_and_tail() {
+        let p = PiecewiseConstantIntensity::new(0.0, 1.0, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        // Mass 1.5 from t=0: 1.0 accumulates in bucket 0, the rest must wait
+        // until bucket 3.
+        let t = p.inverse_integrated(0.0, 1.5);
+        assert!((t - 3.5).abs() < 1e-9, "t = {t}");
+        // Beyond the end, the final rate (1.0) continues.
+        let t2 = p.inverse_integrated(0.0, 3.0);
+        assert!((t2 - 5.0).abs() < 1e-9, "t2 = {t2}");
+        // A trailing zero rate makes large targets unreachable.
+        let pz = PiecewiseConstantIntensity::new(0.0, 1.0, vec![1.0, 0.0]).unwrap();
+        assert!(pz.inverse_integrated(0.0, 2.0).is_infinite());
+    }
+
+    #[test]
+    fn piecewise_max_rate_scans_the_window() {
+        let p = PiecewiseConstantIntensity::new(0.0, 1.0, vec![1.0, 5.0, 2.0]).unwrap();
+        assert_eq!(p.max_rate(0.0, 0.5), 1.0);
+        assert_eq!(p.max_rate(0.0, 3.0), 5.0);
+        assert_eq!(p.max_rate(2.0, 10.0), 2.0);
+    }
+
+    #[test]
+    fn closed_form_integrates_polynomials_accurately() {
+        // λ(t) = t² on [0, 3] integrates to 9.
+        let c = ClosedFormIntensity::new(|t: f64| t * t, 0.01).unwrap();
+        assert!((c.integrated(0.0, 3.0) - 9.0).abs() < 1e-6);
+        assert!((c.rate(2.0) - 4.0).abs() < 1e-12);
+        // Negative rates are clamped to zero.
+        let neg = ClosedFormIntensity::new(|_| -5.0, 0.1).unwrap();
+        assert_eq!(neg.rate(1.0), 0.0);
+        assert_eq!(neg.integrated(0.0, 10.0), 0.0);
+        assert!(ClosedFormIntensity::new(|_| 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn closed_form_inverse_round_trips() {
+        let c = ClosedFormIntensity::new(|t: f64| 2.0 + (t / 10.0).sin().abs(), 0.05).unwrap();
+        for &target in &[0.5, 2.0, 7.5, 30.0] {
+            let t = c.inverse_integrated(1.0, target);
+            assert!((c.integrated(1.0, t) - target).abs() < 1e-5);
+        }
+        assert_eq!(c.inverse_integrated(4.0, 0.0), 4.0);
+        // A zero intensity never accumulates mass.
+        let z = ClosedFormIntensity::new(|_| 0.0, 0.1).unwrap();
+        assert!(z.inverse_integrated(0.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn closed_form_max_rate_bounds_the_function() {
+        let c = ClosedFormIntensity::new(|t: f64| 3.0 + (t).sin(), 0.01).unwrap();
+        let bound = c.max_rate(0.0, 20.0);
+        assert!(bound >= 4.0);
+        assert!(bound < 4.5);
+    }
+}

@@ -1,0 +1,41 @@
+//! Non-homogeneous Poisson process (NHPP) modeling for RobustScaler.
+//!
+//! This crate implements the paper's second and third modules:
+//!
+//! * [`intensity`] — the [`Intensity`] abstraction (piecewise-constant and
+//!   closed-form intensities) with exact integrated intensity and its
+//!   inverse, the primitives behind both sampling and scaling decisions,
+//! * [`loss`] — the periodicity-regularized negative log-likelihood of
+//!   eq. (1),
+//! * [`admm`] — the quadratically approximated ADMM trainer of Algorithm 2,
+//!   using a banded Cholesky or a matrix-free conjugate gradient for the
+//!   `r`-subproblem,
+//! * [`model`] — the fitted [`NhppModel`] tying the learned log-intensities
+//!   to wall-clock time,
+//! * [`forecast`] — periodic extrapolation of the fitted intensity into the
+//!   future (module 3 of the paper's framework),
+//! * [`sampling`] — exact NHPP simulation by per-bucket Poisson counts and
+//!   Ogata thinning, and
+//! * [`rescale`] — the time-rescaling transform used by the QoS guarantee
+//!   analysis (Propositions 1 and 2) and by goodness-of-fit tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod admm;
+pub mod error;
+pub mod forecast;
+pub mod intensity;
+pub mod loss;
+pub mod model;
+pub mod rescale;
+pub mod sampling;
+
+pub use admm::{AdmmConfig, AdmmReport, AdmmSolver};
+pub use error::NhppError;
+pub use forecast::{ForecastConfig, Forecaster};
+pub use intensity::{ClosedFormIntensity, Intensity, PiecewiseConstantIntensity};
+pub use loss::{RegularizedLoss, RegularizedLossConfig};
+pub use model::NhppModel;
+pub use rescale::{rescale_arrivals, rescaled_ks_statistic};
+pub use sampling::{sample_arrivals, sample_arrivals_thinning};

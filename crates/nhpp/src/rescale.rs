@@ -1,0 +1,93 @@
+//! Time-rescaling diagnostics.
+//!
+//! If arrivals `ξ_1 < ξ_2 < …` follow an NHPP with intensity `λ`, then the
+//! transformed times `Λ(start, ξ_i)` follow a unit-rate homogeneous Poisson
+//! process, so their increments are i.i.d. `Exp(1)`. This is the argument
+//! behind the paper's Proposition 2 and also a standard goodness-of-fit test
+//! for the fitted model, which the pipeline uses as a diagnostic.
+
+use crate::intensity::Intensity;
+
+/// Transform arrival times through the integrated intensity,
+/// `u_i = Λ(start, ξ_i)`.
+pub fn rescale_arrivals<I: Intensity>(intensity: &I, arrivals: &[f64], start: f64) -> Vec<f64> {
+    arrivals
+        .iter()
+        .map(|&t| intensity.integrated(start, t))
+        .collect()
+}
+
+/// Kolmogorov–Smirnov statistic of the rescaled inter-arrival times against
+/// the `Exp(1)` distribution. Values below roughly `1.36/√n` indicate a good
+/// fit at the 5% level.
+pub fn rescaled_ks_statistic<I: Intensity>(intensity: &I, arrivals: &[f64], start: f64) -> f64 {
+    let rescaled = rescale_arrivals(intensity, arrivals, start);
+    if rescaled.len() < 2 {
+        return 0.0;
+    }
+    let mut gaps: Vec<f64> = rescaled.windows(2).map(|w| w[1] - w[0]).collect();
+    // Include the first gap from the window start.
+    gaps.push(rescaled[0]);
+    gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+    let n = gaps.len() as f64;
+    let mut ks = 0.0_f64;
+    for (i, &g) in gaps.iter().enumerate() {
+        let f = 1.0 - (-g).exp();
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        ks = ks.max((f - lo).abs()).max((f - hi).abs());
+    }
+    ks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::PiecewiseConstantIntensity;
+    use crate::sampling::sample_arrivals;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rescaling_linearizes_the_cumulative_intensity() {
+        let intensity = PiecewiseConstantIntensity::new(0.0, 10.0, vec![1.0, 3.0]).unwrap();
+        let arrivals = [5.0, 10.0, 15.0];
+        let rescaled = rescale_arrivals(&intensity, &arrivals, 0.0);
+        assert!((rescaled[0] - 5.0).abs() < 1e-12);
+        assert!((rescaled[1] - 10.0).abs() < 1e-12);
+        assert!((rescaled[2] - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correctly_specified_model_passes_the_ks_test() {
+        let intensity =
+            PiecewiseConstantIntensity::new(0.0, 100.0, vec![0.5, 2.0, 0.1, 1.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let arrivals = sample_arrivals(&intensity, 0.0, 500.0, &mut rng);
+        assert!(arrivals.len() > 300);
+        let ks = rescaled_ks_statistic(&intensity, &arrivals, 0.0);
+        let critical = 1.63 / (arrivals.len() as f64).sqrt(); // ~1% level
+        assert!(ks < critical * 1.5, "ks = {ks}, critical = {critical}");
+    }
+
+    #[test]
+    fn misspecified_model_fails_the_ks_test() {
+        // Generate from a strongly non-homogeneous intensity but test against
+        // a constant-rate model with the same total mass.
+        let truth =
+            PiecewiseConstantIntensity::new(0.0, 100.0, vec![0.02, 3.0, 0.02, 3.0, 0.02]).unwrap();
+        let wrong = PiecewiseConstantIntensity::new(0.0, 500.0, vec![1.212]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let arrivals = sample_arrivals(&truth, 0.0, 500.0, &mut rng);
+        let ks = rescaled_ks_statistic(&wrong, &arrivals, 0.0);
+        let critical = 1.63 / (arrivals.len() as f64).sqrt();
+        assert!(ks > critical * 3.0, "ks = {ks} should reject the flat model");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        let intensity = PiecewiseConstantIntensity::new(0.0, 1.0, vec![1.0]).unwrap();
+        assert_eq!(rescaled_ks_statistic(&intensity, &[], 0.0), 0.0);
+        assert_eq!(rescaled_ks_statistic(&intensity, &[0.5], 0.0), 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Exact simulation of NHPP arrival times.
+//!
+//! Two samplers are provided:
+//!
+//! * [`sample_arrivals`] — time-rescaling: successive arrival times are
+//!   `t_{k+1} = Λ⁻¹(t_k, E_k)` with `E_k ~ Exp(1)`. Exact whenever the
+//!   intensity's integrated form is exact (always true for
+//!   piecewise-constant intensities).
+//! * [`sample_arrivals_thinning`] — Ogata thinning against an upper bound of
+//!   the rate. Used as an independent cross-check in tests and for closed
+//!   form intensities whose `Λ⁻¹` is only available numerically.
+
+use crate::intensity::Intensity;
+use rand::Rng;
+
+/// Sample all arrival times in `[from, to)` by time-rescaling.
+pub fn sample_arrivals<I, R>(intensity: &I, from: f64, to: f64, rng: &mut R) -> Vec<f64>
+where
+    I: Intensity,
+    R: Rng + ?Sized,
+{
+    debug_assert!(to >= from, "sampling window must be non-empty");
+    let mut arrivals = Vec::new();
+    let mut current = from;
+    loop {
+        let exp: f64 = {
+            let u: f64 = rng.gen::<f64>();
+            -(1.0 - u).ln()
+        };
+        let next = intensity.inverse_integrated(current, exp);
+        if !next.is_finite() || next >= to {
+            break;
+        }
+        // Guard against pathological zero-progress (zero-rate plateaus are
+        // handled inside inverse_integrated, but stay safe).
+        if next <= current {
+            break;
+        }
+        arrivals.push(next);
+        current = next;
+    }
+    arrivals
+}
+
+/// Sample all arrival times in `[from, to)` by Ogata thinning.
+///
+/// The candidate stream is a homogeneous Poisson process at the rate bound
+/// returned by [`Intensity::max_rate`]; candidates are accepted with
+/// probability `λ(t)/bound`.
+pub fn sample_arrivals_thinning<I, R>(intensity: &I, from: f64, to: f64, rng: &mut R) -> Vec<f64>
+where
+    I: Intensity,
+    R: Rng + ?Sized,
+{
+    debug_assert!(to >= from, "sampling window must be non-empty");
+    let bound = intensity.max_rate(from, to);
+    if bound <= 0.0 {
+        return Vec::new();
+    }
+    let mut arrivals = Vec::new();
+    let mut current = from;
+    loop {
+        let u: f64 = rng.gen::<f64>();
+        current += -(1.0 - u).ln() / bound;
+        if current >= to {
+            break;
+        }
+        let accept: f64 = rng.gen::<f64>();
+        if accept * bound <= intensity.rate(current) {
+            arrivals.push(current);
+        }
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::{ClosedFormIntensity, PiecewiseConstantIntensity};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn homogeneous_counts_match_poisson_mean_and_variance() {
+        let intensity = PiecewiseConstantIntensity::new(0.0, 100.0, vec![0.5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let runs = 2000;
+        let counts: Vec<f64> = (0..runs)
+            .map(|_| sample_arrivals(&intensity, 0.0, 100.0, &mut rng).len() as f64)
+            .collect();
+        let mean = counts.iter().sum::<f64>() / runs as f64;
+        let var = counts
+            .iter()
+            .map(|c| (c - mean) * (c - mean))
+            .sum::<f64>()
+            / (runs as f64 - 1.0);
+        // True mean and variance are both 50.
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+        assert!((var - 50.0).abs() < 6.0, "var {var}");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_inside_the_window() {
+        let intensity =
+            PiecewiseConstantIntensity::new(10.0, 5.0, vec![0.1, 2.0, 0.0, 1.0, 0.3]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let arrivals = sample_arrivals(&intensity, 10.0, 35.0, &mut rng);
+        for w in arrivals.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(arrivals.iter().all(|&t| (10.0..35.0).contains(&t)));
+    }
+
+    #[test]
+    fn zero_intensity_produces_no_arrivals() {
+        let intensity = PiecewiseConstantIntensity::new(0.0, 10.0, vec![0.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(sample_arrivals(&intensity, 0.0, 20.0, &mut rng).is_empty());
+        assert!(sample_arrivals_thinning(&intensity, 0.0, 20.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn zero_rate_buckets_receive_no_arrivals() {
+        let intensity =
+            PiecewiseConstantIntensity::new(0.0, 10.0, vec![1.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let arrivals = sample_arrivals(&intensity, 0.0, 30.0, &mut rng);
+        assert!(!arrivals.is_empty());
+        assert!(arrivals.iter().all(|&t| !(10.0..20.0).contains(&t)));
+    }
+
+    #[test]
+    fn rescaling_and_thinning_agree_on_bucket_proportions() {
+        // Non-homogeneous: second half has 4x the rate of the first half.
+        let intensity = PiecewiseConstantIntensity::new(0.0, 50.0, vec![0.2, 0.8]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut first_rescale = 0usize;
+        let mut total_rescale = 0usize;
+        let mut first_thin = 0usize;
+        let mut total_thin = 0usize;
+        for _ in 0..400 {
+            let a = sample_arrivals(&intensity, 0.0, 100.0, &mut rng);
+            first_rescale += a.iter().filter(|&&t| t < 50.0).count();
+            total_rescale += a.len();
+            let b = sample_arrivals_thinning(&intensity, 0.0, 100.0, &mut rng);
+            first_thin += b.iter().filter(|&&t| t < 50.0).count();
+            total_thin += b.len();
+        }
+        let frac_rescale = first_rescale as f64 / total_rescale as f64;
+        let frac_thin = first_thin as f64 / total_thin as f64;
+        // The first bucket holds 20% of the total mass.
+        assert!((frac_rescale - 0.2).abs() < 0.02, "{frac_rescale}");
+        assert!((frac_thin - 0.2).abs() < 0.02, "{frac_thin}");
+        // Totals agree between the two exact samplers.
+        let mean_rescale = total_rescale as f64 / 400.0;
+        let mean_thin = total_thin as f64 / 400.0;
+        assert!((mean_rescale - 50.0).abs() < 1.5, "{mean_rescale}");
+        assert!((mean_thin - 50.0).abs() < 1.5, "{mean_thin}");
+    }
+
+    #[test]
+    fn closed_form_intensity_sampling_matches_expected_mass() {
+        // λ(t) = 2 + sin(t/5), total mass over [0, 100] = 200 + 5(1-cos(20)).
+        let intensity = ClosedFormIntensity::new(|t: f64| 2.0 + (t / 5.0).sin(), 0.05).unwrap();
+        let expected = 200.0 + 5.0 * (1.0 - (20.0_f64).cos());
+        let mut rng = StdRng::seed_from_u64(6);
+        let runs = 200;
+        let total: usize = (0..runs)
+            .map(|_| sample_arrivals_thinning(&intensity, 0.0, 100.0, &mut rng).len())
+            .sum();
+        let mean = total as f64 / runs as f64;
+        assert!(
+            (mean - expected).abs() < 0.05 * expected,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+}

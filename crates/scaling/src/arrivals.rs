@@ -1,0 +1,207 @@
+//! Monte Carlo sampling of the time of the i-th upcoming arrival.
+//!
+//! Under an NHPP with intensity `λ(t)` and current time `t₀`, the time
+//! rescaling theorem gives `ξ_i = Λ⁻¹(t₀, γ_i)` where `γ_i ~ Gamma(i, 1)`.
+//! The decision rules of paper eqs. (3), (5) and (7) only need Monte Carlo
+//! samples of `ξ_i` (jointly across `i` for efficiency): sampling the whole
+//! path of standard-exponential increments and transforming it through the
+//! inverse integrated intensity yields exactly that.
+
+use crate::error::ScalingError;
+use rand::Rng;
+use robustscaler_nhpp::Intensity;
+
+/// Samples of upcoming arrival times relative to a fixed "now".
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    /// `samples[r][k]` is the r-th Monte Carlo sample of the (k+1)-th
+    /// upcoming arrival time (absolute time).
+    samples: Vec<Vec<f64>>,
+    now: f64,
+}
+
+impl ArrivalSampler {
+    /// Draw `replications` Monte Carlo paths of the next `horizon_arrivals`
+    /// arrival times after `now` under the forecast `intensity`.
+    pub fn new<I, R>(
+        intensity: &I,
+        now: f64,
+        horizon_arrivals: usize,
+        replications: usize,
+        rng: &mut R,
+    ) -> Result<Self, ScalingError>
+    where
+        I: Intensity,
+        R: Rng + ?Sized,
+    {
+        if horizon_arrivals == 0 {
+            return Err(ScalingError::InvalidParameter(
+                "horizon_arrivals must be >= 1",
+            ));
+        }
+        if replications == 0 {
+            return Err(ScalingError::InvalidParameter("replications must be >= 1"));
+        }
+        let mut samples = Vec::with_capacity(replications);
+        for _ in 0..replications {
+            let mut path = Vec::with_capacity(horizon_arrivals);
+            let mut cumulative = 0.0_f64;
+            let mut previous = now;
+            for _ in 0..horizon_arrivals {
+                let u: f64 = rng.gen::<f64>();
+                cumulative += -(1.0 - u).ln();
+                // Λ⁻¹ is evaluated from `now` with the cumulative mass so the
+                // per-step numerical error does not accumulate.
+                let t = intensity.inverse_integrated(now, cumulative);
+                let t = if t.is_finite() { t } else { f64::MAX / 4.0 };
+                // Monotonicity guard against numerical jitter.
+                let t = t.max(previous);
+                path.push(t);
+                previous = t;
+            }
+            samples.push(path);
+        }
+        Ok(Self { samples, now })
+    }
+
+    /// The planning time `t₀`.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of Monte Carlo replications.
+    pub fn replications(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of upcoming arrivals covered per replication.
+    pub fn horizon_arrivals(&self) -> usize {
+        self.samples.first().map(|p| p.len()).unwrap_or(0)
+    }
+
+    /// The Monte Carlo samples of the `index`-th upcoming arrival
+    /// (1-based, matching the paper's `ξ_i`).
+    pub fn arrival_samples(&self, index: usize) -> Result<Vec<f64>, ScalingError> {
+        if index == 0 || index > self.horizon_arrivals() {
+            return Err(ScalingError::InvalidParameter(
+                "arrival index outside the sampled horizon",
+            ));
+        }
+        Ok(self.samples.iter().map(|path| path[index - 1]).collect())
+    }
+
+    /// Mean of the `index`-th upcoming arrival time.
+    pub fn mean_arrival(&self, index: usize) -> Result<f64, ScalingError> {
+        let samples = self.arrival_samples(index)?;
+        Ok(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use robustscaler_nhpp::PiecewiseConstantIntensity;
+    use robustscaler_stats::{ContinuousDistribution, Gamma};
+
+    fn constant_intensity(rate: f64) -> PiecewiseConstantIntensity {
+        PiecewiseConstantIntensity::new(0.0, 1_000_000.0, vec![rate]).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        let intensity = constant_intensity(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(ArrivalSampler::new(&intensity, 0.0, 0, 10, &mut rng).is_err());
+        assert!(ArrivalSampler::new(&intensity, 0.0, 10, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn constant_rate_arrivals_follow_gamma_distribution() {
+        // Under rate λ, ξ_i − t₀ ~ Gamma(i, 1/λ).
+        let rate = 0.5;
+        let intensity = constant_intensity(rate);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sampler = ArrivalSampler::new(&intensity, 100.0, 5, 40_000, &mut rng).unwrap();
+        assert_eq!(sampler.replications(), 40_000);
+        assert_eq!(sampler.horizon_arrivals(), 5);
+        assert_eq!(sampler.now(), 100.0);
+        for i in [1usize, 3, 5] {
+            let gamma = Gamma::new(i as f64, 1.0 / rate).unwrap();
+            let mean = sampler.mean_arrival(i).unwrap() - 100.0;
+            assert!(
+                (mean - gamma.mean()).abs() / gamma.mean() < 0.03,
+                "i={i}: mean {mean} vs {}",
+                gamma.mean()
+            );
+            // Check a couple of quantiles as well.
+            let mut samples: Vec<f64> = sampler
+                .arrival_samples(i)
+                .unwrap()
+                .iter()
+                .map(|t| t - 100.0)
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for &p in &[0.1, 0.5, 0.9] {
+                let empirical = samples[(p * samples.len() as f64) as usize];
+                let theoretical = gamma.quantile(p);
+                assert!(
+                    (empirical - theoretical).abs() / theoretical < 0.05,
+                    "i={i} p={p}: {empirical} vs {theoretical}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_order_is_preserved_within_each_path() {
+        let intensity =
+            PiecewiseConstantIntensity::new(0.0, 50.0, vec![0.01, 2.0, 0.3, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampler = ArrivalSampler::new(&intensity, 10.0, 20, 200, &mut rng).unwrap();
+        for r in 0..200 {
+            let path: Vec<f64> = (1..=20)
+                .map(|i| sampler.arrival_samples(i).unwrap()[r])
+                .collect();
+            for w in path.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+            assert!(path[0] >= 10.0);
+        }
+    }
+
+    #[test]
+    fn later_indices_arrive_later_in_expectation() {
+        let intensity = constant_intensity(2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sampler = ArrivalSampler::new(&intensity, 0.0, 10, 5_000, &mut rng).unwrap();
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let mean = sampler.mean_arrival(i).unwrap();
+            assert!(mean > prev);
+            prev = mean;
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_is_rejected() {
+        let intensity = constant_intensity(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sampler = ArrivalSampler::new(&intensity, 0.0, 3, 10, &mut rng).unwrap();
+        assert!(sampler.arrival_samples(0).is_err());
+        assert!(sampler.arrival_samples(4).is_err());
+        assert!(sampler.arrival_samples(3).is_ok());
+    }
+
+    #[test]
+    fn vanishing_intensity_pushes_arrivals_far_into_the_future() {
+        // A tiny tail rate means later arrivals are effectively "never".
+        let intensity =
+            PiecewiseConstantIntensity::new(0.0, 10.0, vec![1.0, 1e-12]).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let sampler = ArrivalSampler::new(&intensity, 0.0, 50, 50, &mut rng).unwrap();
+        let far = sampler.mean_arrival(50).unwrap();
+        assert!(far > 1e6);
+    }
+}

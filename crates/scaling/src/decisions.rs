@@ -1,0 +1,393 @@
+//! The three stochastically constrained decision rules (paper §VI-B).
+//!
+//! All three rules reduce, per upcoming query `i`, to a one-dimensional
+//! stochastic root-finding problem over Monte Carlo samples of
+//! `(ξ_i, τ_i)`:
+//!
+//! * **HP-constrained** (eq. 3): `x_i* = α-quantile of (ξ_i − τ_i)` — the
+//!   latest creation time whose hitting probability is still `1 − α`.
+//! * **RT-constrained** (eq. 5): `x_i*` solves
+//!   `E[(τ_i − (ξ_i − x)⁺)⁺] = d − µ_s` (Algorithm 3).
+//! * **cost-constrained** (eq. 7): `x_i* = 0` when the budget is slack,
+//!   otherwise `x_i*` solves `E[(ξ_i − τ_i − x)⁺] = B − µ_τ − µ_s`.
+
+use crate::arrivals::ArrivalSampler;
+use crate::error::ScalingError;
+use crate::qos::PendingTimeModel;
+use crate::sort_search::{solve_idle_cost_root, solve_waiting_root};
+use rand::Rng;
+use robustscaler_stats::empirical_quantile;
+use serde::{Deserialize, Serialize};
+
+/// Which constrained formulation drives the decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecisionRule {
+    /// Hitting-probability constraint `P(ξ_i > x_i + τ_i) ≥ 1 − α`
+    /// (RobustScaler-HP). `alpha` is the allowed miss probability.
+    HittingProbability {
+        /// Allowed miss probability α ∈ (0, 1).
+        alpha: f64,
+    },
+    /// Expected response-time constraint `µ_s + E[waiting] ≤ d`
+    /// (RobustScaler-RT). `target_waiting` is `d − µ_s` in seconds.
+    ResponseTime {
+        /// Waiting-time budget `d − µ_s` in seconds.
+        target_waiting: f64,
+    },
+    /// Expected per-instance cost budget `E[idle] + µ_τ + µ_s ≤ B`
+    /// (RobustScaler-cost). `target_idle` is `B − µ_τ − µ_s` in seconds.
+    CostBudget {
+        /// Idle-time budget `B − µ_τ − µ_s` in seconds.
+        target_idle: f64,
+    },
+}
+
+impl DecisionRule {
+    /// Validate the rule's parameter.
+    pub fn validate(&self) -> Result<(), ScalingError> {
+        match self {
+            DecisionRule::HittingProbability { alpha } => {
+                if !(*alpha > 0.0 && *alpha < 1.0) {
+                    return Err(ScalingError::InvalidParameter(
+                        "alpha must lie strictly inside (0, 1)",
+                    ));
+                }
+            }
+            DecisionRule::ResponseTime { target_waiting } => {
+                if !(*target_waiting >= 0.0) || !target_waiting.is_finite() {
+                    return Err(ScalingError::InvalidParameter(
+                        "waiting-time target must be finite and >= 0",
+                    ));
+                }
+            }
+            DecisionRule::CostBudget { target_idle } => {
+                if !(*target_idle >= 0.0) || !target_idle.is_finite() {
+                    return Err(ScalingError::InvalidParameter(
+                        "idle-time budget must be finite and >= 0",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Configuration shared by all decision computations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionConfig {
+    /// The constrained formulation in use.
+    pub rule: DecisionRule,
+    /// Pending (startup) time model of new instances.
+    pub pending: PendingTimeModel,
+    /// Number of Monte Carlo replications `R`.
+    pub monte_carlo_samples: usize,
+}
+
+impl DecisionConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), ScalingError> {
+        self.rule.validate()?;
+        self.pending.validate()?;
+        if self.monte_carlo_samples == 0 {
+            return Err(ScalingError::InvalidParameter(
+                "monte_carlo_samples must be >= 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One computed scaling decision for a specific upcoming query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingDecision {
+    /// 1-based index of the upcoming query this instance will serve.
+    pub arrival_index: usize,
+    /// The optimal creation time before clamping (may lie in the past, which
+    /// signals that the constraint is not attainable for this query).
+    pub unconstrained_creation_time: f64,
+    /// The creation time clamped to be no earlier than the planning time.
+    pub creation_time: f64,
+    /// Whether the raw solution had to be clamped (i.e. the desired QoS may
+    /// be unattainable for this query — the infeasibility the paper discusses
+    /// below eq. 3).
+    pub clamped: bool,
+}
+
+/// Compute the creation time for the `arrival_index`-th upcoming query from
+/// Monte Carlo samples of its arrival time.
+///
+/// `sampler` must have been built from the forecast intensity at the current
+/// planning time; `rng` supplies the pending-time samples.
+pub fn decide<R: Rng + ?Sized>(
+    sampler: &ArrivalSampler,
+    arrival_index: usize,
+    config: &DecisionConfig,
+    rng: &mut R,
+) -> Result<ScalingDecision, ScalingError> {
+    config.validate()?;
+    let arrivals = sampler.arrival_samples(arrival_index)?;
+    let pendings = config.pending.sample_n(rng, arrivals.len());
+    let now = sampler.now();
+
+    let raw = match config.rule {
+        DecisionRule::HittingProbability { alpha } => {
+            // x* = α-quantile of (ξ − τ).
+            let diffs: Vec<f64> = arrivals
+                .iter()
+                .zip(pendings.iter())
+                .map(|(xi, tau)| xi - tau)
+                .collect();
+            empirical_quantile(&diffs, alpha)?
+        }
+        DecisionRule::ResponseTime { target_waiting } => {
+            let samples: Vec<(f64, f64)> = arrivals
+                .iter()
+                .cloned()
+                .zip(pendings.iter().cloned())
+                .collect();
+            solve_waiting_root(&samples, target_waiting)?
+        }
+        DecisionRule::CostBudget { target_idle } => {
+            let samples: Vec<(f64, f64)> = arrivals
+                .iter()
+                .cloned()
+                .zip(pendings.iter().cloned())
+                .collect();
+            solve_idle_cost_root(&samples, target_idle)?
+        }
+    };
+
+    let clamped = raw < now;
+    Ok(ScalingDecision {
+        arrival_index,
+        unconstrained_creation_time: raw,
+        creation_time: raw.max(now),
+        clamped,
+    })
+}
+
+/// Compute decisions for a contiguous range of upcoming queries
+/// (`first_index ..= last_index`, 1-based).
+pub fn decide_batch<R: Rng + ?Sized>(
+    sampler: &ArrivalSampler,
+    first_index: usize,
+    last_index: usize,
+    config: &DecisionConfig,
+    rng: &mut R,
+) -> Result<Vec<ScalingDecision>, ScalingError> {
+    if first_index == 0 || last_index < first_index {
+        return Err(ScalingError::InvalidParameter(
+            "decision batch indices must satisfy 1 <= first <= last",
+        ));
+    }
+    (first_index..=last_index)
+        .map(|i| decide(sampler, i, config, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use robustscaler_nhpp::PiecewiseConstantIntensity;
+
+    fn sampler(rate: f64, now: f64, horizon: usize, reps: usize, seed: u64) -> ArrivalSampler {
+        let intensity = PiecewiseConstantIntensity::new(0.0, 1e7, vec![rate]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ArrivalSampler::new(&intensity, now, horizon, reps, &mut rng).unwrap()
+    }
+
+    fn config(rule: DecisionRule) -> DecisionConfig {
+        DecisionConfig {
+            rule,
+            pending: PendingTimeModel::Deterministic(13.0),
+            monte_carlo_samples: 1000,
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(DecisionRule::HittingProbability { alpha: 0.0 }.validate().is_err());
+        assert!(DecisionRule::HittingProbability { alpha: 1.0 }.validate().is_err());
+        assert!(DecisionRule::ResponseTime {
+            target_waiting: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(DecisionRule::CostBudget { target_idle: -1.0 }.validate().is_err());
+        let mut c = config(DecisionRule::HittingProbability { alpha: 0.1 });
+        c.monte_carlo_samples = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hp_rule_attains_the_requested_hitting_probability() {
+        // Constant rate 0.2 QPS, pending 13 s, first upcoming query.
+        let s = sampler(0.2, 1000.0, 3, 20_000, 1);
+        let alpha = 0.2;
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = decide(
+            &s,
+            1,
+            &config(DecisionRule::HittingProbability { alpha }),
+            &mut rng,
+        )
+        .unwrap();
+        // Check against the exact solution: ξ₁ − now ~ Exp(0.2); the
+        // α-quantile of ξ₁ − τ is now + Q_exp(α) − 13.
+        let exact = 1000.0 + -(1.0 - alpha as f64).ln() / 0.2 - 13.0;
+        assert!(
+            (d.unconstrained_creation_time - exact).abs() < 1.0,
+            "{} vs {exact}",
+            d.unconstrained_creation_time
+        );
+        assert_eq!(d.arrival_index, 1);
+        // Empirical hitting probability at the decision is ~1 − α.
+        let arrivals = s.arrival_samples(1).unwrap();
+        let hit_rate = arrivals
+            .iter()
+            .filter(|&&xi| xi > d.unconstrained_creation_time + 13.0)
+            .count() as f64
+            / arrivals.len() as f64;
+        assert!((hit_rate - (1.0 - alpha)).abs() < 0.02, "hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn hp_rule_clamps_infeasible_decisions_to_now() {
+        // Very high rate: the first arrival comes almost immediately, so a
+        // 13-second head start is impossible.
+        let s = sampler(50.0, 500.0, 2, 5_000, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = decide(
+            &s,
+            1,
+            &config(DecisionRule::HittingProbability { alpha: 0.05 }),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(d.clamped);
+        assert_eq!(d.creation_time, 500.0);
+        assert!(d.unconstrained_creation_time < 500.0);
+    }
+
+    #[test]
+    fn rt_rule_meets_the_waiting_budget_in_expectation() {
+        let s = sampler(0.1, 0.0, 2, 20_000, 5);
+        let target_waiting = 3.0;
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = decide(
+            &s,
+            1,
+            &config(DecisionRule::ResponseTime { target_waiting }),
+            &mut rng,
+        )
+        .unwrap();
+        // Recompute the empirical expected waiting at the decision point.
+        let arrivals = s.arrival_samples(1).unwrap();
+        let waiting: f64 = arrivals
+            .iter()
+            .map(|&xi| (13.0 - (xi - d.unconstrained_creation_time).max(0.0)).max(0.0))
+            .sum::<f64>()
+            / arrivals.len() as f64;
+        assert!(
+            (waiting - target_waiting).abs() < 0.15,
+            "achieved waiting {waiting}"
+        );
+    }
+
+    #[test]
+    fn cost_rule_with_slack_budget_recommends_reactive_scaling() {
+        // Low traffic and a huge idle budget: never create early.
+        let s = sampler(0.01, 0.0, 2, 5_000, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = decide(
+            &s,
+            1,
+            &config(DecisionRule::CostBudget {
+                target_idle: 1e9,
+            }),
+            &mut rng,
+        )
+        .unwrap();
+        // The raw solution equals the earliest breakpoint; after clamping it
+        // must not be earlier than "now".
+        assert!(d.creation_time >= 0.0);
+    }
+
+    #[test]
+    fn cost_rule_meets_the_idle_budget_in_expectation() {
+        let s = sampler(0.05, 0.0, 2, 20_000, 9);
+        let target_idle = 5.0;
+        let mut rng = StdRng::seed_from_u64(10);
+        let d = decide(
+            &s,
+            1,
+            &config(DecisionRule::CostBudget { target_idle }),
+            &mut rng,
+        )
+        .unwrap();
+        let arrivals = s.arrival_samples(1).unwrap();
+        let idle: f64 = arrivals
+            .iter()
+            .map(|&xi| (xi - 13.0 - d.unconstrained_creation_time).max(0.0))
+            .sum::<f64>()
+            / arrivals.len() as f64;
+        assert!((idle - target_idle).abs() < 0.3, "achieved idle {idle}");
+    }
+
+    #[test]
+    fn later_arrivals_get_later_creation_times() {
+        let s = sampler(0.5, 0.0, 10, 5_000, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let decisions = decide_batch(
+            &s,
+            1,
+            10,
+            &config(DecisionRule::HittingProbability { alpha: 0.1 }),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(decisions.len(), 10);
+        for pair in decisions.windows(2) {
+            assert!(pair[1].unconstrained_creation_time >= pair[0].unconstrained_creation_time);
+        }
+        assert!(decide_batch(
+            &s,
+            0,
+            5,
+            &config(DecisionRule::HittingProbability { alpha: 0.1 }),
+            &mut rng
+        )
+        .is_err());
+        assert!(decide_batch(
+            &s,
+            5,
+            4,
+            &config(DecisionRule::HittingProbability { alpha: 0.1 }),
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn smaller_alpha_means_earlier_creation() {
+        let s = sampler(0.2, 0.0, 2, 10_000, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let strict = decide(
+            &s,
+            1,
+            &config(DecisionRule::HittingProbability { alpha: 0.05 }),
+            &mut rng,
+        )
+        .unwrap();
+        let loose = decide(
+            &s,
+            1,
+            &config(DecisionRule::HittingProbability { alpha: 0.5 }),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(strict.unconstrained_creation_time < loose.unconstrained_creation_time);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the scaling decision crate.
+
+use robustscaler_nhpp::NhppError;
+use robustscaler_stats::StatsError;
+use std::fmt;
+
+/// Errors produced by scaling decision computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalingError {
+    /// A parameter was invalid.
+    InvalidParameter(&'static str),
+    /// A constraint level makes the problem infeasible even with `x_i = 0`
+    /// (e.g. a response-time target below the processing time).
+    Infeasible(&'static str),
+    /// The NHPP layer reported an error.
+    Nhpp(NhppError),
+    /// The statistics layer reported an error.
+    Stats(StatsError),
+}
+
+impl fmt::Display for ScalingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalingError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ScalingError::Infeasible(msg) => write!(f, "infeasible constraint: {msg}"),
+            ScalingError::Nhpp(e) => write!(f, "NHPP error: {e}"),
+            ScalingError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScalingError {}
+
+impl From<NhppError> for ScalingError {
+    fn from(e: NhppError) -> Self {
+        ScalingError::Nhpp(e)
+    }
+}
+
+impl From<StatsError> for ScalingError {
+    fn from(e: StatsError) -> Self {
+        ScalingError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(ScalingError::InvalidParameter("alpha")
+            .to_string()
+            .contains("alpha"));
+        assert!(ScalingError::Infeasible("rt below processing time")
+            .to_string()
+            .contains("infeasible"));
+        let e: ScalingError = NhppError::InvalidParameter("x").into();
+        assert!(e.to_string().contains("NHPP"));
+        let e: ScalingError = StatsError::EmptySample.into();
+        assert!(e.to_string().contains("statistics"));
+    }
+}

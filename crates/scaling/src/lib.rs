@@ -1,0 +1,40 @@
+//! Scaling decision optimization for RobustScaler (paper Section VI).
+//!
+//! Given the predicted arrival intensity, the paper derives per-query
+//! instance creation times from stochastically constrained optimization:
+//!
+//! * the **HP-constrained** rule (eqs. 2–3): the α-quantile of `ξ_i − τ_i`,
+//! * the **RT-constrained** rule (eqs. 4–5): the root of
+//!   `E[(τ − (ξ − x)⁺)⁺] = d − µ_s`, solved by the sort-and-search
+//!   Algorithm 3 in `O(R log R)`,
+//! * the **cost-constrained** rule (eqs. 6–7): the root of
+//!   `E[(ξ − τ − x)⁺] = B − µ_τ − µ_s`,
+//!
+//! plus the κ threshold (eq. 8) and the sequential planning scheme
+//! (Algorithm 4) that carries the provable hitting-probability guarantees of
+//! Propositions 1 and 2.
+//!
+//! The module layout mirrors that structure: [`qos`] defines the metrics,
+//! [`arrivals`] samples the i-th upcoming arrival time from a forecast
+//! intensity, [`decisions`] implements the three rules, [`sort_search`]
+//! implements Algorithm 3, [`kappa`] the threshold, and [`planner`] the
+//! sequential planning loop.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arrivals;
+pub mod decisions;
+pub mod error;
+pub mod kappa;
+pub mod planner;
+pub mod qos;
+pub mod sort_search;
+
+pub use arrivals::ArrivalSampler;
+pub use decisions::{DecisionConfig, DecisionRule, ScalingDecision};
+pub use error::ScalingError;
+pub use kappa::{kappa_deterministic_pending, kappa_monte_carlo};
+pub use planner::{PlannerConfig, PlannerState, SequentialPlanner};
+pub use qos::{cost, hit, response_time, PendingTimeModel, QosOutcome};
+pub use sort_search::{solve_idle_cost_root, solve_waiting_root};

@@ -1,0 +1,291 @@
+//! The sequential planning scheme (paper Algorithm 4, time-based variant).
+//!
+//! RobustScaler plans every `Δ` seconds. At each planning time `now` the
+//! planner knows how many upcoming arrivals are already *covered* — instances
+//! that are scheduled, pending, or idle-ready and will serve the next
+//! arrivals — and computes creation times for the queries after those, but
+//! only schedules the creations that must happen within the next planning
+//! window `[now, now + Δ)`. Creations further in the future are left to later
+//! rounds, which will know more about the traffic.
+//!
+//! The κ threshold (see [`crate::kappa`]) guarantees that planning at this
+//! cadence always happens at least κ + 1 arrivals ahead, which is what the
+//! hitting-probability guarantee of Proposition 1 needs.
+
+use crate::arrivals::ArrivalSampler;
+use crate::decisions::{decide, DecisionConfig, ScalingDecision};
+use crate::error::ScalingError;
+use rand::Rng;
+use robustscaler_nhpp::Intensity;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the sequential planner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// The per-query decision configuration (rule, pending model, Monte Carlo
+    /// sample count).
+    pub decision: DecisionConfig,
+    /// Planning interval `Δ` in seconds.
+    pub planning_interval: f64,
+    /// Hard cap on the number of creations scheduled in one round (a safety
+    /// valve against forecast blow-ups).
+    pub max_decisions_per_round: usize,
+}
+
+impl PlannerConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), ScalingError> {
+        self.decision.validate()?;
+        if !(self.planning_interval > 0.0) || !self.planning_interval.is_finite() {
+            return Err(ScalingError::InvalidParameter(
+                "planning interval must be finite and > 0",
+            ));
+        }
+        if self.max_decisions_per_round == 0 {
+            return Err(ScalingError::InvalidParameter(
+                "max_decisions_per_round must be >= 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The planner's view of the world at a planning instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerState {
+    /// Number of upcoming arrivals already covered by scheduled-but-not-yet
+    /// -created instances plus pending/ready idle instances.
+    pub covered: usize,
+}
+
+/// One round's planning output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanningRound {
+    /// Creations to schedule, ordered by arrival index.
+    pub decisions: Vec<ScalingDecision>,
+    /// Expected number of arrivals within the planning window under the
+    /// forecast intensity.
+    pub expected_arrivals_in_window: f64,
+}
+
+/// The sequential planner.
+#[derive(Debug, Clone)]
+pub struct SequentialPlanner {
+    config: PlannerConfig,
+}
+
+impl SequentialPlanner {
+    /// Create a planner.
+    pub fn new(config: PlannerConfig) -> Result<Self, ScalingError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The planner's configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Plan the creations that must start within `[now, now + Δ)`.
+    ///
+    /// `intensity` is the forecast arrival intensity (absolute time);
+    /// `state.covered` tells the planner how many upcoming arrivals already
+    /// have an instance on the way.
+    pub fn plan_window<I, R>(
+        &self,
+        intensity: &I,
+        now: f64,
+        state: PlannerState,
+        rng: &mut R,
+    ) -> Result<PlanningRound, ScalingError>
+    where
+        I: Intensity,
+        R: Rng + ?Sized,
+    {
+        let window_end = now + self.config.planning_interval;
+        let expected_in_window = intensity.integrated(now, window_end);
+
+        // Initial guess of how many arrival indices we may need to look at:
+        // everything already covered, plus what is expected in the window with
+        // head-room for stochastic bursts, plus a small constant.
+        let mut horizon = state.covered
+            + (1.5 * expected_in_window).ceil() as usize
+            + 8;
+        horizon = horizon.min(state.covered + self.config.max_decisions_per_round);
+
+        let mut decisions: Vec<ScalingDecision> = Vec::new();
+        loop {
+            let sampler = ArrivalSampler::new(
+                intensity,
+                now,
+                horizon,
+                self.config.decision.monte_carlo_samples,
+                rng,
+            )?;
+            decisions.clear();
+            let mut exhausted_horizon = true;
+            for index in (state.covered + 1)..=horizon {
+                let decision = decide(&sampler, index, &self.config.decision, rng)?;
+                if decision.creation_time >= window_end {
+                    // Later arrivals only need creations after this window;
+                    // leave them to the next planning round.
+                    exhausted_horizon = false;
+                    break;
+                }
+                decisions.push(decision);
+                if decisions.len() >= self.config.max_decisions_per_round {
+                    exhausted_horizon = false;
+                    break;
+                }
+            }
+            if !exhausted_horizon || horizon >= state.covered + self.config.max_decisions_per_round
+            {
+                break;
+            }
+            // Every sampled index needed a creation inside the window — the
+            // horizon was too small; enlarge and retry.
+            horizon = (horizon * 2).min(state.covered + self.config.max_decisions_per_round);
+        }
+
+        Ok(PlanningRound {
+            decisions,
+            expected_arrivals_in_window: expected_in_window,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decisions::DecisionRule;
+    use crate::qos::PendingTimeModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use robustscaler_nhpp::PiecewiseConstantIntensity;
+
+    fn planner(rule: DecisionRule, interval: f64) -> SequentialPlanner {
+        SequentialPlanner::new(PlannerConfig {
+            decision: DecisionConfig {
+                rule,
+                pending: PendingTimeModel::Deterministic(13.0),
+                monte_carlo_samples: 400,
+            },
+            planning_interval: interval,
+            max_decisions_per_round: 500,
+        })
+        .unwrap()
+    }
+
+    fn flat_intensity(rate: f64) -> PiecewiseConstantIntensity {
+        PiecewiseConstantIntensity::new(0.0, 1e7, vec![rate]).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut config = PlannerConfig {
+            decision: DecisionConfig {
+                rule: DecisionRule::HittingProbability { alpha: 0.1 },
+                pending: PendingTimeModel::Deterministic(13.0),
+                monte_carlo_samples: 100,
+            },
+            planning_interval: 0.0,
+            max_decisions_per_round: 100,
+        };
+        assert!(SequentialPlanner::new(config).is_err());
+        config.planning_interval = 5.0;
+        config.max_decisions_per_round = 0;
+        assert!(SequentialPlanner::new(config).is_err());
+        config.max_decisions_per_round = 10;
+        assert!(SequentialPlanner::new(config).is_ok());
+    }
+
+    #[test]
+    fn plans_roughly_the_expected_number_of_creations_per_window() {
+        // 2 QPS and a 10-second window: about 20 arrivals; with a 13 s pending
+        // time every one of them needs a creation scheduled within the window.
+        let planner = planner(DecisionRule::HittingProbability { alpha: 0.1 }, 10.0);
+        let intensity = flat_intensity(2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let round = planner
+            .plan_window(&intensity, 100.0, PlannerState { covered: 0 }, &mut rng)
+            .unwrap();
+        assert!((round.expected_arrivals_in_window - 20.0).abs() < 1e-9);
+        // Every arrival expected within the window plus the 13 s startup lead
+        // needs a creation scheduled now; with the α = 0.1 safety margin the
+        // planner looks a little further ahead, so expect roughly 2·rate·(Δ +
+        // τ) ≈ 46 with generous slack on both sides.
+        assert!(
+            round.decisions.len() >= 15 && round.decisions.len() <= 75,
+            "scheduled {} creations",
+            round.decisions.len()
+        );
+        // All creations lie within the window.
+        for d in &round.decisions {
+            assert!(d.creation_time >= 100.0);
+            assert!(d.creation_time < 110.0);
+        }
+        // Arrival indices are consecutive starting right after the covered ones.
+        for (offset, d) in round.decisions.iter().enumerate() {
+            assert_eq!(d.arrival_index, offset + 1);
+        }
+    }
+
+    #[test]
+    fn covered_arrivals_shift_the_planned_indices() {
+        let planner = planner(DecisionRule::HittingProbability { alpha: 0.1 }, 10.0);
+        let intensity = flat_intensity(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let round = planner
+            .plan_window(&intensity, 0.0, PlannerState { covered: 5 }, &mut rng)
+            .unwrap();
+        assert!(!round.decisions.is_empty());
+        assert_eq!(round.decisions[0].arrival_index, 6);
+    }
+
+    #[test]
+    fn quiet_traffic_schedules_nothing() {
+        // 0.001 QPS and a 1-second window: the first uncovered arrival is far
+        // in the future and its creation time falls outside the window.
+        let planner = planner(DecisionRule::HittingProbability { alpha: 0.1 }, 1.0);
+        let intensity = flat_intensity(0.001);
+        let mut rng = StdRng::seed_from_u64(3);
+        let round = planner
+            .plan_window(&intensity, 0.0, PlannerState { covered: 2 }, &mut rng)
+            .unwrap();
+        assert!(round.decisions.is_empty(), "{:?}", round.decisions);
+    }
+
+    #[test]
+    fn respects_the_per_round_cap() {
+        let planner = SequentialPlanner::new(PlannerConfig {
+            decision: DecisionConfig {
+                rule: DecisionRule::HittingProbability { alpha: 0.1 },
+                pending: PendingTimeModel::Deterministic(13.0),
+                monte_carlo_samples: 200,
+            },
+            planning_interval: 100.0,
+            max_decisions_per_round: 25,
+        })
+        .unwrap();
+        let intensity = flat_intensity(10.0); // ~1000 arrivals per window
+        let mut rng = StdRng::seed_from_u64(4);
+        let round = planner
+            .plan_window(&intensity, 0.0, PlannerState { covered: 0 }, &mut rng)
+            .unwrap();
+        assert_eq!(round.decisions.len(), 25);
+    }
+
+    #[test]
+    fn rt_rule_planner_produces_monotone_creation_times() {
+        let planner = planner(DecisionRule::ResponseTime { target_waiting: 2.0 }, 20.0);
+        let intensity = flat_intensity(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let round = planner
+            .plan_window(&intensity, 50.0, PlannerState { covered: 0 }, &mut rng)
+            .unwrap();
+        assert!(!round.decisions.is_empty());
+        for pair in round.decisions.windows(2) {
+            assert!(pair[1].creation_time >= pair[0].creation_time - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The autoscaler policy interface seen by the simulator.
+//!
+//! A policy reacts to three kinds of hooks — simulation start, periodic
+//! planning ticks, and query arrivals — and responds with scaling commands
+//! (create an instance now, schedule a creation for later, or scale idle
+//! instances in). The RobustScaler variants live in `robustscaler-core`
+//! (they need the NHPP forecast); the heuristic baselines live in
+//! [`crate::baselines`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A scaling action emitted by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScalingCommand {
+    /// Create `count` instances immediately.
+    CreateNow(usize),
+    /// Schedule one instance creation at the given absolute time
+    /// (must not lie in the past; the simulator clamps it to "now").
+    CreateAt(f64),
+    /// Delete up to `count` idle (ready or pending) instances.
+    ScaleIn(usize),
+}
+
+/// A read-only snapshot of the system the policy can inspect when deciding.
+#[derive(Debug, Clone)]
+pub struct SystemState {
+    /// Current simulation time.
+    pub now: f64,
+    /// Idle instances that are fully started.
+    pub idle_ready: usize,
+    /// Idle instances still pending (starting up).
+    pub idle_pending: usize,
+    /// Creations scheduled for the future but not yet materialized.
+    pub scheduled: usize,
+    /// Total number of queries that have arrived so far.
+    pub arrivals_so_far: usize,
+    /// Arrival timestamps within the recent-history window kept by the
+    /// simulator (most recent last).
+    pub recent_arrivals: VecDeque<f64>,
+}
+
+impl SystemState {
+    /// Number of upcoming arrivals already covered by idle instances or
+    /// scheduled creations.
+    pub fn covered(&self) -> usize {
+        self.idle_ready + self.idle_pending + self.scheduled
+    }
+
+    /// Observed queries-per-second over the trailing `window` seconds.
+    pub fn recent_qps(&self, window: f64) -> f64 {
+        if window <= 0.0 {
+            return 0.0;
+        }
+        let cutoff = self.now - window;
+        let count = self
+            .recent_arrivals
+            .iter()
+            .filter(|&&t| t >= cutoff)
+            .count();
+        count as f64 / window
+    }
+}
+
+/// An autoscaling policy driven by the simulator.
+pub trait Autoscaler {
+    /// Human-readable policy name (used in experiment reports).
+    fn name(&self) -> &str;
+
+    /// How often (in seconds) the simulator should call
+    /// [`Autoscaler::on_planning_tick`]; `None` disables planning ticks.
+    fn planning_interval(&self) -> Option<f64> {
+        None
+    }
+
+    /// Called once before the first query.
+    fn on_start(&mut self, _now: f64) -> Vec<ScalingCommand> {
+        Vec::new()
+    }
+
+    /// Called at every planning tick.
+    fn on_planning_tick(&mut self, _state: &SystemState) -> Vec<ScalingCommand> {
+        Vec::new()
+    }
+
+    /// Called immediately after each query arrival has been dispatched.
+    fn on_query_arrival(&mut self, _state: &SystemState) -> Vec<ScalingCommand> {
+        Vec::new()
+    }
+
+    /// Whether a reactive cold start should cancel the earliest scheduled
+    /// future creation (Algorithm 1's "the originally scheduled creation is
+    /// canceled"). Pool-style policies keep their schedules.
+    fn cancel_scheduled_on_cold_start(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_state_helpers() {
+        let state = SystemState {
+            now: 100.0,
+            idle_ready: 2,
+            idle_pending: 1,
+            scheduled: 3,
+            arrivals_so_far: 42,
+            recent_arrivals: VecDeque::from(vec![40.0, 80.0, 95.0, 99.0]),
+        };
+        assert_eq!(state.covered(), 6);
+        // Window of 30 s: arrivals at 80, 95, 99 → 3 / 30.
+        assert!((state.recent_qps(30.0) - 0.1).abs() < 1e-12);
+        // Window of 5 s: the arrivals at 95 and 99 (cutoff is inclusive).
+        assert!((state.recent_qps(5.0) - 0.4).abs() < 1e-12);
+        assert_eq!(state.recent_qps(0.0), 0.0);
+    }
+
+    struct Noop;
+    impl Autoscaler for Noop {
+        fn name(&self) -> &str {
+            "noop"
+        }
+    }
+
+    #[test]
+    fn default_trait_methods_do_nothing() {
+        let mut policy = Noop;
+        assert_eq!(policy.name(), "noop");
+        assert!(policy.planning_interval().is_none());
+        assert!(policy.on_start(0.0).is_empty());
+        assert!(!policy.cancel_scheduled_on_cold_start());
+        let state = SystemState {
+            now: 0.0,
+            idle_ready: 0,
+            idle_pending: 0,
+            scheduled: 0,
+            arrivals_so_far: 0,
+            recent_arrivals: VecDeque::new(),
+        };
+        assert!(policy.on_planning_tick(&state).is_empty());
+        assert!(policy.on_query_arrival(&state).is_empty());
+    }
+}

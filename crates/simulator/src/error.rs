@@ -1,0 +1,45 @@
+//! Error type for the simulator crate.
+
+use std::fmt;
+
+/// Errors produced by trace construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulatorError {
+    /// A parameter was invalid.
+    InvalidParameter(&'static str),
+    /// The trace is empty or not sorted by arrival time.
+    InvalidTrace(&'static str),
+    /// A metric was requested from an empty result set.
+    EmptyMetrics,
+}
+
+impl fmt::Display for SimulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulatorError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            SimulatorError::InvalidTrace(msg) => write!(f, "invalid trace: {msg}"),
+            SimulatorError::EmptyMetrics => write!(f, "no queries were simulated"),
+        }
+    }
+}
+
+impl std::error::Error for SimulatorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimulatorError::InvalidParameter("seed")
+            .to_string()
+            .contains("seed"));
+        assert!(SimulatorError::InvalidTrace("unsorted")
+            .to_string()
+            .contains("unsorted"));
+        assert_eq!(
+            SimulatorError::EmptyMetrics.to_string(),
+            "no queries were simulated"
+        );
+    }
+}

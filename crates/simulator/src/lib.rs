@@ -1,0 +1,28 @@
+//! Discrete-event simulator of the scaling-per-query scenario
+//! (paper Section III, Algorithm 1) plus the heuristic baseline autoscalers
+//! used in the evaluation (Backup Pool and Adaptive Backup Pool).
+//!
+//! The simulator replays a workload trace (arrival + processing time per
+//! query) against an [`Autoscaler`] policy. The policy schedules instance
+//! creations; arriving queries consume the earliest-ready idle instance, wait
+//! for a pending one, or trigger a reactive cold start when nothing is
+//! available. The simulator records per-query response times, hits and
+//! per-instance lifecycle costs — exactly the metrics reported in the
+//! paper's evaluation (hit rate, rt_avg, total/relative cost, QoS variance).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod autoscaler;
+pub mod baselines;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod trace;
+
+pub use autoscaler::{Autoscaler, ScalingCommand, SystemState};
+pub use baselines::{AdaptiveBackupPool, BackupPool, Reactive};
+pub use engine::{PendingTimeDistribution, SimulationConfig, Simulator};
+pub use error::SimulatorError;
+pub use metrics::{InstanceRecord, QueryOutcome, SimulationMetrics};
+pub use trace::{Query, Trace};

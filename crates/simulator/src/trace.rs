@@ -1,0 +1,172 @@
+//! Workload traces: one record per query.
+
+use crate::error::SimulatorError;
+use serde::{Deserialize, Serialize};
+
+/// One query of the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Arrival time in seconds from the trace origin.
+    pub arrival: f64,
+    /// Processing (service) time in seconds.
+    pub processing: f64,
+}
+
+/// A workload trace: queries sorted by arrival time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    queries: Vec<Query>,
+}
+
+impl Trace {
+    /// Build a trace from queries; they are sorted by arrival time and
+    /// validated (finite, non-negative processing times).
+    pub fn new(name: impl Into<String>, mut queries: Vec<Query>) -> Result<Self, SimulatorError> {
+        if queries.is_empty() {
+            return Err(SimulatorError::InvalidTrace("trace has no queries"));
+        }
+        if queries
+            .iter()
+            .any(|q| !q.arrival.is_finite() || !q.processing.is_finite() || q.processing < 0.0)
+        {
+            return Err(SimulatorError::InvalidTrace(
+                "arrival/processing times must be finite and processing >= 0",
+            ));
+        }
+        queries.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
+        Ok(Self {
+            name: name.into(),
+            queries,
+        })
+    }
+
+    /// Name of the trace (e.g. "crs-like").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The queries, sorted by arrival time.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the trace holds no queries (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Arrival time of the first query.
+    pub fn start(&self) -> f64 {
+        self.queries.first().expect("non-empty").arrival
+    }
+
+    /// Arrival time of the last query.
+    pub fn end(&self) -> f64 {
+        self.queries.last().expect("non-empty").arrival
+    }
+
+    /// Duration between the first and last arrival.
+    pub fn duration(&self) -> f64 {
+        self.end() - self.start()
+    }
+
+    /// Average queries per second over the trace duration.
+    pub fn mean_qps(&self) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 {
+            self.queries.len() as f64
+        } else {
+            self.queries.len() as f64 / d
+        }
+    }
+
+    /// Arrival timestamps only.
+    pub fn arrival_times(&self) -> Vec<f64> {
+        self.queries.iter().map(|q| q.arrival).collect()
+    }
+
+    /// Restrict the trace to arrivals within `[from, to)`.
+    pub fn slice(&self, from: f64, to: f64, name: impl Into<String>) -> Result<Self, SimulatorError> {
+        let queries: Vec<Query> = self
+            .queries
+            .iter()
+            .copied()
+            .filter(|q| q.arrival >= from && q.arrival < to)
+            .collect();
+        Trace::new(name, queries)
+    }
+
+    /// Split the trace at time `t` into (training, testing) halves.
+    pub fn split_at(&self, t: f64) -> Result<(Self, Self), SimulatorError> {
+        let train = self.slice(f64::NEG_INFINITY, t, format!("{}-train", self.name))?;
+        let test = self.slice(t, f64::INFINITY, format!("{}-test", self.name))?;
+        Ok((train, test))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(arrival: f64, processing: f64) -> Query {
+        Query {
+            arrival,
+            processing,
+        }
+    }
+
+    #[test]
+    fn construction_sorts_and_validates() {
+        assert!(Trace::new("empty", vec![]).is_err());
+        assert!(Trace::new("bad", vec![q(f64::NAN, 1.0)]).is_err());
+        assert!(Trace::new("bad", vec![q(1.0, -2.0)]).is_err());
+        let t = Trace::new("t", vec![q(5.0, 1.0), q(1.0, 2.0), q(3.0, 0.5)]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.queries()[0].arrival, 1.0);
+        assert_eq!(t.queries()[2].arrival, 5.0);
+        assert_eq!(t.start(), 1.0);
+        assert_eq!(t.end(), 5.0);
+        assert_eq!(t.duration(), 4.0);
+        assert_eq!(t.name(), "t");
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn qps_and_arrival_times() {
+        let t = Trace::new("t", (0..11).map(|i| q(i as f64 * 10.0, 1.0)).collect()).unwrap();
+        assert!((t.mean_qps() - 0.11).abs() < 1e-12);
+        assert_eq!(t.arrival_times().len(), 11);
+        // Degenerate single-arrival trace.
+        let single = Trace::new("s", vec![q(4.0, 1.0)]).unwrap();
+        assert_eq!(single.mean_qps(), 1.0);
+    }
+
+    #[test]
+    fn slicing_and_splitting() {
+        let t = Trace::new("t", (0..100).map(|i| q(i as f64, 1.0)).collect()).unwrap();
+        let mid = t.slice(20.0, 30.0, "mid").unwrap();
+        assert_eq!(mid.len(), 10);
+        assert_eq!(mid.start(), 20.0);
+        let (train, test) = t.split_at(70.0).unwrap();
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        assert!(train.name().ends_with("-train"));
+        assert!(test.name().ends_with("-test"));
+        // Slicing outside the range errors because the result would be empty.
+        assert!(t.slice(1000.0, 2000.0, "empty").is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Trace::new("t", vec![q(1.0, 2.0), q(3.0, 4.0)]).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

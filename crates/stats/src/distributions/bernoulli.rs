@@ -1,0 +1,77 @@
+//! Bernoulli distribution, used for hit/miss bookkeeping and randomized
+//! perturbation decisions in the experiment harness.
+
+use crate::error::StatsError;
+use rand::Rng;
+
+/// Bernoulli distribution with success probability `p ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Create a Bernoulli distribution.
+    pub fn new(p: f64) -> Result<Self, StatsError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(StatsError::InvalidProbability(p));
+        }
+        Ok(Self { p })
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Expected value `p`.
+    pub fn mean(&self) -> f64 {
+        self.p
+    }
+
+    /// Variance `p (1 - p)`.
+    pub fn variance(&self) -> f64 {
+        self.p * (1.0 - self.p)
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen::<f64>() < self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_probability() {
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+        assert!(Bernoulli::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn extreme_probabilities_are_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let zero = Bernoulli::new(0.0).unwrap();
+        let one = Bernoulli::new(1.0).unwrap();
+        for _ in 0..100 {
+            assert!(!zero.sample(&mut rng));
+            assert!(one.sample(&mut rng));
+        }
+    }
+
+    #[test]
+    fn empirical_frequency_matches_p() {
+        let b = Bernoulli::new(0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| b.sample(&mut rng)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq = {freq}");
+        assert!((b.variance() - 0.21).abs() < 1e-12);
+    }
+}

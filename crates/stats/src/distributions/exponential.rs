@@ -1,0 +1,133 @@
+//! Exponential distribution, used for query processing times and as the
+//! inter-arrival law of homogeneous Poisson segments.
+
+use super::ContinuousDistribution;
+use crate::error::StatsError;
+use rand::Rng;
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution with the given rate `λ > 0`.
+    pub fn new(rate: f64) -> Result<Self, StatsError> {
+        if !(rate > 0.0) || !rate.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { rate })
+    }
+
+    /// Create an exponential distribution from its mean `1/λ > 0`.
+    pub fn with_mean(mean: f64) -> Result<Self, StatsError> {
+        if !(mean > 0.0) || !mean.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&p));
+        if p >= 1.0 {
+            f64::INFINITY
+        } else {
+            -(1.0 - p).ln() / self.rate
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform on (0, 1]; `1 - U` avoids ln(0).
+        let u: f64 = rng.gen::<f64>();
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{ks_statistic, sample_moments};
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::with_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn moments_are_correct() {
+        let d = Exponential::new(0.25).unwrap();
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        assert!((d.variance() - 16.0).abs() < 1e-12);
+        assert!((d.std_dev() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_inverse() {
+        let d = Exponential::with_mean(20.0).unwrap();
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-12);
+        }
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn sample_moments_match_theory() {
+        let d = Exponential::new(0.05).unwrap(); // mean 20
+        let (m, v) = sample_moments(&d, 200_000, 7);
+        assert!((m - d.mean()).abs() / d.mean() < 0.02, "mean {m}");
+        assert!((v - d.variance()).abs() / d.variance() < 0.05, "var {v}");
+    }
+
+    #[test]
+    fn samples_pass_ks_test() {
+        let d = Exponential::new(2.0).unwrap();
+        let ks = ks_statistic(&d, 20_000, 11);
+        // 1% critical value ≈ 1.63 / sqrt(n).
+        assert!(ks < 1.63 / (20_000_f64).sqrt() * 1.5, "ks = {ks}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Gamma distribution.
+//!
+//! The Gamma distribution with integer shape `i` and scale 1 is the law of
+//! the waiting time until the `i`-th arrival of a unit-rate Poisson process,
+//! which is exactly what Algorithm 4's κ threshold (paper eq. 8) and the
+//! time-rescaling argument of Proposition 2 need.
+
+use super::ContinuousDistribution;
+use crate::error::StatsError;
+use crate::special::{gamma_p, gamma_p_inverse, ln_gamma};
+use rand::Rng;
+
+/// Gamma distribution with shape `k > 0` and scale `θ > 0` (mean `kθ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Create a Gamma distribution with the given shape and scale.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, StatsError> {
+        if !(shape > 0.0) || !shape.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "shape",
+                value: shape,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !(scale > 0.0) || !scale.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "scale",
+                value: scale,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Gamma with unit scale — the distribution of the `shape`-th arrival time
+    /// of a unit-rate Poisson process (Erlang when `shape` is an integer).
+    pub fn with_unit_scale(shape: f64) -> Result<Self, StatsError> {
+        Self::new(shape, 1.0)
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Marsaglia–Tsang sampling for shape ≥ 1.
+    fn sample_marsaglia_tsang<R: Rng + ?Sized>(&self, rng: &mut R, shape: f64) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            // Standard normal via Box–Muller (avoids depending on rand_distr).
+            let (u1, u2): (f64, f64) = (rng.gen::<f64>(), rng.gen::<f64>());
+            let z = (-2.0 * (1.0 - u1).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let v = 1.0 + c * z;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u: f64 = rng.gen::<f64>();
+            if u < 1.0 - 0.033_1 * z * z * z * z {
+                return d * v;
+            }
+            if u.ln() < 0.5 * z * z + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl ContinuousDistribution for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.shape < 1.0 {
+                f64::INFINITY
+            } else if self.shape == 1.0 {
+                1.0 / self.scale
+            } else {
+                0.0
+            };
+        }
+        let k = self.shape;
+        let t = self.scale;
+        ((k - 1.0) * (x / t).ln() - x / t - ln_gamma(k)).exp() / t
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, x / self.scale)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        gamma_p_inverse(self.shape, p) * self.scale
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia–Tsang with the shape < 1 boost.
+        if self.shape >= 1.0 {
+            self.scale * self.sample_marsaglia_tsang(rng, self.shape)
+        } else {
+            let g = self.sample_marsaglia_tsang(rng, self.shape + 1.0);
+            let u: f64 = rng.gen::<f64>();
+            self.scale * g * u.powf(1.0 / self.shape)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{ks_statistic, sample_moments};
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-2.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn shape_one_reduces_to_exponential() {
+        let g = Gamma::new(1.0, 2.0).unwrap();
+        for &x in &[0.1, 0.5, 1.0, 4.0] {
+            let expected = 1.0 - (-x / 2.0_f64).exp();
+            assert!((g.cdf(x) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let g = Gamma::new(7.0, 3.0).unwrap();
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = g.quantile(p);
+            assert!((g.cdf(x) - p).abs() < 1e-8, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn erlang_quantile_matches_poisson_tail() {
+        // P(Gamma(k,1) <= x) = P(Poisson(x) >= k).
+        let k = 4_u64;
+        let g = Gamma::with_unit_scale(k as f64).unwrap();
+        let x = 6.5;
+        let mut poisson_lt_k = 0.0;
+        let mut term = (-x as f64).exp();
+        for i in 0..k {
+            if i > 0 {
+                term *= x / i as f64;
+            }
+            poisson_lt_k += term;
+        }
+        assert!((g.cdf(x) - (1.0 - poisson_lt_k)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sample_moments_match_theory_large_shape() {
+        let g = Gamma::new(9.0, 2.0).unwrap();
+        let (m, v) = sample_moments(&g, 200_000, 17);
+        assert!((m - g.mean()).abs() / g.mean() < 0.02);
+        assert!((v - g.variance()).abs() / g.variance() < 0.05);
+    }
+
+    #[test]
+    fn sample_moments_match_theory_small_shape() {
+        let g = Gamma::new(0.5, 1.5).unwrap();
+        let (m, v) = sample_moments(&g, 300_000, 23);
+        assert!((m - g.mean()).abs() / g.mean() < 0.03);
+        assert!((v - g.variance()).abs() / g.variance() < 0.08);
+    }
+
+    #[test]
+    fn samples_pass_ks_test() {
+        let g = Gamma::new(3.0, 2.0).unwrap();
+        let ks = ks_statistic(&g, 20_000, 29);
+        assert!(ks < 1.63 / (20_000_f64).sqrt() * 1.5, "ks = {ks}");
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let g = Gamma::new(2.5, 1.3).unwrap();
+        // Simple trapezoidal integration over a wide range.
+        let (a, b, n) = (0.0, 60.0, 60_000);
+        let h = (b - a) / n as f64;
+        let mut integral = 0.0;
+        for i in 0..=n {
+            let x = a + i as f64 * h;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            integral += w * g.pdf(x);
+        }
+        integral *= h;
+        assert!((integral - 1.0).abs() < 1e-6, "integral = {integral}");
+    }
+}

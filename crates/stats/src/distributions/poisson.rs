@@ -1,0 +1,185 @@
+//! Poisson distribution over counts, the per-bucket law of the NHPP model.
+
+use super::DiscreteDistribution;
+use crate::error::StatsError;
+use crate::special::{gamma_q, ln_factorial};
+use rand::Rng;
+
+/// Poisson distribution with mean `λ > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    /// Create a Poisson distribution with the given mean.
+    pub fn new(mean: f64) -> Result<Self, StatsError> {
+        if !(mean > 0.0) || !mean.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { mean })
+    }
+
+    /// The mean/rate parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.mean
+    }
+
+    /// Knuth's multiplication method, efficient for small means.
+    fn sample_knuth<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let l = (-self.mean).exp();
+        let mut k = 0_u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// PTRS transformed-rejection sampling (Hörmann 1993) for large means.
+    fn sample_ptrs<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mu = self.mean;
+        let b = 0.931 + 2.53 * mu.sqrt();
+        let a = -0.059 + 0.024_83 * b;
+        let inv_alpha = 1.123_9 + 1.132_8 / (b - 3.4);
+        let v_r = 0.9277 - 3.6224 / (b - 2.0);
+
+        loop {
+            let u: f64 = rng.gen::<f64>() - 0.5;
+            let v: f64 = rng.gen::<f64>();
+            let us = 0.5 - u.abs();
+            let k = ((2.0 * a / us + b) * u + mu + 0.43).floor();
+            if us >= 0.07 && v <= v_r {
+                return k.max(0.0) as u64;
+            }
+            if k < 0.0 || (us < 0.013 && v > us) {
+                continue;
+            }
+            let lhs = v.ln() + inv_alpha.ln() - (a / (us * us) + b).ln();
+            let rhs = -mu + k * mu.ln() - ln_factorial(k as u64);
+            if lhs <= rhs {
+                return k as u64;
+            }
+        }
+    }
+}
+
+impl DiscreteDistribution for Poisson {
+    fn pmf(&self, k: u64) -> f64 {
+        (-self.mean + k as f64 * self.mean.ln() - ln_factorial(k)).exp()
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        // P(X <= k) = Q(k + 1, λ) (regularized upper incomplete gamma).
+        gamma_q(k as f64 + 1.0, self.mean)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.mean
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.mean < 10.0 {
+            self.sample_knuth(rng)
+        } else {
+            self.sample_ptrs(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_mean() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-3.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let p = Poisson::new(4.5).unwrap();
+        let total: f64 = (0..100).map(|k| p.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_partial_sums() {
+        let p = Poisson::new(7.3).unwrap();
+        let mut acc = 0.0;
+        for k in 0..30_u64 {
+            acc += p.pmf(k);
+            assert!((p.cdf(k) - acc).abs() < 1e-9, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn small_mean_sampler_matches_moments() {
+        let p = Poisson::new(2.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let xs = p.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<u64>() as f64 / n as f64;
+        let var = xs
+            .iter()
+            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+            .sum::<f64>()
+            / (n as f64 - 1.0);
+        assert!((mean - 2.5).abs() < 0.03, "mean {mean}");
+        assert!((var - 2.5).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn large_mean_sampler_matches_moments() {
+        let p = Poisson::new(250.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let xs = p.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<u64>() as f64 / n as f64;
+        let var = xs
+            .iter()
+            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+            .sum::<f64>()
+            / (n as f64 - 1.0);
+        assert!((mean - 250.0).abs() / 250.0 < 0.01, "mean {mean}");
+        assert!((var - 250.0).abs() / 250.0 < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn large_mean_sampler_matches_pmf_histogram() {
+        let p = Poisson::new(40.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(19);
+        let n = 200_000;
+        let mut counts = vec![0_u64; 120];
+        for _ in 0..n {
+            let k = p.sample(&mut rng) as usize;
+            if k < counts.len() {
+                counts[k] += 1;
+            }
+        }
+        // Chi-square-like check on the central bins.
+        for k in 25..=55_u64 {
+            let expected = p.pmf(k) * n as f64;
+            let observed = counts[k as usize] as f64;
+            assert!(
+                (observed - expected).abs() < 6.0 * expected.sqrt() + 5.0,
+                "k={k} expected {expected} observed {observed}"
+            );
+        }
+    }
+}

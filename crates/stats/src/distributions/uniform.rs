@@ -1,0 +1,114 @@
+//! Continuous uniform distribution, used for order-statistics placement of
+//! NHPP arrivals within buckets and for jitter in synthetic traces.
+
+use super::ContinuousDistribution;
+use crate::error::StatsError;
+use rand::Rng;
+
+/// Uniform distribution on `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution on `[low, high)` with `low < high`.
+    pub fn new(low: f64, high: f64) -> Result<Self, StatsError> {
+        if !low.is_finite() || !high.is_finite() || !(low < high) {
+            return Err(StatsError::InvalidParameter {
+                name: "low/high",
+                value: high - low,
+                constraint: "low and high must be finite with low < high",
+            });
+        }
+        Ok(Self { low, high })
+    }
+
+    /// The standard uniform distribution on `[0, 1)`.
+    pub fn standard() -> Self {
+        Self {
+            low: 0.0,
+            high: 1.0,
+        }
+    }
+
+    /// Lower bound of the support.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper bound of the support.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+}
+
+impl ContinuousDistribution for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.low || x >= self.high {
+            0.0
+        } else {
+            1.0 / (self.high - self.low)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.low {
+            0.0
+        } else if x >= self.high {
+            1.0
+        } else {
+            (x - self.low) / (self.high - self.low)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.low + p * (self.high - self.low)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.low + self.high)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.high - self.low;
+        w * w / 12.0
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.low + (self.high - self.low) * rng.gen::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::sample_moments;
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_intervals() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn cdf_is_linear_on_support() {
+        let u = Uniform::new(2.0, 6.0).unwrap();
+        assert_eq!(u.cdf(1.0), 0.0);
+        assert_eq!(u.cdf(7.0), 1.0);
+        assert!((u.cdf(4.0) - 0.5).abs() < 1e-12);
+        assert!((u.quantile(0.25) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_match_theory() {
+        let u = Uniform::new(-1.0, 3.0).unwrap();
+        assert!((u.mean() - 1.0).abs() < 1e-12);
+        assert!((u.variance() - 16.0 / 12.0).abs() < 1e-12);
+        let (m, v) = sample_moments(&u, 100_000, 83);
+        assert!((m - 1.0).abs() < 0.02);
+        assert!((v - 16.0 / 12.0).abs() < 0.03);
+    }
+}

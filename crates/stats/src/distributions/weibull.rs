@@ -1,0 +1,135 @@
+//! Weibull distribution, an alternative pending-time model with tunable tail
+//! behaviour used in the failure-injection and sensitivity experiments.
+
+use super::ContinuousDistribution;
+use crate::error::StatsError;
+use crate::special::ln_gamma;
+use rand::Rng;
+
+/// Weibull distribution with shape `k > 0` and scale `λ > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Create a Weibull distribution.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, StatsError> {
+        if !(shape > 0.0) || !shape.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "shape",
+                value: shape,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !(scale > 0.0) || !scale.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "scale",
+                value: scale,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDistribution for Weibull {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let k = self.shape;
+        let l = self.scale;
+        let z = x / l;
+        (k / l) * z.powf(k - 1.0) * (-z.powf(k)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p >= 1.0 {
+            f64::INFINITY
+        } else {
+            self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * (ln_gamma(1.0 + 1.0 / self.shape)).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = (ln_gamma(1.0 + 1.0 / self.shape)).exp();
+        let g2 = (ln_gamma(1.0 + 2.0 / self.shape)).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        self.quantile(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{ks_statistic, sample_moments};
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn shape_one_reduces_to_exponential() {
+        let w = Weibull::new(1.0, 5.0).unwrap();
+        for &x in &[0.1, 1.0, 5.0, 20.0] {
+            let expected = 1.0 - (-x / 5.0_f64).exp();
+            assert!((w.cdf(x) - expected).abs() < 1e-12);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let w = Weibull::new(2.3, 7.0).unwrap();
+        for &p in &[0.01, 0.3, 0.5, 0.8, 0.99] {
+            let x = w.quantile(p);
+            assert!((w.cdf(x) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sample_moments_match_theory() {
+        let w = Weibull::new(1.5, 13.0).unwrap();
+        let (m, v) = sample_moments(&w, 200_000, 71);
+        assert!((m - w.mean()).abs() / w.mean() < 0.02);
+        assert!((v - w.variance()).abs() / w.variance() < 0.06);
+    }
+
+    #[test]
+    fn samples_pass_ks_test() {
+        let w = Weibull::new(0.8, 2.0).unwrap();
+        let ks = ks_statistic(&w, 20_000, 73);
+        assert!(ks < 1.63 / (20_000_f64).sqrt() * 1.5, "ks = {ks}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Empirical cumulative distribution function.
+
+use crate::error::StatsError;
+
+/// Empirical CDF built from a sample; evaluation is `O(log n)` per query.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build the ECDF of a sample (NaNs are rejected by a debug assertion).
+    pub fn new(sample: &[f64]) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        debug_assert!(sample.iter().all(|x| !x.is_nan()), "NaN in ECDF sample");
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Ok(Self { sorted })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no observations (never true for a constructed
+    /// value, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F̂(x)` — the fraction of observations `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when we ask for
+        // the first index where the element is > x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical quantile (inverse ECDF) at level `p ∈ [0, 1]`.
+    pub fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        crate::quantile::empirical_quantile_sorted(&self.sorted, p)
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Borrow the sorted observations.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_sample() {
+        assert!(Ecdf::new(&[]).is_err());
+    }
+
+    #[test]
+    fn step_function_values() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(2.5), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(10.0), 1.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 3.0);
+    }
+
+    #[test]
+    fn eval_is_monotone_and_bounded() {
+        let e = Ecdf::new(&[5.0, -1.0, 3.0, 3.0, 8.0, 0.0]).unwrap();
+        let mut prev = 0.0;
+        for i in -20..=20 {
+            let x = i as f64 / 2.0;
+            let f = e.eval(x);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_eval_on_observations() {
+        let xs = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let e = Ecdf::new(&xs).unwrap();
+        assert_eq!(e.quantile(0.0).unwrap(), 2.0);
+        assert_eq!(e.quantile(1.0).unwrap(), 10.0);
+        assert!((e.quantile(0.5).unwrap() - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by the statistics substrate.
+
+use std::fmt;
+
+/// Errors produced by distribution constructors and estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human readable constraint, e.g. "must be > 0".
+        constraint: &'static str,
+    },
+    /// An empirical estimator was handed an empty sample.
+    EmptySample,
+    /// A probability level was outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// A numerical routine failed to converge.
+    NonConvergence {
+        /// Which routine failed.
+        routine: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            StatsError::EmptySample => write!(f, "empty sample"),
+            StatsError::InvalidProbability(p) => {
+                write!(f, "probability {p} outside the unit interval")
+            }
+            StatsError::NonConvergence {
+                routine,
+                iterations,
+            } => write!(f, "{routine} failed to converge after {iterations} iterations"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StatsError::InvalidParameter {
+            name: "rate",
+            value: -1.0,
+            constraint: "must be > 0",
+        };
+        assert!(e.to_string().contains("rate"));
+        assert!(e.to_string().contains("must be > 0"));
+
+        assert_eq!(StatsError::EmptySample.to_string(), "empty sample");
+        assert!(StatsError::InvalidProbability(1.5).to_string().contains("1.5"));
+        let n = StatsError::NonConvergence {
+            routine: "gamma_quantile",
+            iterations: 200,
+        };
+        assert!(n.to_string().contains("gamma_quantile"));
+    }
+}

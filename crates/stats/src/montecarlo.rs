@@ -1,0 +1,86 @@
+//! Monte Carlo estimation helpers.
+//!
+//! The scaling decisions (paper eqs. 3, 5, 7) are stochastic root-finding
+//! problems approximated with R Monte Carlo samples; this module provides the
+//! estimator plumbing and confidence intervals used to validate accuracy
+//! (Table I discussion).
+
+use crate::descriptive::{mean, std_dev};
+use crate::error::StatsError;
+
+/// A Monte Carlo estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloEstimate {
+    /// Point estimate (sample mean of the evaluations).
+    pub estimate: f64,
+    /// Standard error of the estimate.
+    pub standard_error: f64,
+    /// Number of samples used.
+    pub samples: usize,
+}
+
+impl MonteCarloEstimate {
+    /// Two-sided confidence interval at the given normal quantile multiplier
+    /// (e.g. 1.96 for ~95%).
+    pub fn confidence_interval(&self, z: f64) -> (f64, f64) {
+        (
+            self.estimate - z * self.standard_error,
+            self.estimate + z * self.standard_error,
+        )
+    }
+}
+
+/// Estimate `E[f(X)]` from pre-drawn samples of `X`.
+pub fn monte_carlo_mean<F>(samples: &[f64], f: F) -> Result<MonteCarloEstimate, StatsError>
+where
+    F: Fn(f64) -> f64,
+{
+    if samples.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    let evals: Vec<f64> = samples.iter().map(|&x| f(x)).collect();
+    let estimate = mean(&evals);
+    let standard_error = std_dev(&evals) / (evals.len() as f64).sqrt();
+    Ok(MonteCarloEstimate {
+        estimate,
+        standard_error,
+        samples: samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{ContinuousDistribution, Uniform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_sample() {
+        assert!(monte_carlo_mean(&[], |x| x).is_err());
+    }
+
+    #[test]
+    fn estimates_integral_of_x_squared() {
+        // E[U^2] over U ~ Uniform(0,1) is 1/3.
+        let u = Uniform::standard();
+        let mut rng = StdRng::seed_from_u64(99);
+        let samples = u.sample_n(&mut rng, 100_000);
+        let est = monte_carlo_mean(&samples, |x| x * x).unwrap();
+        assert!((est.estimate - 1.0 / 3.0).abs() < 5.0 * est.standard_error);
+        assert!(est.standard_error < 0.002);
+        assert_eq!(est.samples, 100_000);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_estimate() {
+        let est = MonteCarloEstimate {
+            estimate: 2.0,
+            standard_error: 0.1,
+            samples: 100,
+        };
+        let (lo, hi) = est.confidence_interval(1.96);
+        assert!(lo < 2.0 && hi > 2.0);
+        assert!((hi - lo - 2.0 * 1.96 * 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Empirical quantiles.
+//!
+//! The HP-constrained scaling rule (paper eq. 3) is literally "the α-quantile
+//! of (ξ_i − τ_i)" over Monte Carlo samples, and the evaluation reports
+//! response-time quantiles (Table II), so quantile computation is a core
+//! primitive.
+
+use crate::error::StatsError;
+
+/// Empirical quantile of an unsorted sample using linear interpolation
+/// between order statistics (type-7 / default of R and NumPy).
+///
+/// Returns an error if the sample is empty or `p` is outside `[0, 1]`.
+pub fn empirical_quantile(sample: &[f64], p: f64) -> Result<f64, StatsError> {
+    if sample.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidProbability(p));
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    Ok(quantile_of_sorted(&sorted, p))
+}
+
+/// Empirical quantile of a sample that is already sorted ascending.
+///
+/// This avoids re-sorting when many quantile levels are queried against the
+/// same sample (e.g. Table II's 75/95/99/99.9% response-time quantiles).
+pub fn empirical_quantile_sorted(sorted: &[f64], p: f64) -> Result<f64, StatsError> {
+    if sorted.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidProbability(p));
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted ascending"
+    );
+    Ok(quantile_of_sorted(sorted, p))
+}
+
+/// Compute several quantile levels of one sample with a single sort.
+pub fn quantiles(sample: &[f64], levels: &[f64]) -> Result<Vec<f64>, StatsError> {
+    if sample.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    levels
+        .iter()
+        .map(|&p| empirical_quantile_sorted(&sorted, p))
+        .collect()
+}
+
+fn quantile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = h - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_invalid_levels() {
+        assert!(matches!(
+            empirical_quantile(&[], 0.5),
+            Err(StatsError::EmptySample)
+        ));
+        assert!(matches!(
+            empirical_quantile(&[1.0], 1.5),
+            Err(StatsError::InvalidProbability(_))
+        ));
+        assert!(quantiles(&[], &[0.5]).is_err());
+    }
+
+    #[test]
+    fn single_element_sample() {
+        assert_eq!(empirical_quantile(&[42.0], 0.0).unwrap(), 42.0);
+        assert_eq!(empirical_quantile(&[42.0], 1.0).unwrap(), 42.0);
+        assert_eq!(empirical_quantile(&[42.0], 0.37).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn matches_known_interpolated_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(empirical_quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(empirical_quantile(&xs, 1.0).unwrap(), 4.0);
+        assert!((empirical_quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((empirical_quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_of_input_does_not_matter() {
+        let a = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for &p in &[0.1, 0.37, 0.5, 0.9] {
+            assert_eq!(
+                empirical_quantile(&a, p).unwrap(),
+                empirical_quantile(&b, p).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_variant_matches_unsorted() {
+        let xs = [9.0, 3.0, 7.0, 1.0, 5.0, 2.0];
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &p in &[0.0, 0.33, 0.66, 1.0] {
+            assert_eq!(
+                empirical_quantile(&xs, p).unwrap(),
+                empirical_quantile_sorted(&sorted, p).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_level_helper_is_consistent() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let qs = quantiles(&xs, &[0.75, 0.95, 0.99, 0.999]).unwrap();
+        assert!((qs[0] - 75.0).abs() < 1e-9);
+        assert!((qs[1] - 95.0).abs() < 1e-9);
+        assert!((qs[2] - 99.0).abs() < 1e-9);
+        assert!((qs[3] - 99.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_level() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            let q = empirical_quantile(&xs, p).unwrap();
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! MAD-based anomaly detection.
+//!
+//! Used by the robustness experiments (paper §VII-B3) to locate and erase
+//! bursts in the Alibaba-like trace, and as a diagnostic on the noisy
+//! CRS-like trace.
+
+use crate::error::TimeSeriesError;
+use crate::filters::{interpolate_missing, rolling_median};
+use crate::series::TimeSeries;
+use robustscaler_stats::{mad, median};
+use serde::{Deserialize, Serialize};
+
+/// Result of anomaly detection on a series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyReport {
+    /// Indices of buckets flagged as anomalous.
+    pub indices: Vec<usize>,
+    /// Robust z-scores of every bucket (|x − rolling median| / (1.4826·MAD)).
+    pub scores: Vec<f64>,
+    /// Threshold that was applied to the scores.
+    pub threshold: f64,
+}
+
+impl AnomalyReport {
+    /// Fraction of buckets flagged anomalous.
+    pub fn anomaly_rate(&self) -> f64 {
+        if self.scores.is_empty() {
+            0.0
+        } else {
+            self.indices.len() as f64 / self.scores.len() as f64
+        }
+    }
+}
+
+/// Detect anomalous buckets whose robust z-score against a rolling median
+/// baseline exceeds `threshold` (typically 3–6).
+///
+/// `window_half` controls the rolling-median baseline window
+/// (`2·window_half + 1` buckets).
+pub fn detect_anomalies(
+    series: &TimeSeries,
+    window_half: usize,
+    threshold: f64,
+) -> Result<AnomalyReport, TimeSeriesError> {
+    if !(threshold > 0.0) {
+        return Err(TimeSeriesError::InvalidParameter("threshold must be > 0"));
+    }
+    if series.len() < 3 {
+        return Err(TimeSeriesError::TooShort {
+            required: 3,
+            actual: series.len(),
+        });
+    }
+    let filled = interpolate_missing(series.optional_values())?;
+    let baseline = rolling_median(&filled, window_half);
+    let residuals: Vec<f64> = filled
+        .iter()
+        .zip(baseline.iter())
+        .map(|(x, b)| x - b)
+        .collect();
+    // Global robust scale of the residuals.
+    let med = median(&residuals).expect("non-empty");
+    let scale = 1.4826 * mad(&residuals).expect("non-empty");
+    let scale = if scale > 0.0 { scale } else { 1.0 };
+
+    let scores: Vec<f64> = residuals.iter().map(|r| (r - med).abs() / scale).collect();
+    let indices: Vec<usize> = scores
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s > threshold)
+        .map(|(i, _)| i)
+        .collect();
+    Ok(AnomalyReport {
+        indices,
+        scores,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_series_with_burst(n: usize, burst_at: usize, burst_len: usize) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut values: Vec<f64> = (0..n)
+            .map(|i| {
+                10.0 + 3.0 * (2.0 * std::f64::consts::PI * i as f64 / 50.0).sin()
+                    + rng.gen::<f64>()
+            })
+            .collect();
+        for v in values.iter_mut().skip(burst_at).take(burst_len) {
+            *v += 200.0;
+        }
+        TimeSeries::from_values(0.0, 60.0, values).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let s = TimeSeries::from_values(0.0, 1.0, vec![1.0, 2.0]).unwrap();
+        assert!(detect_anomalies(&s, 3, 3.0).is_err());
+        let s2 = TimeSeries::from_values(0.0, 1.0, vec![1.0; 10]).unwrap();
+        assert!(detect_anomalies(&s2, 3, 0.0).is_err());
+    }
+
+    #[test]
+    fn finds_injected_burst() {
+        let s = noisy_series_with_burst(500, 200, 5);
+        let report = detect_anomalies(&s, 10, 5.0).unwrap();
+        for i in 200..205 {
+            assert!(report.indices.contains(&i), "missed burst bucket {i}");
+        }
+        // Few false positives.
+        assert!(report.anomaly_rate() < 0.05, "{}", report.anomaly_rate());
+        assert_eq!(report.threshold, 5.0);
+        assert_eq!(report.scores.len(), 500);
+    }
+
+    #[test]
+    fn clean_series_has_few_anomalies() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let values: Vec<f64> = (0..400).map(|_| 5.0 + rng.gen::<f64>()).collect();
+        let s = TimeSeries::from_values(0.0, 60.0, values).unwrap();
+        let report = detect_anomalies(&s, 10, 6.0).unwrap();
+        assert!(report.anomaly_rate() < 0.02);
+    }
+
+    #[test]
+    fn constant_series_has_no_anomalies() {
+        let s = TimeSeries::from_values(0.0, 60.0, vec![4.0; 100]).unwrap();
+        let report = detect_anomalies(&s, 5, 3.0).unwrap();
+        assert!(report.indices.is_empty());
+        assert_eq!(report.anomaly_rate(), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the time-series substrate.
+
+use std::fmt;
+
+/// Errors produced by series construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimeSeriesError {
+    /// The series is empty or shorter than the operation requires.
+    TooShort {
+        /// Minimum length required.
+        required: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// An invalid parameter was supplied.
+    InvalidParameter(&'static str),
+    /// The bucket width must be strictly positive.
+    InvalidBucketWidth(f64),
+    /// All values are missing, so the requested statistic is undefined.
+    AllMissing,
+}
+
+impl fmt::Display for TimeSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeSeriesError::TooShort { required, actual } => {
+                write!(f, "series too short: need {required}, have {actual}")
+            }
+            TimeSeriesError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            TimeSeriesError::InvalidBucketWidth(w) => {
+                write!(f, "bucket width must be > 0, got {w}")
+            }
+            TimeSeriesError::AllMissing => write!(f, "series contains only missing values"),
+        }
+    }
+}
+
+impl std::error::Error for TimeSeriesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_contain_key_facts() {
+        assert!(TimeSeriesError::TooShort {
+            required: 10,
+            actual: 3
+        }
+        .to_string()
+        .contains("10"));
+        assert!(TimeSeriesError::InvalidBucketWidth(-1.0)
+            .to_string()
+            .contains("-1"));
+        assert!(TimeSeriesError::InvalidParameter("window")
+            .to_string()
+            .contains("window"));
+        assert_eq!(
+            TimeSeriesError::AllMissing.to_string(),
+            "series contains only missing values"
+        );
+    }
+}

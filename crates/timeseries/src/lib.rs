@@ -1,0 +1,33 @@
+//! Time-series substrate for the RobustScaler reproduction.
+//!
+//! RobustScaler's first module (paper Fig. 2) aggregates the raw query
+//! arrival log into a QPS series, applies robust filtering, and detects
+//! periodic patterns even under noise, missing data and anomalies. This
+//! crate provides:
+//!
+//! * [`series::TimeSeries`] — a regularly spaced series with explicit
+//!   missing-value support, plus aggregation from raw arrival timestamps,
+//! * [`filters`] — moving averages, rolling medians, Hampel filtering and
+//!   missing-value interpolation,
+//! * [`periodicity`] — a robust autocorrelation-based period detector in the
+//!   spirit of RobustPeriod (the paper's reference [18]),
+//! * [`decompose`] — a lightweight robust seasonal-trend decomposition used
+//!   for diagnostics and trace characterization, and
+//! * [`anomaly`] — MAD-based anomaly detection used by the robustness
+//!   experiments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod anomaly;
+pub mod decompose;
+pub mod error;
+pub mod filters;
+pub mod periodicity;
+pub mod series;
+
+pub use anomaly::{detect_anomalies, AnomalyReport};
+pub use decompose::{robust_stl, Decomposition};
+pub use error::TimeSeriesError;
+pub use periodicity::{detect_period, detect_periods, PeriodicityConfig, PeriodicityResult};
+pub use series::TimeSeries;

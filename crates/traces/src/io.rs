@@ -1,0 +1,100 @@
+//! Trace serialization.
+//!
+//! Generating the larger synthetic traces (weeks of arrivals) takes a few
+//! seconds, so the experiment harness caches them on disk as JSON.
+
+use robustscaler_simulator::Trace;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Save a trace as pretty-printed JSON.
+pub fn save_trace(trace: &Trace, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string(trace).map_err(io::Error::other)?;
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, json)
+}
+
+/// Load a trace previously written by [`save_trace`].
+pub fn load_trace(path: &Path) -> io::Result<Trace> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+/// Load the trace at `path` if it exists, otherwise generate it with
+/// `generate`, save it, and return it.
+pub fn load_or_generate<F>(path: &Path, generate: F) -> io::Result<Trace>
+where
+    F: FnOnce() -> Trace,
+{
+    if path.exists() {
+        load_trace(path)
+    } else {
+        let trace = generate();
+        save_trace(&trace, path)?;
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustscaler_simulator::Query;
+
+    fn tiny_trace() -> Trace {
+        Trace::new(
+            "tiny",
+            vec![
+                Query {
+                    arrival: 1.0,
+                    processing: 2.0,
+                },
+                Query {
+                    arrival: 3.0,
+                    processing: 4.0,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("robustscaler-traces-test");
+        let path = dir.join("nested").join("tiny.json");
+        let trace = tiny_trace();
+        save_trace(&trace, &path).unwrap();
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(trace, loaded);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_or_generate_generates_then_reuses() {
+        let dir = std::env::temp_dir().join("robustscaler-traces-test2");
+        let path = dir.join("cache.json");
+        let _ = fs::remove_file(&path);
+        let mut calls = 0;
+        let first = load_or_generate(&path, || {
+            calls += 1;
+            tiny_trace()
+        })
+        .unwrap();
+        assert_eq!(calls, 1);
+        let second = load_or_generate(&path, || {
+            calls += 1;
+            tiny_trace()
+        })
+        .unwrap();
+        assert_eq!(calls, 1, "second call must hit the cache");
+        assert_eq!(first, second);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn loading_a_missing_file_errors() {
+        assert!(load_trace(Path::new("/nonexistent/robustscaler.json")).is_err());
+    }
+}

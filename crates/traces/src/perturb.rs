@@ -1,0 +1,173 @@
+//! Trace perturbations used by the robustness experiments
+//! (paper §VII-B1, Figs. 6–7, and §VII-B3, Fig. 9 / Table II).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use robustscaler_simulator::{Query, Trace};
+
+/// Seconds in one day (kept local to avoid a circular dependency on
+/// `generators` in call sites that only perturb).
+const DAY: f64 = 86_400.0;
+
+/// Delete all queries falling in a window of `window` seconds that repeats
+/// every `every` seconds, starting at `offset` (the paper deletes a
+/// five-minute window every hour). Returns the perturbed trace.
+pub fn delete_windows(trace: &Trace, every: f64, offset: f64, window: f64) -> Trace {
+    let queries: Vec<Query> = trace
+        .queries()
+        .iter()
+        .copied()
+        .filter(|q| {
+            let phase = (q.arrival - offset).rem_euclid(every);
+            !(q.arrival >= offset && phase < window)
+        })
+        .collect();
+    Trace::new(format!("{}-deleted", trace.name()), queries)
+        .unwrap_or_else(|_| trace.clone())
+}
+
+/// Add `factor` extra copies (with small jitter) of every query falling in a
+/// window of `window` seconds repeating every `every` seconds starting at
+/// `offset` (the paper adds `c` more times of queries to a five-minute window
+/// every hour, starting at the sixth minute).
+pub fn amplify_windows(
+    trace: &Trace,
+    every: f64,
+    offset: f64,
+    window: f64,
+    factor: usize,
+    seed: u64,
+) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries: Vec<Query> = trace.queries().to_vec();
+    for q in trace.queries() {
+        let phase = (q.arrival - offset).rem_euclid(every);
+        if q.arrival >= offset && phase < window {
+            for _ in 0..factor {
+                let jitter: f64 = rng.gen_range(0.0..window.min(60.0));
+                queries.push(Query {
+                    arrival: q.arrival + jitter,
+                    processing: q.processing,
+                });
+            }
+        }
+    }
+    Trace::new(format!("{}-amplified", trace.name()), queries)
+        .unwrap_or_else(|_| trace.clone())
+}
+
+/// Remove every query of the `day_index`-th day (0-based) — the paper's
+/// missing-data injection on the CRS trace.
+pub fn remove_day(trace: &Trace, day_index: usize) -> Trace {
+    let from = day_index as f64 * DAY;
+    let to = from + DAY;
+    let queries: Vec<Query> = trace
+        .queries()
+        .iter()
+        .copied()
+        .filter(|q| !(q.arrival >= from && q.arrival < to))
+        .collect();
+    Trace::new(format!("{}-day{}-removed", trace.name(), day_index), queries)
+        .unwrap_or_else(|_| trace.clone())
+}
+
+/// Erase a burst: inside `[from, to)` keep each query only with probability
+/// `keep_probability`, thinning the anomalous spike back to a normal level
+/// (the paper erases the Alibaba trace's unexpected burst).
+pub fn erase_burst(trace: &Trace, from: f64, to: f64, keep_probability: f64, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keep = keep_probability.clamp(0.0, 1.0);
+    let queries: Vec<Query> = trace
+        .queries()
+        .iter()
+        .copied()
+        .filter(|q| {
+            if q.arrival >= from && q.arrival < to {
+                rng.gen::<f64>() < keep
+            } else {
+                true
+            }
+        })
+        .collect();
+    Trace::new(format!("{}-burst-erased", trace.name()), queries)
+        .unwrap_or_else(|_| trace.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_trace(n: usize, gap: f64) -> Trace {
+        Trace::new(
+            "uniform",
+            (0..n)
+                .map(|i| Query {
+                    arrival: i as f64 * gap,
+                    processing: 1.0,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn delete_windows_removes_only_the_windows() {
+        // One query per minute over 3 hours; delete 5 minutes every hour.
+        let trace = uniform_trace(180, 60.0);
+        let perturbed = delete_windows(&trace, 3_600.0, 0.0, 300.0);
+        // Each hour loses the first 5 queries (minutes 0-4): 15 in total.
+        assert_eq!(perturbed.len(), 180 - 15);
+        assert!(perturbed.name().contains("deleted"));
+        // Queries outside the windows are untouched.
+        assert!(perturbed
+            .queries()
+            .iter()
+            .all(|q| (q.arrival % 3_600.0) >= 300.0));
+    }
+
+    #[test]
+    fn amplify_windows_adds_extra_queries() {
+        let trace = uniform_trace(120, 60.0);
+        let factor = 3;
+        let perturbed = amplify_windows(&trace, 3_600.0, 360.0, 300.0, factor, 1);
+        // Windows start at minute 6 of each hour and last 5 minutes: 5 queries
+        // per window, 2 windows, each duplicated 3 extra times.
+        assert_eq!(perturbed.len(), 120 + 2 * 5 * factor);
+        assert!(perturbed.name().contains("amplified"));
+    }
+
+    #[test]
+    fn remove_day_deletes_exactly_one_day() {
+        // 4 days of one query per hour.
+        let trace = uniform_trace(96, 3_600.0);
+        let perturbed = remove_day(&trace, 1);
+        assert_eq!(perturbed.len(), 96 - 24);
+        assert!(perturbed
+            .queries()
+            .iter()
+            .all(|q| !(q.arrival >= DAY && q.arrival < 2.0 * DAY)));
+    }
+
+    #[test]
+    fn erase_burst_thins_the_window() {
+        let trace = uniform_trace(1_000, 1.0);
+        let erased = erase_burst(&trace, 200.0, 400.0, 0.2, 3);
+        let in_window = erased
+            .queries()
+            .iter()
+            .filter(|q| q.arrival >= 200.0 && q.arrival < 400.0)
+            .count();
+        assert!(in_window < 80, "kept {in_window} of 200");
+        assert!(in_window > 10);
+        // Outside the window nothing changes.
+        let outside = erased
+            .queries()
+            .iter()
+            .filter(|q| q.arrival < 200.0 || q.arrival >= 400.0)
+            .count();
+        assert_eq!(outside, 800);
+        // keep_probability = 1 keeps everything.
+        let untouched = erase_burst(&trace, 200.0, 400.0, 1.0, 3);
+        assert_eq!(untouched.len(), 1_000);
+    }
+}

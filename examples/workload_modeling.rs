@@ -1,0 +1,78 @@
+//! Workload modeling walk-through: use the lower layers directly —
+//! periodicity detection, regularized NHPP fitting, forecasting and
+//! goodness-of-fit — without the simulator. This is the "module 1-3 as a
+//! general workload modeling technique" usage the paper points out in §IV.
+//!
+//! Run with: `cargo run --release --example workload_modeling`
+
+use robustscaler::nhpp::{
+    rescaled_ks_statistic, AdmmConfig, ForecastConfig, Forecaster, Intensity, NhppModel,
+};
+use robustscaler::timeseries::{detect_period, PeriodicityConfig, TimeSeries};
+use robustscaler::traces::{alibaba_like, TraceConfig};
+
+fn main() {
+    // Three days of the Alibaba-like workload at reduced scale.
+    let trace = alibaba_like(&TraceConfig {
+        duration: 3.0 * 86_400.0,
+        traffic_scale: 0.2,
+        ..TraceConfig::alibaba_default()
+    });
+    println!("workload: {} jobs over 3 days", trace.len());
+
+    // 1. Aggregate into a 60-second count series.
+    let counts = TimeSeries::from_event_times(
+        &trace.arrival_times(),
+        trace.start(),
+        trace.end() + 60.0,
+        60.0,
+    )
+    .unwrap();
+    println!("count series: {} buckets of 60 s", counts.len());
+
+    // 2. Robust periodicity detection on the 5-minute aggregated series.
+    let aggregated = counts.aggregate_mean(5).unwrap();
+    let period = detect_period(&aggregated, &PeriodicityConfig::default())
+        .unwrap()
+        .map(|r| r.period * 5);
+    match period {
+        Some(p) => println!("detected period: {p} buckets (= {:.1} h)", p as f64 / 60.0),
+        None => println!("no period detected"),
+    }
+
+    // 3. Fit the periodicity-regularized NHPP with ADMM.
+    let model = NhppModel::fit(&counts, period, AdmmConfig::default()).unwrap();
+    let report = model.report();
+    println!(
+        "ADMM: {} iterations, converged = {}, final loss = {:.1}",
+        report.iterations, report.converged, report.final_loss
+    );
+
+    // 4. Goodness of fit via time-rescaling: under a well-specified model the
+    //    rescaled inter-arrival times are Exp(1).
+    let ks = rescaled_ks_statistic(
+        &model.historical_intensity(),
+        &trace.arrival_times(),
+        trace.start(),
+    );
+    println!(
+        "time-rescaling KS statistic: {ks:.4} (5% critical value ~ {:.4})",
+        1.36 / (trace.len() as f64).sqrt()
+    );
+
+    // 5. Forecast the next six hours and report the expected arrivals.
+    let forecaster = Forecaster::new(model.clone(), ForecastConfig::default()).unwrap();
+    let forecast = forecaster.forecast(model.end(), 6.0 * 3_600.0).unwrap();
+    println!(
+        "expected arrivals in the next 6 h: {:.0} (recent observed rate {:.2} QPS)",
+        forecast.total_mass(),
+        forecaster.local_intensity(model.end()).unwrap()
+    );
+    for hour in 0..6 {
+        let from = model.end() + hour as f64 * 3_600.0;
+        println!(
+            "  hour +{hour}: {:>7.1} expected arrivals",
+            forecast.integrated(from, from + 3_600.0)
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration tests: train the full pipeline on synthetic
+//! periodic traffic and verify that the three RobustScaler variants deliver
+//! the qualitative behaviour the paper reports (high hit rates for HP, low
+//! response times for RT, bounded budgets for cost, all at a cost well below
+//! a naively large warm pool).
+
+use robustscaler::core::{
+    evaluate_policy, RobustScalerConfig, RobustScalerPipeline, RobustScalerVariant,
+};
+use robustscaler::simulator::{
+    BackupPool, PendingTimeDistribution, SimulationConfig, Trace,
+};
+use robustscaler::traces::{google_like, ProcessingTimeModel, TraceConfig};
+
+const HOUR: f64 = 3_600.0;
+
+fn workload() -> Trace {
+    // Four days of training history (so the daily period is detected and the
+    // forecast is phase-aligned) plus a 12-hour test window.
+    google_like(&TraceConfig {
+        duration: 108.0 * HOUR,
+        traffic_scale: 0.5,
+        processing: ProcessingTimeModel::Exponential { mean: 20.0 },
+        seed: 101,
+    })
+}
+
+fn fast_config(variant: RobustScalerVariant) -> RobustScalerConfig {
+    let mut config = RobustScalerConfig::for_variant(variant);
+    config.mean_processing = 20.0;
+    config.monte_carlo_samples = 200;
+    config.planning_interval = 20.0;
+    config.admm.max_iterations = 80;
+    config
+}
+
+fn sim_config(seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        pending: PendingTimeDistribution::Deterministic(13.0),
+        seed,
+        recent_history_window: 600.0,
+    }
+}
+
+#[test]
+fn hp_variant_achieves_its_target_hit_rate_at_reasonable_cost() {
+    let trace = workload();
+    let (train, test) = trace.split_at(trace.start() + 96.0 * HOUR).unwrap();
+    let pipeline = fast_config(RobustScalerVariant::HittingProbability { target: 0.9 });
+    let mut policy = RobustScalerPipeline::new(pipeline)
+        .unwrap()
+        .build_policy(&train)
+        .unwrap();
+    let (result, _) = evaluate_policy(&test, &mut policy, sim_config(1)).unwrap();
+
+    assert!(
+        result.hit_rate > 0.78,
+        "hit rate {} should be near the 0.9 target",
+        result.hit_rate
+    );
+    assert!(
+        result.hit_rate < 1.0,
+        "a hit rate of exactly 1.0 suggests gross over-provisioning"
+    );
+    // The proactive policy must be far cheaper than a pool large enough to
+    // reach a comparable hit rate on this workload.
+    let mut big_pool = BackupPool::new(12);
+    let (pool_result, _) = evaluate_policy(&test, &mut big_pool, sim_config(1)).unwrap();
+    assert!(pool_result.hit_rate > 0.9);
+    assert!(
+        result.relative_cost < pool_result.relative_cost,
+        "RobustScaler-HP relative cost {} should undercut the big pool's {}",
+        result.relative_cost,
+        pool_result.relative_cost
+    );
+}
+
+#[test]
+fn rt_variant_brings_response_time_close_to_the_processing_floor() {
+    let trace = workload();
+    let (train, test) = trace.split_at(trace.start() + 96.0 * HOUR).unwrap();
+    let config = fast_config(RobustScalerVariant::ResponseTime { target: 22.0 });
+    let mut policy = RobustScalerPipeline::new(config)
+        .unwrap()
+        .build_policy(&train)
+        .unwrap();
+    let (result, metrics) = evaluate_policy(&test, &mut policy, sim_config(2)).unwrap();
+
+    // The reactive response time on this workload is processing + pending
+    // ≈ 33 s; the RT-constrained policy should stay clearly below that and
+    // in the vicinity of its 22 s target.
+    assert!(
+        result.rt_avg < 27.0,
+        "rt_avg {} should be well below the reactive level",
+        result.rt_avg
+    );
+    assert!(metrics.waiting_avg() < 8.0, "waiting {}", metrics.waiting_avg());
+}
+
+#[test]
+fn cost_variant_respects_a_tight_budget() {
+    let trace = workload();
+    let (train, test) = trace.split_at(trace.start() + 96.0 * HOUR).unwrap();
+    // Budget of 35 s per instance: pending (13) + processing (20) + 2 s idle.
+    let config = fast_config(RobustScalerVariant::CostBudget { budget: 35.0 });
+    let mut policy = RobustScalerPipeline::new(config)
+        .unwrap()
+        .build_policy(&train)
+        .unwrap();
+    let (result, metrics) = evaluate_policy(&test, &mut policy, sim_config(3)).unwrap();
+
+    let cost_per_query = metrics.cost_per_query();
+    assert!(
+        cost_per_query < 40.0,
+        "cost per query {cost_per_query} should respect the ~35 s budget"
+    );
+    // The cost variant still improves on purely reactive QoS.
+    assert!(result.hit_rate > 0.05);
+    assert!(result.relative_cost < 1.5);
+}
+
+#[test]
+fn variants_order_as_expected_on_the_qos_cost_spectrum() {
+    let trace = workload();
+    let (train, test) = trace.split_at(trace.start() + 96.0 * HOUR).unwrap();
+    let strict = fast_config(RobustScalerVariant::HittingProbability { target: 0.95 });
+    let loose = fast_config(RobustScalerVariant::HittingProbability { target: 0.5 });
+    let mut strict_policy = RobustScalerPipeline::new(strict)
+        .unwrap()
+        .build_policy(&train)
+        .unwrap();
+    let mut loose_policy = RobustScalerPipeline::new(loose)
+        .unwrap()
+        .build_policy(&train)
+        .unwrap();
+    let (strict_result, _) = evaluate_policy(&test, &mut strict_policy, sim_config(4)).unwrap();
+    let (loose_result, _) = evaluate_policy(&test, &mut loose_policy, sim_config(4)).unwrap();
+    // A stricter HP target costs more and hits more.
+    assert!(strict_result.hit_rate > loose_result.hit_rate);
+    assert!(strict_result.total_cost > loose_result.total_cost);
+}

@@ -1,0 +1,161 @@
+//! Tests of the QoS guarantees (paper Propositions 1 and 2).
+//!
+//! When the arrival process really is an NHPP with known intensity and the
+//! HP-constrained planner is used, the hitting probability of each query is
+//! exactly `1 − α` (Proposition 1), and its degradation under an intensity
+//! estimation error of relative size ε is at most linear in ε
+//! (Proposition 2). These tests bypass the trainer and hand the policy the
+//! exact (or deliberately perturbed) intensity, isolating the guarantee from
+//! estimation error.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use robustscaler::core::{evaluate_policy, RobustScalerConfig, RobustScalerPolicy, RobustScalerVariant};
+use robustscaler::core::pipeline::TrainedModel;
+use robustscaler::nhpp::{sample_arrivals, NhppModel, PiecewiseConstantIntensity};
+use robustscaler::simulator::{PendingTimeDistribution, Query, SimulationConfig, Trace};
+use robustscaler::timeseries::TimeSeries;
+
+const HOUR: f64 = 3_600.0;
+
+/// Build a policy whose "trained" model is exactly the given constant rate.
+fn oracle_policy(
+    rate: f64,
+    horizon: f64,
+    target_hp: f64,
+    monte_carlo_samples: usize,
+) -> RobustScalerPolicy {
+    let bucket = 60.0;
+    let buckets = (horizon / bucket).ceil() as usize;
+    let log_rates = vec![rate.ln(); buckets];
+    let model = NhppModel::from_log_rates(0.0, bucket, log_rates, None).unwrap();
+    let counts = TimeSeries::from_values(0.0, bucket, vec![rate * bucket; buckets]).unwrap();
+    let trained = TrainedModel {
+        model,
+        periodicity: None,
+        counts,
+    };
+    let mut config = RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
+        target: target_hp,
+    });
+    config.mean_processing = 20.0;
+    config.monte_carlo_samples = monte_carlo_samples;
+    config.planning_interval = 15.0;
+    config.pending = robustscaler::scaling::PendingTimeModel::Deterministic(13.0);
+    config.seed = 99;
+    RobustScalerPolicy::new(config, trained).unwrap()
+}
+
+/// Sample a Poisson(rate) trace over the horizon.
+fn poisson_trace(rate: f64, horizon: f64, seed: u64) -> Trace {
+    let intensity = PiecewiseConstantIntensity::new(0.0, horizon, vec![rate]).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let arrivals = sample_arrivals(&intensity, 0.0, horizon, &mut rng);
+    Trace::new(
+        "poisson",
+        arrivals
+            .into_iter()
+            .map(|arrival| Query {
+                arrival,
+                processing: 20.0,
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn sim_config(seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        pending: PendingTimeDistribution::Deterministic(13.0),
+        seed,
+        recent_history_window: 600.0,
+    }
+}
+
+#[test]
+fn proposition1_known_intensity_attains_the_nominal_hitting_probability() {
+    // Constant 0.3 QPS over 8 hours ≈ 8600 queries expected... (0.3*28800 =
+    // 8640). Target HP 0.85.
+    let rate = 0.3;
+    let horizon = 8.0 * HOUR;
+    let trace = poisson_trace(rate, horizon, 11);
+    let mut policy = oracle_policy(rate, horizon, 0.85, 400);
+    let (result, _) = evaluate_policy(&trace, &mut policy, sim_config(12)).unwrap();
+    // Proposition 1: the hitting probability equals 1 − α = 0.85 exactly in
+    // expectation; the empirical rate over thousands of arrivals should land
+    // within a few percentage points.
+    assert!(
+        (result.hit_rate - 0.85).abs() < 0.06,
+        "empirical hit rate {} should be close to the 0.85 target",
+        result.hit_rate
+    );
+}
+
+#[test]
+fn proposition1_holds_across_different_targets() {
+    let rate = 0.5;
+    let horizon = 6.0 * HOUR;
+    let trace = poisson_trace(rate, horizon, 21);
+    for &target in &[0.6, 0.9] {
+        let mut policy = oracle_policy(rate, horizon, target, 400);
+        let (result, _) = evaluate_policy(&trace, &mut policy, sim_config(22)).unwrap();
+        assert!(
+            (result.hit_rate - target).abs() < 0.08,
+            "target {target}: empirical {}",
+            result.hit_rate
+        );
+    }
+}
+
+#[test]
+fn proposition2_small_intensity_errors_cause_small_hp_degradation() {
+    let rate = 0.4;
+    let horizon = 6.0 * HOUR;
+    let trace = poisson_trace(rate, horizon, 31);
+    let target = 0.9;
+
+    let mut exact_policy = oracle_policy(rate, horizon, target, 400);
+    let (exact, _) = evaluate_policy(&trace, &mut exact_policy, sim_config(32)).unwrap();
+
+    // 10% over-estimated intensity: the planner believes queries arrive a
+    // little sooner than they do, so it creates slightly earlier — the HP can
+    // only improve, and by a bounded amount (Proposition 2's linear bound).
+    let mut over_policy = oracle_policy(rate * 1.1, horizon, target, 400);
+    let (over, _) = evaluate_policy(&trace, &mut over_policy, sim_config(32)).unwrap();
+
+    // 10% under-estimated intensity: HP degrades, but stays within a modest
+    // band of the nominal level rather than collapsing.
+    let mut under_policy = oracle_policy(rate * 0.9, horizon, target, 400);
+    let (under, _) = evaluate_policy(&trace, &mut under_policy, sim_config(32)).unwrap();
+
+    assert!(
+        over.hit_rate >= exact.hit_rate - 0.03,
+        "over-estimation should not hurt: {} vs {}",
+        over.hit_rate,
+        exact.hit_rate
+    );
+    assert!(
+        (under.hit_rate - target).abs() < 0.15,
+        "10% under-estimation should cause bounded degradation, got {}",
+        under.hit_rate
+    );
+    assert!(under.hit_rate <= exact.hit_rate + 0.03);
+}
+
+#[test]
+fn hitting_ratio_variance_shrinks_with_more_queries() {
+    // Proposition 1's variance bound implies the empirical hitting ratio over
+    // N queries concentrates as N grows. Compare the dispersion of per-window
+    // hit rates for windows of 50 vs 400 queries.
+    let rate = 0.5;
+    let horizon = 8.0 * HOUR;
+    let trace = poisson_trace(rate, horizon, 41);
+    let mut policy = oracle_policy(rate, horizon, 0.8, 400);
+    let (_, metrics) = evaluate_policy(&trace, &mut policy, sim_config(42)).unwrap();
+    let small_window = metrics.windowed_hit_variance(50).unwrap();
+    let large_window = metrics.windowed_hit_variance(400).unwrap();
+    assert!(
+        large_window < small_window,
+        "variance with 400-query windows ({large_window}) should be below the 50-query one ({small_window})"
+    );
+}

@@ -1,0 +1,112 @@
+//! Robustness integration tests (paper §VII-B3): injecting missing data or
+//! removing anomalies from the *training* data should barely change the
+//! QoS/cost the trained policy delivers on the untouched test window.
+
+use robustscaler::core::{
+    evaluate_policy, EvaluationResult, RobustScalerConfig, RobustScalerPipeline,
+    RobustScalerVariant,
+};
+use robustscaler::simulator::{PendingTimeDistribution, SimulationConfig, Trace};
+use robustscaler::traces::{
+    alibaba_like, crs_like, erase_burst, remove_day, ProcessingTimeModel, TraceConfig,
+};
+
+const DAY: f64 = 86_400.0;
+const HOUR: f64 = 3_600.0;
+
+fn sim_config(seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        pending: PendingTimeDistribution::Deterministic(13.0),
+        seed,
+        recent_history_window: 600.0,
+    }
+}
+
+fn evaluate_with_training(
+    train: &Trace,
+    test: &Trace,
+    mean_processing: f64,
+    seed: u64,
+) -> EvaluationResult {
+    let mut config = RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
+        target: 0.9,
+    });
+    config.mean_processing = mean_processing;
+    config.monte_carlo_samples = 200;
+    config.planning_interval = 30.0;
+    config.admm.max_iterations = 80;
+    let mut policy = RobustScalerPipeline::new(config)
+        .unwrap()
+        .build_policy(train)
+        .unwrap();
+    let (result, _) = evaluate_policy(test, &mut policy, sim_config(seed)).unwrap();
+    result
+}
+
+#[test]
+fn missing_training_day_barely_changes_qos_and_cost() {
+    // Two weeks of CRS-like traffic at higher scale so the comparison is not
+    // dominated by sampling noise; train on the first 10 days.
+    let trace = crs_like(&TraceConfig {
+        duration: 14.0 * DAY,
+        traffic_scale: 6.0,
+        processing: ProcessingTimeModel::LogNormal {
+            mean: 180.0,
+            std_dev: 120.0,
+        },
+        seed: 71,
+    });
+    let (train, test) = trace.split_at(trace.start() + 10.0 * DAY).unwrap();
+    // Remove one full day (day 6) from the training data only.
+    let train_missing = remove_day(&train, 6);
+    assert!(train_missing.len() < train.len());
+
+    let baseline = evaluate_with_training(&train, &test, 180.0, 1);
+    let with_missing = evaluate_with_training(&train_missing, &test, 180.0, 1);
+
+    assert!(
+        (baseline.hit_rate - with_missing.hit_rate).abs() < 0.08,
+        "hit rate moved from {} to {} after removing a training day",
+        baseline.hit_rate,
+        with_missing.hit_rate
+    );
+    let cost_change = (baseline.relative_cost - with_missing.relative_cost).abs()
+        / baseline.relative_cost.max(1e-9);
+    assert!(
+        cost_change < 0.20,
+        "relative cost moved by {:.1}% after removing a training day",
+        100.0 * cost_change
+    );
+}
+
+#[test]
+fn erasing_the_training_burst_barely_changes_qos() {
+    // Alibaba-like trace with the day-4 burst; train on the first 4 days.
+    let trace = alibaba_like(&TraceConfig {
+        duration: 5.0 * DAY,
+        traffic_scale: 0.12,
+        processing: ProcessingTimeModel::Exponential { mean: 30.0 },
+        seed: 72,
+    });
+    let (train, test) = trace.split_at(trace.start() + 4.0 * DAY).unwrap();
+    let burst_start = 3.0 * DAY + 15.0 * HOUR;
+    let train_clean = erase_burst(&train, burst_start, burst_start + 2_400.0, 0.15, 5);
+    assert!(train_clean.len() < train.len());
+
+    let with_burst = evaluate_with_training(&train, &test, 30.0, 2);
+    let without_burst = evaluate_with_training(&train_clean, &test, 30.0, 2);
+
+    assert!(
+        (with_burst.hit_rate - without_burst.hit_rate).abs() < 0.08,
+        "hit rate moved from {} to {} after erasing the burst",
+        with_burst.hit_rate,
+        without_burst.hit_rate
+    );
+    let cost_change = (with_burst.relative_cost - without_burst.relative_cost).abs()
+        / with_burst.relative_cost.max(1e-9);
+    assert!(
+        cost_change < 0.20,
+        "relative cost moved by {:.1}% after erasing the burst",
+        100.0 * cost_change
+    );
+}
