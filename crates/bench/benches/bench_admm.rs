@@ -56,26 +56,22 @@ fn bench_solver_ablation(c: &mut Criterion) {
             ("banded", SubproblemSolver::BandedCholesky),
             ("cg", SubproblemSolver::ConjugateGradient),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, period),
-                &counts,
-                |b, counts| {
-                    b.iter(|| {
-                        let solver = AdmmSolver::new(
-                            counts.clone(),
-                            60.0,
-                            Some(period),
-                            AdmmConfig {
-                                max_iterations: 10,
-                                solver: solver_kind,
-                                ..AdmmConfig::default()
-                            },
-                        )
-                        .unwrap();
-                        solver.fit().unwrap()
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, period), &counts, |b, counts| {
+                b.iter(|| {
+                    let solver = AdmmSolver::new(
+                        counts.clone(),
+                        60.0,
+                        Some(period),
+                        AdmmConfig {
+                            max_iterations: 10,
+                            solver: solver_kind,
+                            ..AdmmConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    solver.fit().unwrap()
+                });
+            });
         }
     }
     group.finish();

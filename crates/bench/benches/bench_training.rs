@@ -16,9 +16,9 @@ fn bench_pipeline_training(c: &mut Criterion) {
             processing: ProcessingTimeModel::Exponential { mean: 60.0 },
             seed: 5,
         });
-        let mut config = RobustScalerConfig::for_variant(
-            RobustScalerVariant::HittingProbability { target: 0.9 },
-        );
+        let mut config = RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
+            target: 0.9,
+        });
         config.mean_processing = 60.0;
         config.admm.max_iterations = 60;
         let pipeline = RobustScalerPipeline::new(config).unwrap();

@@ -35,7 +35,10 @@ fn main() {
         let (point, metrics) =
             run_policy_spec(&workload, PolicySpec::RobustScalerCost(budget), 30.0, 200);
         let actual = metrics.cost_per_query();
-        println!("{:>12.1} {:>12.1}   (relative_cost {:.3})", budget, actual, point.relative_cost);
+        println!(
+            "{:>12.1} {:>12.1}   (relative_cost {:.3})",
+            budget, actual, point.relative_cost
+        );
     }
 
     println!(

@@ -4,7 +4,9 @@
 //! statistics plus an hourly QPS profile so the periodic structure, noise
 //! level and spikes are visible in text form.
 
-use robustscaler_bench::workloads::{alibaba_workload, crs_workload, google_workload, scale_from_env};
+use robustscaler_bench::workloads::{
+    alibaba_workload, crs_workload, google_workload, scale_from_env,
+};
 use robustscaler_simulator::Trace;
 use robustscaler_timeseries::{detect_period, PeriodicityConfig, TimeSeries};
 
@@ -29,7 +31,10 @@ fn describe(name: &str, trace: &Trace) {
 
     println!("\ntrace: {name}");
     println!("  queries           : {}", trace.len());
-    println!("  duration          : {:.2} days", trace.duration() / 86_400.0);
+    println!(
+        "  duration          : {:.2} days",
+        trace.duration() / 86_400.0
+    );
     println!("  mean / max QPS    : {mean:.4} / {max:.3}");
     println!("  QPS std deviation : {std:.4}");
     match period {
@@ -51,7 +56,11 @@ fn describe(name: &str, trace: &Trace) {
             .filter(|q| q.arrival >= from && q.arrival < to)
             .count();
         let bar_len = ((count as f64 / (3_600.0 * max.max(1e-9)) * 60.0).round() as usize).min(60);
-        println!("    h{hour:02} {:>8.4} {}", count as f64 / 3_600.0, "#".repeat(bar_len));
+        println!(
+            "    h{hour:02} {:>8.4} {}",
+            count as f64 / 3_600.0,
+            "#".repeat(bar_len)
+        );
     }
 }
 
@@ -61,7 +70,11 @@ fn main() {
     let crs = crs_workload(scale);
     let alibaba = alibaba_workload(scale);
     let google = google_workload(scale);
-    for (name, w) in [("CRS-like", &crs), ("Alibaba-like", &alibaba), ("Google-like", &google)] {
+    for (name, w) in [
+        ("CRS-like", &crs),
+        ("Alibaba-like", &alibaba),
+        ("Google-like", &google),
+    ] {
         // Describe the full trace (train + test are contiguous, so describe
         // both pieces by re-joining their spans through the training trace).
         describe(&format!("{name} (train)"), &w.train);

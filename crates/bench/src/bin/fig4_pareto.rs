@@ -46,7 +46,10 @@ fn main() {
             PolicySpec::RobustScalerCost(230.0),
         ],
     );
-    print_table("Fig. 4(a)/(b) — CRS-like: hit_rate & rt_avg vs relative_cost", &crs_points);
+    print_table(
+        "Fig. 4(a)/(b) — CRS-like: hit_rate & rt_avg vs relative_cost",
+        &crs_points,
+    );
 
     // Alibaba-like: higher traffic, larger pools.
     let alibaba = alibaba_workload(scale);

@@ -28,9 +28,7 @@ pub fn perturb_workload(base: &Workload, c: usize) -> Workload {
 
 fn main() {
     let scale = scale_from_env(0.25);
-    println!(
-        "Figure 6 reproduction — rt_avg vs relative_cost under perturbations (scale {scale})"
-    );
+    println!("Figure 6 reproduction — rt_avg vs relative_cost under perturbations (scale {scale})");
     let base = crs_workload(scale);
     let specs = [
         PolicySpec::AdaptiveBackupPool(50.0),

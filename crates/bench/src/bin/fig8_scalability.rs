@@ -12,8 +12,7 @@ use rand::SeedableRng;
 use robustscaler_bench::workloads::scale_from_env;
 use robustscaler_nhpp::PiecewiseConstantIntensity;
 use robustscaler_scaling::{
-    DecisionConfig, DecisionRule, PendingTimeModel, PlannerConfig, PlannerState,
-    SequentialPlanner,
+    DecisionConfig, DecisionRule, PendingTimeModel, PlannerConfig, PlannerState, SequentialPlanner,
 };
 use std::time::Instant;
 
@@ -53,9 +52,23 @@ fn main() {
     );
     let mut qps = 1.0;
     while qps <= max_qps {
-        let (hp_time, hp_n) = time_planning(DecisionRule::HittingProbability { alpha: 0.1 }, qps, replications);
-        let (rt_time, _) = time_planning(DecisionRule::ResponseTime { target_waiting: 1.0 }, qps, replications);
-        let (cost_time, _) = time_planning(DecisionRule::CostBudget { target_idle: 2.0 }, qps, replications);
+        let (hp_time, hp_n) = time_planning(
+            DecisionRule::HittingProbability { alpha: 0.1 },
+            qps,
+            replications,
+        );
+        let (rt_time, _) = time_planning(
+            DecisionRule::ResponseTime {
+                target_waiting: 1.0,
+            },
+            qps,
+            replications,
+        );
+        let (cost_time, _) = time_planning(
+            DecisionRule::CostBudget { target_idle: 2.0 },
+            qps,
+            replications,
+        );
         println!(
             "{:>10.1} {:>22.4} {:>22.4} {:>22.4}   ({} decisions per window)",
             qps, hp_time, rt_time, cost_time, hp_n

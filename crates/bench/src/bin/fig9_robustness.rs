@@ -43,7 +43,10 @@ fn main() {
     };
     let mut points = run_specs(&crs, &specs, "w/o missing");
     points.extend(run_specs(&crs_missing, &specs, "w/ missing"));
-    print_table("Fig. 9(a)/(b) — CRS-like, before vs after missing-data injection", &points);
+    print_table(
+        "Fig. 9(a)/(b) — CRS-like, before vs after missing-data injection",
+        &points,
+    );
 
     // (c)(d) Alibaba-like with the day-4 burst erased from training data.
     let alibaba = alibaba_workload(scale);
@@ -60,7 +63,10 @@ fn main() {
     ];
     let mut points = run_specs(&alibaba, &specs_ali, "w/ anomaly");
     points.extend(run_specs(&alibaba_clean, &specs_ali, "w/o anomaly"));
-    print_table("Fig. 9(c)/(d) — Alibaba-like, before vs after anomaly removal", &points);
+    print_table(
+        "Fig. 9(c)/(d) — Alibaba-like, before vs after anomaly removal",
+        &points,
+    );
 
     println!(
         "\nExpected shape (paper): each \"w/\" row is nearly identical to its\n\

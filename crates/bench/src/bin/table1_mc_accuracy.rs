@@ -32,7 +32,11 @@ fn main() {
         2024,
     );
     let (train, test) = trace.split_at(trace.start() + 6.0 * HOUR).unwrap();
-    println!("workload: {} train / {} test queries", train.len(), test.len());
+    println!(
+        "workload: {} train / {} test queries",
+        train.len(),
+        test.len()
+    );
 
     let sim = SimulationConfig {
         pending: PendingTimeDistribution::Deterministic(13.0),
@@ -40,7 +44,7 @@ fn main() {
         recent_history_window: 600.0,
     };
 
-    let mut build = |variant: RobustScalerVariant| {
+    let build = |variant: RobustScalerVariant| {
         let mut config = RobustScalerConfig::for_variant(variant);
         config.mean_processing = 20.0;
         config.planning_interval = 5.0;
@@ -59,7 +63,10 @@ fn main() {
     // RobustScaler-HP: target hitting probability 0.9.
     let mut hp = build(RobustScalerVariant::HittingProbability { target: 0.9 });
     let (hp_result, _) = evaluate_policy(&test, &mut hp, sim).unwrap();
-    println!("{:<20} {:>16.2} {:>16.3}", "RobustScaler-HP", 0.9, hp_result.hit_rate);
+    println!(
+        "{:<20} {:>16.2} {:>16.3}",
+        "RobustScaler-HP", 0.9, hp_result.hit_rate
+    );
 
     // RobustScaler-RT: target of 1 s of waiting on top of the 20 s processing
     // mean (the paper reports the d − µ_s part).
@@ -67,7 +74,9 @@ fn main() {
     let (_, rt_metrics) = evaluate_policy(&test, &mut rt, sim).unwrap();
     println!(
         "{:<20} {:>16.2} {:>16.3}",
-        "RobustScaler-RT", 1.0, rt_metrics.waiting_avg()
+        "RobustScaler-RT",
+        1.0,
+        rt_metrics.waiting_avg()
     );
 
     // RobustScaler-cost: idle budget of 2 s per instance on top of the fixed

@@ -22,15 +22,16 @@ fn main() {
     let scale = scale_from_env(1.0);
     let bucket = (600.0 / scale).max(60.0);
     let duration = 7.0 * DAY;
-    println!(
-        "Table III reproduction — periodicity regularization (Δt = {bucket:.0} s, 1 week)"
-    );
+    println!("Table III reproduction — periodicity regularization (Δt = {bucket:.0} s, 1 week)");
 
     let (rate, period_seconds) = periodic_ground_truth();
     let intensity = ClosedFormIntensity::new(rate.clone(), 30.0).expect("valid resolution");
     let mut rng = StdRng::seed_from_u64(33);
     let arrivals = sample_arrivals_thinning(&intensity, 0.0, duration, &mut rng);
-    println!("generated {} arrivals from the ground-truth intensity", arrivals.len());
+    println!(
+        "generated {} arrivals from the ground-truth intensity",
+        arrivals.len()
+    );
 
     let counts =
         TimeSeries::from_event_times(&arrivals, 0.0, duration, bucket).expect("valid series");

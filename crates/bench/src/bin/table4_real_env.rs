@@ -18,10 +18,10 @@ fn main() {
     println!("Table IV reproduction — simulated vs real environment (scale {scale})");
     let workload = crs_workload(scale);
 
-    let mut run = |charge_latency: bool| {
-        let mut config = RobustScalerConfig::for_variant(
-            RobustScalerVariant::HittingProbability { target: 0.9 },
-        );
+    let run = |charge_latency: bool| {
+        let mut config = RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
+            target: 0.9,
+        });
         config.mean_processing = workload.mean_processing;
         config.planning_interval = 30.0;
         config.monte_carlo_samples = 500;
@@ -30,8 +30,7 @@ fn main() {
             .expect("valid configuration")
             .build_policy(&workload.train)
             .expect("training succeeds");
-        let (result, metrics) =
-            evaluate_policy(&workload.test, &mut policy, workload.sim).unwrap();
+        let (result, metrics) = evaluate_policy(&workload.test, &mut policy, workload.sim).unwrap();
         let per_round_ms =
             1_000.0 * policy.compute_seconds() / policy.planning_rounds().max(1) as f64;
         (result, metrics.cost_per_query(), per_round_ms)
@@ -52,7 +51,9 @@ fn main() {
         "{:<12} {:>8.2} {:>10.1} {:>16.1}",
         "real", real.hit_rate, real.rt_avg, real_cost
     );
-    println!("\nmean decision-computation latency charged: {per_round_ms:.2} ms per planning round");
+    println!(
+        "\nmean decision-computation latency charged: {per_round_ms:.2} ms per planning round"
+    );
     println!(
         "\nExpected shape (paper Table IV): the two rows are close (HP 0.80 vs\n\
          0.83, RT 181 vs 189 s, cost 240 vs 229 s in the paper) because the\n\

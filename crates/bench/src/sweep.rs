@@ -97,13 +97,11 @@ pub fn run_policy_spec(
     let (result, metrics) = match spec {
         PolicySpec::BackupPool(size) => {
             let mut policy = BackupPool::new(size);
-            evaluate_policy(&workload.test, &mut policy, workload.sim)
-                .expect("simulation succeeds")
+            evaluate_policy(&workload.test, &mut policy, workload.sim).expect("simulation succeeds")
         }
         PolicySpec::AdaptiveBackupPool(ratio) => {
             let mut policy = AdaptiveBackupPool::new(ratio);
-            evaluate_policy(&workload.test, &mut policy, workload.sim)
-                .expect("simulation succeeds")
+            evaluate_policy(&workload.test, &mut policy, workload.sim).expect("simulation succeeds")
         }
         PolicySpec::RobustScalerHp(target) => {
             let config = robustscaler_config(
@@ -116,8 +114,7 @@ pub fn run_policy_spec(
                 .expect("valid configuration")
                 .build_policy(&workload.train)
                 .expect("training succeeds");
-            evaluate_policy(&workload.test, &mut policy, workload.sim)
-                .expect("simulation succeeds")
+            evaluate_policy(&workload.test, &mut policy, workload.sim).expect("simulation succeeds")
         }
         PolicySpec::RobustScalerRt(target) => {
             let config = robustscaler_config(
@@ -130,8 +127,7 @@ pub fn run_policy_spec(
                 .expect("valid configuration")
                 .build_policy(&workload.train)
                 .expect("training succeeds");
-            evaluate_policy(&workload.test, &mut policy, workload.sim)
-                .expect("simulation succeeds")
+            evaluate_policy(&workload.test, &mut policy, workload.sim).expect("simulation succeeds")
         }
         PolicySpec::RobustScalerCost(budget) => {
             let config = robustscaler_config(
@@ -144,8 +140,7 @@ pub fn run_policy_spec(
                 .expect("valid configuration")
                 .build_policy(&workload.train)
                 .expect("training succeeds");
-            evaluate_policy(&workload.test, &mut policy, workload.sim)
-                .expect("simulation succeeds")
+            evaluate_policy(&workload.test, &mut policy, workload.sim).expect("simulation succeeds")
         }
     };
 

@@ -1,9 +1,7 @@
 //! The three evaluation workloads, scaled for laptop-speed experiments.
 
 use robustscaler_simulator::{PendingTimeDistribution, SimulationConfig, Trace};
-use robustscaler_traces::{
-    alibaba_like, crs_like, google_like, ProcessingTimeModel, TraceConfig,
-};
+use robustscaler_traces::{alibaba_like, crs_like, google_like, ProcessingTimeModel, TraceConfig};
 
 /// Seconds per day.
 pub const DAY: f64 = 86_400.0;

@@ -125,10 +125,9 @@ mod tests {
 
     #[test]
     fn validation_catches_each_bad_field() {
-        let base =
-            RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
-                target: 0.9,
-            });
+        let base = RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
+            target: 0.9,
+        });
         let mut c = base;
         c.bucket_width = 0.0;
         assert!(c.validate().is_err());

@@ -5,14 +5,16 @@ use crate::error::CoreError;
 use crate::policy::RobustScalerPolicy;
 use robustscaler_nhpp::{Forecaster, NhppModel};
 use robustscaler_simulator::Trace;
-use robustscaler_timeseries::{detect_period, PeriodicityResult, TimeSeries};
+use robustscaler_timeseries::{detect_period, refine_period, PeriodicityResult, TimeSeries};
 
 /// Output of the training phase, ready to drive the scaling plan module.
 #[derive(Debug, Clone)]
 pub struct TrainedModel {
     /// The fitted NHPP.
     pub model: NhppModel,
-    /// The detected dominant periodicity (on the Δt-bucket series), if any.
+    /// The detected dominant periodicity, if any. `period` is expressed in
+    /// Δt buckets and refined at full resolution; `acf`/`harmonic_support`
+    /// are the detection evidence from the aggregated series.
     pub periodicity: Option<PeriodicityResult>,
     /// The aggregated count series the model was trained on.
     pub counts: TimeSeries,
@@ -70,10 +72,21 @@ impl RobustScalerPipeline {
         // Module 1: periodicity detection on the time-aggregated QPS series.
         let aggregated = counts.aggregate_mean(self.config.periodicity_aggregation)?;
         let periodicity = match detect_period(&aggregated, &self.config.periodicity) {
-            Ok(result) => result.map(|r| PeriodicityResult {
-                // Convert the period back to Δt buckets.
-                period: r.period * self.config.periodicity_aggregation,
-                ..r
+            Ok(result) => result.map(|r| {
+                // Convert the period back to Δt buckets. The aggregated ACF
+                // peak is quantized to the aggregation grid and can drift a
+                // few aggregated lags under noise or secondary (weekly)
+                // structure, which would dephase the forecast over the many
+                // cycles it extrapolates — so re-estimate the period at full
+                // resolution within a ±5% window.
+                let coarse = r.period * self.config.periodicity_aggregation;
+                let slack = (coarse / 20).max(self.config.periodicity_aggregation);
+                let period = refine_period(&counts, coarse, slack, &self.config.periodicity)
+                    .unwrap_or(coarse);
+                // `acf`/`harmonic_support` remain the aggregated-series
+                // detection evidence; only `period` is the refined
+                // full-resolution value.
+                PeriodicityResult { period, ..r }
             }),
             // Short traces simply skip the periodic regularizer.
             Err(_) => None,

@@ -14,9 +14,7 @@ use crate::pipeline::TrainedModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustscaler_nhpp::{Forecaster, Intensity, PiecewiseConstantIntensity};
-use robustscaler_scaling::{
-    DecisionConfig, PlannerConfig, PlannerState, SequentialPlanner,
-};
+use robustscaler_scaling::{DecisionConfig, PlannerConfig, PlannerState, SequentialPlanner};
 use robustscaler_simulator::{Autoscaler, ScalingCommand, SystemState};
 use std::time::Instant;
 

@@ -102,7 +102,13 @@ pub fn conjugate_gradient<A: LinearOperator>(
 
     let precond: Option<Vec<f64>> = operator.diagonal().map(|diag| {
         diag.iter()
-            .map(|&d| if d.abs() > f64::MIN_POSITIVE { 1.0 / d } else { 1.0 })
+            .map(|&d| {
+                if d.abs() > f64::MIN_POSITIVE {
+                    1.0 / d
+                } else {
+                    1.0
+                }
+            })
             .collect()
     });
     let apply_precond = |r: &[f64]| -> Vec<f64> {
@@ -192,8 +198,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let b = m.matvec(&x_true).unwrap();
-        let (x, outcome) =
-            conjugate_gradient(&m, &b, &vec![0.0; n], CgOptions::default()).unwrap();
+        let (x, outcome) = conjugate_gradient(&m, &b, &vec![0.0; n], CgOptions::default()).unwrap();
         for i in 0..n {
             assert!((x[i] - x_true[i]).abs() < 1e-7, "i = {i}");
         }
@@ -219,7 +224,7 @@ mod tests {
     fn zero_rhs_returns_zero_solution() {
         let m = random_spd(10, 2, 31);
         let (x, outcome) =
-            conjugate_gradient(&m, &vec![0.0; 10], &vec![1.0; 10], CgOptions::default()).unwrap();
+            conjugate_gradient(&m, &[0.0; 10], &[1.0; 10], CgOptions::default()).unwrap();
         assert!(x.iter().all(|&v| v == 0.0));
         assert_eq!(outcome.iterations, 0);
     }
@@ -227,10 +232,8 @@ mod tests {
     #[test]
     fn dimension_mismatches_are_rejected() {
         let m = random_spd(10, 2, 41);
-        assert!(conjugate_gradient(&m, &vec![1.0; 9], &vec![0.0; 10], CgOptions::default())
-            .is_err());
-        assert!(conjugate_gradient(&m, &vec![1.0; 10], &vec![0.0; 9], CgOptions::default())
-            .is_err());
+        assert!(conjugate_gradient(&m, &[1.0; 9], &[0.0; 10], CgOptions::default()).is_err());
+        assert!(conjugate_gradient(&m, &[1.0; 10], &[0.0; 9], CgOptions::default()).is_err());
     }
 
     #[test]
@@ -264,12 +267,8 @@ mod tests {
                 }
             }
         }
-        let result = conjugate_gradient(
-            &Negative,
-            &[1.0, 2.0, 3.0],
-            &[0.0; 3],
-            CgOptions::default(),
-        );
+        let result =
+            conjugate_gradient(&Negative, &[1.0, 2.0, 3.0], &[0.0; 3], CgOptions::default());
         assert!(matches!(
             result,
             Err(LinalgError::NotPositiveDefinite { .. })

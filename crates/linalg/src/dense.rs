@@ -230,8 +230,8 @@ mod tests {
     #[test]
     fn cholesky_solves_spd_system() {
         // A = [[4,2,0],[2,5,2],[0,2,6]] is SPD.
-        let a = DenseMatrix::from_rows(3, 3, &[4.0, 2.0, 0.0, 2.0, 5.0, 2.0, 0.0, 2.0, 6.0])
-            .unwrap();
+        let a =
+            DenseMatrix::from_rows(3, 3, &[4.0, 2.0, 0.0, 2.0, 5.0, 2.0, 0.0, 2.0, 6.0]).unwrap();
         let x_true = [1.0, -2.0, 3.0];
         let b = a.matvec(&x_true).unwrap();
         let x = a.solve_spd(&b).unwrap();

@@ -254,7 +254,9 @@ mod tests {
         let dense2 = dense_from_operator(&d2);
         let densel = dense_from_operator(&dl);
         let y2: Vec<f64> = (0..d2.output_dim()).map(|i| (i as f64) - 2.0).collect();
-        let yl: Vec<f64> = (0..dl.output_dim()).map(|i| (i as f64) * 0.5 + 1.0).collect();
+        let yl: Vec<f64> = (0..dl.output_dim())
+            .map(|i| (i as f64) * 0.5 + 1.0)
+            .collect();
         assert_eq!(
             d2.apply_transpose(&y2).unwrap(),
             dense2.matvec_transpose(&y2).unwrap()
@@ -275,8 +277,10 @@ mod tests {
             let weight2 = 0.7;
             let weightl = 1.3;
 
-            let mut banded =
-                SymmetricBandedMatrix::zeros(t, d2.gram_half_bandwidth().max(dl.gram_half_bandwidth()));
+            let mut banded = SymmetricBandedMatrix::zeros(
+                t,
+                d2.gram_half_bandwidth().max(dl.gram_half_bandwidth()),
+            );
             d2.add_gram_to(&mut banded, weight2).unwrap();
             dl.add_gram_to(&mut banded, weightl).unwrap();
 

@@ -599,8 +599,7 @@ mod tests {
             .map(|i| 0.2 + 0.1 * ((i / 25) % 2) as f64)
             .collect();
         let counts = poisson_counts(&true_rates, dt, 7);
-        let solver =
-            AdmmSolver::new(counts, dt, Some(50), AdmmConfig::default()).unwrap();
+        let solver = AdmmSolver::new(counts, dt, Some(50), AdmmConfig::default()).unwrap();
         let start = solver.initial_log_rates();
         let start_loss = solver.loss().value(&start);
         let (r, report) = solver.fit().unwrap();

@@ -99,6 +99,8 @@ mod tests {
         }
         .to_string()
         .contains("7"));
-        assert!(NhppError::InvalidParameter("rho").to_string().contains("rho"));
+        assert!(NhppError::InvalidParameter("rho")
+            .to_string()
+            .contains("rho"));
     }
 }

@@ -103,8 +103,7 @@ impl Forecaster {
                     .collect();
                 // Phase of the first forecast bucket relative to the training
                 // start, so the pattern lines up with wall-clock time.
-                let first_bucket_index =
-                    ((from - self.model.start()) / dt).round() as i64;
+                let first_bucket_index = ((from - self.model.start()) / dt).round() as i64;
                 (0..buckets)
                     .map(|i| {
                         let phase =
@@ -205,7 +204,13 @@ mod tests {
     #[test]
     fn aperiodic_forecast_carries_recent_level() {
         let log_rates: Vec<f64> = (0..30)
-            .map(|i| if i < 20 { (0.2_f64).ln() } else { (0.6_f64).ln() })
+            .map(|i| {
+                if i < 20 {
+                    (0.2_f64).ln()
+                } else {
+                    (0.6_f64).ln()
+                }
+            })
             .collect();
         let m = NhppModel::from_log_rates(0.0, 60.0, log_rates, None).unwrap();
         let f = Forecaster::new(m.clone(), ForecastConfig::default()).unwrap();

@@ -335,8 +335,7 @@ mod tests {
         assert!(PiecewiseConstantIntensity::new(0.0, 1.0, vec![]).is_err());
         assert!(PiecewiseConstantIntensity::new(0.0, 1.0, vec![-1.0]).is_err());
         assert!(PiecewiseConstantIntensity::new(0.0, 1.0, vec![f64::NAN]).is_err());
-        let p = PiecewiseConstantIntensity::from_log_rates(0.0, 2.0, &[0.0, 1.0_f64.ln()])
-            .unwrap();
+        let p = PiecewiseConstantIntensity::from_log_rates(0.0, 2.0, &[0.0, 1.0_f64.ln()]).unwrap();
         assert_eq!(p.rates(), &[1.0, 1.0]);
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());

@@ -66,9 +66,9 @@ impl RegularizedLoss {
         }
         let t = counts.len();
         let dl = match config.period {
-            Some(period) if period < t => Some(
-                ForwardDifference::new(t, period).expect("period >= 1 validated above"),
-            ),
+            Some(period) if period < t => {
+                Some(ForwardDifference::new(t, period).expect("period >= 1 validated above"))
+            }
             _ => None,
         };
         Ok(Self {
@@ -283,8 +283,7 @@ mod tests {
         let aperiodic = vec![0.1, 0.5, -0.2, 0.3, 0.5, -0.3, 0.4, 0.0];
         // Compare only the penalty parts by subtracting the likelihood part.
         let likelihood = |r: &[f64]| {
-            let unpenalized =
-                RegularizedLoss::new(vec![2.0; 8], config(0.0, 0.0, None)).unwrap();
+            let unpenalized = RegularizedLoss::new(vec![2.0; 8], config(0.0, 0.0, None)).unwrap();
             unpenalized.value(r)
         };
         let pen_periodic = loss.value(&periodic) - likelihood(&periodic);

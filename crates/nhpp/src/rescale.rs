@@ -81,7 +81,10 @@ mod tests {
         let arrivals = sample_arrivals(&truth, 0.0, 500.0, &mut rng);
         let ks = rescaled_ks_statistic(&wrong, &arrivals, 0.0);
         let critical = 1.63 / (arrivals.len() as f64).sqrt();
-        assert!(ks > critical * 3.0, "ks = {ks} should reject the flat model");
+        assert!(
+            ks > critical * 3.0,
+            "ks = {ks} should reject the flat model"
+        );
     }
 
     #[test]

@@ -89,11 +89,7 @@ mod tests {
             .map(|_| sample_arrivals(&intensity, 0.0, 100.0, &mut rng).len() as f64)
             .collect();
         let mean = counts.iter().sum::<f64>() / runs as f64;
-        let var = counts
-            .iter()
-            .map(|c| (c - mean) * (c - mean))
-            .sum::<f64>()
-            / (runs as f64 - 1.0);
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (runs as f64 - 1.0);
         // True mean and variance are both 50.
         assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
         assert!((var - 50.0).abs() < 6.0, "var {var}");
@@ -121,8 +117,7 @@ mod tests {
 
     #[test]
     fn zero_rate_buckets_receive_no_arrivals() {
-        let intensity =
-            PiecewiseConstantIntensity::new(0.0, 10.0, vec![1.0, 0.0, 1.0]).unwrap();
+        let intensity = PiecewiseConstantIntensity::new(0.0, 10.0, vec![1.0, 0.0, 1.0]).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let arrivals = sample_arrivals(&intensity, 0.0, 30.0, &mut rng);
         assert!(!arrivals.is_empty());

@@ -197,8 +197,7 @@ mod tests {
     #[test]
     fn vanishing_intensity_pushes_arrivals_far_into_the_future() {
         // A tiny tail rate means later arrivals are effectively "never".
-        let intensity =
-            PiecewiseConstantIntensity::new(0.0, 10.0, vec![1.0, 1e-12]).unwrap();
+        let intensity = PiecewiseConstantIntensity::new(0.0, 10.0, vec![1.0, 1e-12]).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
         let sampler = ArrivalSampler::new(&intensity, 0.0, 50, 50, &mut rng).unwrap();
         let far = sampler.mean_arrival(50).unwrap();

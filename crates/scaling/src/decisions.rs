@@ -208,14 +208,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        assert!(DecisionRule::HittingProbability { alpha: 0.0 }.validate().is_err());
-        assert!(DecisionRule::HittingProbability { alpha: 1.0 }.validate().is_err());
+        assert!(DecisionRule::HittingProbability { alpha: 0.0 }
+            .validate()
+            .is_err());
+        assert!(DecisionRule::HittingProbability { alpha: 1.0 }
+            .validate()
+            .is_err());
         assert!(DecisionRule::ResponseTime {
             target_waiting: -1.0
         }
         .validate()
         .is_err());
-        assert!(DecisionRule::CostBudget { target_idle: -1.0 }.validate().is_err());
+        assert!(DecisionRule::CostBudget { target_idle: -1.0 }
+            .validate()
+            .is_err());
         let mut c = config(DecisionRule::HittingProbability { alpha: 0.1 });
         c.monte_carlo_samples = 0;
         assert!(c.validate().is_err());
@@ -236,7 +242,7 @@ mod tests {
         .unwrap();
         // Check against the exact solution: ξ₁ − now ~ Exp(0.2); the
         // α-quantile of ξ₁ − τ is now + Q_exp(α) − 13.
-        let exact = 1000.0 + -(1.0 - alpha as f64).ln() / 0.2 - 13.0;
+        let exact = 1000.0 + -(1.0 - alpha).ln() / 0.2 - 13.0;
         assert!(
             (d.unconstrained_creation_time - exact).abs() < 1.0,
             "{} vs {exact}",
@@ -250,7 +256,10 @@ mod tests {
             .filter(|&&xi| xi > d.unconstrained_creation_time + 13.0)
             .count() as f64
             / arrivals.len() as f64;
-        assert!((hit_rate - (1.0 - alpha)).abs() < 0.02, "hit rate {hit_rate}");
+        assert!(
+            (hit_rate - (1.0 - alpha)).abs() < 0.02,
+            "hit rate {hit_rate}"
+        );
     }
 
     #[test]
@@ -304,9 +313,7 @@ mod tests {
         let d = decide(
             &s,
             1,
-            &config(DecisionRule::CostBudget {
-                target_idle: 1e9,
-            }),
+            &config(DecisionRule::CostBudget { target_idle: 1e9 }),
             &mut rng,
         )
         .unwrap();

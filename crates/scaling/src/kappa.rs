@@ -162,7 +162,11 @@ mod tests {
     #[test]
     fn monte_carlo_agrees_with_closed_form_for_deterministic_pending() {
         let mut rng = StdRng::seed_from_u64(7);
-        for &(rate, tau, alpha) in &[(0.5_f64, 13.0_f64, 0.1_f64), (2.0, 13.0, 0.05), (1.0, 2.0, 0.5)] {
+        for &(rate, tau, alpha) in &[
+            (0.5_f64, 13.0_f64, 0.1_f64),
+            (2.0, 13.0, 0.05),
+            (1.0, 2.0, 0.5),
+        ] {
             let exact = kappa_deterministic_pending(rate, tau, alpha).unwrap();
             let mc = kappa_monte_carlo(
                 rate,

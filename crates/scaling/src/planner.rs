@@ -108,9 +108,7 @@ impl SequentialPlanner {
         // Initial guess of how many arrival indices we may need to look at:
         // everything already covered, plus what is expected in the window with
         // head-room for stochastic bursts, plus a small constant.
-        let mut horizon = state.covered
-            + (1.5 * expected_in_window).ceil() as usize
-            + 8;
+        let mut horizon = state.covered + (1.5 * expected_in_window).ceil() as usize + 8;
         horizon = horizon.min(state.covered + self.config.max_decisions_per_round);
 
         let mut decisions: Vec<ScalingDecision> = Vec::new();
@@ -277,7 +275,12 @@ mod tests {
 
     #[test]
     fn rt_rule_planner_produces_monotone_creation_times() {
-        let planner = planner(DecisionRule::ResponseTime { target_waiting: 2.0 }, 20.0);
+        let planner = planner(
+            DecisionRule::ResponseTime {
+                target_waiting: 2.0,
+            },
+            20.0,
+        );
         let intensity = flat_intensity(1.0);
         let mut rng = StdRng::seed_from_u64(5);
         let round = planner

@@ -183,8 +183,7 @@ mod tests {
     fn waiting_root_matches_direct_evaluation() {
         for seed in 0..5_u64 {
             let samples = random_samples(500, seed);
-            let mean_tau =
-                samples.iter().map(|&(_, t)| t).sum::<f64>() / samples.len() as f64;
+            let mean_tau = samples.iter().map(|&(_, t)| t).sum::<f64>() / samples.len() as f64;
             for &frac in &[0.05, 0.2, 0.5, 0.8, 0.95] {
                 let target = frac * mean_tau;
                 let x = solve_waiting_root(&samples, target).unwrap();

@@ -506,7 +506,11 @@ mod tests {
         let metrics = sim.run(&trace, &mut policy).unwrap();
         // The pool is created at the first arrival's time (on_start), so the
         // very first query may wait for it; all others hit.
-        assert!(metrics.hit_rate() >= 0.97, "hit rate {}", metrics.hit_rate());
+        assert!(
+            metrics.hit_rate() >= 0.97,
+            "hit rate {}",
+            metrics.hit_rate()
+        );
         // Cost exceeds the reactive baseline because instances idle.
         let mut reactive = Reactive::new();
         let reactive_metrics = sim.run(&trace, &mut reactive).unwrap();
@@ -582,10 +586,17 @@ mod tests {
         let metrics = sim.run(&trace, &mut policy).unwrap();
         // Every query except possibly the first (whose creation time would be
         // negative and is clamped to the start) hits.
-        assert!(metrics.hit_rate() >= 0.95, "hit rate {}", metrics.hit_rate());
+        assert!(
+            metrics.hit_rate() >= 0.95,
+            "hit rate {}",
+            metrics.hit_rate()
+        );
         // Idle time is about 20 − 13 = 7 s per instance.
         let mean_cost = metrics.cost_per_query();
-        assert!((mean_cost - (7.0 + 13.0 + 2.0)).abs() < 1.5, "cost {mean_cost}");
+        assert!(
+            (mean_cost - (7.0 + 13.0 + 2.0)).abs() < 1.5,
+            "cost {mean_cost}"
+        );
     }
 
     #[test]

@@ -92,7 +92,12 @@ impl Trace {
     }
 
     /// Restrict the trace to arrivals within `[from, to)`.
-    pub fn slice(&self, from: f64, to: f64, name: impl Into<String>) -> Result<Self, SimulatorError> {
+    pub fn slice(
+        &self,
+        from: f64,
+        to: f64,
+        name: impl Into<String>,
+    ) -> Result<Self, SimulatorError> {
         let queries: Vec<Query> = self
             .queries
             .iter()

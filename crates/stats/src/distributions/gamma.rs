@@ -164,9 +164,9 @@ mod tests {
         // P(Gamma(k,1) <= x) = P(Poisson(x) >= k).
         let k = 4_u64;
         let g = Gamma::with_unit_scale(k as f64).unwrap();
-        let x = 6.5;
+        let x = 6.5_f64;
         let mut poisson_lt_k = 0.0;
-        let mut term = (-x as f64).exp();
+        let mut term = (-x).exp();
         for i in 0..k {
             if i > 0 {
                 term *= x / i as f64;

@@ -42,7 +42,10 @@ impl fmt::Display for StatsError {
             StatsError::NonConvergence {
                 routine,
                 iterations,
-            } => write!(f, "{routine} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} failed to converge after {iterations} iterations"
+            ),
         }
     }
 }
@@ -64,7 +67,9 @@ mod tests {
         assert!(e.to_string().contains("must be > 0"));
 
         assert_eq!(StatsError::EmptySample.to_string(), "empty sample");
-        assert!(StatsError::InvalidProbability(1.5).to_string().contains("1.5"));
+        assert!(StatsError::InvalidProbability(1.5)
+            .to_string()
+            .contains("1.5"));
         let n = StatsError::NonConvergence {
             routine: "gamma_quantile",
             iterations: 200,

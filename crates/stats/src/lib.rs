@@ -26,8 +26,8 @@ pub mod special;
 
 pub use descriptive::{autocorrelation, mad, mean, median, std_dev, variance, Summary};
 pub use distributions::{
-    Bernoulli, ContinuousDistribution, DiscreteDistribution, Exponential, Gamma, LogNormal,
-    Normal, Poisson, Uniform, Weibull,
+    Bernoulli, ContinuousDistribution, DiscreteDistribution, Exponential, Gamma, LogNormal, Normal,
+    Poisson, Uniform, Weibull,
 };
 pub use ecdf::Ecdf;
 pub use error::StatsError;

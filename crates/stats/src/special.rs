@@ -15,10 +15,10 @@ pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients for g = 7, n = 9.
     const G: f64 = 7.0;
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -292,7 +292,17 @@ pub fn normal_quantile(p: f64) -> f64 {
 pub fn ln_factorial(n: u64) -> f64 {
     // Small cases exactly to avoid accumulation error in Poisson pmf tests.
     const TABLE: [f64; 11] = [
-        1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5_040.0, 40_320.0, 362_880.0, 3_628_800.0,
+        1.0,
+        1.0,
+        2.0,
+        6.0,
+        24.0,
+        120.0,
+        720.0,
+        5_040.0,
+        40_320.0,
+        362_880.0,
+        3_628_800.0,
     ];
     if (n as usize) < TABLE.len() {
         TABLE[n as usize].ln()
@@ -327,7 +337,7 @@ mod tests {
     fn gamma_p_matches_exponential_cdf_for_shape_one() {
         // P(1, x) = 1 - exp(-x).
         for &x in &[0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
-            assert_close(gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-12);
+            assert_close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-12);
         }
     }
 
@@ -344,7 +354,7 @@ mod tests {
                 }
                 sum += term;
             }
-            let expected = 1.0 - (-x as f64).exp() * sum;
+            let expected = 1.0 - (-x).exp() * sum;
             assert_close(gamma_p(k as f64, x), expected, 1e-12);
         }
     }

@@ -87,8 +87,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut values: Vec<f64> = (0..n)
             .map(|i| {
-                10.0 + 3.0 * (2.0 * std::f64::consts::PI * i as f64 / 50.0).sin()
-                    + rng.gen::<f64>()
+                10.0 + 3.0 * (2.0 * std::f64::consts::PI * i as f64 / 50.0).sin() + rng.gen::<f64>()
             })
             .collect();
         for v in values.iter_mut().skip(burst_at).take(burst_len) {

@@ -1,6 +1,6 @@
 //! Lightweight robust seasonal-trend decomposition.
 //!
-//! The paper leverages RobustSTL-style decomposition (reference [19]) to
+//! The paper leverages RobustSTL-style decomposition (reference \[19\]) to
 //! characterize workloads with complex periodic patterns. For the
 //! reproduction we implement a compact robust variant: the trend is a
 //! rolling median, the seasonal component is the per-phase median of the
@@ -67,7 +67,11 @@ pub fn robust_stl(series: &TimeSeries, period: usize) -> Result<Decomposition, T
     let trend = rolling_median(&filled, half);
 
     // Seasonal: per-phase median of the detrended values, centred to sum to 0.
-    let detrended: Vec<f64> = filled.iter().zip(trend.iter()).map(|(x, t)| x - t).collect();
+    let detrended: Vec<f64> = filled
+        .iter()
+        .zip(trend.iter())
+        .map(|(x, t)| x - t)
+        .collect();
     let mut seasonal_pattern = vec![0.0; period];
     for phase in 0..period {
         let phase_values: Vec<f64> = detrended
@@ -78,8 +82,7 @@ pub fn robust_stl(series: &TimeSeries, period: usize) -> Result<Decomposition, T
             .collect();
         seasonal_pattern[phase] = median(&phase_values).expect("non-empty by construction");
     }
-    let pattern_mean =
-        seasonal_pattern.iter().sum::<f64>() / seasonal_pattern.len() as f64;
+    let pattern_mean = seasonal_pattern.iter().sum::<f64>() / seasonal_pattern.len() as f64;
     for v in &mut seasonal_pattern {
         *v -= pattern_mean;
     }

@@ -10,7 +10,7 @@
 //! * [`filters`] — moving averages, rolling medians, Hampel filtering and
 //!   missing-value interpolation,
 //! * [`periodicity`] — a robust autocorrelation-based period detector in the
-//!   spirit of RobustPeriod (the paper's reference [18]),
+//!   spirit of RobustPeriod (the paper's reference \[18\]),
 //! * [`decompose`] — a lightweight robust seasonal-trend decomposition used
 //!   for diagnostics and trace characterization, and
 //! * [`anomaly`] — MAD-based anomaly detection used by the robustness
@@ -29,5 +29,7 @@ pub mod series;
 pub use anomaly::{detect_anomalies, AnomalyReport};
 pub use decompose::{robust_stl, Decomposition};
 pub use error::TimeSeriesError;
-pub use periodicity::{detect_period, detect_periods, PeriodicityConfig, PeriodicityResult};
+pub use periodicity::{
+    detect_period, detect_periods, refine_period, PeriodicityConfig, PeriodicityResult,
+};
 pub use series::TimeSeries;

@@ -1,7 +1,7 @@
 //! Robust periodicity detection.
 //!
 //! The paper's first module detects cyclic patterns in the aggregated QPS
-//! series using robust periodicity detection (RobustPeriod, reference [18]).
+//! series using robust periodicity detection (RobustPeriod, reference \[18\]).
 //! This implementation follows the same spirit with a self-contained
 //! pipeline:
 //!
@@ -128,11 +128,7 @@ pub fn detect_periods(
             let v = acf[lag];
             running_min = running_min.min(acf[lag - 1]);
             let right = acf.get(lag + 1).copied().unwrap_or(f64::NEG_INFINITY);
-            if v > threshold
-                && v >= acf[lag - 1]
-                && v >= right
-                && v - running_min >= prominence
-            {
+            if v > threshold && v >= acf[lag - 1] && v >= right && v - running_min >= prominence {
                 candidates.push((lag, v));
             }
         }
@@ -201,6 +197,66 @@ pub fn detect_periods(
         }
     }
     Ok(results)
+}
+
+/// Refine a candidate period against a (typically higher-resolution) series
+/// by maximizing a harmonic "comb" ACF score.
+///
+/// Periodicity detection is usually run on a time-aggregated series to
+/// suppress random effects, which quantizes the detected period to the
+/// aggregation grid and lets the ACF peak drift a few aggregated lags under
+/// noise or secondary (e.g. weekly) structure. A period that is even a few
+/// buckets off dephases a forecast extrapolated over many cycles, so the
+/// pipeline re-estimates it at full resolution: for each period `p` within
+/// `candidate ± slack`, score `p` by the mean ACF over its first few
+/// multiples (`acf(p)`, `acf(2p)`, `acf(3p)`). Scoring the multiples is what
+/// gives the estimate its precision — an error of `e` buckets at lag `p`
+/// grows to `3e` at lag `3p`, so wrong periods are punished much harder than
+/// at the fundamental lag alone.
+///
+/// Returns the best-scoring period, or the unchanged candidate when the
+/// series is too short to score any alternative.
+pub fn refine_period(
+    series: &TimeSeries,
+    candidate: usize,
+    slack: usize,
+    config: &PeriodicityConfig,
+) -> Result<usize, TimeSeriesError> {
+    let n = series.len();
+    if candidate < 2 || n < 2 * candidate {
+        return Ok(candidate);
+    }
+    // Same cleaning as detection: repair, de-spike, detrend.
+    let filled = interpolate_missing(series.optional_values())?;
+    let (clean, _) = hampel_filter(&filled, config.hampel_half_window, config.hampel_threshold);
+    let detrended = detrend_linear(&clean);
+
+    let lo = candidate.saturating_sub(slack).max(2);
+    let hi = (candidate + slack).min(n / 2);
+    // Score every candidate over the same harmonics. The count is fixed by
+    // the largest candidate (each multiple needs at least half a period of
+    // overlap supporting the ACF), so no candidate gains or loses a harmonic
+    // at a length cutoff inside the window — the comparison stays apples to
+    // apples. k = 1 always fits because `hi <= n/2`. The higher multiples
+    // are what separate the true period from a nearby impostor: an error of
+    // `e` buckets at lag `p` grows to `3e` at lag `3p`.
+    let harmonics = (1..=3usize)
+        .take_while(|k| k * hi + hi / 2 <= n)
+        .count()
+        .max(1);
+    let mut best = candidate;
+    let mut best_score = f64::NEG_INFINITY;
+    for p in lo..=hi {
+        let score = (1..=harmonics)
+            .map(|k| autocorrelation(&detrended, k * p))
+            .sum::<f64>()
+            / harmonics as f64;
+        if score > best_score {
+            best_score = score;
+            best = p;
+        }
+    }
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -311,6 +367,32 @@ mod tests {
         );
         // No spurious longer periods (e.g. unfiltered harmonics) may appear.
         assert!(rs.iter().all(|r| r.period <= 170));
+    }
+
+    #[test]
+    fn refine_period_recovers_the_exact_period_from_a_coarse_candidate() {
+        // The true period is 48; a detector working on aggregated data might
+        // hand over 45 or 52 — refinement at full resolution must snap back.
+        let s = periodic_series(800, 48, 2.0, 5, 10, 7);
+        let config = PeriodicityConfig::default();
+        for candidate in [44, 45, 48, 51, 52] {
+            let refined = refine_period(&s, candidate, 6, &config).unwrap();
+            assert!(
+                (refined as i64 - 48).abs() <= 1,
+                "candidate {candidate} refined to {refined}, expected ~48"
+            );
+        }
+    }
+
+    #[test]
+    fn refine_period_leaves_short_series_and_degenerate_candidates_alone() {
+        let s = periodic_series(100, 24, 0.1, 0, 0, 9);
+        let config = PeriodicityConfig::default();
+        // Series shorter than two candidate periods: unchanged.
+        assert_eq!(refine_period(&s, 60, 10, &config).unwrap(), 60);
+        // Degenerate candidates: unchanged.
+        assert_eq!(refine_period(&s, 0, 5, &config).unwrap(), 0);
+        assert_eq!(refine_period(&s, 1, 5, &config).unwrap(), 1);
     }
 
     #[test]

@@ -258,8 +258,7 @@ mod tests {
 
     #[test]
     fn aggregate_mean_averages_windows_and_handles_missing() {
-        let mut s =
-            TimeSeries::from_values(0.0, 1.0, vec![1.0, 3.0, 5.0, 7.0, 9.0, 11.0]).unwrap();
+        let mut s = TimeSeries::from_values(0.0, 1.0, vec![1.0, 3.0, 5.0, 7.0, 9.0, 11.0]).unwrap();
         let agg = s.aggregate_mean(2).unwrap();
         assert_eq!(agg.len(), 3);
         assert_eq!(agg.get(0), Some(2.0));
@@ -289,8 +288,8 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let s = TimeSeries::from_optional_values(5.0, 2.0, vec![Some(1.0), None, Some(3.0)])
-            .unwrap();
+        let s =
+            TimeSeries::from_optional_values(5.0, 2.0, vec![Some(1.0), None, Some(3.0)]).unwrap();
         let json = serde_json::to_string(&s).unwrap();
         let back: TimeSeries = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);

@@ -38,9 +38,9 @@ impl ProcessingTimeModel {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         match self {
             ProcessingTimeModel::Deterministic(v) => *v,
-            ProcessingTimeModel::Exponential { mean } => {
-                Exponential::with_mean(*mean).expect("positive mean").sample(rng)
-            }
+            ProcessingTimeModel::Exponential { mean } => Exponential::with_mean(*mean)
+                .expect("positive mean")
+                .sample(rng),
             ProcessingTimeModel::LogNormal { mean, std_dev } => {
                 LogNormal::from_mean_std(*mean, *std_dev)
                     .expect("positive parameters")
@@ -111,18 +111,13 @@ impl TraceConfig {
 }
 
 /// Sample a trace from an arbitrary intensity function.
-fn trace_from_intensity<F>(
-    name: &str,
-    rate: F,
-    config: &TraceConfig,
-    resolution: f64,
-) -> Trace
+fn trace_from_intensity<F>(name: &str, rate: F, config: &TraceConfig, resolution: f64) -> Trace
 where
     F: Fn(f64) -> f64,
 {
     let scale = config.traffic_scale;
-    let intensity = ClosedFormIntensity::new(move |t| scale * rate(t), resolution)
-        .expect("resolution > 0");
+    let intensity =
+        ClosedFormIntensity::new(move |t| scale * rate(t), resolution).expect("resolution > 0");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let arrivals = sample_arrivals_thinning(&intensity, 0.0, config.duration, &mut rng);
     let queries: Vec<Query> = arrivals
@@ -164,7 +159,11 @@ pub fn crs_like(config: &TraceConfig) -> Trace {
         // Office-hours hump centred at 14:00.
         let daily = 0.3 + 0.7 * (-((hour_of_day - 14.0) / 5.0).powi(2)).exp();
         // Occasional outlier spikes: a few minutes once every ~2 days.
-        let spike = if (t % (2.0 * DAY + 1_234.0)) < 240.0 { 6.0 } else { 1.0 };
+        let spike = if (t % (2.0 * DAY + 1_234.0)) < 240.0 {
+            6.0
+        } else {
+            1.0
+        };
         0.02 * weekday_factor * daily * spike * block_noise(t, seed, 0.6)
     };
     trace_from_intensity("crs-like", rate, config, 60.0)
@@ -176,7 +175,11 @@ pub fn google_like(config: &TraceConfig) -> Trace {
     let seed = config.seed;
     let rate = move |t: f64| {
         let hour_of_day = (t % DAY) / HOUR;
-        let diurnal = 0.25 + 0.75 * ((hour_of_day - 4.0) / 24.0 * std::f64::consts::TAU).sin().max(0.0);
+        let diurnal = 0.25
+            + 0.75
+                * ((hour_of_day - 4.0) / 24.0 * std::f64::consts::TAU)
+                    .sin()
+                    .max(0.0);
         // Recurrent submission spikes lasting 5 minutes every 2 hours.
         let spike = if (t % (2.0 * HOUR)) < 300.0 { 3.0 } else { 1.0 };
         0.35 * diurnal * spike * block_noise(t, seed, 0.3)
@@ -265,14 +268,13 @@ mod tests {
         let trace = crs_like(&small(TraceConfig::crs_default(), WEEK, 1.0));
         // Mean QPS of the paper's CRS trace is ~0.0087 (21k queries / 4 weeks);
         // ours should be in the same low range.
-        assert!(trace.mean_qps() > 0.003 && trace.mean_qps() < 0.05,
-            "qps {}", trace.mean_qps());
-        let mean_processing: f64 = trace
-            .queries()
-            .iter()
-            .map(|q| q.processing)
-            .sum::<f64>()
-            / trace.len() as f64;
+        assert!(
+            trace.mean_qps() > 0.003 && trace.mean_qps() < 0.05,
+            "qps {}",
+            trace.mean_qps()
+        );
+        let mean_processing: f64 =
+            trace.queries().iter().map(|q| q.processing).sum::<f64>() / trace.len() as f64;
         assert!(
             mean_processing > 100.0 && mean_processing < 300.0,
             "processing {mean_processing}"
@@ -306,13 +308,8 @@ mod tests {
         // Generate 4 days so the daily period sits comfortably inside the
         // detector's n/3 lag window.
         let trace = google_like(&small(TraceConfig::google_default(), 4.0 * DAY, 1.0));
-        let counts = TimeSeries::from_event_times(
-            &trace.arrival_times(),
-            0.0,
-            4.0 * DAY,
-            1_800.0,
-        )
-        .unwrap();
+        let counts =
+            TimeSeries::from_event_times(&trace.arrival_times(), 0.0, 4.0 * DAY, 1_800.0).unwrap();
         let detected = detect_period(&counts, &PeriodicityConfig::default())
             .unwrap()
             .expect("diurnal period expected");
@@ -338,9 +335,7 @@ mod tests {
         let normal_rate = trace
             .queries()
             .iter()
-            .filter(|q| {
-                q.arrival >= burst_start - DAY && q.arrival < burst_start - DAY + 2_400.0
-            })
+            .filter(|q| q.arrival >= burst_start - DAY && q.arrival < burst_start - DAY + 2_400.0)
             .count() as f64
             / 2_400.0;
         assert!(
@@ -368,7 +363,10 @@ mod tests {
             .iter()
             .filter(|q| (q.arrival % HOUR) < 600.0)
             .count();
-        assert!(peak_count > 20 * (trough_count + 1), "peak {peak_count} trough {trough_count}");
+        assert!(
+            peak_count > 20 * (trough_count + 1),
+            "peak {peak_count} trough {trough_count}"
+        );
     }
 
     #[test]

@@ -22,8 +22,7 @@ pub fn delete_windows(trace: &Trace, every: f64, offset: f64, window: f64) -> Tr
             !(q.arrival >= offset && phase < window)
         })
         .collect();
-    Trace::new(format!("{}-deleted", trace.name()), queries)
-        .unwrap_or_else(|_| trace.clone())
+    Trace::new(format!("{}-deleted", trace.name()), queries).unwrap_or_else(|_| trace.clone())
 }
 
 /// Add `factor` extra copies (with small jitter) of every query falling in a
@@ -52,8 +51,7 @@ pub fn amplify_windows(
             }
         }
     }
-    Trace::new(format!("{}-amplified", trace.name()), queries)
-        .unwrap_or_else(|_| trace.clone())
+    Trace::new(format!("{}-amplified", trace.name()), queries).unwrap_or_else(|_| trace.clone())
 }
 
 /// Remove every query of the `day_index`-th day (0-based) — the paper's
@@ -67,8 +65,11 @@ pub fn remove_day(trace: &Trace, day_index: usize) -> Trace {
         .copied()
         .filter(|q| !(q.arrival >= from && q.arrival < to))
         .collect();
-    Trace::new(format!("{}-day{}-removed", trace.name(), day_index), queries)
-        .unwrap_or_else(|_| trace.clone())
+    Trace::new(
+        format!("{}-day{}-removed", trace.name(), day_index),
+        queries,
+    )
+    .unwrap_or_else(|_| trace.clone())
 }
 
 /// Erase a burst: inside `[from, to)` keep each query only with probability
@@ -89,8 +90,7 @@ pub fn erase_burst(trace: &Trace, from: f64, to: f64, keep_probability: f64, see
             }
         })
         .collect();
-    Trace::new(format!("{}-burst-erased", trace.name()), queries)
-        .unwrap_or_else(|_| trace.clone())
+    Trace::new(format!("{}-burst-erased", trace.name()), queries).unwrap_or_else(|_| trace.clone())
 }
 
 #[cfg(test)]

@@ -58,9 +58,8 @@ fn main() {
         rows.push(result);
     }
     for &target in &[0.8, 0.95] {
-        let mut config = RobustScalerConfig::for_variant(
-            RobustScalerVariant::HittingProbability { target },
-        );
+        let mut config =
+            RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability { target });
         config.mean_processing = 180.0;
         config.planning_interval = 60.0;
         config.monte_carlo_samples = 200;

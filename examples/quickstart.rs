@@ -6,9 +6,7 @@
 use robustscaler::core::{
     evaluate_policy, RobustScalerConfig, RobustScalerPipeline, RobustScalerVariant,
 };
-use robustscaler::simulator::{
-    BackupPool, PendingTimeDistribution, Reactive, SimulationConfig,
-};
+use robustscaler::simulator::{BackupPool, PendingTimeDistribution, Reactive, SimulationConfig};
 use robustscaler::traces::{google_like, TraceConfig};
 
 fn main() {
@@ -29,9 +27,8 @@ fn main() {
     // Train on the first 24 hours, evaluate on the remaining 12.
     let (train, test) = trace.split_at(trace.start() + 24.0 * 3_600.0).unwrap();
 
-    let mut config = RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
-        target: 0.9,
-    });
+    let mut config =
+        RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability { target: 0.9 });
     config.mean_processing = 60.0;
     let pipeline = RobustScalerPipeline::new(config).expect("valid configuration");
     let trained = pipeline.train(&train).expect("training succeeds");
@@ -60,7 +57,10 @@ fn main() {
     let mut pool = BackupPool::new(2);
     let (bp, _) = evaluate_policy(&test, &mut pool, sim).unwrap();
 
-    println!("\n{:<22} {:>9} {:>9} {:>14}", "policy", "hit_rate", "rt_avg", "relative_cost");
+    println!(
+        "\n{:<22} {:>9} {:>9} {:>14}",
+        "policy", "hit_rate", "rt_avg", "relative_cost"
+    );
     for r in [&reactive_result, &bp, &rs] {
         println!(
             "{:<22} {:>9.3} {:>9.1} {:>14.3}",

@@ -7,9 +7,7 @@
 use robustscaler::core::{
     evaluate_policy, RobustScalerConfig, RobustScalerPipeline, RobustScalerVariant,
 };
-use robustscaler::simulator::{
-    BackupPool, PendingTimeDistribution, SimulationConfig, Trace,
-};
+use robustscaler::simulator::{BackupPool, PendingTimeDistribution, SimulationConfig, Trace};
 use robustscaler::traces::{google_like, ProcessingTimeModel, TraceConfig};
 
 const HOUR: f64 = 3_600.0;
@@ -94,7 +92,11 @@ fn rt_variant_brings_response_time_close_to_the_processing_floor() {
         "rt_avg {} should be well below the reactive level",
         result.rt_avg
     );
-    assert!(metrics.waiting_avg() < 8.0, "waiting {}", metrics.waiting_avg());
+    assert!(
+        metrics.waiting_avg() < 8.0,
+        "waiting {}",
+        metrics.waiting_avg()
+    );
 }
 
 #[test]

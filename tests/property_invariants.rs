@@ -2,9 +2,7 @@
 //! hold for arbitrary workloads, policies and decision parameters.
 
 use proptest::prelude::*;
-use robustscaler::scaling::{
-    cost, hit, response_time, solve_idle_cost_root, solve_waiting_root,
-};
+use robustscaler::scaling::{cost, hit, response_time, solve_idle_cost_root, solve_waiting_root};
 use robustscaler::simulator::{
     BackupPool, PendingTimeDistribution, Query, Reactive, SimulationConfig, Simulator, Trace,
 };

@@ -10,8 +10,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use robustscaler::core::{evaluate_policy, RobustScalerConfig, RobustScalerPolicy, RobustScalerVariant};
 use robustscaler::core::pipeline::TrainedModel;
+use robustscaler::core::{
+    evaluate_policy, RobustScalerConfig, RobustScalerPolicy, RobustScalerVariant,
+};
 use robustscaler::nhpp::{sample_arrivals, NhppModel, PiecewiseConstantIntensity};
 use robustscaler::simulator::{PendingTimeDistribution, Query, SimulationConfig, Trace};
 use robustscaler::timeseries::TimeSeries;

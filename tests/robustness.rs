@@ -28,9 +28,8 @@ fn evaluate_with_training(
     mean_processing: f64,
     seed: u64,
 ) -> EvaluationResult {
-    let mut config = RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
-        target: 0.9,
-    });
+    let mut config =
+        RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability { target: 0.9 });
     config.mean_processing = mean_processing;
     config.monte_carlo_samples = 200;
     config.planning_interval = 30.0;

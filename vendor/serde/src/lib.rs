@@ -1,0 +1,300 @@
+//! Minimal, dependency-free stand-in for `serde` (plus its derive macros).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a drastically simplified serialization framework with the same *surface*
+//! as serde: `#[derive(Serialize, Deserialize)]`, `use serde::{Serialize,
+//! Deserialize}`, and a `serde_json` companion crate providing
+//! `to_string`/`from_str`.
+//!
+//! Instead of serde's zero-copy visitor architecture, everything round-trips
+//! through an owned [`Value`] tree (null / bool / number / string / array /
+//! object). That is entirely sufficient for the workspace's needs — caching
+//! generated traces and model snapshots as JSON — at the cost of an extra
+//! allocation pass that real serde avoids.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::VecDeque;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, self-describing data tree — the interchange format between
+/// [`Serialize`]/[`Deserialize`] impls and data formats such as `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number; stored as `f64` like JavaScript's number type.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Arr(Vec<Value>),
+    /// An ordered map with string keys (insertion order preserved).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up `key` in an [`Value::Obj`]; `None` for other variants or
+    /// missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable name for the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Error raised when a [`Value`] cannot be interpreted as the requested type.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error with the given message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field is absent entirely.
+    ///
+    /// `None` means "absence is an error" (the default); `Option<T>`
+    /// overrides this to `Some(None)` so missing optional fields
+    /// deserialize to `None`, matching serde's behaviour.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Num(x) => Ok(*x),
+            other => Err(Error::msg(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x = f64::from_value(v)?;
+                if x.fract() != 0.0 {
+                    return Err(Error::msg(format!(
+                        "expected integer, got fractional number {x}"
+                    )));
+                }
+                if x < <$t>::MIN as f64 || x > <$t>::MAX as f64 {
+                    return Err(Error::msg(format!(
+                        "number {x} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(x as $t)
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(VecDeque::from)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::msg(format!(
+                "expected 2-element array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(Error::msg(format!(
+                "expected 3-element array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` stand-in.
+//!
+//! The build environment has no crates.io access, so this proc macro is
+//! written against `proc_macro` alone — no `syn`, no `quote`. It parses just
+//! enough of the item grammar to cover what this workspace derives:
+//!
+//! - structs with named fields, tuple structs, unit structs,
+//! - enums whose variants are unit, tuple (`V(T, ...)`), or struct
+//!   (`V { f: T, ... }`) shaped.
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally
+//! unsupported and fail with a compile-time panic rather than silently
+//! mis-serializing. Enums use serde's externally-tagged representation
+//! (`"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`,
+//! `{"Variant": {..}}`), so JSON produced by the real serde for these shapes
+//! is accepted and vice versa.
+
+#![warn(rust_2018_idioms)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Shape of the item a derive was applied to.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skip a `#[...]` attribute; the leading `#` has already been consumed.
+fn skip_attr_body(it: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+        other => panic!("serde_derive: malformed attribute, found {other:?}"),
+    }
+}
+
+/// Consume leading attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(crate)`, ...), leaving the iterator at the next
+/// significant token.
+fn skip_attrs_and_vis(it: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                skip_attr_body(it);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consume tokens of a type, stopping (without consuming) at a `,` that sits
+/// at angle-bracket depth zero, or at the end of the stream.
+fn skip_type(it: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth: i64 = 0;
+    while let Some(tok) = it.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        it.next();
+    }
+}
+
+/// Parse `name: Type, ...` named-field lists (struct bodies and struct
+/// variant bodies).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected field name, found {other}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut it);
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == ',' {
+                it.next();
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth: i64 = 0;
+    let mut arity = 0;
+    let mut segment_has_tokens = false;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if segment_has_tokens {
+                    arity += 1;
+                }
+                segment_has_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                it.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        match it.next() {
+            None => {
+                variants.push(Variant { name, shape });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, shape });
+            }
+            Some(other) => panic!("serde_derive: expected `,` after variant, found {other}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Shape {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => {
+            let s = id.to_string();
+            if s != "struct" && s != "enum" {
+                panic!("serde_derive: expected `struct` or `enum`, found `{s}`");
+            }
+            s
+        }
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored shim");
+        }
+    }
+    if kind == "enum" {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive: expected struct body, found {other:?}"),
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (vendored value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Obj(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                // Newtype structs are transparent, like real serde.
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(String::from(\"{vname}\")),\n"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Obj(vec![\
+                                 (String::from(\"{vname}\"), {inner})]),\n",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Obj(vec![\
+                                 (String::from(\"{vname}\"), \
+                                 ::serde::Value::Obj(vec![{}]))]),\n",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Rust for Serialize")
+}
+
+/// The `field: ...` initializer for one named field, with serde-style
+/// handling of absent keys (errors unless the type opts in, e.g. `Option`).
+fn named_field_init(owner: &str, source: &str, field: &str) -> String {
+    format!(
+        "{field}: match {source}.get(\"{field}\") {{\n\
+             Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+             None => ::serde::Deserialize::absent().ok_or_else(|| \
+                 ::serde::Error::msg(\"missing field `{field}` in {owner}\"))?,\n\
+         }},\n"
+    )
+}
+
+/// Derive `serde::Deserialize` (vendored value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| named_field_init(&name, "v", f))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Obj(_) => Ok({name} {{\n{inits}}}),\n\
+                             other => Err(::serde::Error::msg(format!(\
+                                 \"expected object for {name}, got {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Arr(items) if items.len() == {arity} => \
+                             Ok({name}({items})),\n\
+                         other => Err(::serde::Error::msg(format!(\
+                             \"expected {arity}-element array for {name}, got {{}}\", \
+                             other.kind()))),\n\
+                     }}",
+                    items = items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unreachable!(),
+                        VariantShape::Tuple(arity) if *arity == 1 => format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),\n"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     ::serde::Value::Arr(items) if items.len() == {arity} => \
+                                         Ok({name}::{vn}({items})),\n\
+                                     other => Err(::serde::Error::msg(format!(\
+                                         \"expected {arity}-element array for {name}::{vn}, \
+                                         got {{}}\", other.kind()))),\n\
+                                 }},\n",
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| named_field_init(&format!("{name}::{vn}"), "inner", f))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     ::serde::Value::Obj(_) => Ok({name}::{vn} {{\n{inits}}}),\n\
+                                     other => Err(::serde::Error::msg(format!(\
+                                         \"expected object for {name}::{vn}, got {{}}\", \
+                                         other.kind()))),\n\
+                                 }},\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(::serde::Error::msg(format!(\
+                                     \"unknown unit variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, inner) = &pairs[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => Err(::serde::Error::msg(format!(\
+                                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::msg(format!(\
+                                 \"expected variant of {name}, got {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Rust for Deserialize")
+}
