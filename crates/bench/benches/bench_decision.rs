@@ -82,10 +82,45 @@ fn bench_planning_window_vs_qps(c: &mut Criterion) {
     group.finish();
 }
 
+/// A full planning round at the paper's operating point (Fig. 8: R = 1000,
+/// Δ such that ≈ 50 arrivals fall in the window) as a function of the Monte
+/// Carlo replication count. This is the engine's end-to-end hot path and the
+/// number tracked across PRs in `BENCH_decision.json`.
+fn bench_plan_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_window");
+    group.sample_size(10);
+    // 5 QPS over a 10 s window: ≈ 50 expected arrivals per round; the 13 s
+    // pending lead means the planner looks well past the initial horizon
+    // guess, exercising the horizon-growth path.
+    let intensity = PiecewiseConstantIntensity::new(0.0, 1e6, vec![5.0]).unwrap();
+    for &r in &[250usize, 1_000, 4_000] {
+        let planner = SequentialPlanner::new(PlannerConfig {
+            decision: DecisionConfig {
+                rule: DecisionRule::HittingProbability { alpha: 0.1 },
+                pending: PendingTimeModel::Deterministic(13.0),
+                monte_carlo_samples: r,
+            },
+            planning_interval: 10.0,
+            max_decisions_per_round: 10_000,
+        })
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(r), &planner, |b, planner| {
+            let mut rng = StdRng::seed_from_u64(17);
+            b.iter(|| {
+                planner
+                    .plan_window(&intensity, 0.0, PlannerState { covered: 0 }, &mut rng)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sort_and_search,
     bench_single_decision,
-    bench_planning_window_vs_qps
+    bench_planning_window_vs_qps,
+    bench_plan_window
 );
 criterion_main!(benches);

@@ -5,18 +5,16 @@
 //! Each printed table corresponds to one pair of sub-figures (one workload);
 //! a row is one point of the corresponding Pareto line.
 
-use robustscaler_bench::sweep::{print_table, run_policy_spec, ParetoPoint, PolicySpec};
+use robustscaler_bench::sweep::{print_table, run_policy_specs, ParetoPoint, PolicySpec};
 use robustscaler_bench::workloads::{
     alibaba_workload, crs_workload, google_workload, scale_from_env, Workload,
 };
 
 fn sweep(workload: &Workload, specs: &[PolicySpec]) -> Vec<ParetoPoint> {
-    specs
-        .iter()
-        .map(|&spec| {
-            eprintln!("  running {} on {} ...", spec.label(), workload.name);
-            run_policy_spec(workload, spec, 30.0, 200).0
-        })
+    // The policy evaluations are independent; fan them out across cores.
+    run_policy_specs(workload, specs, 30.0, 200)
+        .into_iter()
+        .map(|(point, _)| point)
         .collect()
 }
 

@@ -86,6 +86,28 @@ pub fn robustscaler_config(
     config
 }
 
+/// Run a whole sweep of policy configurations over one workload, fanning the
+/// independent evaluations out across the machine's cores.
+///
+/// Each spec trains and simulates with its own seeded RNGs (nothing is
+/// shared), so the results are identical to running [`run_policy_spec`]
+/// serially in order — parallelism only changes the wall-clock time.
+pub fn run_policy_specs(
+    workload: &Workload,
+    specs: &[PolicySpec],
+    planning_interval: f64,
+    monte_carlo_samples: usize,
+) -> Vec<(ParetoPoint, SimulationMetrics)> {
+    robustscaler_parallel::parallel_map(
+        specs,
+        robustscaler_parallel::available_threads(),
+        |&spec| {
+            eprintln!("  running {} on {} ...", spec.label(), workload.name);
+            run_policy_spec(workload, spec, planning_interval, monte_carlo_samples)
+        },
+    )
+}
+
 /// Run one policy configuration over a workload and report its Pareto point
 /// together with the full simulation metrics.
 pub fn run_policy_spec(

@@ -23,9 +23,70 @@ pub trait Intensity {
     /// never reaches the target.
     fn inverse_integrated(&self, from: f64, target: f64) -> f64;
 
+    /// [`Intensity::inverse_integrated`] with a resumable cursor hint for
+    /// monotone query sequences.
+    ///
+    /// When a caller inverts a *nondecreasing* sequence of targets from a
+    /// fixed `from` (the Monte Carlo arrival sampler does exactly this — the
+    /// cumulative mass within one path only grows), implementations can use
+    /// `hint` to remember where the previous inversion landed and resume
+    /// there instead of starting over. The default ignores the hint and must
+    /// return exactly what `inverse_integrated` returns; overrides must
+    /// preserve that equivalence bit for bit.
+    ///
+    /// Start each monotone sequence with `InverseHint::default()`. A hint
+    /// may only ever be reused against the *same* intensity it was produced
+    /// by (the cached piece is meaningless elsewhere); the arrival sampler
+    /// upholds this by pinning one forecast per sampler.
+    fn inverse_integrated_hinted(&self, from: f64, target: f64, hint: &mut InverseHint) -> f64 {
+        let _ = hint;
+        self.inverse_integrated(from, target)
+    }
+
     /// An upper bound of the rate over `[from, to)`, used by thinning
     /// samplers and by the κ threshold of Algorithm 4.
     fn max_rate(&self, from: f64, to: f64) -> f64;
+}
+
+/// Resumable state for monotone [`Intensity::inverse_integrated_hinted`]
+/// sequences: the linear piece (in absolute cumulative-mass coordinates) the
+/// previous inversion landed in, plus the cached mass at the query origin.
+///
+/// Opaque on purpose — obtain one with `InverseHint::default()` (or from
+/// [`InverseCursor::hint`]) and only ever reuse it against the intensity
+/// that produced it.
+#[derive(Debug, Clone, Copy)]
+pub struct InverseHint {
+    /// Bucket index to resume the forward scan from (`usize::MAX` forces the
+    /// one-shot binary search).
+    bucket: usize,
+    /// Cached `cumulative_at(base_from)`; `base_from` is NaN until primed.
+    base_from: f64,
+    base: f64,
+    /// The cached piece inverts goals in `(valid_lo, mass_hi]` as
+    /// `left + (goal − mass_lo) / rate`.
+    valid_lo: f64,
+    mass_hi: f64,
+    left: f64,
+    mass_lo: f64,
+    rate: f64,
+}
+
+impl Default for InverseHint {
+    fn default() -> Self {
+        InverseHint {
+            bucket: usize::MAX,
+            base_from: f64::NAN,
+            base: 0.0,
+            // An empty validity interval: the first query always takes the
+            // slow path, which then populates the piece.
+            valid_lo: f64::INFINITY,
+            mass_hi: f64::NEG_INFINITY,
+            left: 0.0,
+            mass_lo: 0.0,
+            rate: 1.0,
+        }
+    }
 }
 
 /// Piecewise-constant intensity over equal-width buckets, the natural output
@@ -146,6 +207,159 @@ impl PiecewiseConstantIntensity {
         let left = self.start + idx as f64 * self.bucket_width;
         self.cumulative[idx] + (t - left) * self.rates[idx]
     }
+
+    /// Shared implementation of the inverse integrated intensity.
+    ///
+    /// The hot path — almost every call in a monotone sequence — is the
+    /// cached linear piece in `hint`: one interval test plus one
+    /// interpolation, with arithmetic identical to the slow path below so
+    /// hinted and fresh inversions agree bit for bit. On a miss the slow
+    /// path resolves the piece (resuming the bucket scan at `hint.bucket`
+    /// when possible) and re-primes the cache.
+    fn inverse_impl(&self, from: f64, target: f64, hint: &mut InverseHint) -> f64 {
+        debug_assert!(target >= 0.0, "target must be non-negative");
+        if target == 0.0 {
+            return from;
+        }
+        let base = if hint.base_from == from {
+            hint.base
+        } else {
+            let base = self.cumulative_at(from);
+            hint.base_from = from;
+            hint.base = base;
+            base
+        };
+        let goal = base + target;
+        if goal > hint.valid_lo && goal <= hint.mass_hi {
+            return (hint.left + (goal - hint.mass_lo) / hint.rate).max(from);
+        }
+        self.inverse_slow(from, goal, hint)
+    }
+
+    /// Slow path of [`Self::inverse_impl`]: locate the piece containing
+    /// `goal` (absolute cumulative-mass coordinates) and cache it in `hint`.
+    fn inverse_slow(&self, from: f64, goal: f64, hint: &mut InverseHint) -> f64 {
+        if goal <= 0.0 {
+            // `from` lies before the covered range and the target is reached
+            // while still under the backwards-extended first-bucket rate
+            // (which must be positive for the cumulative mass to be negative
+            // at `from`). The piece extends through bucket 0's real span
+            // too — same origin, same rate.
+            hint.bucket = 0;
+            hint.valid_lo = f64::NEG_INFINITY;
+            hint.mass_hi = self.cumulative[1];
+            hint.left = self.start;
+            hint.mass_lo = 0.0;
+            hint.rate = self.rates[0];
+            return (self.start + goal / self.rates[0]).max(from);
+        }
+        let end = self.end();
+        let total = self.total_mass();
+        if goal > total || from >= end {
+            // Continue with the final bucket's rate beyond the end.
+            hint.bucket = self.rates.len() - 1;
+            let tail_rate = *self.rates.last().expect("non-empty");
+            if tail_rate <= 0.0 {
+                // Unreachable mass; never cache a piece for it.
+                hint.valid_lo = f64::INFINITY;
+                hint.mass_hi = f64::NEG_INFINITY;
+                return f64::INFINITY;
+            }
+            let from_for_tail = from.max(end);
+            let already = self.cumulative_at(from_for_tail);
+            hint.valid_lo = already;
+            hint.mass_hi = f64::INFINITY;
+            hint.left = from_for_tail;
+            hint.mass_lo = already;
+            hint.rate = tail_rate;
+            return from_for_tail + (goal - already) / tail_rate;
+        }
+        // Find the bucket whose cumulative upper bound reaches the goal:
+        // the smallest `idx` with `cumulative[idx + 1] >= goal`. When the
+        // hint is usable (`cumulative[hint] < goal`, which monotone callers
+        // maintain for free), a forward scan from it is O(1) amortized over
+        // a nondecreasing target sequence; otherwise fall back to the
+        // binary search.
+        let mut idx = hint.bucket;
+        if idx >= self.rates.len() || self.cumulative[idx] >= goal {
+            // cumulative[i] < goal for i < partition point, so the bucket
+            // below keeps the scan invariant cumulative[idx] < goal.
+            idx = self.cumulative.partition_point(|&c| c < goal);
+            idx = idx.min(self.rates.len()) - 1;
+        }
+        while idx + 1 < self.rates.len() && self.cumulative[idx + 1] < goal {
+            idx += 1;
+        }
+        // `cumulative[idx] < goal <= cumulative[idx + 1]` implies the
+        // bucket's rate is strictly positive (a zero-rate bucket cannot
+        // accumulate the remaining mass).
+        let left = self.start + idx as f64 * self.bucket_width;
+        let rate = self.rates[idx];
+        debug_assert!(rate > 0.0, "goal bucket must have positive rate");
+        hint.bucket = idx;
+        hint.valid_lo = self.cumulative[idx];
+        hint.mass_hi = self.cumulative[idx + 1];
+        hint.left = left;
+        hint.mass_lo = self.cumulative[idx];
+        hint.rate = rate;
+        let t = left + (goal - self.cumulative[idx]) / rate;
+        t.max(from)
+    }
+}
+
+/// A stateful, monotone inverse of the integrated intensity of a
+/// [`PiecewiseConstantIntensity`].
+///
+/// The Monte Carlo arrival sampler inverts a *nondecreasing* sequence of
+/// cumulative masses per path (`Λ⁻¹(t₀, γ₁), Λ⁻¹(t₀, γ₂), …` with
+/// `γ₁ ≤ γ₂ ≤ …`). A fresh binary search per inversion costs `O(log n)`
+/// in the bucket count; this cursor remembers the bucket the previous
+/// inversion landed in and scans forward from there, which is `O(1)`
+/// amortized over the whole sequence.
+///
+/// Results are bit-for-bit identical to
+/// [`Intensity::inverse_integrated`] for every target.
+#[derive(Debug, Clone)]
+pub struct InverseCursor<'a> {
+    intensity: &'a PiecewiseConstantIntensity,
+    from: f64,
+    hint: InverseHint,
+}
+
+impl<'a> InverseCursor<'a> {
+    /// Create a cursor inverting from the fixed origin `from`.
+    pub fn new(intensity: &'a PiecewiseConstantIntensity, from: f64) -> Self {
+        Self::resume(intensity, from, InverseHint::default())
+    }
+
+    /// Recreate a cursor from a previously saved [`InverseCursor::hint`],
+    /// continuing an earlier monotone sequence (used when the arrival
+    /// sampler extends its horizon). The hint must come from a cursor over
+    /// the *same* intensity.
+    pub fn resume(intensity: &'a PiecewiseConstantIntensity, from: f64, hint: InverseHint) -> Self {
+        Self {
+            intensity,
+            from,
+            hint,
+        }
+    }
+
+    /// The smallest `t ≥ from` with `Λ(from, t) ≥ target`, exactly as
+    /// [`Intensity::inverse_integrated`] computes it.
+    ///
+    /// Targets should be nondecreasing across calls; a smaller target than
+    /// the previous one is still answered correctly but pays a fresh search
+    /// for its piece.
+    pub fn advance(&mut self, target: f64) -> f64 {
+        self.intensity
+            .inverse_impl(self.from, target, &mut self.hint)
+    }
+
+    /// The resumable state for [`InverseCursor::resume`]: the piece the
+    /// previous inversion landed in.
+    pub fn hint(&self) -> InverseHint {
+        self.hint
+    }
 }
 
 impl Intensity for PiecewiseConstantIntensity {
@@ -165,39 +379,14 @@ impl Intensity for PiecewiseConstantIntensity {
     }
 
     fn inverse_integrated(&self, from: f64, target: f64) -> f64 {
-        debug_assert!(target >= 0.0, "target must be non-negative");
-        if target == 0.0 {
-            return from;
-        }
-        let base = self.cumulative_at(from);
-        let goal = base + target;
-        let end = self.end();
-        let total = self.total_mass();
-        if goal > total || from >= end {
-            // Continue with the final bucket's rate beyond the end.
-            let tail_rate = *self.rates.last().expect("non-empty");
-            if tail_rate <= 0.0 {
-                return f64::INFINITY;
-            }
-            let from_for_tail = from.max(end);
-            let already = self.cumulative_at(from_for_tail);
-            return from_for_tail + (goal - already) / tail_rate;
-        }
-        // Binary search the bucket whose cumulative bound reaches the goal.
-        let idx = self.cumulative.partition_point(|&c| c < goal);
-        // idx >= 1 because goal > 0 and cumulative[0] = 0.
-        let idx = idx.min(self.rates.len());
-        let bucket = idx - 1;
-        let left = self.start + bucket as f64 * self.bucket_width;
-        let rate = self.rates[bucket];
-        if rate <= 0.0 {
-            // Zero-rate bucket cannot accumulate mass; move to its right edge
-            // and recurse (the remaining mass must lie in a later bucket).
-            let right = left + self.bucket_width;
-            return self.inverse_integrated(right, goal - self.cumulative_at(right));
-        }
-        let t = left + (goal - self.cumulative[bucket]) / rate;
-        t.max(from)
+        // A default hint has an empty validity interval and an out-of-range
+        // bucket, forcing the one-shot binary search.
+        let mut hint = InverseHint::default();
+        self.inverse_impl(from, target, &mut hint)
+    }
+
+    fn inverse_integrated_hinted(&self, from: f64, target: f64, hint: &mut InverseHint) -> f64 {
+        self.inverse_impl(from, target, hint)
     }
 
     fn max_rate(&self, from: f64, to: f64) -> f64 {
@@ -431,6 +620,73 @@ mod tests {
         // A zero intensity never accumulates mass.
         let z = ClosedFormIntensity::new(|_| 0.0, 0.1).unwrap();
         assert!(z.inverse_integrated(0.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn cursor_matches_inverse_integrated_on_monotone_targets() {
+        let p = PiecewiseConstantIntensity::new(0.0, 2.0, vec![1.0, 3.0, 0.0, 2.0]).unwrap();
+        for &from in &[-1.0, 0.0, 1.0, 2.5, 5.0, 9.0] {
+            let mut cursor = InverseCursor::new(&p, from);
+            let mut target = 0.0;
+            for step in 1..200 {
+                target += 0.07 * (1.0 + (step % 5) as f64);
+                let expected = p.inverse_integrated(from, target);
+                assert_eq!(
+                    cursor.advance(target),
+                    expected,
+                    "from={from} target={target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_handles_zero_rate_buckets_and_the_tail() {
+        // Leading, inner and trailing zero-rate buckets.
+        let p = PiecewiseConstantIntensity::new(0.0, 1.0, vec![0.0, 1.0, 0.0, 0.0, 2.0]).unwrap();
+        let mut cursor = InverseCursor::new(&p, 0.0);
+        for &target in &[0.2, 0.5, 1.0, 1.5, 2.9, 3.0, 4.0, 50.0] {
+            assert_eq!(cursor.advance(target), p.inverse_integrated(0.0, target));
+        }
+        // Unreachable target under a trailing zero rate.
+        let pz = PiecewiseConstantIntensity::new(0.0, 1.0, vec![1.0, 0.0]).unwrap();
+        let mut cz = InverseCursor::new(&pz, 0.0);
+        assert_eq!(cz.advance(0.5), 0.5);
+        assert!(cz.advance(2.0).is_infinite());
+    }
+
+    #[test]
+    fn cursor_survives_non_monotone_targets_and_resumes() {
+        let p = PiecewiseConstantIntensity::new(0.0, 1.0, vec![1.0, 4.0, 0.5, 2.0]).unwrap();
+        let mut cursor = InverseCursor::new(&p, 0.0);
+        // Jump far ahead, then back: the fallback search keeps it correct.
+        assert_eq!(cursor.advance(6.0), p.inverse_integrated(0.0, 6.0));
+        assert_eq!(cursor.advance(0.5), p.inverse_integrated(0.0, 0.5));
+        // Continuing a sequence through a saved hint matches a fresh cursor.
+        let mut resumed = InverseCursor::resume(&p, 0.0, cursor.hint());
+        assert_eq!(resumed.advance(1.5), p.inverse_integrated(0.0, 1.5));
+        assert_eq!(resumed.advance(7.2), p.inverse_integrated(0.0, 7.2));
+    }
+
+    #[test]
+    fn hinted_trait_method_matches_the_default() {
+        let p = PiecewiseConstantIntensity::new(3.0, 0.5, vec![0.3, 0.0, 1.7, 0.9]).unwrap();
+        let mut hint = InverseHint::default();
+        let mut target = 0.0;
+        for _ in 0..50 {
+            target += 0.11;
+            assert_eq!(
+                p.inverse_integrated_hinted(3.2, target, &mut hint),
+                p.inverse_integrated(3.2, target)
+            );
+        }
+        // The default trait implementation ignores the hint entirely.
+        let c = ClosedFormIntensity::new(|_| 1.0, 0.1).unwrap();
+        let mut hint = InverseHint::default();
+        assert_eq!(
+            c.inverse_integrated_hinted(0.0, 2.0, &mut hint),
+            c.inverse_integrated(0.0, 2.0)
+        );
     }
 
     #[test]

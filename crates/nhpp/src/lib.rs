@@ -34,7 +34,9 @@ pub mod sampling;
 pub use admm::{AdmmConfig, AdmmReport, AdmmSolver};
 pub use error::NhppError;
 pub use forecast::{ForecastConfig, Forecaster};
-pub use intensity::{ClosedFormIntensity, Intensity, PiecewiseConstantIntensity};
+pub use intensity::{
+    ClosedFormIntensity, Intensity, InverseCursor, InverseHint, PiecewiseConstantIntensity,
+};
 pub use loss::{RegularizedLoss, RegularizedLossConfig};
 pub use model::NhppModel;
 pub use rescale::{rescale_arrivals, rescaled_ks_statistic};

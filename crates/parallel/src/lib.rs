@@ -1,0 +1,213 @@
+//! Tiny std-only data parallelism for the workspace's hot loops.
+//!
+//! The build environment has no crates.io access, so `rayon` is not an
+//! option; this crate provides the two chunked parallel-map shapes the
+//! workspace actually needs, built directly on [`std::thread::scope`]:
+//!
+//! * [`parallel_map`] — map a function over a shared slice, collecting
+//!   outputs in input order (used by the experiment sweeps, where each item
+//!   is a whole policy evaluation);
+//! * [`map_chunks_mut`] — hand each worker a contiguous mutable chunk of a
+//!   slice plus the chunk's start offset, collecting one output per chunk in
+//!   chunk order (used by the Monte Carlo arrival sampler, where each chunk
+//!   is a block of replication paths with per-path RNG state).
+//!
+//! Both helpers run inline (no threads spawned) when a single worker would
+//! do, so callers can use them unconditionally. Neither changes results
+//! versus a serial run: outputs are ordered by input position, and callers
+//! that need randomness are expected to derive *per-item* deterministic RNG
+//! streams, which makes the outcome independent of the worker count — the
+//! determinism contract the fixed-seed figure binaries rely on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Whether the current thread is one of this crate's workers. Nested
+    /// fan-outs would oversubscribe the machine (each of c outer workers
+    /// spawning c inner ones), so [`available_threads`] reports 1 inside a
+    /// worker and nested calls run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads worth spawning from the current thread:
+/// `std::thread::available_parallelism` (1 when unknown), or 1 when already
+/// running inside a [`parallel_map`]/[`map_chunks_mut`] worker — the cores
+/// are busy with the outer fan-out.
+pub fn available_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every element of `items` across at most `max_threads`
+/// scoped worker threads, returning the outputs in input order.
+///
+/// The slice is split into one contiguous chunk per worker. With
+/// `max_threads <= 1`, fewer than two items, or when already running inside
+/// one of this crate's workers (nested fan-out), the map runs inline on the
+/// calling thread. A panic in `f` propagates to the caller.
+pub fn parallel_map<T, U, F>(items: &[T], max_threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = worker_budget(max_threads, items.len());
+    if workers == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let f = &f;
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    chunk.iter().map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel_map worker panicked"));
+        }
+    });
+    out
+}
+
+/// Split `items` into at most `max_threads` contiguous chunks and apply
+/// `f(chunk_start, chunk)` to each on its own scoped thread, returning the
+/// per-chunk outputs in chunk order.
+///
+/// `chunk_start` is the offset of the chunk's first element within `items`,
+/// so workers can address sibling storage (e.g. scatter rows into a shared
+/// matrix once the map returns). With `max_threads <= 1`, fewer than two
+/// items, or inside one of this crate's workers (nested fan-out), the
+/// single chunk is processed inline. A panic in `f` propagates to the
+/// caller.
+pub fn map_chunks_mut<T, U, F>(items: &mut [T], max_threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T]) -> U + Sync,
+{
+    let workers = worker_budget(max_threads, items.len());
+    if workers == 1 {
+        return vec![f(0, items)];
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let f = &f;
+    let mut out = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(i, chunk)| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    f(i * chunk_len, chunk)
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.push(handle.join().expect("map_chunks_mut worker panicked"));
+        }
+    });
+    out
+}
+
+/// Effective worker count for a fan-out over `items` elements: the caller's
+/// budget, bounded by the item count, forced to 1 inside a nested worker.
+fn worker_budget(max_threads: usize, items: usize) -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    max_threads.min(items).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_at_least_one_thread() {
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_in_order() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 7, 16, 1_000, 5_000] {
+            let parallel = parallel_map(&items, threads, |&x| x * x + 1);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[42], 4, |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn map_chunks_mut_mutates_every_element_once() {
+        for threads in [1, 2, 5, 64] {
+            let mut items: Vec<usize> = vec![0; 257];
+            let chunk_info = map_chunks_mut(&mut items, threads, |start, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = start + i;
+                }
+                (start, chunk.len())
+            });
+            // Every element holds its own index: each was visited exactly
+            // once with the correct offset.
+            assert!(items.iter().enumerate().all(|(i, &v)| v == i));
+            // Chunks are contiguous, ordered and cover the slice.
+            let mut expected_start = 0;
+            for (start, len) in chunk_info {
+                assert_eq!(start, expected_start);
+                expected_start += len;
+            }
+            assert_eq!(expected_start, items.len());
+        }
+    }
+
+    #[test]
+    fn nested_fan_outs_run_inline_in_workers() {
+        // Inside a worker, the thread budget collapses to 1 so a nested
+        // parallel_map cannot oversubscribe the machine — and results are
+        // unchanged either way.
+        let items: Vec<u32> = (0..64).collect();
+        let nested = parallel_map(&items, 8, |&x| {
+            assert_eq!(available_threads(), 1);
+            let inner: Vec<u32> = (0..4).collect();
+            parallel_map(&inner, 8, move |&y| x * 10 + y)
+        });
+        for (x, inner) in nested.iter().enumerate() {
+            let expected: Vec<u32> = (0..4).map(|y| x as u32 * 10 + y).collect();
+            assert_eq!(inner, &expected);
+        }
+        // Back on the caller thread the full budget is visible again.
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn map_chunks_mut_runs_inline_on_one_worker() {
+        let mut items = vec![1.0_f64; 8];
+        let sums = map_chunks_mut(&mut items, 1, |start, chunk| {
+            assert_eq!(start, 0);
+            chunk.iter().sum::<f64>()
+        });
+        assert_eq!(sums, vec![8.0]);
+    }
+}

@@ -6,23 +6,80 @@
 //! samples of `ξ_i` (jointly across `i` for efficiency): sampling the whole
 //! path of standard-exponential increments and transforming it through the
 //! inverse integrated intensity yields exactly that.
+//!
+//! # Engine layout
+//!
+//! This is the hottest data structure of the whole system (Fig. 8 plots the
+//! planner's runtime against QPS, and every planning round rebuilds or
+//! extends a sampler), so its representation is chosen for the access
+//! pattern of the decision rules:
+//!
+//! * **Flat, arrival-major storage.** All `R × horizon` samples live in one
+//!   contiguous matrix with the samples of one arrival index stored
+//!   consecutively, so [`ArrivalSampler::arrival_samples`] is a zero-copy
+//!   `&[f64]` slice — the decision rules iterate it without any per-call
+//!   allocation, and growing the horizon appends whole columns in place.
+//! * **Per-path RNG streams.** Each replication path draws its exponential
+//!   increments from its own deterministic stream, split off the caller's
+//!   RNG via a single SplitMix64 jump per path. Sampling is therefore
+//!   embarrassingly parallel *and* byte-identical no matter how many worker
+//!   threads run, and a horizon extension continues exactly the stream a
+//!   full-horizon sampler would have used — `new(h₂)` equals
+//!   `new(h₁)` + [`ArrivalSampler::extend_horizon`]`(h₂)` sample for sample.
+//! * **Monotone inverse cursors.** The cumulative mass within a path never
+//!   decreases, so each path keeps a resumable bucket hint and inverts via
+//!   [`Intensity::inverse_integrated_hinted`] — an O(1) amortized forward
+//!   scan instead of a per-arrival binary search over the intensity buckets.
 
 use crate::error::ScalingError;
-use rand::Rng;
-use robustscaler_nhpp::Intensity;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use robustscaler_nhpp::{Intensity, InverseHint};
+
+/// Fixed increment of the SplitMix64 sequence; adding multiples of it to the
+/// base seed before the generator's own SplitMix64 expansion hands each path
+/// the state of a distinct step of that sequence — well-mixed, collision-free
+/// per-path seeds.
+const SEED_STREAM_INCREMENT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Minimum number of samples a worker thread must have to generate before
+/// spawning threads pays for itself (thread startup is ~10 µs; one sample is
+/// ~10 ns of RNG plus a log and an inversion step).
+const MIN_SAMPLES_PER_THREAD: usize = 8_192;
+
+/// Per-replication generator state, retained so the horizon can be extended
+/// by continuing each path instead of resampling from scratch.
+#[derive(Debug, Clone)]
+struct PathState {
+    /// The path's private RNG stream.
+    rng: StdRng,
+    /// Cumulative standard-exponential mass `γ` drawn so far.
+    cumulative: f64,
+    /// Last emitted arrival time (monotonicity guard).
+    previous: f64,
+    /// Resumable state of the monotone inverse cursor.
+    hint: InverseHint,
+}
 
 /// Samples of upcoming arrival times relative to a fixed "now".
 #[derive(Debug, Clone)]
 pub struct ArrivalSampler {
-    /// `samples[r][k]` is the r-th Monte Carlo sample of the (k+1)-th
-    /// upcoming arrival time (absolute time).
-    samples: Vec<Vec<f64>>,
+    /// Arrival-major sample matrix: `data[k * replications + r]` is the r-th
+    /// Monte Carlo sample of the (k+1)-th upcoming arrival time (absolute).
+    data: Vec<f64>,
+    replications: usize,
+    horizon: usize,
     now: f64,
+    paths: Vec<PathState>,
 }
 
 impl ArrivalSampler {
     /// Draw `replications` Monte Carlo paths of the next `horizon_arrivals`
     /// arrival times after `now` under the forecast `intensity`.
+    ///
+    /// Only one `u64` is drawn from `rng`: it seeds the per-path streams, so
+    /// the samples are fully determined by that draw regardless of thread
+    /// count or later horizon extensions.
     pub fn new<I, R>(
         intensity: &I,
         now: f64,
@@ -31,7 +88,7 @@ impl ArrivalSampler {
         rng: &mut R,
     ) -> Result<Self, ScalingError>
     where
-        I: Intensity,
+        I: Intensity + Sync,
         R: Rng + ?Sized,
     {
         if horizon_arrivals == 0 {
@@ -42,26 +99,109 @@ impl ArrivalSampler {
         if replications == 0 {
             return Err(ScalingError::InvalidParameter("replications must be >= 1"));
         }
-        let mut samples = Vec::with_capacity(replications);
-        for _ in 0..replications {
-            let mut path = Vec::with_capacity(horizon_arrivals);
-            let mut cumulative = 0.0_f64;
-            let mut previous = now;
-            for _ in 0..horizon_arrivals {
-                let u: f64 = rng.gen::<f64>();
-                cumulative += -(1.0 - u).ln();
-                // Λ⁻¹ is evaluated from `now` with the cumulative mass so the
-                // per-step numerical error does not accumulate.
-                let t = intensity.inverse_integrated(now, cumulative);
-                let t = if t.is_finite() { t } else { f64::MAX / 4.0 };
-                // Monotonicity guard against numerical jitter.
-                let t = t.max(previous);
-                path.push(t);
-                previous = t;
-            }
-            samples.push(path);
+        let base_seed: u64 = rng.gen();
+        let paths = (0..replications)
+            .map(|r| PathState {
+                rng: StdRng::seed_from_u64(
+                    base_seed.wrapping_add((r as u64).wrapping_mul(SEED_STREAM_INCREMENT)),
+                ),
+                cumulative: 0.0,
+                previous: now,
+                hint: InverseHint::default(),
+            })
+            .collect();
+        let mut sampler = Self {
+            data: Vec::new(),
+            replications,
+            horizon: 0,
+            now,
+            paths,
+        };
+        sampler.fill_columns(intensity, horizon_arrivals);
+        Ok(sampler)
+    }
+
+    /// Continue every path up to `new_horizon` upcoming arrivals, reusing
+    /// all previously sampled arrivals (a no-op when the horizon already
+    /// covers `new_horizon`).
+    ///
+    /// `intensity` must be the same forecast the sampler was built from:
+    /// the retained per-path state (cumulative mass, inverse cursors) is
+    /// only meaningful under it. The extension draws nothing from the
+    /// caller's RNG — each path continues its own stream, so
+    /// `new(h₁)` + `extend_horizon(h₂)` produces exactly the samples of a
+    /// direct `new(h₂)` with the same seed.
+    pub fn extend_horizon<I>(&mut self, intensity: &I, new_horizon: usize)
+    where
+        I: Intensity + Sync,
+    {
+        if new_horizon > self.horizon {
+            self.fill_columns(intensity, new_horizon);
         }
-        Ok(Self { samples, now })
+    }
+
+    /// Sample columns `self.horizon..new_horizon` and append them to the
+    /// matrix, advancing every path's retained state.
+    fn fill_columns<I>(&mut self, intensity: &I, new_horizon: usize)
+    where
+        I: Intensity + Sync + ?Sized,
+    {
+        let first = self.horizon;
+        let count = new_horizon - first;
+        let replications = self.replications;
+        let now = self.now;
+        self.data.resize(new_horizon * replications, 0.0);
+
+        let threads = available_threads_for(replications * count);
+        if threads == 1 {
+            // Serial: write straight into the arrival-major matrix. The
+            // strided stores stay cache-resident because consecutive paths
+            // share each column cacheline and one path touches only
+            // `count` lines (≤ a few KB for realistic horizons).
+            let data = &mut self.data;
+            for (r, path) in self.paths.iter_mut().enumerate() {
+                sample_row(intensity, now, count, path, |k, t| {
+                    data[(first + k) * replications + r] = t;
+                });
+            }
+        } else {
+            // Parallel: workers generate into row-major per-chunk buffers
+            // (each path's new arrivals contiguous) so the expensive part —
+            // RNG, log, inversion — parallelizes without sharing the matrix;
+            // the transpose into arrival-major storage happens on the
+            // calling thread. Per-path RNG streams keep the output identical
+            // for any worker count.
+            let chunks =
+                robustscaler_parallel::map_chunks_mut(&mut self.paths, threads, |_, chunk| {
+                    let mut rows = vec![0.0_f64; chunk.len() * count];
+                    for (i, path) in chunk.iter_mut().enumerate() {
+                        let row = &mut rows[i * count..(i + 1) * count];
+                        sample_row(intensity, now, count, path, |k, t| row[k] = t);
+                    }
+                    rows
+                });
+
+            // Transpose the row-major worker buffers into the arrival-major
+            // matrix in path tiles: within one tile the source rows stay
+            // resident in L1 across all columns, instead of every read
+            // touching a cold cacheline.
+            const TILE_PATHS: usize = 16;
+            let mut r0 = 0;
+            for rows in chunks {
+                let chunk_paths = rows.len() / count;
+                for i0 in (0..chunk_paths).step_by(TILE_PATHS) {
+                    let i1 = (i0 + TILE_PATHS).min(chunk_paths);
+                    for k in 0..count {
+                        let column = &mut self.data[(first + k) * replications..][..replications];
+                        for i in i0..i1 {
+                            column[r0 + i] = rows[i * count + k];
+                        }
+                    }
+                }
+                r0 += chunk_paths;
+            }
+        }
+        self.horizon = new_horizon;
     }
 
     /// The planning time `t₀`.
@@ -71,23 +211,24 @@ impl ArrivalSampler {
 
     /// Number of Monte Carlo replications.
     pub fn replications(&self) -> usize {
-        self.samples.len()
+        self.replications
     }
 
     /// Number of upcoming arrivals covered per replication.
     pub fn horizon_arrivals(&self) -> usize {
-        self.samples.first().map(|p| p.len()).unwrap_or(0)
+        self.horizon
     }
 
     /// The Monte Carlo samples of the `index`-th upcoming arrival
-    /// (1-based, matching the paper's `ξ_i`).
-    pub fn arrival_samples(&self, index: usize) -> Result<Vec<f64>, ScalingError> {
-        if index == 0 || index > self.horizon_arrivals() {
+    /// (1-based, matching the paper's `ξ_i`) — a zero-copy view into the
+    /// sampler's matrix.
+    pub fn arrival_samples(&self, index: usize) -> Result<&[f64], ScalingError> {
+        if index == 0 || index > self.horizon {
             return Err(ScalingError::InvalidParameter(
                 "arrival index outside the sampled horizon",
             ));
         }
-        Ok(self.samples.iter().map(|path| path[index - 1]).collect())
+        Ok(&self.data[(index - 1) * self.replications..][..self.replications])
     }
 
     /// Mean of the `index`-th upcoming arrival time.
@@ -97,11 +238,38 @@ impl ArrivalSampler {
     }
 }
 
+/// How many worker threads to use for generating `samples` samples.
+fn available_threads_for(samples: usize) -> usize {
+    (samples / MIN_SAMPLES_PER_THREAD).clamp(1, robustscaler_parallel::available_threads())
+}
+
+/// Sample one path's next `count` arrivals, continuing its retained state
+/// and handing each `(column, arrival_time)` to `emit`.
+#[inline]
+fn sample_row<I: Intensity + ?Sized>(
+    intensity: &I,
+    now: f64,
+    count: usize,
+    path: &mut PathState,
+    mut emit: impl FnMut(usize, f64),
+) {
+    for k in 0..count {
+        let u: f64 = path.rng.gen();
+        path.cumulative += -(1.0 - u).ln();
+        // Λ⁻¹ is evaluated from `now` with the cumulative mass so the
+        // per-step numerical error does not accumulate.
+        let t = intensity.inverse_integrated_hinted(now, path.cumulative, &mut path.hint);
+        let t = if t.is_finite() { t } else { f64::MAX / 4.0 };
+        // Monotonicity guard against numerical jitter.
+        let t = t.max(path.previous);
+        path.previous = t;
+        emit(k, t);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use robustscaler_nhpp::PiecewiseConstantIntensity;
     use robustscaler_stats::{ContinuousDistribution, Gamma};
 
@@ -142,7 +310,7 @@ mod tests {
                 .iter()
                 .map(|t| t - 100.0)
                 .collect();
-            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            samples.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
             for &p in &[0.1, 0.5, 0.9] {
                 let empirical = samples[(p * samples.len() as f64) as usize];
                 let theoretical = gamma.quantile(p);
@@ -202,5 +370,65 @@ mod tests {
         let sampler = ArrivalSampler::new(&intensity, 0.0, 50, 50, &mut rng).unwrap();
         let far = sampler.mean_arrival(50).unwrap();
         assert!(far > 1e6);
+    }
+
+    #[test]
+    fn extend_horizon_matches_a_fresh_full_horizon_sampler_exactly() {
+        let intensity =
+            PiecewiseConstantIntensity::new(0.0, 25.0, vec![0.4, 1.5, 0.0, 0.9]).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut grown = ArrivalSampler::new(&intensity, 5.0, 4, 300, &mut rng_a).unwrap();
+        grown.extend_horizon(&intensity, 11);
+        grown.extend_horizon(&intensity, 30);
+        let fresh = ArrivalSampler::new(&intensity, 5.0, 30, 300, &mut rng_b).unwrap();
+        assert_eq!(grown.horizon_arrivals(), 30);
+        for i in 1..=30 {
+            assert_eq!(
+                grown.arrival_samples(i).unwrap(),
+                fresh.arrival_samples(i).unwrap(),
+                "arrival index {i}"
+            );
+        }
+        // Both samplers drew exactly one u64 from their caller RNGs.
+        assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
+    fn extend_horizon_to_a_smaller_or_equal_horizon_is_a_no_op() {
+        let intensity = constant_intensity(1.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut sampler = ArrivalSampler::new(&intensity, 0.0, 6, 40, &mut rng).unwrap();
+        let before: Vec<f64> = sampler.arrival_samples(6).unwrap().to_vec();
+        sampler.extend_horizon(&intensity, 6);
+        sampler.extend_horizon(&intensity, 2);
+        assert_eq!(sampler.horizon_arrivals(), 6);
+        assert_eq!(sampler.arrival_samples(6).unwrap(), &before[..]);
+    }
+
+    #[test]
+    fn sampling_is_independent_of_the_worker_count() {
+        // Force both the inline path (tiny sampler) and the threaded path
+        // (large sampler) and compare against per-path recomputation: the
+        // matrix layout must hold exactly the per-path streams.
+        let intensity =
+            PiecewiseConstantIntensity::new(0.0, 40.0, vec![0.2, 2.0, 0.05, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let base_seed: u64 = StdRng::seed_from_u64(9).gen();
+        let sampler = ArrivalSampler::new(&intensity, 2.0, 8, 4_096, &mut rng).unwrap();
+        for &r in &[0usize, 1, 17, 4_095] {
+            let mut path_rng = StdRng::seed_from_u64(
+                base_seed.wrapping_add((r as u64).wrapping_mul(SEED_STREAM_INCREMENT)),
+            );
+            let mut cumulative = 0.0;
+            let mut previous = 2.0;
+            for k in 1..=8 {
+                let u: f64 = path_rng.gen();
+                cumulative += -(1.0 - u).ln();
+                let t = intensity.inverse_integrated(2.0, cumulative).max(previous);
+                previous = t;
+                assert_eq!(sampler.arrival_samples(k).unwrap()[r], t, "r={r} k={k}");
+            }
+        }
     }
 }

@@ -14,9 +14,9 @@
 use crate::arrivals::ArrivalSampler;
 use crate::error::ScalingError;
 use crate::qos::PendingTimeModel;
-use crate::sort_search::{solve_idle_cost_root, solve_waiting_root};
+use crate::sort_search::{solve_idle_cost_root_with, solve_waiting_root_with};
 use rand::Rng;
-use robustscaler_stats::empirical_quantile;
+use robustscaler_stats::empirical_quantile_unstable;
 use serde::{Deserialize, Serialize};
 
 /// Which constrained formulation drives the decisions.
@@ -113,11 +113,42 @@ pub struct ScalingDecision {
     pub clamped: bool,
 }
 
+/// Reusable buffers for the per-decision hot loop.
+///
+/// One decision needs R pending-time samples, an R-element working set for
+/// the rule's statistic and (for the RT/cost rules) a breakpoint buffer of
+/// up to 2R entries. Allocating those per decision dominates small-R
+/// planning rounds, so the planner threads one `DecisionScratch` through
+/// [`decide_with`] for the whole round; the buffers grow once and are then
+/// reused allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionScratch {
+    /// Pending-time samples `τ_r`.
+    pendings: Vec<f64>,
+    /// HP rule: the differences `ξ_r − τ_r` (selected in place).
+    diffs: Vec<f64>,
+    /// RT/cost rules: the paired `(ξ_r, τ_r)` samples.
+    pairs: Vec<(f64, f64)>,
+    /// RT rule: the 2R `(position, slope delta)` breakpoints.
+    breakpoints: Vec<(f64, f64)>,
+    /// Cost rule: the R breakpoint positions `ξ_r − τ_r`.
+    points: Vec<f64>,
+}
+
+impl DecisionScratch {
+    /// Fresh, empty scratch buffers (they grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compute the creation time for the `arrival_index`-th upcoming query from
 /// Monte Carlo samples of its arrival time.
 ///
 /// `sampler` must have been built from the forecast intensity at the current
-/// planning time; `rng` supplies the pending-time samples.
+/// planning time; `rng` supplies the pending-time samples. Validates the
+/// configuration on every call; batch callers should validate once and use
+/// [`decide_with`].
 pub fn decide<R: Rng + ?Sized>(
     sampler: &ArrivalSampler,
     arrival_index: usize,
@@ -125,35 +156,60 @@ pub fn decide<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<ScalingDecision, ScalingError> {
     config.validate()?;
+    decide_with(
+        sampler,
+        arrival_index,
+        config,
+        rng,
+        &mut DecisionScratch::new(),
+    )
+}
+
+/// [`decide`] for pre-validated configurations, with caller-provided scratch
+/// buffers — the allocation-free hot path the planner loops over.
+///
+/// `config` is trusted to have passed [`DecisionConfig::validate`]; an
+/// invalid configuration still fails (the underlying quantile/root solvers
+/// reject out-of-range parameters) but with a less specific error.
+pub fn decide_with<R: Rng + ?Sized>(
+    sampler: &ArrivalSampler,
+    arrival_index: usize,
+    config: &DecisionConfig,
+    rng: &mut R,
+    scratch: &mut DecisionScratch,
+) -> Result<ScalingDecision, ScalingError> {
     let arrivals = sampler.arrival_samples(arrival_index)?;
-    let pendings = config.pending.sample_n(rng, arrivals.len());
+    config
+        .pending
+        .sample_into(rng, arrivals.len(), &mut scratch.pendings);
+    let pendings = &scratch.pendings;
     let now = sampler.now();
 
     let raw = match config.rule {
         DecisionRule::HittingProbability { alpha } => {
-            // x* = α-quantile of (ξ − τ).
-            let diffs: Vec<f64> = arrivals
-                .iter()
-                .zip(pendings.iter())
-                .map(|(xi, tau)| xi - tau)
-                .collect();
-            empirical_quantile(&diffs, alpha)?
+            // x* = α-quantile of (ξ − τ), by in-place selection.
+            scratch.diffs.clear();
+            scratch.diffs.extend(
+                arrivals
+                    .iter()
+                    .zip(pendings.iter())
+                    .map(|(xi, tau)| xi - tau),
+            );
+            empirical_quantile_unstable(&mut scratch.diffs, alpha)?
         }
         DecisionRule::ResponseTime { target_waiting } => {
-            let samples: Vec<(f64, f64)> = arrivals
-                .iter()
-                .cloned()
-                .zip(pendings.iter().cloned())
-                .collect();
-            solve_waiting_root(&samples, target_waiting)?
+            scratch.pairs.clear();
+            scratch
+                .pairs
+                .extend(arrivals.iter().copied().zip(pendings.iter().copied()));
+            solve_waiting_root_with(&scratch.pairs, target_waiting, &mut scratch.breakpoints)?
         }
         DecisionRule::CostBudget { target_idle } => {
-            let samples: Vec<(f64, f64)> = arrivals
-                .iter()
-                .cloned()
-                .zip(pendings.iter().cloned())
-                .collect();
-            solve_idle_cost_root(&samples, target_idle)?
+            scratch.pairs.clear();
+            scratch
+                .pairs
+                .extend(arrivals.iter().copied().zip(pendings.iter().copied()));
+            solve_idle_cost_root_with(&scratch.pairs, target_idle, &mut scratch.points)?
         }
     };
 
@@ -167,7 +223,8 @@ pub fn decide<R: Rng + ?Sized>(
 }
 
 /// Compute decisions for a contiguous range of upcoming queries
-/// (`first_index ..= last_index`, 1-based).
+/// (`first_index ..= last_index`, 1-based). The configuration is validated
+/// once and the scratch buffers are shared across the whole batch.
 pub fn decide_batch<R: Rng + ?Sized>(
     sampler: &ArrivalSampler,
     first_index: usize,
@@ -180,8 +237,10 @@ pub fn decide_batch<R: Rng + ?Sized>(
             "decision batch indices must satisfy 1 <= first <= last",
         ));
     }
+    config.validate()?;
+    let mut scratch = DecisionScratch::new();
     (first_index..=last_index)
-        .map(|i| decide(sampler, i, config, rng))
+        .map(|i| decide_with(sampler, i, config, rng, &mut scratch))
         .collect()
 }
 

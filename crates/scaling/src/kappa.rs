@@ -77,10 +77,10 @@ pub fn kappa_monte_carlo<R: Rng + ?Sized>(
     let mut kappa = 0usize;
     for i in 1..=KAPPA_CAP {
         let gamma = Gamma::with_unit_scale(i as f64).expect("positive shape");
-        let diffs: Vec<f64> = (0..replications)
+        let mut diffs: Vec<f64> = (0..replications)
             .map(|_| gamma.sample(rng) / rate_upper_bound - pending.sample(rng))
             .collect();
-        let quantile = robustscaler_stats::empirical_quantile(&diffs, alpha)?;
+        let quantile = robustscaler_stats::empirical_quantile_unstable(&mut diffs, alpha)?;
         if quantile < 0.0 {
             kappa = i;
         } else {

@@ -32,9 +32,14 @@ pub mod qos;
 pub mod sort_search;
 
 pub use arrivals::ArrivalSampler;
-pub use decisions::{DecisionConfig, DecisionRule, ScalingDecision};
+pub use decisions::{
+    decide, decide_batch, decide_with, DecisionConfig, DecisionRule, DecisionScratch,
+    ScalingDecision,
+};
 pub use error::ScalingError;
 pub use kappa::{kappa_deterministic_pending, kappa_monte_carlo};
 pub use planner::{PlannerConfig, PlannerState, SequentialPlanner};
 pub use qos::{cost, hit, response_time, PendingTimeModel, QosOutcome};
-pub use sort_search::{solve_idle_cost_root, solve_waiting_root};
+pub use sort_search::{
+    solve_idle_cost_root, solve_idle_cost_root_with, solve_waiting_root, solve_waiting_root_with,
+};

@@ -13,7 +13,7 @@
 //! hitting-probability guarantee of Proposition 1 needs.
 
 use crate::arrivals::ArrivalSampler;
-use crate::decisions::{decide, DecisionConfig, ScalingDecision};
+use crate::decisions::{decide_with, DecisionConfig, DecisionScratch, ScalingDecision};
 use crate::error::ScalingError;
 use rand::Rng;
 use robustscaler_nhpp::Intensity;
@@ -99,50 +99,62 @@ impl SequentialPlanner {
         rng: &mut R,
     ) -> Result<PlanningRound, ScalingError>
     where
-        I: Intensity,
+        I: Intensity + Sync,
         R: Rng + ?Sized,
     {
         let window_end = now + self.config.planning_interval;
         let expected_in_window = intensity.integrated(now, window_end);
+        let max_horizon = state.covered + self.config.max_decisions_per_round;
 
         // Initial guess of how many arrival indices we may need to look at:
-        // everything already covered, plus what is expected in the window with
-        // head-room for stochastic bursts, plus a small constant.
-        let mut horizon = state.covered + (1.5 * expected_in_window).ceil() as usize + 8;
-        horizon = horizon.min(state.covered + self.config.max_decisions_per_round);
+        // a creation must land inside the window when its arrival comes
+        // within roughly one pending lead past the window's end, so count
+        // the forecast mass out to there, add head-room for stochastic
+        // bursts, and cover everything already covered plus a small
+        // constant.
+        let lead = self.config.decision.pending.mean();
+        let expected_to_lead = intensity.integrated(now, window_end + lead);
+        let mut horizon = state.covered + (1.2 * expected_to_lead).ceil() as usize + 8;
+        horizon = horizon.min(max_horizon);
 
+        // One sampler serves the whole round: when the horizon guess turns
+        // out too small, `extend_horizon` continues the already-sampled
+        // exponential-increment paths instead of resampling from scratch, so
+        // earlier decisions stay valid and are never recomputed. The
+        // configuration was validated when the planner was built, so the
+        // per-decision loop runs the validation-free scratch path.
+        let mut sampler = ArrivalSampler::new(
+            intensity,
+            now,
+            horizon,
+            self.config.decision.monte_carlo_samples,
+            rng,
+        )?;
+        let mut scratch = DecisionScratch::new();
         let mut decisions: Vec<ScalingDecision> = Vec::new();
-        loop {
-            let sampler = ArrivalSampler::new(
-                intensity,
-                now,
-                horizon,
-                self.config.decision.monte_carlo_samples,
-                rng,
-            )?;
-            decisions.clear();
-            let mut exhausted_horizon = true;
-            for index in (state.covered + 1)..=horizon {
-                let decision = decide(&sampler, index, &self.config.decision, rng)?;
+        let mut index = state.covered + 1;
+        'grow: loop {
+            while index <= horizon {
+                let decision =
+                    decide_with(&sampler, index, &self.config.decision, rng, &mut scratch)?;
                 if decision.creation_time >= window_end {
                     // Later arrivals only need creations after this window;
                     // leave them to the next planning round.
-                    exhausted_horizon = false;
-                    break;
+                    break 'grow;
                 }
                 decisions.push(decision);
                 if decisions.len() >= self.config.max_decisions_per_round {
-                    exhausted_horizon = false;
-                    break;
+                    break 'grow;
                 }
+                index += 1;
             }
-            if !exhausted_horizon || horizon >= state.covered + self.config.max_decisions_per_round
-            {
+            if horizon >= max_horizon {
                 break;
             }
             // Every sampled index needed a creation inside the window — the
-            // horizon was too small; enlarge and retry.
-            horizon = (horizon * 2).min(state.covered + self.config.max_decisions_per_round);
+            // horizon was too small; enlarge and keep going.
+            horizon = (horizon * 2).min(max_horizon);
+            sampler.extend_horizon(intensity, horizon);
         }
 
         Ok(PlanningRound {

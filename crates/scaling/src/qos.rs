@@ -136,7 +136,25 @@ impl PendingTimeModel {
 
     /// Draw `n` pending times.
     pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
-        (0..n).map(|_| self.sample(rng)).collect()
+        let mut out = Vec::new();
+        self.sample_into(rng, n, &mut out);
+        out
+    }
+
+    /// Draw `n` pending times into a reusable buffer (cleared first), so the
+    /// per-decision hot loop neither allocates nor rebuilds the distribution
+    /// per draw.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(n);
+        match self {
+            PendingTimeModel::Deterministic(v) => out.extend(std::iter::repeat_n(*v, n)),
+            PendingTimeModel::LogNormal { mean, std_dev } => {
+                let distribution =
+                    LogNormal::from_mean_std(*mean, *std_dev).expect("validated parameters");
+                out.extend((0..n).map(|_| distribution.sample(rng)));
+            }
+        }
     }
 }
 

@@ -48,7 +48,23 @@ pub fn empirical_idle_cost(samples: &[(f64, f64)], x: f64) -> f64 {
 /// * `Ok(largest ξ sample)` when `target ≥ mean(τ)` (any sufficiently late
 ///   creation meets the budget; the paper's Algorithm 3 returns `ξ^{(R)}`),
 /// * `Err(Infeasible)` when `target < 0` (impossible budget).
+///
+/// Allocates a 2R-element breakpoint buffer per call; planner-style loops
+/// that solve many roots should hold a scratch buffer and call
+/// [`solve_waiting_root_with`] instead.
 pub fn solve_waiting_root(samples: &[(f64, f64)], target: f64) -> Result<f64, ScalingError> {
+    let mut breakpoints = Vec::new();
+    solve_waiting_root_with(samples, target, &mut breakpoints)
+}
+
+/// [`solve_waiting_root`] with a caller-provided breakpoint scratch buffer
+/// (cleared and refilled on every call), so per-decision allocation drops to
+/// zero once the buffer has grown to 2R entries.
+pub fn solve_waiting_root_with(
+    samples: &[(f64, f64)],
+    target: f64,
+    breakpoints: &mut Vec<(f64, f64)>,
+) -> Result<f64, ScalingError> {
     if samples.is_empty() {
         return Err(ScalingError::InvalidParameter(
             "at least one Monte Carlo sample is required",
@@ -61,12 +77,13 @@ pub fn solve_waiting_root(samples: &[(f64, f64)], target: f64) -> Result<f64, Sc
     }
     let r = samples.len() as f64;
     // Breakpoints: +1/R slope change at ξ−τ, −1/R at ξ.
-    let mut breakpoints: Vec<(f64, f64)> = Vec::with_capacity(samples.len() * 2);
+    breakpoints.clear();
+    breakpoints.reserve(samples.len() * 2);
     for &(xi, tau) in samples {
         breakpoints.push((xi - tau, 1.0 / r));
         breakpoints.push((xi, -1.0 / r));
     }
-    breakpoints.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite breakpoints"));
+    breakpoints.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite breakpoints"));
 
     let max_value = samples.iter().map(|&(_, tau)| tau).sum::<f64>() / r;
     if target >= max_value {
@@ -86,7 +103,7 @@ pub fn solve_waiting_root(samples: &[(f64, f64)], target: f64) -> Result<f64, Sc
     if target == 0.0 {
         return Ok(x_prev);
     }
-    for &(x_bp, slope_delta) in &breakpoints {
+    for &(x_bp, slope_delta) in breakpoints.iter() {
         let value_next = value + slope * (x_bp - x_prev);
         if value < target && target <= value_next {
             // The root lies inside this piece.
@@ -108,7 +125,21 @@ pub fn solve_waiting_root(samples: &[(f64, f64)], target: f64) -> Result<f64, Sc
 /// Returns `Err(Infeasible)` when `target < 0`; any non-negative budget has a
 /// root because `Ĉ` decreases with slope −1 for creation times before every
 /// breakpoint and reaches 0 at the largest breakpoint.
+///
+/// Allocates an R-element breakpoint buffer per call; planner-style loops
+/// should hold a scratch buffer and call [`solve_idle_cost_root_with`].
 pub fn solve_idle_cost_root(samples: &[(f64, f64)], target: f64) -> Result<f64, ScalingError> {
+    let mut points = Vec::new();
+    solve_idle_cost_root_with(samples, target, &mut points)
+}
+
+/// [`solve_idle_cost_root`] with a caller-provided breakpoint scratch buffer
+/// (cleared and refilled on every call).
+pub fn solve_idle_cost_root_with(
+    samples: &[(f64, f64)],
+    target: f64,
+    points: &mut Vec<f64>,
+) -> Result<f64, ScalingError> {
     if samples.is_empty() {
         return Err(ScalingError::InvalidParameter(
             "at least one Monte Carlo sample is required",
@@ -119,8 +150,10 @@ pub fn solve_idle_cost_root(samples: &[(f64, f64)], target: f64) -> Result<f64, 
     }
     // Breakpoints of Ĉ: slope is −(#{ξ_r − τ_r > x})/R, increasing by 1/R as
     // x passes each ξ_r − τ_r.
-    let mut points: Vec<f64> = samples.iter().map(|&(xi, tau)| xi - tau).collect();
-    points.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    points.clear();
+    points.reserve(samples.len());
+    points.extend(samples.iter().map(|&(xi, tau)| xi - tau));
+    points.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
     let r = samples.len() as f64;
 
     let first = points[0];
@@ -271,6 +304,28 @@ mod tests {
             assert!(v <= prev + 1e-12);
             prev = v;
         }
+    }
+
+    #[test]
+    fn scratch_variants_match_the_allocating_wrappers() {
+        let mut breakpoints = Vec::new();
+        let mut points = Vec::new();
+        for seed in 40..44_u64 {
+            let samples = random_samples(300, seed);
+            for &target in &[0.5, 3.0, 11.0] {
+                assert_eq!(
+                    solve_waiting_root_with(&samples, target, &mut breakpoints).unwrap(),
+                    solve_waiting_root(&samples, target).unwrap()
+                );
+                assert_eq!(
+                    solve_idle_cost_root_with(&samples, target, &mut points).unwrap(),
+                    solve_idle_cost_root(&samples, target).unwrap()
+                );
+            }
+        }
+        // The reused buffers hold exactly the last call's breakpoints.
+        assert_eq!(breakpoints.len(), 600);
+        assert_eq!(points.len(), 300);
     }
 
     #[test]

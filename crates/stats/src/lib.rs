@@ -32,4 +32,6 @@ pub use distributions::{
 pub use ecdf::Ecdf;
 pub use error::StatsError;
 pub use montecarlo::{monte_carlo_mean, MonteCarloEstimate};
-pub use quantile::{empirical_quantile, empirical_quantile_sorted, quantiles};
+pub use quantile::{
+    empirical_quantile, empirical_quantile_sorted, empirical_quantile_unstable, quantiles,
+};

@@ -18,9 +18,42 @@ pub fn empirical_quantile(sample: &[f64], p: f64) -> Result<f64, StatsError> {
     if !(0.0..=1.0).contains(&p) {
         return Err(StatsError::InvalidProbability(p));
     }
-    let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
-    Ok(quantile_of_sorted(&sorted, p))
+    let mut scratch = sample.to_vec();
+    empirical_quantile_unstable(&mut scratch, p)
+}
+
+/// Empirical quantile by in-place selection, reordering `sample`.
+///
+/// Same estimator as [`empirical_quantile`] (type-7 linear interpolation)
+/// but `O(n)` expected instead of `O(n log n)`: the two order statistics the
+/// interpolation needs are found with `select_nth_unstable_by` rather than a
+/// full sort. This is the hot-path variant — the HP decision rule evaluates
+/// one quantile per upcoming query per planning round (paper eq. 3), and
+/// never needs the sample again afterwards.
+pub fn empirical_quantile_unstable(sample: &mut [f64], p: f64) -> Result<f64, StatsError> {
+    if sample.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidProbability(p));
+    }
+    let n = sample.len();
+    if n == 1 {
+        return Ok(sample[0]);
+    }
+    let h = p * (n as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let (_, &mut lo_value, above) =
+        sample.select_nth_unstable_by(lo, |a, b| a.partial_cmp(b).expect("NaN in sample"));
+    if lo as f64 == h {
+        return Ok(lo_value);
+    }
+    // The (lo+1)-th order statistic is the minimum of the partition above
+    // the pivot; `h` is fractional here, so `lo < n - 1` and `above` is
+    // non-empty.
+    let hi_value = above.iter().copied().fold(f64::INFINITY, f64::min);
+    let w = h - lo as f64;
+    Ok(lo_value * (1.0 - w) + hi_value * w)
 }
 
 /// Empirical quantile of a sample that is already sorted ascending.
@@ -47,7 +80,7 @@ pub fn quantiles(sample: &[f64], levels: &[f64]) -> Result<Vec<f64>, StatsError>
         return Err(StatsError::EmptySample);
     }
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
     levels
         .iter()
         .map(|&p| empirical_quantile_sorted(&sorted, p))
@@ -136,6 +169,31 @@ mod tests {
         assert!((qs[1] - 95.0).abs() < 1e-9);
         assert!((qs[2] - 99.0).abs() < 1e-9);
         assert!((qs[3] - 99.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_selection_matches_the_sorting_estimator() {
+        // Pseudo-random sample (LCG) over a grid of levels, including the
+        // exact-index and interpolated cases and both endpoints.
+        let mut state = 88172645463325252u64;
+        let xs: Vec<f64> = (0..257)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 10_000) as f64 / 100.0 - 50.0
+            })
+            .collect();
+        for i in 0..=64 {
+            let p = i as f64 / 64.0;
+            let expected = empirical_quantile(&xs, p).unwrap();
+            let mut scratch = xs.clone();
+            let got = empirical_quantile_unstable(&mut scratch, p).unwrap();
+            assert_eq!(got, expected, "p = {p}");
+        }
+        assert!(empirical_quantile_unstable(&mut [], 0.5).is_err());
+        assert!(empirical_quantile_unstable(&mut [1.0], -0.1).is_err());
+        assert_eq!(empirical_quantile_unstable(&mut [7.0], 0.9).unwrap(), 7.0);
     }
 
     #[test]

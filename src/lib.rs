@@ -14,6 +14,7 @@
 //! | [`linalg`] | banded matrices, banded Cholesky, conjugate gradient, difference operators |
 //! | [`timeseries`] | QPS series, robust filtering, periodicity detection, decomposition |
 //! | [`nhpp`] | the regularized NHPP model, ADMM trainer, forecasting, exact samplers |
+//! | [`parallel`] | std-only scoped-thread chunked parallel map (no crates.io, so no rayon) |
 //! | [`scaling`] | HP/RT/cost-constrained decisions, sort-and-search, κ threshold, sequential planner |
 //! | [`simulator`] | scaling-per-query event simulator, Backup Pool / AdapBP baselines, metrics |
 //! | [`traces`] | synthetic CRS/Google/Alibaba-like traces and perturbation injectors |
@@ -49,6 +50,7 @@
 pub use robustscaler_core as core;
 pub use robustscaler_linalg as linalg;
 pub use robustscaler_nhpp as nhpp;
+pub use robustscaler_parallel as parallel;
 pub use robustscaler_scaling as scaling;
 pub use robustscaler_simulator as simulator;
 pub use robustscaler_stats as stats;

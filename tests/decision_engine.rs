@@ -1,0 +1,159 @@
+//! Property tests for the Monte Carlo decision engine's fast paths: the
+//! flat-matrix arrival sampler with incremental horizon extension, and the
+//! monotone inverse cursor over piecewise-constant intensities. Each fast
+//! path must be *exactly* equivalent to its straightforward counterpart —
+//! same seed, same samples, bit for bit.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use robustscaler::nhpp::{Intensity, InverseCursor, PiecewiseConstantIntensity};
+use robustscaler::scaling::{
+    decide, decide_with, ArrivalSampler, DecisionConfig, DecisionRule, DecisionScratch,
+    PendingTimeModel,
+};
+
+/// Strategy: a piecewise-constant intensity with a handful of buckets,
+/// including zero-rate buckets (each rate is zero with probability ~1/3),
+/// but always a positive final rate so every cumulative mass is reachable.
+fn intensity_strategy() -> impl Strategy<Value = PiecewiseConstantIntensity> {
+    (
+        prop::collection::vec((0.0_f64..3.0, prop::bool::ANY), 1..12),
+        0.05_f64..40.0,
+        -50.0_f64..50.0,
+        0.01_f64..2.0,
+    )
+        .prop_map(|(raw_rates, bucket_width, start, tail_rate)| {
+            let mut rates: Vec<f64> = raw_rates
+                .into_iter()
+                .map(|(rate, zero)| if zero { 0.0 } else { rate })
+                .collect();
+            rates.push(tail_rate);
+            PiecewiseConstantIntensity::new(start, bucket_width, rates).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Growing a sampler's horizon continues the per-path RNG streams, so
+    /// `new(h1)` + `extend_horizon(h2)` equals a fresh `new(h2)` exactly —
+    /// in particular the first h1 arrival columns (the "identical prefix")
+    /// are untouched by the extension.
+    #[test]
+    fn extended_sampler_equals_fresh_full_horizon_sampler(
+        intensity in intensity_strategy(),
+        seed in 0u64..1_000,
+        h1 in 1usize..12,
+        extra in 1usize..12,
+        replications in 1usize..80,
+        now_offset in -5.0_f64..5.0,
+    ) {
+        let now = intensity.start() + now_offset;
+        let h2 = h1 + extra;
+        let mut rng_grown = StdRng::seed_from_u64(seed);
+        let mut grown =
+            ArrivalSampler::new(&intensity, now, h1, replications, &mut rng_grown).unwrap();
+        let prefix: Vec<Vec<f64>> = (1..=h1)
+            .map(|i| grown.arrival_samples(i).unwrap().to_vec())
+            .collect();
+        grown.extend_horizon(&intensity, h2);
+
+        let mut rng_fresh = StdRng::seed_from_u64(seed);
+        let fresh =
+            ArrivalSampler::new(&intensity, now, h2, replications, &mut rng_fresh).unwrap();
+
+        prop_assert_eq!(grown.horizon_arrivals(), h2);
+        for i in 1..=h2 {
+            prop_assert_eq!(
+                grown.arrival_samples(i).unwrap(),
+                fresh.arrival_samples(i).unwrap(),
+                "arrival column {} differs", i
+            );
+        }
+        // The extension did not disturb the previously sampled prefix.
+        for (i, column) in prefix.iter().enumerate() {
+            prop_assert_eq!(grown.arrival_samples(i + 1).unwrap(), &column[..]);
+        }
+        // Both consumed the same single draw from the caller's RNG.
+        prop_assert_eq!(rng_grown, rng_fresh);
+    }
+
+    /// The monotone inverse cursor returns exactly what the stateless
+    /// `inverse_integrated` returns, over random intensities with zero-rate
+    /// buckets, random origins and nondecreasing target sequences — and a
+    /// cursor resumed from a saved hint continues the sequence identically.
+    #[test]
+    fn inverse_cursor_matches_stateless_inversion(
+        intensity in intensity_strategy(),
+        from_offset in -10.0_f64..10.0,
+        increments in prop::collection::vec(0.0_f64..5.0, 1..60),
+        split_at in 0usize..60,
+    ) {
+        let from = intensity.start() + from_offset;
+        let split = split_at.min(increments.len());
+        let mut cursor = InverseCursor::new(&intensity, from);
+        let mut target = 0.0;
+        let mut resumed_after_split = None;
+        for (step, inc) in increments.iter().enumerate() {
+            if step == split {
+                // Save and resume mid-sequence, as the sampler does when it
+                // extends its horizon.
+                resumed_after_split = Some(InverseCursor::resume(&intensity, from, cursor.hint()));
+            }
+            target += inc;
+            let expected = intensity.inverse_integrated(from, target);
+            let got = cursor.advance(target);
+            prop_assert!(
+                got == expected || (got.is_infinite() && expected.is_infinite()),
+                "step {}: cursor {} vs stateless {}", step, got, expected
+            );
+            if let Some(resumed) = resumed_after_split.as_mut() {
+                let resumed_got = resumed.advance(target);
+                prop_assert!(
+                    resumed_got == expected
+                        || (resumed_got.is_infinite() && expected.is_infinite()),
+                    "step {}: resumed cursor {} vs stateless {}", step, resumed_got, expected
+                );
+            }
+        }
+    }
+
+    /// `decide_with` (validation hoisted, scratch buffers reused across
+    /// calls) computes exactly the decisions of the allocating `decide`.
+    #[test]
+    fn scratch_decisions_match_allocating_decisions(
+        seed in 0u64..1_000,
+        rate in 0.05_f64..20.0,
+        replications in 1usize..200,
+        deterministic_pending in prop::bool::ANY,
+        rule_kind in 0usize..3,
+    ) {
+        let intensity = PiecewiseConstantIntensity::new(0.0, 1e6, vec![rate]).unwrap();
+        let mut sampler_rng = StdRng::seed_from_u64(seed);
+        let sampler =
+            ArrivalSampler::new(&intensity, 0.0, 5, replications, &mut sampler_rng).unwrap();
+        let pending = if deterministic_pending {
+            PendingTimeModel::Deterministic(13.0)
+        } else {
+            PendingTimeModel::LogNormal { mean: 13.0, std_dev: 4.0 }
+        };
+        let rule = match rule_kind {
+            0 => DecisionRule::HittingProbability { alpha: 0.17 },
+            1 => DecisionRule::ResponseTime { target_waiting: 2.5 },
+            _ => DecisionRule::CostBudget { target_idle: 7.0 },
+        };
+        let config = DecisionConfig { rule, pending, monte_carlo_samples: replications };
+        config.validate().unwrap();
+
+        let mut scratch = DecisionScratch::new();
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0x5EED);
+        for index in 1..=5 {
+            let with_scratch =
+                decide_with(&sampler, index, &config, &mut rng_a, &mut scratch).unwrap();
+            let allocating = decide(&sampler, index, &config, &mut rng_b).unwrap();
+            prop_assert_eq!(with_scratch, allocating, "index {}", index);
+        }
+    }
+}

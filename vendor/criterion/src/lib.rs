@@ -10,12 +10,96 @@
 //! ```text
 //! admm_fit_vs_series_length/250  time: 12.345 ms  (10 samples)
 //! ```
+//!
+//! Two extensions beyond upstream criterion's CLI are recognized after the
+//! `--` separator of `cargo bench`:
+//!
+//! * `--json <path>` — write every benchmark's mean time to `<path>` as a
+//!   JSON document (`{"benchmarks": [{"id", "mean_seconds", "samples"}]}`),
+//!   so perf trajectories can be committed and diffed across PRs;
+//! * `--quick` — run exactly one timed iteration per benchmark (after the
+//!   warm-up call), the smoke mode CI uses to keep bench targets compiling
+//!   and running without paying for full timings.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// CLI options recognized by the stand-in (everything else, including the
+/// flags cargo itself appends such as `--bench`, is ignored).
+#[derive(Debug, Default, Clone)]
+struct CliOptions {
+    json_path: Option<String>,
+    quick: bool,
+}
+
+fn cli_options() -> &'static CliOptions {
+    static OPTIONS: OnceLock<CliOptions> = OnceLock::new();
+    OPTIONS.get_or_init(|| {
+        let mut options = CliOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => options.json_path = args.next(),
+                "--quick" => options.quick = true,
+                _ => {}
+            }
+        }
+        options
+    })
+}
+
+/// One completed measurement, retained for `--json` reporting.
+struct Measurement {
+    id: String,
+    mean_seconds: f64,
+    samples: usize,
+}
+
+fn measurements() -> &'static Mutex<Vec<Measurement>> {
+    static MEASUREMENTS: OnceLock<Mutex<Vec<Measurement>>> = OnceLock::new();
+    MEASUREMENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Write the collected measurements to the `--json` path, if one was given.
+/// Called by [`criterion_main!`] after every group has run; harmless to call
+/// when no `--json` flag is present.
+pub fn finalize() {
+    let Some(path) = cli_options().json_path.as_deref() else {
+        return;
+    };
+    let measurements = measurements().lock().expect("measurement registry");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_seconds\": {:e}, \"samples\": {}}}{comma}\n",
+            json_escape(&m.id),
+            m.mean_seconds,
+            m.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(err) = std::fs::write(path, out) {
+        eprintln!("criterion stand-in: failed to write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {} benchmark result(s) to {path}", measurements.len());
+}
 
 /// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
 pub use std::hint::black_box;
@@ -191,6 +275,7 @@ fn run_one<F>(label: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let sample_size = if cli_options().quick { 1 } else { sample_size };
     // One warm-up call, then `sample_size` timed iterations in one batch.
     let mut warmup = Bencher {
         iterations: 1,
@@ -207,6 +292,14 @@ where
         "{label:<60} time: {:>12}  ({sample_size} samples)",
         format_time(mean)
     );
+    measurements()
+        .lock()
+        .expect("measurement registry")
+        .push(Measurement {
+            id: label.to_string(),
+            mean_seconds: mean,
+            samples: sample_size,
+        });
 }
 
 fn format_time(seconds: f64) -> String {
@@ -236,6 +329,9 @@ macro_rules! criterion_group {
 }
 
 /// Define the bench `main` function, mirroring `criterion::criterion_main!`.
+///
+/// After all groups have run, the collected measurements are written to the
+/// `--json` path when one was passed (see the crate docs).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
@@ -243,6 +339,7 @@ macro_rules! criterion_main {
             $(
                 $group();
             )+
+            $crate::finalize();
         }
     };
 }

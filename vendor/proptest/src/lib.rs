@@ -134,6 +134,27 @@ impl<T: Clone> Strategy for Just<T> {
 
 /// Mirrors the `proptest::prop` module paths used in tests.
 pub mod prop {
+    /// Boolean strategies (`prop::bool::ANY`).
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// The strategy type behind [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniformly random `bool` (mirrors `proptest::bool::ANY`).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.gen()
+            }
+        }
+    }
+
     /// Collection strategies (`prop::collection::vec`).
     pub mod collection {
         use super::super::{Strategy, TestRng};
