@@ -1,0 +1,87 @@
+//! Criterion bench: multi-tenant fleet planning throughput.
+//!
+//! One iteration is one full fleet round — every tenant refreshes its
+//! forecast if needed and plans its next window (R = 250 Monte Carlo
+//! samples, ~5–25 arrivals per 10 s window across the tenant mix). The
+//! acceptance bar for the serving layer is ≥ 100 tenant-rounds/sec at
+//! R = 250 on one core, i.e. ≤ 2.5 s per round at 250 tenants serially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
+use robustscaler_nhpp::NhppModel;
+use robustscaler_online::{OnlineConfig, TenantFleet};
+use robustscaler_parallel::available_threads;
+
+/// Warm-started fleet: models installed directly so the timed loop
+/// measures the serving path (forecast refresh + plan window), not ADMM.
+fn build_fleet(tenants: usize, samples: usize) -> TenantFleet {
+    let mut pipeline =
+        RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability { target: 0.9 });
+    pipeline.planning_interval = 10.0;
+    pipeline.monte_carlo_samples = samples;
+    pipeline.mean_processing = 20.0;
+    let config = OnlineConfig::new(pipeline);
+    let mut fleet = TenantFleet::new(&config, 0.0, tenants, 7).expect("valid fleet");
+    for index in 0..tenants {
+        let base = 0.5 + 2.0 * (index as f64 / tenants.max(2) as f64);
+        let log_rates = vec![base.ln(); 1_440];
+        let model = NhppModel::from_log_rates(0.0, 60.0, log_rates, Some(1_440)).expect("model");
+        fleet
+            .tenant_mut(index)
+            .expect("index in range")
+            .scaler
+            .install_model(model, 0.0)
+            .expect("install");
+    }
+    fleet
+}
+
+fn bench_fleet_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_round_vs_tenants");
+    group.sample_size(10);
+    for &tenants in &[100usize, 250, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tenants),
+            &tenants,
+            |b, &tenants| {
+                let mut fleet = build_fleet(tenants, 250);
+                fleet.set_workers(1);
+                let mut round = 0u64;
+                b.iter(|| {
+                    // Advance time so the forecast cache is exercised like a
+                    // live serving loop (refresh roughly once per horizon).
+                    let now = 86_400.0 + 10.0 * round as f64;
+                    round += 1;
+                    fleet.run_round_uniform(now, 0).expect("round succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fleet_round_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_round_parallel");
+    group.sample_size(10);
+    let workers = available_threads();
+    for &tenants in &[250usize, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tenants),
+            &tenants,
+            |b, &tenants| {
+                let mut fleet = build_fleet(tenants, 250);
+                fleet.set_workers(workers);
+                let mut round = 0u64;
+                b.iter(|| {
+                    let now = 86_400.0 + 10.0 * round as f64;
+                    round += 1;
+                    fleet.run_round_uniform(now, 0).expect("round succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_round, bench_fleet_round_parallel);
+criterion_main!(benches);

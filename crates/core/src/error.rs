@@ -21,6 +21,17 @@ pub enum CoreError {
     Simulator(SimulatorError),
     /// The training trace is unusable (too few queries, zero duration, ...).
     InvalidTrainingData(&'static str),
+    /// A decision rule of one kind was required where another was
+    /// configured (e.g. serving code expecting the HP rule's α from an
+    /// RT-configured tenant). Carrying this as an error instead of
+    /// panicking keeps a misconfigured tenant from aborting a serving
+    /// process that hosts hundreds of others.
+    RuleMismatch {
+        /// The rule kind the caller required.
+        expected: &'static str,
+        /// The rule kind actually configured.
+        got: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +43,9 @@ impl fmt::Display for CoreError {
             CoreError::Scaling(e) => write!(f, "scaling error: {e}"),
             CoreError::Simulator(e) => write!(f, "simulator error: {e}"),
             CoreError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            CoreError::RuleMismatch { expected, got } => {
+                write!(f, "decision rule mismatch: expected {expected}, got {got}")
+            }
         }
     }
 }
@@ -82,5 +96,11 @@ mod tests {
         assert!(CoreError::InvalidTrainingData("empty")
             .to_string()
             .contains("empty"));
+        let mismatch = CoreError::RuleMismatch {
+            expected: "hitting-probability",
+            got: "response-time",
+        };
+        assert!(mismatch.to_string().contains("hitting-probability"));
+        assert!(mismatch.to_string().contains("response-time"));
     }
 }

@@ -32,4 +32,4 @@ pub use error::CoreError;
 pub use evaluation::{evaluate_policy, relative_cost, EvaluationResult};
 pub use pipeline::{RobustScalerPipeline, TrainedModel};
 pub use policy::RobustScalerPolicy;
-pub use variants::RobustScalerVariant;
+pub use variants::{cost_target_idle, hp_alpha, rt_target_waiting, rule_kind, RobustScalerVariant};

@@ -68,6 +68,28 @@ impl RobustScalerPipeline {
             end,
             self.config.bucket_width,
         )?;
+        self.train_on_counts(counts)
+    }
+
+    /// Run modules 1–3 on an already aggregated count series.
+    ///
+    /// This is the entry point for the online serving layer, whose ring
+    /// buffer maintains the count series incrementally and refits from a
+    /// snapshot instead of re-aggregating a raw trace on every refit. The
+    /// series' bucket width must match the configured `bucket_width`.
+    /// Takes the series by value — it is moved into the returned
+    /// [`TrainedModel`] without a copy.
+    pub fn train_on_counts(&self, counts: TimeSeries) -> Result<TrainedModel, CoreError> {
+        if (counts.bucket_width() - self.config.bucket_width).abs() > 1e-9 {
+            return Err(CoreError::InvalidTrainingData(
+                "count series bucket width differs from the configured bucket_width",
+            ));
+        }
+        if counts.len() < 10 {
+            return Err(CoreError::InvalidTrainingData(
+                "count series needs at least 10 buckets",
+            ));
+        }
 
         // Module 1: periodicity detection on the time-aggregated QPS series.
         let aggregated = counts.aggregate_mean(self.config.periodicity_aggregation)?;

@@ -84,6 +84,54 @@ impl RobustScalerVariant {
     }
 }
 
+/// The kind of a scaling-layer decision rule, for error reporting.
+pub fn rule_kind(rule: &DecisionRule) -> &'static str {
+    match rule {
+        DecisionRule::HittingProbability { .. } => "hitting-probability",
+        DecisionRule::ResponseTime { .. } => "response-time",
+        DecisionRule::CostBudget { .. } => "cost-budget",
+    }
+}
+
+/// The HP rule's `α`, or [`CoreError::RuleMismatch`] for any other rule.
+///
+/// Serving code that needs a specific rule's parameter (e.g. to report a
+/// tenant's configured QoS level) must use these checked accessors rather
+/// than matching with a panicking fallback arm: a misconfigured tenant
+/// surfaces as an error on its own request path instead of aborting the
+/// whole process.
+pub fn hp_alpha(rule: &DecisionRule) -> Result<f64, CoreError> {
+    match rule {
+        DecisionRule::HittingProbability { alpha } => Ok(*alpha),
+        other => Err(CoreError::RuleMismatch {
+            expected: "hitting-probability",
+            got: rule_kind(other),
+        }),
+    }
+}
+
+/// The RT rule's waiting budget, or [`CoreError::RuleMismatch`] otherwise.
+pub fn rt_target_waiting(rule: &DecisionRule) -> Result<f64, CoreError> {
+    match rule {
+        DecisionRule::ResponseTime { target_waiting } => Ok(*target_waiting),
+        other => Err(CoreError::RuleMismatch {
+            expected: "response-time",
+            got: rule_kind(other),
+        }),
+    }
+}
+
+/// The cost rule's idle budget, or [`CoreError::RuleMismatch`] otherwise.
+pub fn cost_target_idle(rule: &DecisionRule) -> Result<f64, CoreError> {
+    match rule {
+        DecisionRule::CostBudget { target_idle } => Ok(*target_idle),
+        other => Err(CoreError::RuleMismatch {
+            expected: "cost-budget",
+            got: rule_kind(other),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,10 +157,7 @@ mod tests {
         let rule = RobustScalerVariant::HittingProbability { target: 0.9 }
             .to_rule(20.0, 13.0)
             .unwrap();
-        match rule {
-            DecisionRule::HittingProbability { alpha } => assert!((alpha - 0.1).abs() < 1e-12),
-            _ => panic!("wrong rule"),
-        }
+        assert!((hp_alpha(&rule).unwrap() - 0.1).abs() < 1e-12);
         assert!(RobustScalerVariant::HittingProbability { target: 1.0 }
             .to_rule(20.0, 13.0)
             .is_err());
@@ -126,20 +171,12 @@ mod tests {
         let rule = RobustScalerVariant::ResponseTime { target: 25.0 }
             .to_rule(20.0, 13.0)
             .unwrap();
-        match rule {
-            DecisionRule::ResponseTime { target_waiting } => {
-                assert!((target_waiting - 5.0).abs() < 1e-12)
-            }
-            _ => panic!("wrong rule"),
-        }
+        assert!((rt_target_waiting(&rule).unwrap() - 5.0).abs() < 1e-12);
         // Target below the processing time clamps the waiting budget to 0.
         let strict = RobustScalerVariant::ResponseTime { target: 10.0 }
             .to_rule(20.0, 13.0)
             .unwrap();
-        match strict {
-            DecisionRule::ResponseTime { target_waiting } => assert_eq!(target_waiting, 0.0),
-            _ => panic!("wrong rule"),
-        }
+        assert_eq!(rt_target_waiting(&strict).unwrap(), 0.0);
         assert!(RobustScalerVariant::ResponseTime { target: -1.0 }
             .to_rule(20.0, 13.0)
             .is_err());
@@ -150,19 +187,40 @@ mod tests {
         let rule = RobustScalerVariant::CostBudget { budget: 40.0 }
             .to_rule(20.0, 13.0)
             .unwrap();
-        match rule {
-            DecisionRule::CostBudget { target_idle } => assert!((target_idle - 7.0).abs() < 1e-12),
-            _ => panic!("wrong rule"),
-        }
+        assert!((cost_target_idle(&rule).unwrap() - 7.0).abs() < 1e-12);
         let tight = RobustScalerVariant::CostBudget { budget: 10.0 }
             .to_rule(20.0, 13.0)
             .unwrap();
-        match tight {
-            DecisionRule::CostBudget { target_idle } => assert_eq!(target_idle, 0.0),
-            _ => panic!("wrong rule"),
-        }
+        assert_eq!(cost_target_idle(&tight).unwrap(), 0.0);
         assert!(RobustScalerVariant::CostBudget { budget: 0.0 }
             .to_rule(20.0, 13.0)
             .is_err());
+    }
+
+    #[test]
+    fn mismatched_rule_accessors_error_instead_of_panicking() {
+        let hp = DecisionRule::HittingProbability { alpha: 0.1 };
+        let rt = DecisionRule::ResponseTime {
+            target_waiting: 5.0,
+        };
+        let cost = DecisionRule::CostBudget { target_idle: 7.0 };
+        assert_eq!(rule_kind(&hp), "hitting-probability");
+        assert_eq!(rule_kind(&rt), "response-time");
+        assert_eq!(rule_kind(&cost), "cost-budget");
+        assert!(matches!(
+            hp_alpha(&rt),
+            Err(CoreError::RuleMismatch {
+                expected: "hitting-probability",
+                got: "response-time",
+            })
+        ));
+        assert!(matches!(
+            rt_target_waiting(&cost),
+            Err(CoreError::RuleMismatch { .. })
+        ));
+        assert!(matches!(
+            cost_target_idle(&hp),
+            Err(CoreError::RuleMismatch { .. })
+        ));
     }
 }

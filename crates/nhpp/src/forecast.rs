@@ -56,6 +56,21 @@ impl Forecaster {
         &self.model
     }
 
+    /// The forecaster's configuration.
+    pub fn config(&self) -> &ForecastConfig {
+        &self.config
+    }
+
+    /// Swap in a freshly fitted model, keeping the configuration.
+    ///
+    /// This is the online serving layer's rolling-refit entry point: a
+    /// long-lived forecaster is refreshed in place whenever drift detection
+    /// or the refit schedule retrains the NHPP, instead of being rebuilt
+    /// (and re-validated) from scratch every round.
+    pub fn refresh(&mut self, model: NhppModel) {
+        self.model = model;
+    }
+
     /// Forecast the intensity for `[from, from + horizon)`.
     ///
     /// `from` is usually the end of the training window ("now"); forecasts
@@ -219,6 +234,22 @@ mod tests {
             assert!((rate - 0.6).abs() < 1e-9);
         }
         assert!((f.local_intensity(m.end()).unwrap() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refresh_swaps_the_model_in_place() {
+        let m = periodic_model(48, 4);
+        let mut f = Forecaster::new(m.clone(), ForecastConfig::default()).unwrap();
+        let before = f.forecast(m.end(), 4.0 * 60.0).unwrap();
+        // A flat replacement model: every refreshed forecast bucket is 0.5.
+        let flat = NhppModel::from_log_rates(0.0, 60.0, vec![(0.5_f64).ln(); 48], None).unwrap();
+        f.refresh(flat);
+        assert_eq!(f.config().lookback_periods, 4);
+        let after = f.forecast(m.end(), 4.0 * 60.0).unwrap();
+        assert_ne!(before.rates(), after.rates());
+        for &rate in after.rates() {
+            assert!((rate - 0.5).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Error type of the online serving layer.
+
+use robustscaler_core::CoreError;
+use robustscaler_scaling::ScalingError;
+use robustscaler_simulator::SimulatorError;
+use robustscaler_timeseries::TimeSeriesError;
+use std::fmt;
+
+/// Errors produced by the online serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineError {
+    /// A configuration value was invalid.
+    InvalidConfig(&'static str),
+    /// A planning round was requested before the scaler accumulated enough
+    /// complete buckets for its first model fit.
+    NotTrained,
+    /// The offline pipeline (training/forecasting) failed.
+    Core(CoreError),
+    /// The time-series layer failed.
+    TimeSeries(TimeSeriesError),
+    /// The scaling decision layer failed.
+    Scaling(ScalingError),
+    /// The simulator failed (closed-loop harness runs).
+    Simulator(SimulatorError),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            OnlineError::NotTrained => {
+                write!(f, "scaler has not accumulated enough history for a model")
+            }
+            OnlineError::Core(e) => write!(f, "pipeline error: {e}"),
+            OnlineError::TimeSeries(e) => write!(f, "time-series error: {e}"),
+            OnlineError::Scaling(e) => write!(f, "scaling error: {e}"),
+            OnlineError::Simulator(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+impl From<CoreError> for OnlineError {
+    fn from(e: CoreError) -> Self {
+        OnlineError::Core(e)
+    }
+}
+
+impl From<TimeSeriesError> for OnlineError {
+    fn from(e: TimeSeriesError) -> Self {
+        OnlineError::TimeSeries(e)
+    }
+}
+
+impl From<ScalingError> for OnlineError {
+    fn from(e: ScalingError) -> Self {
+        OnlineError::Scaling(e)
+    }
+}
+
+impl From<SimulatorError> for OnlineError {
+    fn from(e: SimulatorError) -> Self {
+        OnlineError::Simulator(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: OnlineError = CoreError::InvalidConfig("x").into();
+        assert!(e.to_string().contains("pipeline"));
+        let e: OnlineError = TimeSeriesError::AllMissing.into();
+        assert!(e.to_string().contains("time-series"));
+        let e: OnlineError = ScalingError::InvalidParameter("x").into();
+        assert!(e.to_string().contains("scaling"));
+        let e: OnlineError = SimulatorError::EmptyMetrics.into();
+        assert!(e.to_string().contains("simulator"));
+        assert!(OnlineError::NotTrained.to_string().contains("history"));
+        assert!(OnlineError::InvalidConfig("w").to_string().contains("w"));
+    }
+}

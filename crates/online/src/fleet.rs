@@ -1,0 +1,273 @@
+//! Multi-tenant fleet planning: hundreds of independent [`OnlineScaler`]s
+//! sharded across worker threads.
+//!
+//! Each tenant owns its scaler — ring buffer, model, planner scratch and
+//! RNG — so tenants never share mutable state and a round's output is a
+//! pure function of (per-tenant seed, ingestion history, round sequence).
+//! The fleet shards the tenant vector into contiguous chunks via
+//! `robustscaler_parallel::map_chunks_mut`; because chunk outputs are
+//! collected in chunk order and no randomness crosses tenant boundaries,
+//! the result is **identical for any worker count**, which the online
+//! proptests pin.
+
+use crate::error::OnlineError;
+use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats};
+use robustscaler_parallel::{available_threads, map_chunks_mut};
+use robustscaler_scaling::PlanningRound;
+
+/// SplitMix64 — the same stateless mixer the Monte Carlo sampler uses to
+/// derive per-path streams; here it derives per-tenant RNG seeds from the
+/// fleet seed so tenant plans are decorrelated but reproducible.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One tenant: a stable identifier plus its serving scaler.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// Stable tenant identifier (index at fleet construction).
+    pub id: u64,
+    /// The tenant's serving scaler.
+    pub scaler: OnlineScaler,
+}
+
+/// A fleet of independent tenants planned concurrently.
+#[derive(Debug, Clone)]
+pub struct TenantFleet {
+    tenants: Vec<Tenant>,
+    workers: usize,
+}
+
+impl TenantFleet {
+    /// Build a fleet of `tenant_count` tenants sharing one configuration.
+    ///
+    /// Every tenant gets its own deterministic RNG seed derived from
+    /// `base_seed` and its id, and its own ring anchored at `origin`. The
+    /// worker budget defaults to the machine's available parallelism.
+    pub fn new(
+        config: &OnlineConfig,
+        origin: f64,
+        tenant_count: usize,
+        base_seed: u64,
+    ) -> Result<Self, OnlineError> {
+        if tenant_count == 0 {
+            return Err(OnlineError::InvalidConfig(
+                "a fleet needs at least one tenant",
+            ));
+        }
+        let tenants = (0..tenant_count as u64)
+            .map(|id| {
+                let seed = splitmix64(base_seed.wrapping_add(id));
+                Ok(Tenant {
+                    id,
+                    scaler: OnlineScaler::with_seed(*config, origin, seed)?,
+                })
+            })
+            .collect::<Result<Vec<_>, OnlineError>>()?;
+        Ok(Self {
+            tenants,
+            workers: available_threads(),
+        })
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the fleet has no tenants.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The current worker-thread budget.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Set the worker-thread budget (≥ 1). Plans do not depend on it.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Borrow a tenant by index.
+    pub fn tenant(&self, index: usize) -> Option<&Tenant> {
+        self.tenants.get(index)
+    }
+
+    /// Mutably borrow a tenant by index (ingestion is routed by the
+    /// caller's sharding, e.g. a per-tenant arrival queue).
+    pub fn tenant_mut(&mut self, index: usize) -> Option<&mut Tenant> {
+        self.tenants.get_mut(index)
+    }
+
+    /// Ingest one arrival for tenant `index`.
+    pub fn ingest(&mut self, index: usize, arrival: f64) -> Result<(), OnlineError> {
+        let tenant = self
+            .tenants
+            .get_mut(index)
+            .ok_or(OnlineError::InvalidConfig("tenant index out of range"))?;
+        tenant.scaler.ingest(arrival);
+        Ok(())
+    }
+
+    /// Run one planning round for every tenant at time `now`.
+    ///
+    /// `covered[i]` is tenant `i`'s count of upcoming arrivals already
+    /// covered by scheduled/pending/ready instances. Tenants are planned in
+    /// parallel across the worker budget; the output vector is ordered by
+    /// tenant index and is identical for any worker count.
+    ///
+    /// Tenant failures are isolated: a tenant whose round errors (still
+    /// warming up, failed refit, ...) yields `Err` *in its own slot* while
+    /// every other tenant's plan is returned normally — one bad tenant must
+    /// never take down a round for the hundreds sharing the process. The
+    /// outer `Err` is reserved for caller mistakes (wrong `covered` length).
+    #[allow(clippy::type_complexity)]
+    pub fn run_round(
+        &mut self,
+        now: f64,
+        covered: &[usize],
+    ) -> Result<Vec<Result<PlanningRound, OnlineError>>, OnlineError> {
+        if covered.len() != self.tenants.len() {
+            return Err(OnlineError::InvalidConfig(
+                "covered must have one entry per tenant",
+            ));
+        }
+        let workers = self.workers;
+        let per_chunk: Vec<Vec<Result<PlanningRound, OnlineError>>> =
+            map_chunks_mut(&mut self.tenants, workers, |start, chunk| {
+                chunk
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, tenant)| tenant.scaler.plan_round(now, covered[start + i]))
+                    .collect()
+            });
+        Ok(per_chunk.into_iter().flatten().collect())
+    }
+
+    /// One planning round with the same `covered` count for every tenant.
+    #[allow(clippy::type_complexity)]
+    pub fn run_round_uniform(
+        &mut self,
+        now: f64,
+        covered: usize,
+    ) -> Result<Vec<Result<PlanningRound, OnlineError>>, OnlineError> {
+        let covered = vec![covered; self.tenants.len()];
+        self.run_round(now, &covered)
+    }
+
+    /// Sum of all tenants' serving counters.
+    pub fn aggregate_stats(&self) -> OnlineStats {
+        let mut total = OnlineStats::default();
+        for tenant in &self.tenants {
+            let s = tenant.scaler.stats();
+            total.arrivals_ingested += s.arrivals_ingested;
+            total.arrivals_dropped += s.arrivals_dropped;
+            total.refits += s.refits;
+            total.drift_refits += s.drift_refits;
+            total.planning_rounds += s.planning_rounds;
+            total.skipped_rounds += s.skipped_rounds;
+            total.failed_rounds += s.failed_rounds;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
+
+    fn fleet_config() -> OnlineConfig {
+        let mut pipeline =
+            RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
+                target: 0.9,
+            });
+        pipeline.bucket_width = 10.0;
+        pipeline.periodicity_aggregation = 2;
+        pipeline.admm.max_iterations = 30;
+        pipeline.monte_carlo_samples = 60;
+        pipeline.planning_interval = 20.0;
+        pipeline.mean_processing = 5.0;
+        pipeline.forecast_horizon = 600.0;
+        let mut config = OnlineConfig::new(pipeline);
+        config.window_buckets = 120;
+        config.min_training_buckets = 30;
+        config
+    }
+
+    /// Tenant `i` sees one arrival every `4 + i` seconds.
+    fn ingest_uniform(fleet: &mut TenantFleet, duration: f64) {
+        for index in 0..fleet.len() {
+            let gap = 4.0 + index as f64;
+            let n = (duration / gap) as usize;
+            for k in 0..n {
+                fleet.ingest(index, k as f64 * gap).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_empty_fleets_and_bad_indices() {
+        assert!(TenantFleet::new(&fleet_config(), 0.0, 0, 1).is_err());
+        let mut fleet = TenantFleet::new(&fleet_config(), 0.0, 2, 1).unwrap();
+        assert!(fleet.ingest(2, 1.0).is_err());
+        assert!(fleet.run_round(400.0, &[0]).is_err());
+    }
+
+    #[test]
+    fn tenants_get_distinct_seeds_and_independent_plans() {
+        let mut fleet = TenantFleet::new(&fleet_config(), 0.0, 3, 7).unwrap();
+        ingest_uniform(&mut fleet, 400.0);
+        let rounds: Vec<_> = fleet
+            .run_round_uniform(400.0, 0)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(rounds.len(), 3);
+        // Different traffic levels → different expected arrivals per window.
+        assert!(rounds[0].expected_arrivals_in_window > rounds[2].expected_arrivals_in_window);
+        assert_eq!(fleet.aggregate_stats().refits, 3);
+        assert!(fleet.tenant(0).unwrap().scaler.has_model());
+    }
+
+    #[test]
+    fn one_failing_tenant_does_not_poison_the_round() {
+        let mut fleet = TenantFleet::new(&fleet_config(), 0.0, 3, 7).unwrap();
+        // Tenants 0 and 2 get traffic; tenant 1 stays empty and cannot
+        // train — its slot errors, the others still plan.
+        for index in [0usize, 2] {
+            for k in 0..100 {
+                fleet.ingest(index, k as f64 * 4.0).unwrap();
+            }
+        }
+        let rounds = fleet.run_round_uniform(400.0, 0).unwrap();
+        assert!(rounds[0].is_ok());
+        assert!(matches!(rounds[1], Err(OnlineError::NotTrained)));
+        assert!(rounds[2].is_ok());
+        assert!(!rounds[0].as_ref().unwrap().decisions.is_empty());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_plans() {
+        let run = |workers: usize| {
+            let mut fleet = TenantFleet::new(&fleet_config(), 0.0, 8, 42).unwrap();
+            fleet.set_workers(workers);
+            ingest_uniform(&mut fleet, 400.0);
+            let mut all = Vec::new();
+            for round in 0..3 {
+                let now = 400.0 + 20.0 * round as f64;
+                all.push(fleet.run_round_uniform(now, round).unwrap());
+            }
+            all
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(5));
+    }
+}

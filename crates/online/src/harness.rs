@@ -1,0 +1,242 @@
+//! Closed-loop simulation harness: replay a trace through an
+//! [`OnlineScaler`] driving the discrete-event [`Simulator`], end to end.
+//!
+//! This validates the serving layer the way the paper validates the
+//! offline pipeline (Section III, Algorithm 1): arrivals flow into the
+//! scaler *as they are simulated*, planning ticks run the online loop
+//! (drift check → optional refit → plan window), the planned creations
+//! feed back into the simulated cluster, and the run is scored with the
+//! paper's metrics — hit rate, `rt_avg`, total and relative cost.
+
+use crate::error::OnlineError;
+use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats};
+use robustscaler_core::relative_cost;
+use robustscaler_simulator::{
+    Autoscaler, Reactive, ScalingCommand, SimulationConfig, SimulationMetrics, Simulator,
+    SystemState, Trace,
+};
+use serde::{Deserialize, Serialize};
+
+/// [`Autoscaler`] adapter that feeds the simulator's arrivals into an
+/// [`OnlineScaler`] and turns its planning rounds into scaling commands.
+pub struct OnlinePolicy {
+    scaler: OnlineScaler,
+    name: String,
+}
+
+impl OnlinePolicy {
+    /// Wrap a scaler for use with the simulator.
+    pub fn new(scaler: OnlineScaler) -> Self {
+        let name = format!("online-{}", scaler.config().pipeline.variant.name());
+        Self { scaler, name }
+    }
+
+    /// Borrow the wrapped scaler (stats, model inspection).
+    pub fn scaler(&self) -> &OnlineScaler {
+        &self.scaler
+    }
+
+    /// Unwrap the scaler (e.g. to keep serving after a replay).
+    pub fn into_scaler(self) -> OnlineScaler {
+        self.scaler
+    }
+}
+
+impl Autoscaler for OnlinePolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn planning_interval(&self) -> Option<f64> {
+        Some(self.scaler.config().pipeline.planning_interval)
+    }
+
+    fn on_planning_tick(&mut self, state: &SystemState) -> Vec<ScalingCommand> {
+        match self.scaler.plan_round(state.now, state.covered()) {
+            Ok(round) => round
+                .decisions
+                .iter()
+                .map(|d| ScalingCommand::CreateAt(d.creation_time))
+                .collect(),
+            // Not trained yet (cold start) or a transient planning failure:
+            // emit nothing and let reactive cold starts carry the tenant —
+            // a serving process must not abort on one bad round. The
+            // failure is counted so persistent breakage stays visible in
+            // `OnlineStats::failed_rounds` / the harness report.
+            Err(_) => {
+                self.scaler.record_failed_round();
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_query_arrival(&mut self, state: &SystemState) -> Vec<ScalingCommand> {
+        // `state.now` is the arrival instant of the query just dispatched.
+        self.scaler.ingest(state.now);
+        Vec::new()
+    }
+
+    fn cancel_scheduled_on_cold_start(&self) -> bool {
+        true
+    }
+}
+
+/// Configuration of a closed-loop harness run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HarnessConfig {
+    /// The serving-layer configuration.
+    pub online: OnlineConfig,
+    /// The simulated cluster (pending-time distribution, seed).
+    pub sim: SimulationConfig,
+    /// Seconds of the trace's head ingested for warm-up (initial history +
+    /// first fit) before the simulated replay starts on the remainder.
+    pub warmup: f64,
+}
+
+/// Metrics of one closed-loop run (the paper's headline numbers plus the
+/// serving-loop counters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarnessReport {
+    /// Policy name (`online-robustscaler-hp`, ...).
+    pub policy: String,
+    /// Fraction of replayed queries that found a ready instance.
+    pub hit_rate: f64,
+    /// Average response time in seconds.
+    pub rt_avg: f64,
+    /// Total cost (sum of instance lifecycle lengths, seconds).
+    pub total_cost: f64,
+    /// Cost of the purely reactive strategy on the same replay and seed.
+    pub reactive_cost: f64,
+    /// `total_cost / reactive_cost`.
+    pub relative_cost: f64,
+    /// Number of replayed queries.
+    pub queries: usize,
+    /// Serving-loop counters accumulated across warm-up and replay.
+    pub stats: OnlineStats,
+}
+
+/// Replay `trace` through the full online loop and score it.
+///
+/// The first `config.warmup` seconds are ingested into the scaler and the
+/// initial model is fitted at the warm-up boundary; the remainder of the
+/// trace is then replayed through the simulator with the scaler planning
+/// live (ingesting each simulated arrival, refitting on schedule/drift).
+/// Returns the report plus the raw simulator metrics.
+pub fn run_closed_loop(
+    trace: &Trace,
+    config: &HarnessConfig,
+) -> Result<(HarnessReport, SimulationMetrics), OnlineError> {
+    config.online.validate()?;
+    if !(config.warmup > 0.0) || config.warmup >= trace.duration() {
+        return Err(OnlineError::InvalidConfig(
+            "warmup must lie strictly inside the trace duration",
+        ));
+    }
+    let boundary = trace.start() + config.warmup;
+    let (warm, live) = trace.split_at(boundary)?;
+
+    let mut scaler = OnlineScaler::new(config.online, trace.start())?;
+    scaler.ingest_batch(&warm.arrival_times());
+    scaler.refit_now(boundary)?;
+
+    let simulator = Simulator::new(config.sim)?;
+    let mut policy = OnlinePolicy::new(scaler);
+    let metrics = simulator.run(&live, &mut policy)?;
+    let mut reactive = Reactive::new();
+    let reactive_metrics = simulator.run(&live, &mut reactive)?;
+
+    let report = HarnessReport {
+        policy: policy.name().to_string(),
+        hit_rate: metrics.hit_rate(),
+        rt_avg: metrics.rt_avg(),
+        total_cost: metrics.total_cost(),
+        reactive_cost: reactive_metrics.total_cost(),
+        relative_cost: relative_cost(metrics.total_cost(), reactive_metrics.total_cost()),
+        queries: metrics.query_count(),
+        stats: *policy.scaler().stats(),
+    };
+    Ok((report, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
+    use robustscaler_simulator::{PendingTimeDistribution, Query};
+
+    fn uniform_trace(duration: f64, gap: f64, processing: f64) -> Trace {
+        let n = (duration / gap) as usize;
+        Trace::new(
+            "uniform",
+            (0..n)
+                .map(|i| Query {
+                    arrival: i as f64 * gap,
+                    processing,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn harness_config() -> HarnessConfig {
+        let mut pipeline =
+            RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
+                target: 0.9,
+            });
+        pipeline.bucket_width = 30.0;
+        pipeline.periodicity_aggregation = 2;
+        pipeline.admm.max_iterations = 40;
+        pipeline.monte_carlo_samples = 120;
+        pipeline.planning_interval = 20.0;
+        pipeline.mean_processing = 5.0;
+        pipeline.seed = 3;
+        let mut online = OnlineConfig::new(pipeline);
+        online.window_buckets = 480;
+        online.min_training_buckets = 60;
+        online.refit_interval = 1_800.0;
+        HarnessConfig {
+            online,
+            sim: SimulationConfig {
+                pending: PendingTimeDistribution::Deterministic(13.0),
+                seed: 5,
+                recent_history_window: 600.0,
+            },
+            warmup: 2.0 * 3_600.0,
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_warmup() {
+        let trace = uniform_trace(3_600.0, 30.0, 5.0);
+        let mut config = harness_config();
+        config.warmup = 0.0;
+        assert!(run_closed_loop(&trace, &config).is_err());
+        config.warmup = 2.0 * 3_600.0;
+        assert!(run_closed_loop(&trace, &config).is_err());
+    }
+
+    #[test]
+    fn closed_loop_on_steady_traffic_reaches_a_high_hit_rate() {
+        // 4 h of steady traffic: 2 h warm-up, 2 h live replay.
+        let trace = uniform_trace(4.0 * 3_600.0, 30.0, 5.0);
+        let (report, metrics) = run_closed_loop(&trace, &harness_config()).unwrap();
+        assert_eq!(report.queries, metrics.query_count());
+        assert!(report.hit_rate > 0.8, "hit rate {}", report.hit_rate);
+        assert!(report.rt_avg < 10.0, "rt_avg {}", report.rt_avg);
+        assert!(report.relative_cost.is_finite());
+        assert!(report.stats.refits >= 1);
+        assert!(report.stats.planning_rounds > 0);
+        // Live arrivals were ingested during the replay (on top of warm-up).
+        assert!(report.stats.arrivals_ingested as usize > report.queries);
+    }
+
+    #[test]
+    fn closed_loop_runs_are_deterministic_for_a_fixed_seed() {
+        let trace = uniform_trace(3.0 * 3_600.0, 45.0, 5.0);
+        let mut config = harness_config();
+        config.warmup = 1.5 * 3_600.0;
+        let (a, _) = run_closed_loop(&trace, &config).unwrap();
+        let (b, _) = run_closed_loop(&trace, &config).unwrap();
+        assert_eq!(a, b);
+    }
+}

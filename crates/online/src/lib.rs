@@ -1,0 +1,41 @@
+//! Online multi-tenant serving layer for the RobustScaler reproduction.
+//!
+//! The offline pipeline (train → forecast → Monte Carlo scaling plan) runs
+//! once over a frozen trace. A production autoscaler instead runs a
+//! *serving loop*: arrivals stream in continuously, the model goes stale
+//! and must be refitted, and one process plans for many tenants at once.
+//! This crate closes that gap in three layers:
+//!
+//! * [`scaler::OnlineScaler`] — one tenant's loop: incremental ingestion
+//!   into a bounded [`CountRing`](robustscaler_timeseries::ring::CountRing),
+//!   drift detection against the live forecast, rolling NHPP refits
+//!   through `RobustScalerPipeline::train_on_counts`, and per-round plans
+//!   via the zero-copy `plan_window_with` machinery;
+//! * [`fleet::TenantFleet`] — hundreds of independent tenants sharded
+//!   across worker threads (`robustscaler-parallel`), with per-tenant
+//!   deterministic RNG seeds so fleet output is identical for any worker
+//!   count;
+//! * [`harness`] — the closed-loop validation harness: replay a trace
+//!   through `OnlineScaler` → `Simulator` end to end and report the
+//!   paper's metrics (hit rate, `rt_avg`, total/relative cost).
+//!
+//! ## Determinism guarantees
+//!
+//! Given a fixed configuration (including seeds) and a fixed ingestion and
+//! round sequence, every plan is bit-identical across runs, worker counts
+//! and tenant-shard layouts: tenants own all of their mutable state (ring,
+//! model, planner scratch, RNG), and the only intra-tenant parallelism —
+//! Monte Carlo replication sampling — derives per-path RNG streams.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod fleet;
+pub mod harness;
+pub mod scaler;
+
+pub use error::OnlineError;
+pub use fleet::{Tenant, TenantFleet};
+pub use harness::{run_closed_loop, HarnessConfig, HarnessReport, OnlinePolicy};
+pub use scaler::{OnlineConfig, OnlineScaler, OnlineStats};

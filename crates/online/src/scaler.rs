@@ -1,0 +1,545 @@
+//! The per-tenant online scaler: continuous ingestion, drift-triggered
+//! rolling refits, and per-round scaling plans.
+//!
+//! [`OnlineScaler`] is the serving-loop counterpart of the offline
+//! `RobustScalerPolicy`: instead of training once on a frozen trace, it
+//! ingests arrivals incrementally into a bounded
+//! [`CountRing`], refits the NHPP from
+//! ring snapshots — on a schedule, or early when the observed traffic
+//! drifts away from the forecast — and emits one scaling plan per round
+//! through the zero-copy `plan_window_with` machinery.
+//!
+//! Determinism contract: all Monte Carlo randomness is drawn from the
+//! scaler's own seeded RNG, so a fixed (seed, ingestion sequence, round
+//! sequence) produces bit-identical plans regardless of how many worker
+//! threads the surrounding fleet uses.
+
+use crate::error::OnlineError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use robustscaler_core::{RobustScalerConfig, RobustScalerPipeline};
+use robustscaler_nhpp::{Forecaster, Intensity, NhppModel, PiecewiseConstantIntensity};
+use robustscaler_scaling::{
+    DecisionConfig, PlannerConfig, PlannerScratch, PlannerState, PlanningRound, SequentialPlanner,
+};
+use robustscaler_timeseries::CountRing;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an [`OnlineScaler`] on top of the offline pipeline
+/// configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// The underlying pipeline configuration (bucket width, variant, ADMM,
+    /// forecast, planner and Monte Carlo settings).
+    pub pipeline: RobustScalerConfig,
+    /// Ring capacity: how many Δt buckets of history are retained and used
+    /// for refits (the rolling training window).
+    pub window_buckets: usize,
+    /// Complete buckets required before the first model fit.
+    pub min_training_buckets: usize,
+    /// Seconds between scheduled rolling refits.
+    pub refit_interval: f64,
+    /// Relative deviation between observed and forecast arrivals (over
+    /// [`OnlineConfig::drift_window`]) that triggers an early refit.
+    pub drift_threshold: f64,
+    /// Seconds of recent history the drift detector compares against the
+    /// forecast.
+    pub drift_window: f64,
+}
+
+impl OnlineConfig {
+    /// Serving defaults on top of a pipeline configuration: a 2-day rolling
+    /// window, first fit after one hour of complete buckets, scheduled
+    /// refits every 30 minutes, drift checked over the trailing 10 minutes.
+    pub fn new(pipeline: RobustScalerConfig) -> Self {
+        Self {
+            pipeline,
+            window_buckets: 2_880,
+            min_training_buckets: 60,
+            refit_interval: 1_800.0,
+            drift_threshold: 0.5,
+            drift_window: 600.0,
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), OnlineError> {
+        self.pipeline.validate()?;
+        if self.min_training_buckets < 10 {
+            return Err(OnlineError::InvalidConfig(
+                "min_training_buckets must be >= 10 (the pipeline's training floor)",
+            ));
+        }
+        if self.window_buckets < self.min_training_buckets {
+            return Err(OnlineError::InvalidConfig(
+                "window_buckets must be >= min_training_buckets",
+            ));
+        }
+        if !(self.refit_interval > 0.0) || !self.refit_interval.is_finite() {
+            return Err(OnlineError::InvalidConfig(
+                "refit_interval must be finite and > 0",
+            ));
+        }
+        if !(self.drift_threshold > 0.0) || !self.drift_threshold.is_finite() {
+            return Err(OnlineError::InvalidConfig(
+                "drift_threshold must be finite and > 0",
+            ));
+        }
+        if !(self.drift_window > 0.0) || !self.drift_window.is_finite() {
+            return Err(OnlineError::InvalidConfig(
+                "drift_window must be finite and > 0",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Serving-loop counters exposed for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    /// Arrivals accepted into the ring.
+    pub arrivals_ingested: u64,
+    /// Arrivals dropped (before the retained window).
+    pub arrivals_dropped: u64,
+    /// Model refits, total (first fit included).
+    pub refits: u64,
+    /// Refits triggered early by drift detection.
+    pub drift_refits: u64,
+    /// Planning rounds that ran the Monte Carlo optimizer.
+    pub planning_rounds: u64,
+    /// Planning rounds skipped by the cheap sufficiency check.
+    pub skipped_rounds: u64,
+    /// Planning rounds that errored (recorded by serving adapters such as
+    /// `OnlinePolicy`, which swallow the error to keep serving but must not
+    /// leave persistent failure invisible).
+    pub failed_rounds: u64,
+}
+
+/// A continuously serving, incrementally refitting scaler for one tenant.
+#[derive(Debug, Clone)]
+pub struct OnlineScaler {
+    config: OnlineConfig,
+    pipeline: RobustScalerPipeline,
+    planner: SequentialPlanner,
+    ring: CountRing,
+    rng: StdRng,
+    scratch: PlannerScratch,
+    forecaster: Option<Forecaster>,
+    cached_forecast: Option<PiecewiseConstantIntensity>,
+    cached_until: f64,
+    last_refit_at: f64,
+    stats: OnlineStats,
+}
+
+impl OnlineScaler {
+    /// Create a scaler whose bucket grid is anchored at `origin` (the
+    /// tenant's serving start time). RNG seeding comes from the pipeline
+    /// configuration's `seed`.
+    pub fn new(config: OnlineConfig, origin: f64) -> Result<Self, OnlineError> {
+        config.validate()?;
+        let pipeline = RobustScalerPipeline::new(config.pipeline)?;
+        let rule = config.pipeline.variant.to_rule(
+            config.pipeline.mean_processing,
+            config.pipeline.pending.mean(),
+        )?;
+        let planner = SequentialPlanner::new(PlannerConfig {
+            decision: DecisionConfig {
+                rule,
+                pending: config.pipeline.pending,
+                monte_carlo_samples: config.pipeline.monte_carlo_samples,
+            },
+            planning_interval: config.pipeline.planning_interval,
+            max_decisions_per_round: config.pipeline.max_decisions_per_round,
+        })?;
+        let ring = CountRing::new(origin, config.pipeline.bucket_width, config.window_buckets)?;
+        Ok(Self {
+            rng: StdRng::seed_from_u64(config.pipeline.seed),
+            config,
+            pipeline,
+            planner,
+            ring,
+            scratch: PlannerScratch::new(),
+            forecaster: None,
+            cached_forecast: None,
+            cached_until: f64::NEG_INFINITY,
+            last_refit_at: f64::NEG_INFINITY,
+            stats: OnlineStats::default(),
+        })
+    }
+
+    /// [`OnlineScaler::new`] with an explicit RNG seed (the fleet derives a
+    /// distinct deterministic seed per tenant).
+    pub fn with_seed(
+        mut config: OnlineConfig,
+        origin: f64,
+        seed: u64,
+    ) -> Result<Self, OnlineError> {
+        config.pipeline.seed = seed;
+        Self::new(config, origin)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Serving-loop counters.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Record that a serving round errored and was skipped by the caller
+    /// (adapters that swallow [`OnlineScaler::plan_round`] errors to keep
+    /// serving call this so the failure stays observable).
+    pub fn record_failed_round(&mut self) {
+        self.stats.failed_rounds += 1;
+    }
+
+    /// The ingestion ring (observability: retained window, drop counters).
+    pub fn ring(&self) -> &CountRing {
+        &self.ring
+    }
+
+    /// Whether a model has been fitted yet.
+    pub fn has_model(&self) -> bool {
+        self.forecaster.is_some()
+    }
+
+    /// The current fitted model, if any.
+    pub fn model(&self) -> Option<&NhppModel> {
+        self.forecaster.as_ref().map(Forecaster::model)
+    }
+
+    /// Ingest one arrival timestamp.
+    pub fn ingest(&mut self, arrival: f64) {
+        if self.ring.observe(arrival) {
+            self.stats.arrivals_ingested += 1;
+        } else {
+            self.stats.arrivals_dropped += 1;
+        }
+    }
+
+    /// Ingest a batch of arrival timestamps.
+    pub fn ingest_batch(&mut self, arrivals: &[f64]) {
+        for &t in arrivals {
+            self.ingest(t);
+        }
+    }
+
+    /// Install an externally fitted model (warm start from persisted state,
+    /// or synthetic models in benches) without consuming ring history.
+    pub fn install_model(&mut self, model: NhppModel, now: f64) -> Result<(), OnlineError> {
+        match &mut self.forecaster {
+            Some(f) => f.refresh(model),
+            None => {
+                self.forecaster = Some(
+                    Forecaster::new(model, self.config.pipeline.forecast)
+                        .map_err(robustscaler_core::CoreError::from)?,
+                );
+            }
+        }
+        self.cached_forecast = None;
+        self.cached_until = f64::NEG_INFINITY;
+        self.last_refit_at = now;
+        Ok(())
+    }
+
+    /// Refit the NHPP from the ring's complete buckets at `now` and swap it
+    /// into the forecaster.
+    pub fn refit_now(&mut self, now: f64) -> Result<(), OnlineError> {
+        self.ring.advance_to(now);
+        let snapshot = self.ring.series_complete(now)?;
+        let trained = self.pipeline.train_on_counts(snapshot)?;
+        match &mut self.forecaster {
+            Some(f) => f.refresh(trained.model),
+            None => self.forecaster = Some(trained.forecaster(self.pipeline.config())?),
+        }
+        self.cached_forecast = None;
+        self.cached_until = f64::NEG_INFINITY;
+        self.last_refit_at = now;
+        self.stats.refits += 1;
+        Ok(())
+    }
+
+    /// Refit if due: first fit once enough complete buckets exist, then on
+    /// the refit schedule, then early when drift is detected. Returns
+    /// whether a refit ran.
+    pub fn maybe_refit(&mut self, now: f64) -> Result<bool, OnlineError> {
+        self.ring.advance_to(now);
+        let complete = self.ring.complete_len(now);
+        if self.forecaster.is_none() {
+            if complete >= self.config.min_training_buckets {
+                self.refit_now(now)?;
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+        if complete >= self.config.min_training_buckets.max(10) {
+            if now - self.last_refit_at >= self.config.refit_interval {
+                self.refit_now(now)?;
+                return Ok(true);
+            }
+            if self.drift_detected(now) {
+                self.refit_now(now)?;
+                self.stats.drift_refits += 1;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Compare observed arrivals over the trailing drift window against the
+    /// forecast's expectation; Poisson noise gets a 3σ allowance so quiet
+    /// tenants don't refit on every planning tick.
+    fn drift_detected(&self, now: f64) -> bool {
+        let Some(forecaster) = &self.forecaster else {
+            return false;
+        };
+        let dt = self.config.pipeline.bucket_width;
+        let hi = self.ring.start() + self.ring.complete_len(now) as f64 * dt;
+        let lo = (now - self.config.drift_window)
+            .max(self.ring.start())
+            .max(forecaster.model().start());
+        if hi - lo < 2.0 * dt {
+            return false;
+        }
+        let observed = self.ring.count_between(lo, hi);
+        let Ok(forecast) = forecaster.forecast(lo, hi - lo) else {
+            return false;
+        };
+        let expected = forecast.integrated(lo, hi);
+        (observed - expected).abs()
+            > self.config.drift_threshold * expected + 3.0 * (expected + 1.0).sqrt()
+    }
+
+    fn refresh_forecast(&mut self, now: f64) -> Result<(), OnlineError> {
+        let forecaster = self.forecaster.as_ref().ok_or(OnlineError::NotTrained)?;
+        let needs_refresh = self.cached_forecast.is_none()
+            || now + self.config.pipeline.planning_interval > self.cached_until;
+        if needs_refresh {
+            let from = now.max(forecaster.model().start());
+            let forecast = forecaster
+                .forecast(from, self.config.pipeline.forecast_horizon)
+                .map_err(robustscaler_core::CoreError::from)?;
+            self.cached_until = from + self.config.pipeline.forecast_horizon;
+            self.cached_forecast = Some(forecast);
+        }
+        Ok(())
+    }
+
+    /// Cheap sufficiency check mirroring the offline policy: skip the Monte
+    /// Carlo planning when the instances already on the way clearly cover
+    /// everything the forecast expects within the window plus startup lead.
+    fn clearly_covered(&self, now: f64, covered: usize) -> bool {
+        let Some(forecast) = &self.cached_forecast else {
+            return false;
+        };
+        let lead = self.config.pipeline.pending.mean().max(1.0);
+        let horizon_end = now + self.config.pipeline.planning_interval + 2.0 * lead;
+        let expected = forecast.integrated(now, horizon_end);
+        let slack = 4.0 * (expected + 1.0).sqrt() + 2.0;
+        (covered as f64) >= expected + slack
+    }
+
+    /// Run one serving round at `now`: advance the ring, refit if due,
+    /// refresh the forecast, and plan the creations that must start within
+    /// the next planning window. `covered` is the number of upcoming
+    /// arrivals already covered by scheduled/pending/ready instances.
+    pub fn plan_round(&mut self, now: f64, covered: usize) -> Result<PlanningRound, OnlineError> {
+        self.maybe_refit(now)?;
+        self.refresh_forecast(now)?;
+        let forecast = self
+            .cached_forecast
+            .as_ref()
+            .expect("refresh_forecast populated the cache");
+        if self.clearly_covered(now, covered) {
+            self.stats.skipped_rounds += 1;
+            let window_end = now + self.config.pipeline.planning_interval;
+            return Ok(PlanningRound {
+                decisions: Vec::new(),
+                expected_arrivals_in_window: forecast.integrated(now, window_end),
+            });
+        }
+        let round = self.planner.plan_window_with(
+            forecast,
+            now,
+            PlannerState { covered },
+            &mut self.rng,
+            &mut self.scratch,
+        )?;
+        self.stats.planning_rounds += 1;
+        Ok(round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustscaler_core::RobustScalerVariant;
+
+    pub(crate) fn fast_config() -> OnlineConfig {
+        let mut pipeline =
+            RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
+                target: 0.9,
+            });
+        pipeline.bucket_width = 10.0;
+        pipeline.periodicity_aggregation = 2;
+        pipeline.admm.max_iterations = 40;
+        pipeline.monte_carlo_samples = 120;
+        pipeline.planning_interval = 20.0;
+        pipeline.mean_processing = 5.0;
+        pipeline.forecast_horizon = 600.0;
+        pipeline.seed = 11;
+        let mut config = OnlineConfig::new(pipeline);
+        config.window_buckets = 360;
+        config.min_training_buckets = 30;
+        config.refit_interval = 600.0;
+        config
+    }
+
+    /// One arrival every `gap` seconds over `[0, duration)`.
+    fn uniform_arrivals(duration: f64, gap: f64) -> Vec<f64> {
+        let n = (duration / gap) as usize;
+        (0..n).map(|i| i as f64 * gap).collect()
+    }
+
+    #[test]
+    fn config_validation_catches_bad_fields() {
+        let base = fast_config();
+        assert!(base.validate().is_ok());
+        let mut c = base;
+        c.min_training_buckets = 5;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.window_buckets = c.min_training_buckets - 1;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.refit_interval = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.drift_threshold = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.drift_window = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn plans_fail_until_enough_history_then_succeed() {
+        let config = fast_config();
+        let mut scaler = OnlineScaler::new(config, 0.0).unwrap();
+        assert!(!scaler.has_model());
+        assert!(matches!(
+            scaler.plan_round(50.0, 0),
+            Err(OnlineError::NotTrained)
+        ));
+        // Ingest 10 minutes of steady traffic (1 query / 5 s): enough for
+        // the 30-bucket (300 s) first fit.
+        scaler.ingest_batch(&uniform_arrivals(600.0, 5.0));
+        let round = scaler.plan_round(600.0, 0).unwrap();
+        assert!(scaler.has_model());
+        assert_eq!(scaler.stats().refits, 1);
+        // 0.2 QPS over a 20 s window: ~4 expected arrivals, all needing
+        // creations (13 s pending lead).
+        assert!((round.expected_arrivals_in_window - 4.0).abs() < 1.0);
+        assert!(!round.decisions.is_empty());
+        assert_eq!(scaler.stats().planning_rounds, 1);
+    }
+
+    #[test]
+    fn scheduled_refits_follow_the_interval() {
+        let config = fast_config();
+        let mut scaler = OnlineScaler::new(config, 0.0).unwrap();
+        scaler.ingest_batch(&uniform_arrivals(2_000.0, 5.0));
+        scaler.plan_round(400.0, 0).unwrap();
+        assert_eq!(scaler.stats().refits, 1);
+        // Within the refit interval: no refit.
+        scaler.plan_round(500.0, 0).unwrap();
+        assert_eq!(scaler.stats().refits, 1);
+        // Past the 600 s interval: scheduled refit.
+        scaler.plan_round(1_100.0, 0).unwrap();
+        assert_eq!(scaler.stats().refits, 2);
+        assert_eq!(scaler.stats().drift_refits, 0);
+    }
+
+    #[test]
+    fn drift_triggers_an_early_refit() {
+        let mut config = fast_config();
+        config.refit_interval = 1e9; // disable scheduled refits
+        config.drift_window = 200.0;
+        let mut scaler = OnlineScaler::new(config, 0.0).unwrap();
+        // Train on quiet traffic (0.2 QPS)...
+        scaler.ingest_batch(&uniform_arrivals(600.0, 5.0));
+        scaler.plan_round(600.0, 0).unwrap();
+        assert_eq!(scaler.stats().refits, 1);
+        // ...then a 10× surge. The drift detector must force a refit.
+        let surge: Vec<f64> = (0..1_000).map(|i| 600.0 + i as f64 * 0.5).collect();
+        scaler.ingest_batch(&surge);
+        scaler.plan_round(1_100.0, 0).unwrap();
+        assert_eq!(scaler.stats().refits, 2);
+        assert_eq!(scaler.stats().drift_refits, 1);
+        // The refreshed forecast tracks the surge level (2 QPS), not the
+        // trained 0.2 QPS.
+        let round = scaler.plan_round(1_120.0, 0).unwrap();
+        assert!(
+            round.expected_arrivals_in_window > 20.0,
+            "expected {} arrivals",
+            round.expected_arrivals_in_window
+        );
+    }
+
+    #[test]
+    fn steady_traffic_does_not_drift_refit() {
+        let mut config = fast_config();
+        config.refit_interval = 1e9;
+        let mut scaler = OnlineScaler::new(config, 0.0).unwrap();
+        scaler.ingest_batch(&uniform_arrivals(3_000.0, 5.0));
+        for round in 0..20 {
+            scaler.plan_round(600.0 + 20.0 * round as f64, 3).unwrap();
+        }
+        assert_eq!(scaler.stats().refits, 1);
+        assert_eq!(scaler.stats().drift_refits, 0);
+    }
+
+    #[test]
+    fn clearly_covered_rounds_skip_the_optimizer() {
+        let config = fast_config();
+        let mut scaler = OnlineScaler::new(config, 0.0).unwrap();
+        scaler.ingest_batch(&uniform_arrivals(600.0, 5.0));
+        // ~12 expected arrivals to the lead horizon; 1000 covered is clearly
+        // enough.
+        let round = scaler.plan_round(600.0, 1_000).unwrap();
+        assert!(round.decisions.is_empty());
+        assert_eq!(scaler.stats().skipped_rounds, 1);
+        assert_eq!(scaler.stats().planning_rounds, 0);
+    }
+
+    #[test]
+    fn fixed_seed_runs_are_deterministic() {
+        let run = || {
+            let mut scaler = OnlineScaler::with_seed(fast_config(), 0.0, 99).unwrap();
+            scaler.ingest_batch(&uniform_arrivals(900.0, 4.0));
+            let mut rounds = Vec::new();
+            for i in 0..5 {
+                rounds.push(scaler.plan_round(900.0 + 20.0 * i as f64, i).unwrap());
+            }
+            rounds
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn install_model_warm_starts_without_history() {
+        let config = fast_config();
+        let mut scaler = OnlineScaler::new(config, 0.0).unwrap();
+        let model = NhppModel::from_log_rates(0.0, 10.0, vec![(0.5_f64).ln(); 60], None).unwrap();
+        scaler.install_model(model, 600.0).unwrap();
+        assert!(scaler.has_model());
+        let round = scaler.plan_round(600.0, 0).unwrap();
+        // 0.5 QPS × 20 s window.
+        assert!((round.expected_arrivals_in_window - 10.0).abs() < 1e-9);
+        assert!(!round.decisions.is_empty());
+        // No ring history was consumed and no counted refit ran.
+        assert_eq!(scaler.stats().refits, 0);
+    }
+}

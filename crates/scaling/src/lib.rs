@@ -38,7 +38,7 @@ pub use decisions::{
 };
 pub use error::ScalingError;
 pub use kappa::{kappa_deterministic_pending, kappa_monte_carlo};
-pub use planner::{PlannerConfig, PlannerState, SequentialPlanner};
+pub use planner::{PlannerConfig, PlannerScratch, PlannerState, PlanningRound, SequentialPlanner};
 pub use qos::{cost, hit, response_time, PendingTimeModel, QosOutcome};
 pub use sort_search::{
     solve_idle_cost_root, solve_idle_cost_root_with, solve_waiting_root, solve_waiting_root_with,

@@ -58,6 +58,26 @@ pub struct PlannerState {
     pub covered: usize,
 }
 
+/// Reusable state threaded through consecutive planning rounds.
+///
+/// A serving process plans every Δ seconds for the lifetime of a tenant;
+/// reallocating the per-decision Monte Carlo buffers each round would undo
+/// the zero-copy work of the decision layer. One `PlannerScratch` per
+/// tenant keeps the [`DecisionScratch`] buffers alive across rounds — they
+/// grow once to the steady-state round size and are then reused
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct PlannerScratch {
+    decision: DecisionScratch,
+}
+
+impl PlannerScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// One round's planning output.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanningRound {
@@ -102,6 +122,24 @@ impl SequentialPlanner {
         I: Intensity + Sync,
         R: Rng + ?Sized,
     {
+        self.plan_window_with(intensity, now, state, rng, &mut PlannerScratch::new())
+    }
+
+    /// [`SequentialPlanner::plan_window`] with caller-provided scratch —
+    /// the resumable entry point for serving loops that plan round after
+    /// round and want the Monte Carlo buffers reused across rounds.
+    pub fn plan_window_with<I, R>(
+        &self,
+        intensity: &I,
+        now: f64,
+        state: PlannerState,
+        rng: &mut R,
+        scratch: &mut PlannerScratch,
+    ) -> Result<PlanningRound, ScalingError>
+    where
+        I: Intensity + Sync,
+        R: Rng + ?Sized,
+    {
         let window_end = now + self.config.planning_interval;
         let expected_in_window = intensity.integrated(now, window_end);
         let max_horizon = state.covered + self.config.max_decisions_per_round;
@@ -130,13 +168,17 @@ impl SequentialPlanner {
             self.config.decision.monte_carlo_samples,
             rng,
         )?;
-        let mut scratch = DecisionScratch::new();
         let mut decisions: Vec<ScalingDecision> = Vec::new();
         let mut index = state.covered + 1;
         'grow: loop {
             while index <= horizon {
-                let decision =
-                    decide_with(&sampler, index, &self.config.decision, rng, &mut scratch)?;
+                let decision = decide_with(
+                    &sampler,
+                    index,
+                    &self.config.decision,
+                    rng,
+                    &mut scratch.decision,
+                )?;
                 if decision.creation_time >= window_end {
                     // Later arrivals only need creations after this window;
                     // leave them to the next planning round.
@@ -283,6 +325,28 @@ mod tests {
             .plan_window(&intensity, 0.0, PlannerState { covered: 0 }, &mut rng)
             .unwrap();
         assert_eq!(round.decisions.len(), 25);
+    }
+
+    #[test]
+    fn scratch_reuse_across_rounds_is_bit_identical_to_fresh_scratch() {
+        let planner = planner(DecisionRule::HittingProbability { alpha: 0.1 }, 10.0);
+        let intensity = flat_intensity(1.5);
+        // Fresh scratch every round vs one scratch threaded through all
+        // rounds: same RNG stream, so the plans must match exactly.
+        let mut fresh_rng = StdRng::seed_from_u64(11);
+        let mut reused_rng = StdRng::seed_from_u64(11);
+        let mut scratch = PlannerScratch::new();
+        for round in 0..5 {
+            let now = 50.0 + 10.0 * round as f64;
+            let state = PlannerState { covered: round };
+            let fresh = planner
+                .plan_window(&intensity, now, state, &mut fresh_rng)
+                .unwrap();
+            let reused = planner
+                .plan_window_with(&intensity, now, state, &mut reused_rng, &mut scratch)
+                .unwrap();
+            assert_eq!(fresh, reused, "round {round}");
+        }
     }
 
     #[test]

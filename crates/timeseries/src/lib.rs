@@ -7,6 +7,8 @@
 //!
 //! * [`series::TimeSeries`] — a regularly spaced series with explicit
 //!   missing-value support, plus aggregation from raw arrival timestamps,
+//! * [`ring::CountRing`] — bounded, incremental count aggregation for the
+//!   online serving layer (`robustscaler-online`),
 //! * [`filters`] — moving averages, rolling medians, Hampel filtering and
 //!   missing-value interpolation,
 //! * [`periodicity`] — a robust autocorrelation-based period detector in the
@@ -24,6 +26,7 @@ pub mod decompose;
 pub mod error;
 pub mod filters;
 pub mod periodicity;
+pub mod ring;
 pub mod series;
 
 pub use anomaly::{detect_anomalies, AnomalyReport};
@@ -32,4 +35,5 @@ pub use error::TimeSeriesError;
 pub use periodicity::{
     detect_period, detect_periods, refine_period, PeriodicityConfig, PeriodicityResult,
 };
+pub use ring::CountRing;
 pub use series::TimeSeries;

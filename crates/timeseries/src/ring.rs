@@ -1,0 +1,409 @@
+//! Ring-buffered incremental count aggregation for online serving.
+//!
+//! The offline pipeline aggregates a whole trace at once with
+//! [`TimeSeries::from_event_times`]. A serving process instead sees arrivals
+//! one at a time and must keep only a bounded training window in memory.
+//! [`CountRing`] is that bounded window: a fixed-capacity ring of per-bucket
+//! arrival counts keyed to absolute time. Observations increment the bucket
+//! containing their timestamp; when the window grows past the capacity the
+//! oldest buckets are evicted. A [`CountRing::series`] snapshot reproduces
+//! *exactly* what batch aggregation over the retained range would have
+//! produced, which is the property the online-equals-batch proptests pin.
+
+use crate::error::TimeSeriesError;
+use crate::series::TimeSeries;
+use std::collections::VecDeque;
+
+/// A fixed-capacity ring of per-bucket arrival counts.
+///
+/// Buckets are aligned to `origin`: bucket `k` covers
+/// `[origin + k·Δt, origin + (k+1)·Δt)`. The ring retains at most
+/// `capacity` consecutive buckets ending at the most recent observation (or
+/// [`CountRing::advance_to`] watermark), evicting from the front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountRing {
+    origin: f64,
+    bucket_width: f64,
+    capacity: usize,
+    /// Absolute index (relative to `origin`) of `counts[0]`.
+    first_bucket: u64,
+    counts: VecDeque<f64>,
+    /// Observations accepted into a retained bucket.
+    observed: u64,
+    /// Observations rejected because they fell before the retained window
+    /// (or before `origin`).
+    dropped: u64,
+    /// Buckets evicted from the front so far.
+    evicted: u64,
+}
+
+impl CountRing {
+    /// Create an empty ring.
+    ///
+    /// `origin` anchors the bucket grid (observations before it are
+    /// dropped), `bucket_width` is the aggregation Δt in seconds, and
+    /// `capacity` the maximum number of retained buckets.
+    pub fn new(origin: f64, bucket_width: f64, capacity: usize) -> Result<Self, TimeSeriesError> {
+        if !(bucket_width > 0.0) || !bucket_width.is_finite() {
+            return Err(TimeSeriesError::InvalidBucketWidth(bucket_width));
+        }
+        if !origin.is_finite() {
+            return Err(TimeSeriesError::InvalidParameter("origin must be finite"));
+        }
+        if capacity == 0 {
+            return Err(TimeSeriesError::InvalidParameter(
+                "ring capacity must be >= 1 bucket",
+            ));
+        }
+        Ok(Self {
+            origin,
+            bucket_width,
+            capacity,
+            first_bucket: 0,
+            counts: VecDeque::with_capacity(capacity.min(1 << 20)),
+            observed: 0,
+            dropped: 0,
+            evicted: 0,
+        })
+    }
+
+    /// The bucket grid anchor.
+    pub fn origin(&self) -> f64 {
+        self.origin
+    }
+
+    /// Aggregation bucket width Δt in seconds.
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
+    }
+
+    /// Maximum number of retained buckets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained buckets.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no bucket has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Left edge of the oldest retained bucket.
+    pub fn start(&self) -> f64 {
+        self.origin + self.first_bucket as f64 * self.bucket_width
+    }
+
+    /// Right edge (exclusive) of the newest retained bucket.
+    pub fn end(&self) -> f64 {
+        self.start() + self.counts.len() as f64 * self.bucket_width
+    }
+
+    /// Observations accepted into a retained bucket so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Observations dropped because they predate the retained window.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Buckets evicted from the front of the ring so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Absolute bucket index containing time `t`, or `None` for `t` before
+    /// the origin or too absurd to index (non-finite, or beyond 2⁵³ buckets
+    /// — a corrupt timestamp, not traffic; indexing it would overflow the
+    /// bucket arithmetic).
+    fn bucket_index(&self, t: f64) -> Option<u64> {
+        if t < self.origin || !t.is_finite() {
+            return None;
+        }
+        let offset = (t - self.origin) / self.bucket_width;
+        if offset >= 9_007_199_254_740_992.0 {
+            return None;
+        }
+        // Matches the cast in `TimeSeries::from_event_times`: a plain
+        // truncating cast of the non-negative offset.
+        Some(offset as u64)
+    }
+
+    /// Materialize (zero-count) buckets so the ring covers `bucket`,
+    /// evicting from the front when the capacity is exceeded.
+    ///
+    /// A forward jump larger than the capacity (an idle tenant waking up
+    /// much later, or a far-future timestamp) replaces the window outright
+    /// in O(capacity) instead of stepping bucket by bucket through the gap.
+    fn grow_to(&mut self, bucket: u64) {
+        if self.counts.is_empty() {
+            // First bucket ever: start the window at `bucket` directly
+            // rather than materializing everything since the origin.
+            self.first_bucket = bucket;
+            self.counts.push_back(0.0);
+        }
+        let end = self.first_bucket + self.counts.len() as u64;
+        if bucket < end {
+            return;
+        }
+        let new_first = bucket - (self.capacity as u64 - 1).min(bucket);
+        if new_first >= end {
+            // The whole retained window (and the gap's virtual buckets) are
+            // evicted; restart the ring at the new window.
+            self.evicted += self.counts.len() as u64 + (new_first - end);
+            self.counts.clear();
+            self.counts.resize((bucket - new_first) as usize + 1, 0.0);
+            self.first_bucket = new_first;
+            return;
+        }
+        while self.first_bucket + (self.counts.len() as u64) <= bucket {
+            self.counts.push_back(0.0);
+            if self.counts.len() > self.capacity {
+                self.counts.pop_front();
+                self.first_bucket += 1;
+                self.evicted += 1;
+            }
+        }
+    }
+
+    /// Record one arrival at time `t`.
+    ///
+    /// Returns `true` when the arrival landed in a retained bucket, `false`
+    /// when it was dropped (before the origin or before the window — e.g. a
+    /// late, out-of-order event older than the retained history).
+    pub fn observe(&mut self, t: f64) -> bool {
+        let Some(bucket) = self.bucket_index(t) else {
+            self.dropped += 1;
+            return false;
+        };
+        if !self.counts.is_empty() && bucket < self.first_bucket {
+            self.dropped += 1;
+            return false;
+        }
+        self.grow_to(bucket);
+        // `grow_to` may still have evicted past `bucket` when the jump
+        // exceeded the capacity; re-check before indexing.
+        if bucket < self.first_bucket {
+            self.dropped += 1;
+            return false;
+        }
+        let offset = (bucket - self.first_bucket) as usize;
+        self.counts[offset] += 1.0;
+        self.observed += 1;
+        true
+    }
+
+    /// Record a batch of arrivals; returns how many were accepted.
+    pub fn observe_batch(&mut self, times: &[f64]) -> usize {
+        times.iter().filter(|&&t| self.observe(t)).count()
+    }
+
+    /// Advance the window so it covers time `t` with (possibly zero-count)
+    /// buckets — bookkeeping for quiet tenants whose ring would otherwise
+    /// stall at their last arrival.
+    pub fn advance_to(&mut self, t: f64) {
+        if let Some(bucket) = self.bucket_index(t) {
+            if self.counts.is_empty() || bucket >= self.first_bucket {
+                self.grow_to(bucket);
+            }
+        }
+    }
+
+    /// Number of retained buckets that are *complete* at time `now` (their
+    /// right edge is at or before `now`) — the prefix safe to train on
+    /// without biasing the newest bucket low.
+    pub fn complete_len(&self, now: f64) -> usize {
+        if self.counts.is_empty() {
+            return 0;
+        }
+        let whole = ((now - self.start()) / self.bucket_width).floor();
+        if whole <= 0.0 {
+            0
+        } else {
+            (whole as usize).min(self.counts.len())
+        }
+    }
+
+    /// Total count across the retained buckets wholly contained in
+    /// `[from, to)` — the drift detector's observed-arrivals query.
+    pub fn count_between(&self, from: f64, to: f64) -> f64 {
+        let start = self.start();
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let left = start + *i as f64 * self.bucket_width;
+                left >= from && left + self.bucket_width <= to
+            })
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Snapshot of all retained buckets as a [`TimeSeries`].
+    ///
+    /// Identical to batch aggregation of the accepted events on the ring's
+    /// origin-anchored bucket grid. (Re-anchoring batch aggregation at
+    /// `self.start()` can bin events that straddle a bucket boundary
+    /// differently due to floating-point rounding; the grid is part of the
+    /// equality contract.)
+    pub fn series(&self) -> Result<TimeSeries, TimeSeriesError> {
+        self.series_prefix(self.counts.len())
+    }
+
+    /// Snapshot of the complete buckets at `now` (see
+    /// [`CountRing::complete_len`]) as a [`TimeSeries`].
+    pub fn series_complete(&self, now: f64) -> Result<TimeSeries, TimeSeriesError> {
+        self.series_prefix(self.complete_len(now))
+    }
+
+    fn series_prefix(&self, buckets: usize) -> Result<TimeSeries, TimeSeriesError> {
+        if buckets == 0 {
+            return Err(TimeSeriesError::InvalidParameter(
+                "ring holds no complete bucket to snapshot",
+            ));
+        }
+        let values: Vec<f64> = self.counts.iter().take(buckets).copied().collect();
+        TimeSeries::from_values(self.start(), self.bucket_width, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(CountRing::new(0.0, 0.0, 10).is_err());
+        assert!(CountRing::new(0.0, -1.0, 10).is_err());
+        assert!(CountRing::new(f64::NAN, 1.0, 10).is_err());
+        assert!(CountRing::new(0.0, 1.0, 0).is_err());
+        assert!(CountRing::new(5.0, 1.0, 3).is_ok());
+    }
+
+    #[test]
+    fn matches_batch_aggregation_exactly() {
+        let events: Vec<f64> = (0..500).map(|i| (i as f64 * 1.37) % 300.0).collect();
+        let mut ring = CountRing::new(0.0, 10.0, 64).unwrap();
+        for &t in &events {
+            ring.observe(t);
+        }
+        let series = ring.series().unwrap();
+        let batch =
+            TimeSeries::from_event_times(&events, series.start(), series.end(), 10.0).unwrap();
+        assert_eq!(series, batch);
+        assert_eq!(ring.observed(), 500);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_the_most_recent_window() {
+        let mut ring = CountRing::new(0.0, 1.0, 4).unwrap();
+        for t in 0..10 {
+            ring.observe(t as f64 + 0.5);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.start(), 6.0);
+        assert_eq!(ring.end(), 10.0);
+        assert_eq!(ring.evicted(), 6);
+        let series = ring.series().unwrap();
+        assert_eq!(series.optional_values().len(), 4);
+        assert!(series.optional_values().iter().all(|v| *v == Some(1.0)));
+        // A late event older than the window is dropped, not misfiled.
+        assert!(!ring.observe(2.0));
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn pre_origin_events_are_dropped() {
+        let mut ring = CountRing::new(100.0, 1.0, 8).unwrap();
+        assert!(!ring.observe(99.9));
+        assert!(ring.observe(100.0));
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.observed(), 1);
+    }
+
+    #[test]
+    fn advance_to_materializes_zero_buckets() {
+        let mut ring = CountRing::new(0.0, 5.0, 100).unwrap();
+        ring.observe(2.0);
+        ring.advance_to(23.0);
+        assert_eq!(ring.len(), 5); // buckets [0,5) .. [20,25)
+        let series = ring.series().unwrap();
+        assert_eq!(series.get(0), Some(1.0));
+        for i in 1..5 {
+            assert_eq!(series.get(i), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn complete_len_excludes_the_partial_bucket() {
+        let mut ring = CountRing::new(0.0, 10.0, 100).unwrap();
+        ring.observe(3.0);
+        ring.observe(17.0);
+        ring.observe(25.0);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.complete_len(25.0), 2);
+        assert_eq!(ring.complete_len(30.0), 3);
+        assert_eq!(ring.complete_len(1.0), 0);
+        let complete = ring.series_complete(25.0).unwrap();
+        assert_eq!(complete.len(), 2);
+        assert!(ring.series_complete(1.0).is_err());
+    }
+
+    #[test]
+    fn count_between_sums_whole_buckets_in_range() {
+        let mut ring = CountRing::new(0.0, 10.0, 100).unwrap();
+        for &t in &[1.0, 2.0, 15.0, 25.0, 26.0, 27.0] {
+            ring.observe(t);
+        }
+        assert_eq!(ring.count_between(0.0, 30.0), 6.0);
+        assert_eq!(ring.count_between(10.0, 30.0), 4.0);
+        // Partially covered buckets are excluded on both sides.
+        assert_eq!(ring.count_between(5.0, 30.0), 4.0);
+        assert_eq!(ring.count_between(10.0, 25.0), 1.0);
+        assert_eq!(ring.count_between(40.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn huge_forward_jump_past_capacity_keeps_a_consistent_window() {
+        let mut ring = CountRing::new(0.0, 1.0, 3).unwrap();
+        ring.observe(0.5);
+        ring.observe(1_000.5);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.start(), 998.0);
+        let series = ring.series().unwrap();
+        assert_eq!(series.get(2), Some(1.0));
+        assert_eq!(ring.observed(), 2);
+    }
+
+    #[test]
+    fn absurd_timestamps_are_dropped_not_indexed() {
+        // A corrupt far-future timestamp must neither hang (stepping through
+        // the gap bucket by bucket) nor overflow the bucket arithmetic.
+        let mut ring = CountRing::new(0.0, 1.0, 4).unwrap();
+        ring.observe(1.5);
+        assert!(!ring.observe(1e30));
+        assert!(!ring.observe(f64::INFINITY));
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.len(), 1);
+        // A large-but-sane jump relocates the window in O(capacity).
+        assert!(ring.observe(5_000_000.5));
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.start(), 4_999_997.0);
+        // Eviction accounting matches what bucket-by-bucket stepping would
+        // have counted: buckets 1..=5_000_000 created, 4 retained.
+        assert_eq!(ring.evicted(), 5_000_000 - 4);
+    }
+
+    #[test]
+    fn empty_ring_snapshot_errors() {
+        let ring = CountRing::new(0.0, 1.0, 3).unwrap();
+        assert!(ring.series().is_err());
+        assert_eq!(ring.complete_len(50.0), 0);
+    }
+}

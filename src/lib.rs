@@ -19,6 +19,7 @@
 //! | [`simulator`] | scaling-per-query event simulator, Backup Pool / AdapBP baselines, metrics |
 //! | [`traces`] | synthetic CRS/Google/Alibaba-like traces and perturbation injectors |
 //! | [`core`] | the end-to-end pipeline and the RobustScaler-HP/-RT/-cost policies |
+//! | [`online`] | online serving: incremental ingestion, drift-triggered refits, multi-tenant fleet, closed-loop harness |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@
 pub use robustscaler_core as core;
 pub use robustscaler_linalg as linalg;
 pub use robustscaler_nhpp as nhpp;
+pub use robustscaler_online as online;
 pub use robustscaler_parallel as parallel;
 pub use robustscaler_scaling as scaling;
 pub use robustscaler_simulator as simulator;

@@ -1,0 +1,158 @@
+//! Property-based tests of the online serving layer: incremental ingestion
+//! must be indistinguishable from batch processing, and fleet output must
+//! not depend on the worker-thread count.
+
+use proptest::prelude::*;
+use robustscaler::core::{RobustScalerConfig, RobustScalerVariant};
+use robustscaler::online::{OnlineConfig, OnlineScaler, TenantFleet};
+use robustscaler::timeseries::{CountRing, TimeSeries};
+
+fn online_config(bucket_width: f64) -> OnlineConfig {
+    let mut pipeline =
+        RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability { target: 0.9 });
+    pipeline.bucket_width = bucket_width;
+    pipeline.periodicity_aggregation = 2;
+    pipeline.admm.max_iterations = 30;
+    pipeline.monte_carlo_samples = 60;
+    pipeline.planning_interval = 20.0;
+    pipeline.mean_processing = 5.0;
+    pipeline.forecast_horizon = 400.0;
+    let mut config = OnlineConfig::new(pipeline);
+    config.window_buckets = 256;
+    config.min_training_buckets = 10;
+    config
+}
+
+/// Strategy: a sorted list of arrival times over [0, 600) plus a chunking
+/// pattern for incremental delivery.
+fn arrivals_and_chunks() -> impl Strategy<Value = (Vec<f64>, Vec<usize>)> {
+    (
+        prop::collection::vec(0.0_f64..600.0, 40..200),
+        prop::collection::vec(1usize..20, 1..40),
+    )
+        .prop_map(|(mut arrivals, chunks)| {
+            arrivals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            (arrivals, chunks)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chunked ring ingestion reproduces batch aggregation exactly.
+    #[test]
+    fn ring_ingestion_equals_batch_aggregation(
+        input in arrivals_and_chunks(),
+        bucket_width in 5.0_f64..30.0,
+    ) {
+        let (arrivals, chunks) = input;
+        let mut ring = CountRing::new(0.0, bucket_width, 512).unwrap();
+        let mut fed = 0;
+        let mut chunk_index = 0;
+        while fed < arrivals.len() {
+            let size = chunks[chunk_index % chunks.len()].min(arrivals.len() - fed);
+            ring.observe_batch(&arrivals[fed..fed + size]);
+            fed += size;
+            chunk_index += 1;
+        }
+        let series = ring.series().unwrap();
+        // Batch reference on the same origin-anchored grid (re-anchoring at
+        // series.start() would bin boundary-straddling events differently
+        // due to floating-point rounding — the grid is part of the
+        // contract).
+        let batch = TimeSeries::from_event_times(&arrivals, 0.0, 600.0, bucket_width).unwrap();
+        let first = (series.start() / bucket_width).round() as usize;
+        prop_assert!(first + series.len() <= batch.len());
+        for i in 0..first {
+            prop_assert_eq!(batch.get(i), Some(0.0));
+        }
+        for i in 0..series.len() {
+            prop_assert_eq!(series.get(i), batch.get(first + i));
+        }
+        prop_assert_eq!(ring.observed() as usize, arrivals.len());
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Incremental ingestion + refit fits the same model as batch training
+    /// on the same prefix of history.
+    #[test]
+    fn incremental_refit_equals_batch_training(
+        input in arrivals_and_chunks(),
+    ) {
+        let (arrivals, chunks) = input;
+        let config = online_config(10.0);
+        let mut scaler = OnlineScaler::new(config, 0.0).unwrap();
+        let mut fed = 0;
+        let mut chunk_index = 0;
+        while fed < arrivals.len() {
+            let size = chunks[chunk_index % chunks.len()].min(arrivals.len() - fed);
+            scaler.ingest_batch(&arrivals[fed..fed + size]);
+            fed += size;
+            chunk_index += 1;
+        }
+        scaler.refit_now(600.0).unwrap();
+        let online_model = scaler.model().expect("fitted").clone();
+
+        // Batch reference: aggregate the same prefix once and train through
+        // the same pipeline entry point.
+        let batch_counts = TimeSeries::from_event_times(
+            &arrivals,
+            online_model.start(),
+            online_model.end(),
+            10.0,
+        )
+        .unwrap();
+        let pipeline = robustscaler::core::RobustScalerPipeline::new(config.pipeline).unwrap();
+        let batch_model = pipeline.train_on_counts(batch_counts).unwrap().model;
+
+        prop_assert_eq!(online_model.log_rates().len(), batch_model.log_rates().len());
+        for (a, b) in online_model
+            .log_rates()
+            .iter()
+            .zip(batch_model.log_rates().iter())
+        {
+            prop_assert!((a - b).abs() < 1e-9, "log-rate {a} vs {b}");
+        }
+        prop_assert_eq!(online_model.period(), batch_model.period());
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A fleet plans identically with 1 worker and with many.
+    #[test]
+    fn fleet_plans_are_worker_count_independent(
+        tenant_count in 2usize..6,
+        base_seed in 0u64..1_000,
+        gaps in prop::collection::vec(3.0_f64..12.0, 2..6),
+        rounds in 1usize..4,
+    ) {
+        let config = online_config(10.0);
+        let run = |workers: usize| {
+            let mut fleet = TenantFleet::new(&config, 0.0, tenant_count, base_seed).unwrap();
+            fleet.set_workers(workers);
+            for index in 0..tenant_count {
+                let gap = gaps[index % gaps.len()];
+                let n = (400.0 / gap) as usize;
+                for k in 0..n {
+                    fleet.ingest(index, k as f64 * gap).unwrap();
+                }
+            }
+            let mut all = Vec::new();
+            for round in 0..rounds {
+                let now = 400.0 + 20.0 * round as f64;
+                all.push(fleet.run_round_uniform(now, round).unwrap());
+            }
+            all
+        };
+        let serial = run(1);
+        prop_assert_eq!(&serial, &run(3));
+        prop_assert_eq!(&serial, &run(8));
+    }
+}
