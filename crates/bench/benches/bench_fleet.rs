@@ -83,5 +83,39 @@ fn bench_fleet_round_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fleet_round, bench_fleet_round_parallel);
+/// Durable-state path: checkpoint (snapshot + serialize + atomic shard
+/// writes) and restore (read + checksum-verify + deserialize + forecast
+/// cache rebuild) of a warm fleet, sharded at the default group size.
+fn bench_fleet_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_checkpoint");
+    group.sample_size(10);
+    let dir = std::env::temp_dir().join(format!("robustscaler-bench-ckpt-{}", std::process::id()));
+    for &tenants in &[100usize, 250] {
+        let mut fleet = build_fleet(tenants, 250);
+        fleet.set_workers(1);
+        // A planned round so snapshots carry live RNG/cache state, as in
+        // production — an idle fleet would checkpoint unrealistically fast.
+        fleet
+            .run_round_uniform(86_400.0, 0)
+            .expect("round succeeds");
+        group.bench_with_input(BenchmarkId::new("write", tenants), &tenants, |b, _| {
+            b.iter(|| fleet.checkpoint(&dir).expect("checkpoint succeeds"));
+        });
+        fleet.checkpoint(&dir).expect("checkpoint succeeds");
+        let config = fleet.tenant(0).expect("tenant 0").scaler.config();
+        let config = *config;
+        group.bench_with_input(BenchmarkId::new("restore", tenants), &tenants, |b, _| {
+            b.iter(|| TenantFleet::restore(&dir, &config).expect("restore succeeds"));
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fleet_round,
+    bench_fleet_round_parallel,
+    bench_fleet_checkpoint
+);
 criterion_main!(benches);

@@ -1,10 +1,21 @@
-//! Multi-tenant fleet serving demo: rounds/sec at fleet scale.
+//! Multi-tenant fleet serving demo: rounds/sec at fleet scale, plus durable
+//! checkpoint/restore.
 //!
 //! Builds a [`TenantFleet`] of N independent tenants (each with its own
 //! model, ring and RNG), runs a stretch of planning rounds, and reports the
 //! sustained planning throughput — total rounds/sec and tenant-rounds/sec —
 //! for the serial (1 worker) and parallel (all cores) cases, plus a
 //! determinism check that the two produce identical plans.
+//!
+//! Flags:
+//!
+//! * `--checkpoint-dir <dir>` — checkpoint the fleet mid-run, restore it
+//!   into a fresh fleet, and verify the restored fleet's remaining rounds
+//!   are bit-identical to the uninterrupted run (the checkpoint stays on
+//!   disk for a later `--restore`);
+//! * `--restore` — start from the checkpoint in `--checkpoint-dir` instead
+//!   of building a warm fleet;
+//! * `--json <path>` — dump the run report as JSON.
 //!
 //! Environment knobs: `FLEET_TENANTS` (default 250), `FLEET_ROUNDS`
 //! (default 20), `FLEET_SAMPLES` (Monte Carlo R, default 250).
@@ -13,6 +24,7 @@ use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
 use robustscaler_nhpp::NhppModel;
 use robustscaler_online::{OnlineConfig, TenantFleet};
 use robustscaler_parallel::available_threads;
+use serde::Serialize;
 use std::time::Instant;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -22,16 +34,53 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// A fleet whose tenants are warm-started with a diurnal-ish model so every
-/// round exercises the full forecast → plan path without paying ADMM
-/// training inside the timed loop.
-fn build_fleet(tenants: usize, samples: usize, seed: u64) -> TenantFleet {
+/// One timed stretch of rounds.
+#[derive(Debug, Clone, Serialize)]
+struct RunReport {
+    workers: usize,
+    wall_secs: f64,
+    tenant_rounds_per_sec: f64,
+    decisions: usize,
+}
+
+/// Checkpoint/restore measurements and the kill-and-restore verdict.
+#[derive(Debug, Clone, Serialize)]
+struct CheckpointReport {
+    dir: String,
+    generation: u64,
+    shards: usize,
+    tenant_count: usize,
+    write_secs: f64,
+    restore_secs: f64,
+    identical_after_restore: bool,
+}
+
+/// The demo's full JSON report (`--json <path>`).
+#[derive(Debug, Clone, Serialize)]
+struct DemoReport {
+    tenants: usize,
+    rounds: usize,
+    monte_carlo_samples: usize,
+    restored_from_checkpoint: bool,
+    runs: Vec<RunReport>,
+    determinism_across_workers: bool,
+    checkpoint: Option<CheckpointReport>,
+}
+
+fn fleet_config(samples: usize) -> OnlineConfig {
     let mut pipeline =
         RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability { target: 0.9 });
     pipeline.planning_interval = 10.0;
     pipeline.monte_carlo_samples = samples;
     pipeline.mean_processing = 20.0;
-    let config = OnlineConfig::new(pipeline);
+    OnlineConfig::new(pipeline)
+}
+
+/// A fleet whose tenants are warm-started with a diurnal-ish model so every
+/// round exercises the full forecast → plan path without paying ADMM
+/// training inside the timed loop.
+fn build_fleet(tenants: usize, samples: usize, seed: u64) -> TenantFleet {
+    let config = fleet_config(samples);
     let mut fleet = TenantFleet::new(&config, 0.0, tenants, seed).expect("valid fleet");
     for index in 0..tenants {
         // Tenant traffic levels spread over [0.5, 2.5] QPS with a mild
@@ -52,12 +101,19 @@ fn build_fleet(tenants: usize, samples: usize, seed: u64) -> TenantFleet {
     fleet
 }
 
-fn run_rounds(fleet: &mut TenantFleet, rounds: usize) -> (f64, usize, Vec<Vec<f64>>) {
+/// Run `rounds` planning rounds starting at round index `first_round`,
+/// returning (wall seconds, decision count, per-round first-creation
+/// fingerprints for determinism comparison).
+fn run_rounds(
+    fleet: &mut TenantFleet,
+    first_round: usize,
+    rounds: usize,
+) -> (f64, usize, Vec<Vec<f64>>) {
     let interval = 10.0;
     let mut decisions = 0usize;
     let mut plans = Vec::with_capacity(rounds);
     let started = Instant::now();
-    for round in 0..rounds {
+    for round in first_round..first_round + rounds {
         let now = 86_400.0 + interval * round as f64;
         let round_plans: Vec<_> = fleet
             .run_round_uniform(now, round % 3)
@@ -76,23 +132,97 @@ fn run_rounds(fleet: &mut TenantFleet, rounds: usize) -> (f64, usize, Vec<Vec<f6
     (started.elapsed().as_secs_f64(), decisions, plans)
 }
 
+fn plans_equal(a: &[Vec<f64>], b: &[Vec<f64>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|(x, y)| {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|(p, q)| (p.is_nan() && q.is_nan()) || p == q)
+        })
+}
+
+/// Kill-and-restore check: checkpoint `fleet` to `dir`, restore a fresh
+/// fleet from disk, run the same remaining rounds on both, and compare.
+fn checkpoint_and_verify(
+    fleet: &mut TenantFleet,
+    config: &OnlineConfig,
+    dir: &str,
+    first_round: usize,
+    rounds: usize,
+) -> CheckpointReport {
+    let started = Instant::now();
+    let manifest = fleet.checkpoint(dir).expect("checkpoint succeeds");
+    let write_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let mut restored = TenantFleet::restore(dir, config).expect("restore succeeds");
+    let restore_secs = started.elapsed().as_secs_f64();
+    let (_, _, live_plans) = run_rounds(fleet, first_round, rounds);
+    let (_, _, restored_plans) = run_rounds(&mut restored, first_round, rounds);
+    CheckpointReport {
+        dir: dir.to_string(),
+        generation: manifest.generation,
+        shards: manifest.shards.len(),
+        tenant_count: manifest.tenant_count,
+        write_secs,
+        restore_secs,
+        identical_after_restore: plans_equal(&live_plans, &restored_plans),
+    }
+}
+
 fn main() {
     let tenants = env_usize("FLEET_TENANTS", 250);
     let rounds = env_usize("FLEET_ROUNDS", 20);
     let samples = env_usize("FLEET_SAMPLES", 250);
     let cores = available_threads();
+
+    let mut checkpoint_dir: Option<String> = None;
+    let mut restore = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(args.next().expect("--checkpoint-dir needs a path"));
+            }
+            "--restore" => restore = true,
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            other => {
+                eprintln!("unknown flag `{other}` (expected --checkpoint-dir/--restore/--json)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if restore && checkpoint_dir.is_none() {
+        eprintln!("--restore requires --checkpoint-dir");
+        std::process::exit(2);
+    }
+
+    let config = fleet_config(samples);
     println!(
         "Fleet serving demo — {tenants} tenants, {rounds} rounds, R = {samples}, {cores} core(s)"
     );
 
-    let mut serial_fleet = build_fleet(tenants, samples, 7);
-    serial_fleet.set_workers(1);
-    let (serial_secs, serial_decisions, serial_plans) = run_rounds(&mut serial_fleet, rounds);
+    let build = |seed: u64| -> TenantFleet {
+        if restore {
+            let dir = checkpoint_dir.as_deref().expect("checked above");
+            let fleet = TenantFleet::restore(dir, &config).expect("restore succeeds");
+            println!("restored {} tenants from {dir}", fleet.len());
+            fleet
+        } else {
+            build_fleet(tenants, samples, seed)
+        }
+    };
 
-    let mut parallel_fleet = build_fleet(tenants, samples, 7);
+    let mut serial_fleet = build(7);
+    let tenants = serial_fleet.len();
+    serial_fleet.set_workers(1);
+    let (serial_secs, serial_decisions, serial_plans) = run_rounds(&mut serial_fleet, 0, rounds);
+
+    let mut parallel_fleet = build(7);
     parallel_fleet.set_workers(cores);
     let (parallel_secs, parallel_decisions, parallel_plans) =
-        run_rounds(&mut parallel_fleet, rounds);
+        run_rounds(&mut parallel_fleet, 0, rounds);
 
     let tenant_rounds = (tenants * rounds) as f64;
     println!(
@@ -114,20 +244,67 @@ fn main() {
         parallel_decisions
     );
 
-    let identical = serial_decisions == parallel_decisions
-        && serial_plans
-            .iter()
-            .zip(parallel_plans.iter())
-            .all(|(a, b)| {
-                a.iter()
-                    .zip(b.iter())
-                    .all(|(x, y)| (x.is_nan() && y.is_nan()) || x == y)
-            });
+    let identical =
+        serial_decisions == parallel_decisions && plans_equal(&serial_plans, &parallel_plans);
     println!(
         "\ndeterminism across worker counts: {}",
         if identical { "IDENTICAL" } else { "MISMATCH" }
     );
-    if !identical {
+
+    // Kill-and-restore: checkpoint the parallel fleet after its timed
+    // stretch, restore from disk, and verify the next rounds match the
+    // fleet that never stopped.
+    let checkpoint = checkpoint_dir.as_deref().map(|dir| {
+        let report = checkpoint_and_verify(&mut parallel_fleet, &config, dir, rounds, 3);
+        println!(
+            "checkpoint: gen {} ({} shards, {} tenants) written in {:.3} s, \
+             restored in {:.3} s — continuation {}",
+            report.generation,
+            report.shards,
+            report.tenant_count,
+            report.write_secs,
+            report.restore_secs,
+            if report.identical_after_restore {
+                "IDENTICAL"
+            } else {
+                "MISMATCH"
+            }
+        );
+        report
+    });
+    let checkpoint_ok = checkpoint
+        .as_ref()
+        .is_none_or(|c| c.identical_after_restore);
+
+    if let Some(path) = json_path {
+        let report = DemoReport {
+            tenants,
+            rounds,
+            monte_carlo_samples: samples,
+            restored_from_checkpoint: restore,
+            runs: vec![
+                RunReport {
+                    workers: 1,
+                    wall_secs: serial_secs,
+                    tenant_rounds_per_sec: tenant_rounds / serial_secs,
+                    decisions: serial_decisions,
+                },
+                RunReport {
+                    workers: cores,
+                    wall_secs: parallel_secs,
+                    tenant_rounds_per_sec: tenant_rounds / parallel_secs,
+                    decisions: parallel_decisions,
+                },
+            ],
+            determinism_across_workers: identical,
+            checkpoint,
+        };
+        let json = serde_json::to_string(&report).expect("serializable report");
+        std::fs::write(&path, json).expect("writable json path");
+        println!("report written to {path}");
+    }
+
+    if !identical || !checkpoint_ok {
         std::process::exit(1);
     }
 }

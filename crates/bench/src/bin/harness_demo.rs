@@ -1,0 +1,113 @@
+//! Closed-loop harness demo: replay a synthetic diurnal trace through the
+//! full online serving loop (ingest → drift check → refit → plan →
+//! simulated cluster) and report the paper's metrics.
+//!
+//! Flags:
+//!
+//! * `--restart-dir <dir>` — kill-and-restore replay: the serving process
+//!   "dies" at the warm-up boundary, is checkpointed to `<dir>`, restored
+//!   from disk, and must produce a bit-identical report to the
+//!   uninterrupted run (the binary verifies this and fails on mismatch);
+//! * `--json <path>` — dump the [`HarnessReport`] as JSON.
+//!
+//! Environment knobs: `HARNESS_HOURS` (trace length, default 6),
+//! `HARNESS_SCALE` (traffic scale, default 0.5).
+
+use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
+use robustscaler_online::{
+    run_closed_loop, run_closed_loop_with_restart, HarnessConfig, HarnessReport, OnlineConfig,
+};
+use robustscaler_simulator::{PendingTimeDistribution, SimulationConfig};
+use robustscaler_traces::{google_like, ProcessingTimeModel, TraceConfig};
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn print_report(report: &HarnessReport) {
+    println!("policy:         {}", report.policy);
+    println!("queries:        {}", report.queries);
+    println!("hit rate:       {:.4}", report.hit_rate);
+    println!("rt_avg:         {:.3} s", report.rt_avg);
+    println!("relative cost:  {:.3}", report.relative_cost);
+    println!(
+        "serving:        {} refits ({} drift), {} planned / {} skipped / {} failed rounds",
+        report.stats.refits,
+        report.stats.drift_refits,
+        report.stats.planning_rounds,
+        report.stats.skipped_rounds,
+        report.stats.failed_rounds
+    );
+}
+
+fn main() {
+    let mut restart_dir: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--restart-dir" => {
+                restart_dir = Some(args.next().expect("--restart-dir needs a path"));
+            }
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            other => {
+                eprintln!("unknown flag `{other}` (expected --restart-dir/--json)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let hours = env_f64("HARNESS_HOURS", 6.0);
+    let trace = google_like(&TraceConfig {
+        duration: hours * 3_600.0,
+        traffic_scale: env_f64("HARNESS_SCALE", 0.5),
+        processing: ProcessingTimeModel::Exponential { mean: 20.0 },
+        seed: 424_242,
+    });
+
+    let mut pipeline =
+        RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability { target: 0.9 });
+    pipeline.mean_processing = 20.0;
+    pipeline.monte_carlo_samples = 300;
+    pipeline.planning_interval = 10.0;
+    pipeline.admm.max_iterations = 80;
+    pipeline.seed = 7;
+    let config = HarnessConfig {
+        online: OnlineConfig::new(pipeline),
+        sim: SimulationConfig {
+            pending: PendingTimeDistribution::Deterministic(13.0),
+            seed: 9,
+            recent_history_window: 600.0,
+        },
+        warmup: (hours / 2.0) * 3_600.0,
+    };
+
+    println!(
+        "Closed-loop harness — {hours} h trace, {} h warm-up",
+        hours / 2.0
+    );
+    let (report, _) = run_closed_loop(&trace, &config).expect("closed loop runs");
+    print_report(&report);
+
+    if let Some(dir) = restart_dir {
+        let (restarted, _) =
+            run_closed_loop_with_restart(&trace, &config, &dir).expect("restart replay runs");
+        let identical = restarted == report;
+        println!(
+            "\nkill-and-restore replay via {dir}: {}",
+            if identical { "IDENTICAL" } else { "MISMATCH" }
+        );
+        if !identical {
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string(&report).expect("serializable report");
+        std::fs::write(&path, json).expect("writable json path");
+        println!("report written to {path}");
+    }
+}

@@ -23,6 +23,13 @@ pub enum NhppError {
         /// Final primal residual.
         residual: f64,
     },
+    /// A snapshot carries a format version this build does not understand.
+    UnsupportedSnapshotVersion {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
     /// A query was made outside the model's defined time range.
     OutOfRange {
         /// The offending time.
@@ -48,6 +55,12 @@ impl fmt::Display for NhppError {
                 f,
                 "ADMM did not converge after {iterations} iterations (residual {residual:e})"
             ),
+            NhppError::UnsupportedSnapshotVersion { found, supported } => {
+                write!(
+                    f,
+                    "forecaster snapshot version {found} not supported (this build reads <= {supported})"
+                )
+            }
             NhppError::OutOfRange { time, start, end } => {
                 write!(f, "time {time} outside the model range [{start}, {end})")
             }

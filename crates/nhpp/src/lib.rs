@@ -33,7 +33,7 @@ pub mod sampling;
 
 pub use admm::{AdmmConfig, AdmmReport, AdmmSolver};
 pub use error::NhppError;
-pub use forecast::{ForecastConfig, Forecaster};
+pub use forecast::{ForecastConfig, Forecaster, ForecasterSnapshot, FORECASTER_SNAPSHOT_VERSION};
 pub use intensity::{
     ClosedFormIntensity, Intensity, InverseCursor, InverseHint, PiecewiseConstantIntensity,
 };

@@ -1,0 +1,493 @@
+//! Durable, sharded fleet checkpoints: crash-safe snapshot/restore for the
+//! online serving layer.
+//!
+//! A fleet process restart used to lose every tenant's training window and
+//! force cold refits. This module persists the fleet's full serving state —
+//! each tenant's [`ScalerSnapshot`] — to a
+//! directory of per-tenant-group shard files plus a manifest, with three
+//! guarantees:
+//!
+//! * **Crash safety.** Every checkpoint is written into a fresh generation
+//!   subdirectory and only becomes current when `manifest.json` is swapped
+//!   in via an atomic temp-file + rename. A crash at any point mid-write
+//!   leaves the previous checkpoint fully intact and loadable.
+//! * **Corruption detection.** The manifest records an FNV-1a content
+//!   checksum per shard. A truncated or bit-flipped shard fails its load
+//!   with a checksum error *naming the shard*; other shards stay loadable —
+//!   a corrupt file can never silently zero a tenant.
+//! * **Bit-identical resume.** Restoring a checkpoint reproduces every
+//!   tenant's ring, model, RNG stream position, counters and refit
+//!   deadlines exactly, so a restored fleet's plans are bit-identical to a
+//!   fleet that never stopped (pinned by `tests/persistence.rs`).
+//!
+//! On-disk layout under the checkpoint directory:
+//!
+//! ```text
+//! manifest.json               # swap point: {version, generation, shards}
+//! gen-000003/shard-0000.json  # Vec<TenantSnapshot> for tenant group 0
+//! gen-000003/shard-0001.json  # ...
+//! ```
+
+use crate::error::OnlineError;
+use crate::scaler::ScalerSnapshot;
+use robustscaler_parallel::parallel_map;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Checkpoint format version recorded in the manifest; bump on any change
+/// to the manifest or shard layout and keep [`CheckpointStore::read_manifest`]
+/// able to read every version still deployed.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// Default number of tenants per shard file.
+pub const DEFAULT_TENANTS_PER_SHARD: usize = 64;
+
+/// One tenant's persisted state: its stable id plus the scaler snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// Stable tenant identifier.
+    pub id: u64,
+    /// The tenant's full serving state.
+    pub scaler: ScalerSnapshot,
+}
+
+/// Manifest entry for one shard file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardEntry {
+    /// Shard file path relative to the checkpoint directory.
+    pub file: String,
+    /// Number of tenants stored in the shard.
+    pub tenants: usize,
+    /// FNV-1a 64-bit checksum of the shard file's bytes, lowercase hex.
+    pub checksum: String,
+}
+
+/// The checkpoint manifest: the single swap point that makes a generation
+/// current.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Checkpoint format version ([`CHECKPOINT_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Monotonic checkpoint generation; generation `N` lives in `gen-{N}/`.
+    pub generation: u64,
+    /// Total tenants across all shards.
+    pub tenant_count: usize,
+    /// The shard files of this generation, in tenant order.
+    pub shards: Vec<ShardEntry>,
+}
+
+/// FNV-1a 64-bit hash — small, dependency-free, and plenty for detecting
+/// truncation and bit rot in shard files (not a cryptographic integrity
+/// guarantee).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn io_err(context: &str, e: &std::io::Error) -> OnlineError {
+    OnlineError::Checkpoint {
+        shard: None,
+        message: format!("{context}: {e}"),
+    }
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename. A crash mid-write leaves either the old file or no file —
+/// never a torn one.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), OnlineError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut file =
+        fs::File::create(&tmp).map_err(|e| io_err(&format!("create {}", tmp.display()), &e))?;
+    file.write_all(bytes)
+        .map_err(|e| io_err(&format!("write {}", tmp.display()), &e))?;
+    file.sync_all()
+        .map_err(|e| io_err(&format!("sync {}", tmp.display()), &e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| {
+        io_err(
+            &format!("rename {} -> {}", tmp.display(), path.display()),
+            &e,
+        )
+    })
+}
+
+/// Fsync a directory so renames/creates inside it are durable — the file
+/// fsync in [`write_atomic`] persists *contents*, but the directory entry
+/// created by the rename lives in the directory and needs its own sync for
+/// power-loss safety.
+fn sync_dir(dir: &Path) -> Result<(), OnlineError> {
+    let handle =
+        fs::File::open(dir).map_err(|e| io_err(&format!("open dir {}", dir.display()), &e))?;
+    handle
+        .sync_all()
+        .map_err(|e| io_err(&format!("sync dir {}", dir.display()), &e))
+}
+
+/// A checkpoint directory: one manifest plus generation subdirectories of
+/// shard files.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (or designate) a checkpoint directory. The directory is created
+    /// on first write, not here.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    /// Whether a current checkpoint (a manifest) exists.
+    pub fn exists(&self) -> bool {
+        self.manifest_path().is_file()
+    }
+
+    /// Read and validate the current manifest.
+    pub fn read_manifest(&self) -> Result<Manifest, OnlineError> {
+        let path = self.manifest_path();
+        let text = fs::read_to_string(&path)
+            .map_err(|e| io_err(&format!("read {}", path.display()), &e))?;
+        let manifest: Manifest =
+            serde_json::from_str(&text).map_err(|e| OnlineError::Checkpoint {
+                shard: None,
+                message: format!("manifest parse failure: {e}"),
+            })?;
+        if manifest.version != CHECKPOINT_FORMAT_VERSION {
+            return Err(OnlineError::UnsupportedSnapshotVersion {
+                found: manifest.version,
+                supported: CHECKPOINT_FORMAT_VERSION,
+            });
+        }
+        let shard_total: usize = manifest.shards.iter().map(|s| s.tenants).sum();
+        if shard_total != manifest.tenant_count {
+            return Err(OnlineError::Checkpoint {
+                shard: None,
+                message: format!(
+                    "manifest tenant count {} disagrees with shard totals {}",
+                    manifest.tenant_count, shard_total
+                ),
+            });
+        }
+        Ok(manifest)
+    }
+
+    /// Write a new checkpoint generation holding `snapshots`, sharded into
+    /// groups of `tenants_per_shard`, serializing shards across up to
+    /// `workers` threads. Returns the manifest that became current.
+    ///
+    /// The previous generation stays intact (and current) until the final
+    /// manifest rename; its files are deleted only after the swap succeeds.
+    pub fn write(
+        &self,
+        snapshots: &[TenantSnapshot],
+        tenants_per_shard: usize,
+        workers: usize,
+    ) -> Result<Manifest, OnlineError> {
+        if snapshots.is_empty() {
+            return Err(OnlineError::InvalidConfig(
+                "cannot checkpoint an empty tenant set",
+            ));
+        }
+        let tenants_per_shard = tenants_per_shard.max(1);
+        fs::create_dir_all(&self.dir)
+            .map_err(|e| io_err(&format!("create {}", self.dir.display()), &e))?;
+        // No manifest at all → first generation. An *unreadable* or
+        // unsupported manifest must fail the write instead: silently
+        // restarting at generation 1 would break the documented
+        // monotonicity, and an old binary would clobber a newer-format
+        // checkpoint rather than failing loudly.
+        let generation = if self.exists() {
+            self.read_manifest()?.generation + 1
+        } else {
+            1
+        };
+        let gen_name = format!("gen-{generation:06}");
+        let gen_dir = self.dir.join(&gen_name);
+        // Clear remnants of a crashed write that reached this generation
+        // number but never swapped its manifest in.
+        if gen_dir.exists() {
+            fs::remove_dir_all(&gen_dir)
+                .map_err(|e| io_err(&format!("clear stale {}", gen_dir.display()), &e))?;
+        }
+        fs::create_dir_all(&gen_dir)
+            .map_err(|e| io_err(&format!("create {}", gen_dir.display()), &e))?;
+
+        let groups: Vec<(usize, &[TenantSnapshot])> =
+            snapshots.chunks(tenants_per_shard).enumerate().collect();
+        let shard_results: Vec<Result<ShardEntry, OnlineError>> =
+            parallel_map(&groups, workers, |(group, chunk)| {
+                let file = format!("{gen_name}/shard-{group:04}.json");
+                let json = serde_json::to_string(chunk).map_err(|e| OnlineError::Checkpoint {
+                    shard: Some(file.clone()),
+                    message: format!("serialize failure: {e}"),
+                })?;
+                let bytes = json.as_bytes();
+                let checksum = format!("{:016x}", fnv1a64(bytes));
+                write_atomic(&self.dir.join(&file), bytes)?;
+                Ok(ShardEntry {
+                    file,
+                    tenants: chunk.len(),
+                    checksum,
+                })
+            });
+        let shards = shard_results
+            .into_iter()
+            .collect::<Result<Vec<_>, OnlineError>>()?;
+
+        let manifest = Manifest {
+            version: CHECKPOINT_FORMAT_VERSION,
+            generation,
+            tenant_count: snapshots.len(),
+            shards,
+        };
+        let manifest_json =
+            serde_json::to_string(&manifest).map_err(|e| OnlineError::Checkpoint {
+                shard: None,
+                message: format!("manifest serialize failure: {e}"),
+            })?;
+        // Durability ordering for power-loss safety: persist the shard
+        // directory entries, then the manifest swap, and only then delete
+        // the old generation. Without the directory fsyncs, the old
+        // generation's unlinks could become durable before the new
+        // manifest's rename, leaving the on-disk manifest pointing at
+        // deleted shards after a crash.
+        sync_dir(&gen_dir)?;
+        write_atomic(&self.manifest_path(), manifest_json.as_bytes())?;
+        sync_dir(&self.dir)?;
+        self.sweep_old_generations(&gen_name);
+        Ok(manifest)
+    }
+
+    /// Best-effort removal of generation directories other than `keep` —
+    /// they are no longer referenced once the manifest swap succeeded, and
+    /// a failure to delete them only wastes disk, never correctness.
+    fn sweep_old_generations(&self, keep: &str) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("gen-") && name != keep {
+                let _ = fs::remove_dir_all(entry.path());
+            }
+        }
+    }
+
+    /// Load one shard, verifying its checksum before parsing. Every failure
+    /// is scoped to the shard's file name.
+    pub fn load_shard(&self, entry: &ShardEntry) -> Result<Vec<TenantSnapshot>, OnlineError> {
+        let shard_err = |message: String| OnlineError::Checkpoint {
+            shard: Some(entry.file.clone()),
+            message,
+        };
+        let path = self.dir.join(&entry.file);
+        let bytes = fs::read(&path).map_err(|e| shard_err(format!("read failure: {e}")))?;
+        let computed = format!("{:016x}", fnv1a64(&bytes));
+        if computed != entry.checksum {
+            return Err(shard_err(format!(
+                "checksum mismatch: manifest says {}, file hashes to {computed} \
+                 (truncated or corrupt shard)",
+                entry.checksum
+            )));
+        }
+        let text =
+            std::str::from_utf8(&bytes).map_err(|e| shard_err(format!("invalid UTF-8: {e}")))?;
+        let snapshots: Vec<TenantSnapshot> =
+            serde_json::from_str(text).map_err(|e| shard_err(format!("parse failure: {e}")))?;
+        if snapshots.len() != entry.tenants {
+            return Err(shard_err(format!(
+                "shard holds {} tenants, manifest says {}",
+                snapshots.len(),
+                entry.tenants
+            )));
+        }
+        Ok(snapshots)
+    }
+
+    /// Load every shard of the current manifest across up to `workers`
+    /// threads, returning one `Result` per shard (in manifest order) so a
+    /// corrupt shard leaves the others loadable and attributable.
+    #[allow(clippy::type_complexity)]
+    pub fn load_shards(
+        &self,
+        workers: usize,
+    ) -> Result<(Manifest, Vec<Result<Vec<TenantSnapshot>, OnlineError>>), OnlineError> {
+        let manifest = self.read_manifest()?;
+        let results = parallel_map(&manifest.shards, workers, |entry| self.load_shard(entry));
+        Ok((manifest, results))
+    }
+
+    /// Load the complete checkpoint: every tenant of every shard, in tenant
+    /// order. The first shard failure aborts the load with an error naming
+    /// that shard.
+    pub fn load(&self, workers: usize) -> Result<Vec<TenantSnapshot>, OnlineError> {
+        let (manifest, per_shard) = self.load_shards(workers)?;
+        let mut all = Vec::with_capacity(manifest.tenant_count);
+        for result in per_shard {
+            all.extend(result?);
+        }
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaler::tests::fast_config;
+    use crate::scaler::OnlineScaler;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("robustscaler-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn some_snapshots(n: u64) -> Vec<TenantSnapshot> {
+        (0..n)
+            .map(|id| {
+                let mut scaler = OnlineScaler::with_seed(fast_config(), 0.0, 1000 + id).unwrap();
+                let arrivals: Vec<f64> = (0..200).map(|i| i as f64 * 3.0).collect();
+                scaler.ingest_batch(&arrivals);
+                scaler.plan_round(600.0, 0).unwrap();
+                TenantSnapshot {
+                    id,
+                    scaler: scaler.snapshot(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_read_round_trip_with_sharding() {
+        let dir = temp_dir("roundtrip");
+        let store = CheckpointStore::new(&dir);
+        assert!(!store.exists());
+        let snapshots = some_snapshots(5);
+        let manifest = store.write(&snapshots, 2, 2).unwrap();
+        assert!(store.exists());
+        assert_eq!(manifest.generation, 1);
+        assert_eq!(manifest.tenant_count, 5);
+        assert_eq!(manifest.shards.len(), 3); // 2 + 2 + 1
+        let loaded = store.load(3).unwrap();
+        assert_eq!(loaded, snapshots);
+        // A second write bumps the generation and sweeps the old one.
+        let manifest2 = store.write(&snapshots, 2, 1).unwrap();
+        assert_eq!(manifest2.generation, 2);
+        assert!(!dir.join("gen-000001").exists());
+        assert_eq!(store.load(1).unwrap(), snapshots);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_shard_is_detected_and_named_others_loadable() {
+        let dir = temp_dir("corrupt");
+        let store = CheckpointStore::new(&dir);
+        let snapshots = some_snapshots(4);
+        let manifest = store.write(&snapshots, 2, 1).unwrap();
+        // Truncate the first shard.
+        let victim = dir.join(&manifest.shards[0].file);
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        let (_, per_shard) = store.load_shards(2).unwrap();
+        match &per_shard[0] {
+            Err(OnlineError::Checkpoint {
+                shard: Some(shard),
+                message,
+            }) => {
+                assert_eq!(shard, &manifest.shards[0].file);
+                assert!(message.contains("checksum mismatch"), "{message}");
+            }
+            other => panic!("expected a checksum error, got {other:?}"),
+        }
+        // The untouched shard still loads.
+        assert_eq!(per_shard[1].as_ref().unwrap().len(), 2);
+        // And the all-or-nothing load names the bad shard.
+        let err = store.load(2).unwrap_err();
+        assert!(err.to_string().contains(&manifest.shards[0].file));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_version_and_consistency_are_checked() {
+        let dir = temp_dir("manifest");
+        let store = CheckpointStore::new(&dir);
+        let snapshots = some_snapshots(2);
+        store.write(&snapshots, 8, 1).unwrap();
+        let mut manifest = store.read_manifest().unwrap();
+        manifest.version += 1;
+        write_atomic(
+            &dir.join("manifest.json"),
+            serde_json::to_string(&manifest).unwrap().as_bytes(),
+        )
+        .unwrap();
+        assert!(matches!(
+            store.read_manifest(),
+            Err(OnlineError::UnsupportedSnapshotVersion { .. })
+        ));
+        manifest.version -= 1;
+        manifest.tenant_count += 1;
+        write_atomic(
+            &dir.join("manifest.json"),
+            serde_json::to_string(&manifest).unwrap().as_bytes(),
+        )
+        .unwrap();
+        assert!(store.read_manifest().is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_refuses_to_clobber_an_unreadable_manifest() {
+        let dir = temp_dir("clobber");
+        let store = CheckpointStore::new(&dir);
+        let snapshots = some_snapshots(2);
+        let first = store.write(&snapshots, 8, 1).unwrap();
+        assert_eq!(first.generation, 1);
+        // A corrupt (but present) manifest must fail the next write loudly —
+        // never silently restart at generation 1 and sweep the directory.
+        fs::write(dir.join("manifest.json"), b"{ not json").unwrap();
+        assert!(store.write(&snapshots, 8, 1).is_err());
+        assert!(dir.join(&first.shards[0].file).exists());
+        // Same for a manifest from a newer format version.
+        let mut manifest = first.clone();
+        manifest.version = CHECKPOINT_FORMAT_VERSION + 1;
+        fs::write(
+            dir.join("manifest.json"),
+            serde_json::to_string(&manifest).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            store.write(&snapshots, 8, 1),
+            Err(OnlineError::UnsupportedSnapshotVersion { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_reports_cleanly() {
+        let store = CheckpointStore::new(temp_dir("missing"));
+        assert!(!store.exists());
+        assert!(matches!(
+            store.read_manifest(),
+            Err(OnlineError::Checkpoint { shard: None, .. })
+        ));
+    }
+}

@@ -22,6 +22,22 @@ pub enum OnlineError {
     Scaling(ScalingError),
     /// The simulator failed (closed-loop harness runs).
     Simulator(SimulatorError),
+    /// A snapshot carries a format version this build does not understand.
+    UnsupportedSnapshotVersion {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+    /// A checkpoint store operation failed. `shard` names the offending
+    /// shard file when the failure is shard-local (a corrupt or truncated
+    /// shard must be reported per shard, never silently zeroing a tenant).
+    Checkpoint {
+        /// The shard file the failure is scoped to, if any.
+        shard: Option<String>,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for OnlineError {
@@ -35,6 +51,14 @@ impl fmt::Display for OnlineError {
             OnlineError::TimeSeries(e) => write!(f, "time-series error: {e}"),
             OnlineError::Scaling(e) => write!(f, "scaling error: {e}"),
             OnlineError::Simulator(e) => write!(f, "simulator error: {e}"),
+            OnlineError::UnsupportedSnapshotVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} not supported (this build reads <= {supported})"
+            ),
+            OnlineError::Checkpoint { shard, message } => match shard {
+                Some(shard) => write!(f, "checkpoint shard `{shard}`: {message}"),
+                None => write!(f, "checkpoint: {message}"),
+            },
         }
     }
 }

@@ -10,10 +10,12 @@
 //! the result is **identical for any worker count**, which the online
 //! proptests pin.
 
+use crate::checkpoint::{CheckpointStore, Manifest, TenantSnapshot, DEFAULT_TENANTS_PER_SHARD};
 use crate::error::OnlineError;
 use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats};
-use robustscaler_parallel::{available_threads, map_chunks_mut};
+use robustscaler_parallel::{available_threads, map_chunks_mut, parallel_map};
 use robustscaler_scaling::PlanningRound;
+use std::path::Path;
 
 /// SplitMix64 — the same stateless mixer the Monte Carlo sampler uses to
 /// derive per-path streams; here it derives per-tenant RNG seeds from the
@@ -160,6 +162,83 @@ impl TenantFleet {
         self.run_round(now, &covered)
     }
 
+    /// Checkpoint the whole fleet to `dir` with the default shard size
+    /// ([`DEFAULT_TENANTS_PER_SHARD`] tenants per shard file). See
+    /// [`TenantFleet::checkpoint_sharded`].
+    pub fn checkpoint(&self, dir: impl AsRef<Path>) -> Result<Manifest, OnlineError> {
+        self.checkpoint_sharded(dir, DEFAULT_TENANTS_PER_SHARD)
+    }
+
+    /// Checkpoint the whole fleet to `dir`, sharded into groups of
+    /// `tenants_per_shard` consecutive tenants per file.
+    ///
+    /// Tenant snapshots are taken and serialized in parallel across the
+    /// fleet's worker budget; the write is crash-safe (a new generation
+    /// becomes current only at the final atomic manifest rename, so a crash
+    /// mid-checkpoint leaves the previous checkpoint intact). The snapshot
+    /// captures per-tenant seeds, RNG stream positions, serving counters
+    /// and refit deadlines, so a fleet restored from the checkpoint plans
+    /// bit-identically to one that never stopped.
+    pub fn checkpoint_sharded(
+        &self,
+        dir: impl AsRef<Path>,
+        tenants_per_shard: usize,
+    ) -> Result<Manifest, OnlineError> {
+        let snapshots: Vec<TenantSnapshot> =
+            parallel_map(&self.tenants, self.workers, |tenant| TenantSnapshot {
+                id: tenant.id,
+                scaler: tenant.scaler.snapshot(),
+            });
+        CheckpointStore::new(dir.as_ref()).write(&snapshots, tenants_per_shard, self.workers)
+    }
+
+    /// Restore a fleet from the checkpoint in `dir`, loading and
+    /// deserializing shards in parallel.
+    ///
+    /// `config` is the shared serving configuration (per-tenant seeds and
+    /// RNG positions come from the checkpoint, not from `config`'s seed).
+    /// Shards are checksum-verified before parsing; a corrupt shard fails
+    /// the restore with an error naming that shard. The restored fleet's
+    /// worker budget defaults to the machine's available parallelism, and —
+    /// as with a fresh fleet — its plans do not depend on it.
+    pub fn restore(dir: impl AsRef<Path>, config: &OnlineConfig) -> Result<Self, OnlineError> {
+        let workers = available_threads();
+        let mut snapshots = CheckpointStore::new(dir.as_ref()).load(workers)?;
+        snapshots.sort_by_key(|s| s.id);
+        if snapshots.windows(2).any(|w| w[0].id == w[1].id) {
+            return Err(OnlineError::Checkpoint {
+                shard: None,
+                message: "duplicate tenant id across shards".to_string(),
+            });
+        }
+        // Rebuild scalers in parallel *by value*: each worker takes its
+        // snapshots out of the slots instead of cloning them — a snapshot
+        // carries the full ring and model, and doubling peak memory on the
+        // restore path would be real money at fleet scale.
+        let mut slots: Vec<Option<TenantSnapshot>> = snapshots.into_iter().map(Some).collect();
+        let tenants = map_chunks_mut(&mut slots, workers, |_, chunk| {
+            chunk
+                .iter_mut()
+                .map(|slot| {
+                    let snapshot = slot.take().expect("each slot is visited exactly once");
+                    Ok(Tenant {
+                        id: snapshot.id,
+                        scaler: OnlineScaler::restore(snapshot.scaler, *config)?,
+                    })
+                })
+                .collect::<Vec<Result<Tenant, OnlineError>>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect::<Result<Vec<_>, OnlineError>>()?;
+        if tenants.is_empty() {
+            return Err(OnlineError::InvalidConfig(
+                "a fleet needs at least one tenant",
+            ));
+        }
+        Ok(Self { tenants, workers })
+    }
+
     /// Sum of all tenants' serving counters.
     pub fn aggregate_stats(&self) -> OnlineStats {
         let mut total = OnlineStats::default();
@@ -251,6 +330,32 @@ mod tests {
         assert!(matches!(rounds[1], Err(OnlineError::NotTrained)));
         assert!(rounds[2].is_ok());
         assert!(!rounds[0].as_ref().unwrap().decisions.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_and_resumes_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("robustscaler-fleet-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = fleet_config();
+        let mut fleet = TenantFleet::new(&config, 0.0, 5, 42).unwrap();
+        ingest_uniform(&mut fleet, 400.0);
+        fleet.run_round_uniform(400.0, 0).unwrap();
+        let manifest = fleet.checkpoint_sharded(&dir, 2).unwrap();
+        assert_eq!(manifest.tenant_count, 5);
+        assert_eq!(manifest.shards.len(), 3);
+        let mut restored = TenantFleet::restore(&dir, &config).unwrap();
+        assert_eq!(restored.len(), fleet.len());
+        assert_eq!(restored.aggregate_stats(), fleet.aggregate_stats());
+        // Both fleets continue identically.
+        for round in 1..4 {
+            let now = 400.0 + 20.0 * round as f64;
+            assert_eq!(
+                fleet.run_round_uniform(now, round).unwrap(),
+                restored.run_round_uniform(now, round).unwrap()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! feed back into the simulated cluster, and the run is scored with the
 //! paper's metrics — hit rate, `rt_avg`, total and relative cost.
 
+use crate::checkpoint::{CheckpointStore, TenantSnapshot};
 use crate::error::OnlineError;
 use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats};
 use robustscaler_core::relative_cost;
@@ -126,6 +127,32 @@ pub fn run_closed_loop(
     trace: &Trace,
     config: &HarnessConfig,
 ) -> Result<(HarnessReport, SimulationMetrics), OnlineError> {
+    run_closed_loop_inner(trace, config, None)
+}
+
+/// Kill-and-restore replay: [`run_closed_loop`], except the serving process
+/// "dies" at the warm-up boundary — the freshly trained scaler is
+/// checkpointed to `checkpoint_dir`, dropped, and a new scaler is restored
+/// from disk to serve the live replay.
+///
+/// Because a [`crate::scaler::ScalerSnapshot`] captures every piece of
+/// hidden mutable state (ring, model, RNG position, counters, refit
+/// deadline, forecast-cache anchor), the report and metrics are
+/// **bit-identical** to the uninterrupted [`run_closed_loop`] on the same
+/// trace and configuration — the equivalence the golden harness test pins.
+pub fn run_closed_loop_with_restart(
+    trace: &Trace,
+    config: &HarnessConfig,
+    checkpoint_dir: impl AsRef<std::path::Path>,
+) -> Result<(HarnessReport, SimulationMetrics), OnlineError> {
+    run_closed_loop_inner(trace, config, Some(checkpoint_dir.as_ref()))
+}
+
+fn run_closed_loop_inner(
+    trace: &Trace,
+    config: &HarnessConfig,
+    restart_via: Option<&std::path::Path>,
+) -> Result<(HarnessReport, SimulationMetrics), OnlineError> {
     config.online.validate()?;
     if !(config.warmup > 0.0) || config.warmup >= trace.duration() {
         return Err(OnlineError::InvalidConfig(
@@ -138,6 +165,29 @@ pub fn run_closed_loop(
     let mut scaler = OnlineScaler::new(config.online, trace.start())?;
     scaler.ingest_batch(&warm.arrival_times());
     scaler.refit_now(boundary)?;
+
+    if let Some(dir) = restart_via {
+        // Simulated process death: persist, drop, restore from disk.
+        let store = CheckpointStore::new(dir);
+        store.write(
+            &[TenantSnapshot {
+                id: 0,
+                scaler: scaler.snapshot(),
+            }],
+            1,
+            1,
+        )?;
+        drop(scaler);
+        let snapshots = store.load(1)?;
+        let snapshot = snapshots
+            .into_iter()
+            .next()
+            .ok_or(OnlineError::Checkpoint {
+                shard: None,
+                message: "harness checkpoint holds no tenant".to_string(),
+            })?;
+        scaler = OnlineScaler::restore(snapshot.scaler, config.online)?;
+    }
 
     let simulator = Simulator::new(config.sim)?;
     let mut policy = OnlinePolicy::new(scaler);
@@ -238,5 +288,21 @@ mod tests {
         let (a, _) = run_closed_loop(&trace, &config).unwrap();
         let (b, _) = run_closed_loop(&trace, &config).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kill_and_restore_replay_is_bit_identical_to_uninterrupted() {
+        let dir =
+            std::env::temp_dir().join(format!("robustscaler-harness-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace = uniform_trace(3.0 * 3_600.0, 45.0, 5.0);
+        let mut config = harness_config();
+        config.warmup = 1.5 * 3_600.0;
+        let (continuous, continuous_metrics) = run_closed_loop(&trace, &config).unwrap();
+        let (restarted, restarted_metrics) =
+            run_closed_loop_with_restart(&trace, &config, &dir).unwrap();
+        assert_eq!(continuous, restarted);
+        assert_eq!(continuous_metrics, restarted_metrics);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -17,7 +17,12 @@
 //!   count;
 //! * [`harness`] — the closed-loop validation harness: replay a trace
 //!   through `OnlineScaler` → `Simulator` end to end and report the
-//!   paper's metrics (hit rate, `rt_avg`, total/relative cost).
+//!   paper's metrics (hit rate, `rt_avg`, total/relative cost), including
+//!   a kill-and-restore replay mode that proves checkpoint equivalence;
+//! * [`checkpoint`] — durable fleet state: versioned scaler snapshots
+//!   persisted as sharded, checksummed, atomically swapped checkpoint
+//!   files, so a fleet process can restart without losing any tenant's
+//!   training window — and resume planning bit-identically.
 //!
 //! ## Determinism guarantees
 //!
@@ -30,12 +35,21 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod fleet;
 pub mod harness;
 pub mod scaler;
 
+pub use checkpoint::{
+    CheckpointStore, Manifest, ShardEntry, TenantSnapshot, CHECKPOINT_FORMAT_VERSION,
+    DEFAULT_TENANTS_PER_SHARD,
+};
 pub use error::OnlineError;
 pub use fleet::{Tenant, TenantFleet};
-pub use harness::{run_closed_loop, HarnessConfig, HarnessReport, OnlinePolicy};
-pub use scaler::{OnlineConfig, OnlineScaler, OnlineStats};
+pub use harness::{
+    run_closed_loop, run_closed_loop_with_restart, HarnessConfig, HarnessReport, OnlinePolicy,
+};
+pub use scaler::{
+    OnlineConfig, OnlineScaler, OnlineStats, ScalerSnapshot, SCALER_SNAPSHOT_VERSION,
+};

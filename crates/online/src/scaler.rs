@@ -18,11 +18,13 @@ use crate::error::OnlineError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustscaler_core::{RobustScalerConfig, RobustScalerPipeline};
-use robustscaler_nhpp::{Forecaster, Intensity, NhppModel, PiecewiseConstantIntensity};
+use robustscaler_nhpp::{
+    Forecaster, ForecasterSnapshot, Intensity, NhppModel, PiecewiseConstantIntensity,
+};
 use robustscaler_scaling::{
     DecisionConfig, PlannerConfig, PlannerScratch, PlannerState, PlanningRound, SequentialPlanner,
 };
-use robustscaler_timeseries::CountRing;
+use robustscaler_timeseries::{CountRing, RingSnapshot};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of an [`OnlineScaler`] on top of the offline pipeline
@@ -115,6 +117,47 @@ pub struct OnlineStats {
     pub failed_rounds: u64,
 }
 
+/// Format version written by [`OnlineScaler::snapshot`]; bump on any layout
+/// change and keep [`OnlineScaler::restore`] reading versions still present
+/// in fleet checkpoints.
+pub const SCALER_SNAPSHOT_VERSION: u32 = 1;
+
+/// A serializable, version-tagged copy of everything that makes an
+/// [`OnlineScaler`] resume bit-identically: the ingestion ring, the
+/// installed model (with its forecast configuration), the RNG's exact
+/// position in its stream, the serving counters, the refit schedule, and
+/// the forecast-cache anchor.
+///
+/// The forecast cache itself is *not* stored: it is a pure function of
+/// (model, `cached_forecast_from`, horizon), so [`OnlineScaler::restore`]
+/// recomputes it bit-identically from the anchor. Everything else the
+/// scaler holds (pipeline, planner, scratch buffers) is either derived from
+/// the configuration passed to `restore` or has no observable effect on
+/// plans (scratch reuse is pinned bit-identical by the PR 2 proptests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalerSnapshot {
+    /// Snapshot format version ([`SCALER_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The tenant's RNG seed (`config.pipeline.seed` at snapshot time), so
+    /// a restored scaler re-snapshots identically.
+    pub seed: u64,
+    /// The ingestion ring.
+    pub ring: RingSnapshot,
+    /// The installed model and forecast configuration, if fitted.
+    pub forecaster: Option<ForecasterSnapshot>,
+    /// The RNG's full state — the Monte Carlo stream resumes exactly where
+    /// the snapshotted scaler left it.
+    pub rng_state: [u64; 4],
+    /// Serving-loop counters.
+    pub stats: OnlineStats,
+    /// When the last refit ran; `None` encodes "never" (the in-memory
+    /// sentinel is `-inf`, which JSON cannot carry).
+    pub last_refit_at: Option<f64>,
+    /// Start time of the cached forecast, if one was live; the cache is
+    /// recomputed from this anchor on restore.
+    pub cached_forecast_from: Option<f64>,
+}
+
 /// A continuously serving, incrementally refitting scaler for one tenant.
 #[derive(Debug, Clone)]
 pub struct OnlineScaler {
@@ -126,6 +169,11 @@ pub struct OnlineScaler {
     scratch: PlannerScratch,
     forecaster: Option<Forecaster>,
     cached_forecast: Option<PiecewiseConstantIntensity>,
+    /// Anchor of the cached forecast (what `refresh_forecast` passed as
+    /// `from`). Tracked explicitly — not derivable from `cached_until`
+    /// without floating-point error — so snapshots can rebuild the cache
+    /// bit-identically.
+    cached_from: Option<f64>,
     cached_until: f64,
     last_refit_at: f64,
     stats: OnlineStats,
@@ -161,6 +209,7 @@ impl OnlineScaler {
             scratch: PlannerScratch::new(),
             forecaster: None,
             cached_forecast: None,
+            cached_from: None,
             cached_until: f64::NEG_INFINITY,
             last_refit_at: f64::NEG_INFINITY,
             stats: OnlineStats::default(),
@@ -239,6 +288,7 @@ impl OnlineScaler {
             }
         }
         self.cached_forecast = None;
+        self.cached_from = None;
         self.cached_until = f64::NEG_INFINITY;
         self.last_refit_at = now;
         Ok(())
@@ -255,6 +305,7 @@ impl OnlineScaler {
             None => self.forecaster = Some(trained.forecaster(self.pipeline.config())?),
         }
         self.cached_forecast = None;
+        self.cached_from = None;
         self.cached_until = f64::NEG_INFINITY;
         self.last_refit_at = now;
         self.stats.refits += 1;
@@ -321,6 +372,7 @@ impl OnlineScaler {
             let forecast = forecaster
                 .forecast(from, self.config.pipeline.forecast_horizon)
                 .map_err(robustscaler_core::CoreError::from)?;
+            self.cached_from = Some(from);
             self.cached_until = from + self.config.pipeline.forecast_horizon;
             self.cached_forecast = Some(forecast);
         }
@@ -370,10 +422,87 @@ impl OnlineScaler {
         self.stats.planning_rounds += 1;
         Ok(round)
     }
+
+    /// Capture the scaler's full serving state as a serializable,
+    /// version-tagged [`ScalerSnapshot`].
+    ///
+    /// The contract (pinned by the persistence proptests): restoring the
+    /// snapshot with the same configuration and continuing — any
+    /// interleaving of `ingest`/`plan_round` — produces bit-identical
+    /// results to the scaler that never stopped.
+    pub fn snapshot(&self) -> ScalerSnapshot {
+        ScalerSnapshot {
+            version: SCALER_SNAPSHOT_VERSION,
+            seed: self.config.pipeline.seed,
+            ring: self.ring.snapshot(),
+            forecaster: self.forecaster.as_ref().map(Forecaster::snapshot),
+            rng_state: self.rng.state(),
+            stats: self.stats,
+            last_refit_at: self.last_refit_at.is_finite().then_some(self.last_refit_at),
+            cached_forecast_from: self.cached_from,
+        }
+    }
+
+    /// Rebuild a scaler from a [`ScalerSnapshot`] and the (shared, static)
+    /// configuration.
+    ///
+    /// The snapshot carries all per-tenant mutable state — ring, model, RNG
+    /// position, counters, refit deadline, forecast-cache anchor — while
+    /// `config` carries everything reconstructable: pipeline, planner and
+    /// scratch buffers are rebuilt from it. The snapshot's grid must match
+    /// the configuration (bucket width, window capacity); a mismatch is
+    /// rejected rather than silently re-binning history.
+    pub fn restore(snapshot: ScalerSnapshot, config: OnlineConfig) -> Result<Self, OnlineError> {
+        if snapshot.version != SCALER_SNAPSHOT_VERSION {
+            return Err(OnlineError::UnsupportedSnapshotVersion {
+                found: snapshot.version,
+                supported: SCALER_SNAPSHOT_VERSION,
+            });
+        }
+        let mut scaler = Self::with_seed(config, snapshot.ring.origin, snapshot.seed)?;
+        let ring = snapshot.ring.restore()?;
+        if ring.bucket_width() != scaler.config.pipeline.bucket_width {
+            return Err(OnlineError::InvalidConfig(
+                "snapshot ring bucket width differs from the configuration",
+            ));
+        }
+        if ring.capacity() != scaler.config.window_buckets {
+            return Err(OnlineError::InvalidConfig(
+                "snapshot ring capacity differs from the configured window",
+            ));
+        }
+        scaler.ring = ring;
+        scaler.forecaster = match snapshot.forecaster {
+            Some(envelope) => Some(
+                envelope
+                    .restore()
+                    .map_err(robustscaler_core::CoreError::from)?,
+            ),
+            None => None,
+        };
+        scaler.rng = StdRng::from_state(snapshot.rng_state);
+        scaler.stats = snapshot.stats;
+        scaler.last_refit_at = snapshot.last_refit_at.unwrap_or(f64::NEG_INFINITY);
+        if let Some(from) = snapshot.cached_forecast_from {
+            let forecaster = scaler
+                .forecaster
+                .as_ref()
+                .ok_or(OnlineError::InvalidConfig(
+                    "snapshot has a cached forecast anchor but no model",
+                ))?;
+            let forecast = forecaster
+                .forecast(from, scaler.config.pipeline.forecast_horizon)
+                .map_err(robustscaler_core::CoreError::from)?;
+            scaler.cached_from = Some(from);
+            scaler.cached_until = from + scaler.config.pipeline.forecast_horizon;
+            scaler.cached_forecast = Some(forecast);
+        }
+        Ok(scaler)
+    }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use robustscaler_core::RobustScalerVariant;
 
@@ -526,6 +655,78 @@ mod tests {
             rounds
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let config = fast_config();
+        let mut live = OnlineScaler::with_seed(config, 0.0, 77).unwrap();
+        live.ingest_batch(&uniform_arrivals(900.0, 4.0));
+        live.plan_round(900.0, 0).unwrap();
+        // Mid-run snapshot, through JSON like a real checkpoint.
+        let json = serde_json::to_string(&live.snapshot()).unwrap();
+        let snap: ScalerSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = OnlineScaler::restore(snap, config).unwrap();
+        assert_eq!(restored.stats(), live.stats());
+        // Continue both with the same ingestion + rounds: identical output.
+        for i in 0..4 {
+            let now = 920.0 + 20.0 * i as f64;
+            let extra: Vec<f64> = (0..10).map(|k| now - 20.0 + 2.0 * k as f64).collect();
+            live.ingest_batch(&extra);
+            restored.ingest_batch(&extra);
+            assert_eq!(
+                live.plan_round(now, i).unwrap(),
+                restored.plan_round(now, i).unwrap()
+            );
+        }
+        assert_eq!(live.stats(), restored.stats());
+    }
+
+    #[test]
+    fn snapshot_before_first_fit_restores_cold_state() {
+        let config = fast_config();
+        let mut scaler = OnlineScaler::new(config, 0.0).unwrap();
+        scaler.ingest_batch(&uniform_arrivals(100.0, 5.0));
+        let snap = scaler.snapshot();
+        assert!(snap.forecaster.is_none());
+        assert!(snap.last_refit_at.is_none());
+        assert!(snap.cached_forecast_from.is_none());
+        let mut restored = OnlineScaler::restore(snap, config).unwrap();
+        assert!(!restored.has_model());
+        assert!(matches!(
+            restored.plan_round(100.0, 0),
+            Err(OnlineError::NotTrained)
+        ));
+        // Both reach the first fit at the same instant with the same model.
+        scaler.ingest_batch(&uniform_arrivals(600.0, 5.0));
+        restored.ingest_batch(&uniform_arrivals(600.0, 5.0));
+        assert_eq!(
+            scaler.plan_round(600.0, 0).unwrap(),
+            restored.plan_round(600.0, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_version_and_config_mismatches() {
+        let config = fast_config();
+        let mut scaler = OnlineScaler::new(config, 0.0).unwrap();
+        scaler.ingest_batch(&uniform_arrivals(600.0, 5.0));
+        scaler.plan_round(600.0, 0).unwrap();
+        let snap = scaler.snapshot();
+        let mut bad = snap.clone();
+        bad.version += 1;
+        assert!(matches!(
+            OnlineScaler::restore(bad, config),
+            Err(OnlineError::UnsupportedSnapshotVersion { .. })
+        ));
+        // Bucket-width mismatch: restoring under a different grid would
+        // silently re-bin history; it must be rejected.
+        let mut other = config;
+        other.pipeline.bucket_width = config.pipeline.bucket_width * 2.0;
+        assert!(OnlineScaler::restore(snap.clone(), other).is_err());
+        let mut other = config;
+        other.window_buckets = config.window_buckets + 1;
+        assert!(OnlineScaler::restore(snap, other).is_err());
     }
 
     #[test]

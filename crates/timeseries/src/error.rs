@@ -18,6 +18,13 @@ pub enum TimeSeriesError {
     InvalidBucketWidth(f64),
     /// All values are missing, so the requested statistic is undefined.
     AllMissing,
+    /// A snapshot carries a format version this build does not understand.
+    UnsupportedSnapshotVersion {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for TimeSeriesError {
@@ -31,6 +38,12 @@ impl fmt::Display for TimeSeriesError {
                 write!(f, "bucket width must be > 0, got {w}")
             }
             TimeSeriesError::AllMissing => write!(f, "series contains only missing values"),
+            TimeSeriesError::UnsupportedSnapshotVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} not supported (this build reads <= {supported})"
+                )
+            }
         }
     }
 }

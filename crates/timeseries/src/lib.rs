@@ -35,5 +35,5 @@ pub use error::TimeSeriesError;
 pub use periodicity::{
     detect_period, detect_periods, refine_period, PeriodicityConfig, PeriodicityResult,
 };
-pub use ring::CountRing;
+pub use ring::{CountRing, RingSnapshot, RING_SNAPSHOT_VERSION};
 pub use series::TimeSeries;

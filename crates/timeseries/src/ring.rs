@@ -12,7 +12,77 @@
 
 use crate::error::TimeSeriesError;
 use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Format version written by [`CountRing::snapshot`]; bump on any change to
+/// the snapshot layout and keep [`RingSnapshot::restore`] able to read every
+/// version still in the fleet.
+pub const RING_SNAPSHOT_VERSION: u32 = 1;
+
+/// A serializable, version-tagged copy of a [`CountRing`]'s full state:
+/// bucket grid (origin, Δt, capacity), write cursor (`first_bucket`), the
+/// retained per-bucket counts, and the drop/evict accounting.
+///
+/// [`RingSnapshot::restore`] rebuilds a ring that is indistinguishable from
+/// the one that was snapshotted — subsequent `observe`/`advance_to`/
+/// `series` calls behave bit-identically — which is the property the
+/// persistence proptests pin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingSnapshot {
+    /// Snapshot format version ([`RING_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Bucket grid anchor.
+    pub origin: f64,
+    /// Aggregation Δt in seconds.
+    pub bucket_width: f64,
+    /// Maximum retained buckets.
+    pub capacity: usize,
+    /// Absolute index (relative to `origin`) of the oldest retained bucket.
+    pub first_bucket: u64,
+    /// Retained per-bucket counts, oldest first.
+    pub counts: Vec<f64>,
+    /// Observations accepted so far.
+    pub observed: u64,
+    /// Observations dropped so far.
+    pub dropped: u64,
+    /// Buckets evicted from the front so far.
+    pub evicted: u64,
+}
+
+impl RingSnapshot {
+    /// Rebuild the ring this snapshot was taken from.
+    ///
+    /// Validates the version tag and every invariant `CountRing::new`
+    /// enforces, plus snapshot-specific ones (count vector within capacity,
+    /// finite non-negative counts), so a corrupted or hand-edited snapshot
+    /// fails loudly instead of producing a silently inconsistent ring.
+    pub fn restore(self) -> Result<CountRing, TimeSeriesError> {
+        if self.version != RING_SNAPSHOT_VERSION {
+            return Err(TimeSeriesError::UnsupportedSnapshotVersion {
+                found: self.version,
+                supported: RING_SNAPSHOT_VERSION,
+            });
+        }
+        let mut ring = CountRing::new(self.origin, self.bucket_width, self.capacity)?;
+        if self.counts.len() > self.capacity {
+            return Err(TimeSeriesError::InvalidParameter(
+                "snapshot holds more buckets than its capacity",
+            ));
+        }
+        if self.counts.iter().any(|c| !c.is_finite() || *c < 0.0) {
+            return Err(TimeSeriesError::InvalidParameter(
+                "snapshot bucket counts must be finite and non-negative",
+            ));
+        }
+        ring.first_bucket = self.first_bucket;
+        ring.counts = VecDeque::from(self.counts);
+        ring.observed = self.observed;
+        ring.dropped = self.dropped;
+        ring.evicted = self.evicted;
+        Ok(ring)
+    }
+}
 
 /// A fixed-capacity ring of per-bucket arrival counts.
 ///
@@ -261,6 +331,22 @@ impl CountRing {
         self.series_prefix(self.complete_len(now))
     }
 
+    /// Capture the ring's full state as a serializable, version-tagged
+    /// [`RingSnapshot`] (see [`RingSnapshot::restore`]).
+    pub fn snapshot(&self) -> RingSnapshot {
+        RingSnapshot {
+            version: RING_SNAPSHOT_VERSION,
+            origin: self.origin,
+            bucket_width: self.bucket_width,
+            capacity: self.capacity,
+            first_bucket: self.first_bucket,
+            counts: self.counts.iter().copied().collect(),
+            observed: self.observed,
+            dropped: self.dropped,
+            evicted: self.evicted,
+        }
+    }
+
     fn series_prefix(&self, buckets: usize) -> Result<TimeSeries, TimeSeriesError> {
         if buckets == 0 {
             return Err(TimeSeriesError::InvalidParameter(
@@ -405,5 +491,62 @@ mod tests {
         let ring = CountRing::new(0.0, 1.0, 3).unwrap();
         assert!(ring.series().is_err());
         assert_eq!(ring.complete_len(50.0), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_is_exact() {
+        let mut ring = CountRing::new(5.0, 2.5, 8).unwrap();
+        for &t in &[5.1, 6.0, 14.9, 30.0, 31.0, 2.0] {
+            ring.observe(t);
+        }
+        ring.advance_to(40.0);
+        let snap = ring.snapshot();
+        assert_eq!(snap.version, RING_SNAPSHOT_VERSION);
+        let restored = snap.clone().restore().unwrap();
+        assert_eq!(ring, restored);
+        // Serde round trip through JSON is exact too.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: RingSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.restore().unwrap(), ring);
+    }
+
+    #[test]
+    fn restored_ring_continues_identically() {
+        let mut ring = CountRing::new(0.0, 1.0, 4).unwrap();
+        for t in 0..7 {
+            ring.observe(t as f64 + 0.25);
+        }
+        let mut restored = ring.snapshot().restore().unwrap();
+        for &t in &[7.5, 2.0, 9.75, 100.5] {
+            assert_eq!(ring.observe(t), restored.observe(t));
+        }
+        assert_eq!(ring, restored);
+        assert_eq!(ring.series().unwrap(), restored.series().unwrap());
+    }
+
+    #[test]
+    fn snapshot_restore_validates() {
+        let mut ring = CountRing::new(0.0, 1.0, 4).unwrap();
+        ring.observe(1.5);
+        let snap = ring.snapshot();
+        let mut bad = snap.clone();
+        bad.version = RING_SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            bad.restore(),
+            Err(TimeSeriesError::UnsupportedSnapshotVersion { .. })
+        ));
+        let mut bad = snap.clone();
+        bad.counts = vec![0.0; 5];
+        assert!(bad.restore().is_err());
+        let mut bad = snap.clone();
+        bad.counts = vec![f64::NAN];
+        assert!(bad.restore().is_err());
+        let mut bad = snap.clone();
+        bad.counts = vec![-1.0];
+        assert!(bad.restore().is_err());
+        let mut bad = snap;
+        bad.bucket_width = -2.0;
+        assert!(bad.restore().is_err());
     }
 }

@@ -1,0 +1,268 @@
+//! Persistence suite: the durable-state contract of the snapshot/checkpoint
+//! layer.
+//!
+//! The load-bearing property is **kill-and-restore equivalence**: state
+//! snapshotted mid-run and restored in a "fresh process" must continue
+//! bit-identically to state that never stopped — at the ring level, the
+//! scaler level, and the sharded fleet level (for any worker count). On top
+//! of that, the on-disk format must fail loudly: a truncated or bit-flipped
+//! shard is detected by checksum and reported per shard, never silently
+//! zeroing a tenant. Checkpoint fidelity rides on the vendored serde_json
+//! emitting full-precision numbers, so the suite also pins bit-exact `f64`
+//! and full-range `u64` JSON round-trips.
+
+use proptest::prelude::*;
+use robustscaler::core::{RobustScalerConfig, RobustScalerVariant};
+use robustscaler::online::{
+    CheckpointStore, OnlineConfig, OnlineError, OnlineScaler, ScalerSnapshot, TenantFleet,
+};
+use robustscaler::timeseries::{CountRing, RingSnapshot};
+use std::path::PathBuf;
+
+/// Fresh per-test temp directory (no tempfile crate in the offline build).
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "robustscaler-persistence-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn online_config() -> OnlineConfig {
+    let mut pipeline =
+        RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability { target: 0.9 });
+    pipeline.bucket_width = 10.0;
+    pipeline.periodicity_aggregation = 2;
+    pipeline.admm.max_iterations = 30;
+    pipeline.monte_carlo_samples = 60;
+    pipeline.planning_interval = 20.0;
+    pipeline.mean_processing = 5.0;
+    pipeline.forecast_horizon = 400.0;
+    let mut config = OnlineConfig::new(pipeline);
+    config.window_buckets = 128;
+    config.min_training_buckets = 10;
+    config
+}
+
+/// Full-range finite `f64`s, including subnormals, extremes and exact
+/// integers — generated from raw bit patterns so the whole representable
+/// space is covered, not just "nice" values.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (0u64..u64::MAX).prop_map(|bits| {
+        let x = f64::from_bits(bits);
+        if x.is_finite() {
+            x
+        } else {
+            // NaN/inf bit patterns: recycle the mantissa into a finite value.
+            f64::from_bits(bits & 0x000F_FFFF_FFFF_FFFF)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// serde_json `to_string` → `from_str` is bit-exact for finite f64
+    /// (checkpoint fidelity rides on this).
+    #[test]
+    fn json_f64_round_trip_is_bit_exact(xs in prop::collection::vec(finite_f64(), 1..50)) {
+        let json = serde_json::to_string(&xs).unwrap();
+        let back: Vec<f64> = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(xs.len(), back.len());
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} round-tripped as {}", a, b);
+        }
+    }
+
+    /// Full-range u64 (RNG states, seeds) survive JSON exactly.
+    #[test]
+    fn json_u64_round_trip_is_exact(xs in prop::collection::vec(0u64..u64::MAX, 1..50)) {
+        let json = serde_json::to_string(&xs).unwrap();
+        let back: Vec<u64> = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(xs, back);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ring level: snapshot → JSON → restore → continue ingesting is
+    /// indistinguishable from the ring that never stopped, for arbitrary
+    /// arrival sequences and an arbitrary split point.
+    #[test]
+    fn ring_snapshot_restore_continue_is_bit_identical(
+        arrivals in prop::collection::vec(0.0_f64..2_000.0, 10..200),
+        split in 0usize..200,
+        bucket_width in 1.0_f64..30.0,
+        capacity in 4usize..64,
+    ) {
+        let split = split.min(arrivals.len());
+        let mut live = CountRing::new(0.0, bucket_width, capacity).unwrap();
+        live.observe_batch(&arrivals[..split]);
+        // Simulated process death: state exists only as JSON bytes.
+        let json = serde_json::to_string(&live.snapshot()).unwrap();
+        let snapshot: RingSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = snapshot.restore().unwrap();
+        prop_assert_eq!(&live, &restored);
+        for &t in &arrivals[split..] {
+            prop_assert_eq!(live.observe(t), restored.observe(t));
+        }
+        prop_assert_eq!(&live, &restored);
+        prop_assert_eq!(live.observed(), restored.observed());
+        prop_assert_eq!(live.dropped(), restored.dropped());
+        if !live.is_empty() {
+            prop_assert_eq!(live.series().unwrap(), restored.series().unwrap());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Scaler level: snapshot mid-serving → JSON → restore → continue
+    /// (interleaved ingestion and planning) is bit-identical to the scaler
+    /// that never stopped — model, RNG stream, drift/refit schedule and
+    /// forecast cache all resume exactly.
+    #[test]
+    fn scaler_snapshot_restore_continue_is_bit_identical(
+        seed in 0u64..u64::MAX,
+        gap in 2.0_f64..8.0,
+        pre_rounds in 0usize..3,
+        post_rounds in 1usize..4,
+    ) {
+        let config = online_config();
+        let mut live = OnlineScaler::with_seed(config, 0.0, seed).unwrap();
+        let warm: Vec<f64> = (0..(400.0 / gap) as usize).map(|i| i as f64 * gap).collect();
+        live.ingest_batch(&warm);
+        for i in 0..pre_rounds {
+            let _ = live.plan_round(400.0 + 20.0 * i as f64, i);
+        }
+        let json = serde_json::to_string(&live.snapshot()).unwrap();
+        let snapshot: ScalerSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = OnlineScaler::restore(snapshot, config).unwrap();
+        let resume_at = 400.0 + 20.0 * pre_rounds as f64;
+        for i in 0..post_rounds {
+            let now = resume_at + 20.0 * i as f64;
+            // Keep traffic flowing so drift/refit paths stay exercised.
+            let chunk: Vec<f64> = (0..8).map(|k| now - 20.0 + 2.5 * k as f64).collect();
+            live.ingest_batch(&chunk);
+            restored.ingest_batch(&chunk);
+            let a = live.plan_round(now, i);
+            let b = restored.plan_round(now, i);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(live.stats(), restored.stats());
+    }
+}
+
+/// Ingest per-tenant traffic with distinct rates (tenant `i` gets one
+/// arrival every `3 + i` seconds).
+fn ingest_fleet(fleet: &mut TenantFleet, duration: f64) {
+    for index in 0..fleet.len() {
+        let gap = 3.0 + index as f64;
+        let n = (duration / gap) as usize;
+        for k in 0..n {
+            fleet.ingest(index, k as f64 * gap).unwrap();
+        }
+    }
+}
+
+/// Acceptance criterion: a `TenantFleet` checkpointed mid-run and restored
+/// in a fresh process produces bit-identical `PlanningRound`s to the
+/// uninterrupted fleet, for 1, 3 and 8 workers.
+#[test]
+fn fleet_kill_and_restore_is_bit_identical_for_any_worker_count() {
+    let dir = temp_dir("fleet-equivalence");
+    let config = online_config();
+    let tenant_count = 7;
+
+    // The uninterrupted fleet: ingest, run three rounds, keep going.
+    let mut live = TenantFleet::new(&config, 0.0, tenant_count, 99).unwrap();
+    ingest_fleet(&mut live, 400.0);
+    for round in 0..3 {
+        live.run_round_uniform(400.0 + 20.0 * round as f64, round)
+            .unwrap();
+    }
+    // Mid-run checkpoint (3 tenants per shard → 3 shard files).
+    let manifest = live.checkpoint_sharded(&dir, 3).unwrap();
+    assert_eq!(manifest.tenant_count, tenant_count);
+    assert_eq!(manifest.shards.len(), 3);
+
+    // Continue the live fleet: more ingestion, three more rounds.
+    let continue_run = |fleet: &mut TenantFleet| {
+        for index in 0..fleet.len() {
+            for k in 0..20 {
+                fleet.ingest(index, 460.0 + k as f64 * 2.0).unwrap();
+            }
+        }
+        (0..3)
+            .map(|round| {
+                fleet
+                    .run_round_uniform(460.0 + 20.0 * round as f64, round + 1)
+                    .unwrap()
+            })
+            .collect::<Vec<_>>()
+    };
+    let live_rounds = continue_run(&mut live);
+
+    // "Fresh process": restore from disk only, at several worker counts.
+    for workers in [1usize, 3, 8] {
+        let mut restored = TenantFleet::restore(&dir, &config).unwrap();
+        restored.set_workers(workers);
+        assert_eq!(restored.len(), tenant_count);
+        let restored_rounds = continue_run(&mut restored);
+        assert_eq!(
+            live_rounds, restored_rounds,
+            "restored fleet diverged at {workers} workers"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance criterion: a truncated shard is detected via checksum and
+/// reported per shard — the error names the shard, the other shards stay
+/// loadable, and no tenant is ever silently zeroed.
+#[test]
+fn corrupted_shard_fails_with_a_named_checksum_error_others_loadable() {
+    let dir = temp_dir("fleet-corruption");
+    let config = online_config();
+    let mut fleet = TenantFleet::new(&config, 0.0, 6, 7).unwrap();
+    ingest_fleet(&mut fleet, 400.0);
+    fleet.run_round_uniform(400.0, 0).unwrap();
+    let manifest = fleet.checkpoint_sharded(&dir, 2).unwrap();
+    assert_eq!(manifest.shards.len(), 3);
+
+    // Truncate the middle shard (simulates a crash or disk corruption).
+    let victim = &manifest.shards[1];
+    let victim_path = dir.join(&victim.file);
+    let bytes = std::fs::read(&victim_path).unwrap();
+    std::fs::write(&victim_path, &bytes[..bytes.len() - 17]).unwrap();
+
+    // The whole-fleet restore fails, naming the corrupt shard.
+    let err = TenantFleet::restore(&dir, &config).unwrap_err();
+    match &err {
+        OnlineError::Checkpoint {
+            shard: Some(shard),
+            message,
+        } => {
+            assert_eq!(shard, &victim.file);
+            assert!(message.contains("checksum mismatch"), "{message}");
+        }
+        other => panic!("expected a shard-scoped checksum error, got {other:?}"),
+    }
+
+    // Per-shard loading: the other two shards load their tenants intact.
+    let store = CheckpointStore::new(&dir);
+    let (_, per_shard) = store.load_shards(2).unwrap();
+    assert!(per_shard[0].is_ok());
+    assert!(per_shard[1].is_err());
+    assert!(per_shard[2].is_ok());
+    let recovered: usize = per_shard
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(Vec::len)
+        .sum();
+    assert_eq!(recovered, 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -28,8 +28,13 @@ pub enum Value {
     Null,
     /// A boolean.
     Bool(bool),
-    /// Any number; stored as `f64` like JavaScript's number type.
+    /// A floating-point number.
     Num(f64),
+    /// A signed integer, kept exact (an `i64` does not fit in `f64` above
+    /// 2⁵³ — RNG states and tenant seeds in checkpoints are full-range).
+    Int(i64),
+    /// An unsigned integer, kept exact (see [`Value::Int`]).
+    UInt(u64),
     /// A string.
     Str(String),
     /// An ordered sequence.
@@ -54,6 +59,8 @@ impl Value {
             Value::Null => "null",
             Value::Bool(_) => "bool",
             Value::Num(_) => "number",
+            Value::Int(_) => "integer",
+            Value::UInt(_) => "unsigned integer",
             Value::Str(_) => "string",
             Value::Arr(_) => "array",
             Value::Obj(_) => "object",
@@ -132,6 +139,10 @@ impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Num(x) => Ok(*x),
+            // Integer tokens are a valid encoding of a float (the writer
+            // emits `1` for `1.0_f64`); convert with the usual rounding.
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
             other => Err(Error::msg(format!("expected number, got {}", other.kind()))),
         }
     }
@@ -149,33 +160,115 @@ impl Deserialize for f32 {
     }
 }
 
-macro_rules! impl_serde_int {
+/// Shared float fallback for integer targets: accept a `Value::Num` only
+/// when it is an exact integer in range (legacy files and `1.0`-style JSON).
+fn int_from_f64<T: TryFrom<i64>>(x: f64, ty: &'static str) -> Result<T, Error> {
+    if x.fract() != 0.0 {
+        return Err(Error::msg(format!(
+            "expected integer, got fractional number {x}"
+        )));
+    }
+    if x < i64::MIN as f64 || x >= i64::MAX as f64 {
+        return Err(Error::msg(format!("number {x} out of range for {ty}")));
+    }
+    T::try_from(x as i64).map_err(|_| Error::msg(format!("number {x} out of range for {ty}")))
+}
+
+macro_rules! impl_serde_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
-                Value::Num(*self as f64)
+                Value::UInt(*self as u64)
             }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
-                let x = f64::from_value(v)?;
-                if x.fract() != 0.0 {
-                    return Err(Error::msg(format!(
-                        "expected integer, got fractional number {x}"
-                    )));
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u).map_err(|_| {
+                        Error::msg(format!(
+                            "number {u} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    Value::Int(i) => u64::try_from(*i)
+                        .ok()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| {
+                            Error::msg(format!(
+                                "number {i} out of range for {}",
+                                stringify!($t)
+                            ))
+                        }),
+                    Value::Num(x) => {
+                        let wide: u64 = if *x >= 0.0 && x.fract() == 0.0 && *x < u64::MAX as f64 {
+                            *x as u64
+                        } else {
+                            return Err(Error::msg(format!(
+                                "number {x} out of range for {}",
+                                stringify!($t)
+                            )));
+                        };
+                        <$t>::try_from(wide).map_err(|_| {
+                            Error::msg(format!(
+                                "number {x} out of range for {}",
+                                stringify!($t)
+                            ))
+                        })
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected integer, got {}",
+                        other.kind()
+                    ))),
                 }
-                if x < <$t>::MIN as f64 || x > <$t>::MAX as f64 {
-                    return Err(Error::msg(format!(
-                        "number {x} out of range for {}",
-                        stringify!($t)
-                    )));
-                }
-                Ok(x as $t)
             }
         }
     )*};
 }
-impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        Error::msg(format!(
+                            "number {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    Value::UInt(u) => i64::try_from(*u)
+                        .ok()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| {
+                            Error::msg(format!(
+                                "number {u} out of range for {}",
+                                stringify!($t)
+                            ))
+                        }),
+                    Value::Num(x) => int_from_f64::<i64>(*x, stringify!($t)).and_then(|i| {
+                        <$t>::try_from(i).map_err(|_| {
+                            Error::msg(format!(
+                                "number {x} out of range for {}",
+                                stringify!($t)
+                            ))
+                        })
+                    }),
+                    other => Err(Error::msg(format!(
+                        "expected integer, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_sint!(i8, i16, i32, i64, isize);
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
@@ -250,6 +343,28 @@ impl<T: Serialize> Serialize for VecDeque<T> {
 impl<T: Deserialize> Deserialize for VecDeque<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         Vec::<T>::from_value(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) if items.len() == N => {
+                let vec: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+                vec.try_into()
+                    .map_err(|_| Error::msg("array length mismatch"))
+            }
+            other => Err(Error::msg(format!(
+                "expected {N}-element array, got {}",
+                other.kind()
+            ))),
+        }
     }
 }
 

@@ -52,6 +52,8 @@ fn write_value(v: &Value, out: &mut String) {
                 out.push_str("null");
             }
         }
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
         Value::Str(s) => write_string(s, out),
         Value::Arr(items) => {
             out.push('[');
@@ -319,6 +321,22 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error::msg("invalid number"))?;
+        // Integer-looking tokens (no fraction, no exponent) are parsed
+        // losslessly: `u64`/`i64` hold values a round-trip through `f64`
+        // would corrupt above 2^53 (checkpointed RNG states and seeds are
+        // full-range). `-0` stays a float so `-0.0_f64` keeps its sign bit,
+        // and integers too large for 64 bits fall back to the float path.
+        if !text.bytes().any(|b| b == b'.' || b == b'e' || b == b'E') {
+            if let Some(digits) = text.strip_prefix('-') {
+                if digits.bytes().any(|b| b != b'0') {
+                    if let Ok(i) = text.parse::<i64>() {
+                        return Ok(Value::Int(i));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| Error::msg(format!("invalid number `{text}` at byte {start}")))
@@ -351,6 +369,33 @@ mod tests {
         for (a, b) in xs.iter().zip(&back) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn large_integers_round_trip_losslessly() {
+        // Above 2^53 an f64 detour would corrupt these (RNG states and
+        // tenant seeds in checkpoints are full-range u64).
+        let xs = vec![u64::MAX, u64::MAX - 1, (1u64 << 53) + 1, 0];
+        let json = to_string(&xs).unwrap();
+        assert_eq!(
+            json,
+            "[18446744073709551615,18446744073709551614,9007199254740993,0]"
+        );
+        let back: Vec<u64> = from_str(&json).unwrap();
+        assert_eq!(xs, back);
+        let ys = vec![i64::MIN, i64::MAX, -((1i64 << 53) + 1)];
+        let back: Vec<i64> = from_str(&to_string(&ys).unwrap()).unwrap();
+        assert_eq!(ys, back);
+        // Integer tokens still deserialize into float targets...
+        let f: f64 = from_str("3").unwrap();
+        assert_eq!(f, 3.0);
+        // ...and negative zero keeps its sign bit through the round trip.
+        let z: f64 = from_str(&to_string(&-0.0_f64).unwrap()).unwrap();
+        assert_eq!(z.to_bits(), (-0.0_f64).to_bits());
+        // Fixed-size arrays (RNG state shape) round-trip too.
+        let state: [u64; 4] = [u64::MAX, 1 << 63, 12345, 0];
+        let back: [u64; 4] = from_str(&to_string(&state).unwrap()).unwrap();
+        assert_eq!(state, back);
     }
 
     #[test]
