@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
 use robustscaler_nhpp::NhppModel;
-use robustscaler_online::{OnlineConfig, TenantFleet};
+use robustscaler_online::{BusConfig, OnlineConfig, TenantFleet};
 use robustscaler_parallel::available_threads;
 
 /// Warm-started fleet: models installed directly so the timed loop
@@ -83,6 +83,86 @@ fn bench_fleet_round_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ingestion runtime throughput: arrivals/sec through the bus — one
+/// iteration enqueues ~40 sorted arrivals per tenant (`push_batch` under
+/// the group locks) and drains every queue into its tenant's ring via the
+/// bulk append (`drain_bus`), with no planning. Divide the per-tenant
+/// count × tenants by the iteration time for arrivals/sec; compare the
+/// iteration time against `fleet_round_vs_tenants` at the same tenant
+/// count for the drain share of a round (the "ingestion off the critical
+/// path" acceptance bar: ≤ 10 % at 250 tenants, R = 250).
+fn bench_ingest_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.sample_size(10);
+    const PER_TENANT: usize = 40;
+    for &tenants in &[250usize, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tenants),
+            &tenants,
+            |b, &tenants| {
+                let mut pipeline =
+                    RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability {
+                        target: 0.9,
+                    });
+                pipeline.planning_interval = 10.0;
+                let config = OnlineConfig::new(pipeline);
+                let mut fleet = TenantFleet::new(&config, 0.0, tenants, 7).expect("valid fleet");
+                fleet.set_workers(1);
+                let bus = fleet.attach_bus(BusConfig::default()).expect("fresh bus");
+                let mut arrivals = vec![0.0_f64; PER_TENANT];
+                let mut tick = 0u64;
+                b.iter(|| {
+                    // Timestamps advance every iteration so the rings keep
+                    // accepting (a stalled clock would drop everything as
+                    // stale and unrealistically skip the bucket work).
+                    let base = 10.0 * tick as f64;
+                    tick += 1;
+                    for (k, slot) in arrivals.iter_mut().enumerate() {
+                        *slot = base + k as f64 * (10.0 / PER_TENANT as f64);
+                    }
+                    for tenant in 0..tenants {
+                        bus.push_batch(tenant, &arrivals).expect("queue has room");
+                    }
+                    fleet.drain_bus().expect("drain succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Round latency, persistent pool versus per-round thread spawning, on
+/// identical round code (`run_round` vs `run_round_spawning`): what the
+/// parked workers buy on the round's critical path.
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_round_pool_vs_spawn");
+    group.sample_size(10);
+    // Force ≥ 2 so the comparison exercises real fan-out even on a 1-core
+    // CI container (chunking is budget-driven, results stay identical).
+    let workers = available_threads().max(2);
+    let tenants = 250usize;
+    for &mode in &["pool", "spawn"] {
+        group.bench_with_input(BenchmarkId::new(mode, tenants), &mode, |b, &mode| {
+            let mut fleet = build_fleet(tenants, 250);
+            fleet.set_workers(workers);
+            let mut round = 0u64;
+            b.iter(|| {
+                let now = 86_400.0 + 10.0 * round as f64;
+                round += 1;
+                if mode == "pool" {
+                    fleet.run_round_uniform(now, 0).expect("round succeeds")
+                } else {
+                    let covered = vec![0usize; tenants];
+                    fleet
+                        .run_round_spawning(now, &covered)
+                        .expect("round succeeds")
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Durable-state path: checkpoint (snapshot + serialize + atomic shard
 /// writes) and restore (read + checksum-verify + deserialize + forecast
 /// cache rebuild) of a warm fleet, sharded at the default group size.
@@ -99,8 +179,28 @@ fn bench_fleet_checkpoint(c: &mut Criterion) {
             .run_round_uniform(86_400.0, 0)
             .expect("round succeeds");
         group.bench_with_input(BenchmarkId::new("write", tenants), &tenants, |b, _| {
-            b.iter(|| fleet.checkpoint(&dir).expect("checkpoint succeeds"));
+            b.iter(|| {
+                // Force-dirty every tenant so this measures a *full*
+                // rewrite (comparable to the PR 4 baseline) — otherwise
+                // the incremental path would reuse every shard after the
+                // first iteration.
+                for index in 0..fleet.len() {
+                    fleet.tenant_mut(index);
+                }
+                fleet.checkpoint(&dir).expect("checkpoint succeeds")
+            });
         });
+        group.bench_with_input(
+            BenchmarkId::new("write_incremental", tenants),
+            &tenants,
+            |b, _| {
+                // Steady-state incremental checkpoint of an idle fleet:
+                // every shard is clean and reused (hard-linked), the upper
+                // bound of what dirty tracking saves.
+                fleet.checkpoint(&dir).expect("checkpoint succeeds");
+                b.iter(|| fleet.checkpoint(&dir).expect("checkpoint succeeds"));
+            },
+        );
         fleet.checkpoint(&dir).expect("checkpoint succeeds");
         let config = fleet.tenant(0).expect("tenant 0").scaler.config();
         let config = *config;
@@ -116,6 +216,8 @@ criterion_group!(
     benches,
     bench_fleet_round,
     bench_fleet_round_parallel,
+    bench_ingest_throughput,
+    bench_pool_vs_spawn,
     bench_fleet_checkpoint
 );
 criterion_main!(benches);

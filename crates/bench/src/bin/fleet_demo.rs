@@ -1,18 +1,25 @@
-//! Multi-tenant fleet serving demo: rounds/sec at fleet scale, plus durable
-//! checkpoint/restore.
+//! Multi-tenant fleet serving demo: rounds/sec at fleet scale through the
+//! event-driven ingestion runtime, plus durable checkpoint/restore.
 //!
 //! Builds a [`TenantFleet`] of N independent tenants (each with its own
-//! model, ring and RNG), runs a stretch of planning rounds, and reports the
-//! sustained planning throughput — total rounds/sec and tenant-rounds/sec —
-//! for the serial (1 worker) and parallel (all cores) cases, plus a
-//! determinism check that the two produce identical plans.
+//! model, ring and RNG) with an [`ArrivalBus`] attached, and runs a
+//! stretch of planning rounds the way production would: a producer thread
+//! enqueues the *next* window's arrivals **while the current round
+//! plans**, the producer joins at the round boundary, and the next
+//! round's workers drain the queues before planning. It reports the
+//! sustained planning throughput — tenant-rounds/sec — for the serial
+//! (1 worker) and parallel (all cores) cases, queue health (enqueued /
+//! dropped-full / high-water / drained-per-round), and a determinism
+//! check that both worker counts produce identical plans despite the
+//! overlapped ingestion.
 //!
 //! Flags:
 //!
-//! * `--checkpoint-dir <dir>` — checkpoint the fleet mid-run, restore it
-//!   into a fresh fleet, and verify the restored fleet's remaining rounds
-//!   are bit-identical to the uninterrupted run (the checkpoint stays on
-//!   disk for a later `--restore`);
+//! * `--checkpoint-dir <dir>` — checkpoint the fleet mid-run (queued
+//!   arrivals included), restore it into a fresh fleet, and verify the
+//!   restored fleet's remaining rounds are bit-identical to the
+//!   uninterrupted run (the checkpoint stays on disk for a later
+//!   `--restore`);
 //! * `--restore` — start from the checkpoint in `--checkpoint-dir` instead
 //!   of building a warm fleet;
 //! * `--json <path>` — dump the run report as JSON.
@@ -22,9 +29,10 @@
 
 use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
 use robustscaler_nhpp::NhppModel;
-use robustscaler_online::{OnlineConfig, TenantFleet};
+use robustscaler_online::{ArrivalBus, BusConfig, OnlineConfig, QueueStats, TenantFleet};
 use robustscaler_parallel::available_threads;
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -55,6 +63,32 @@ struct CheckpointReport {
     identical_after_restore: bool,
 }
 
+/// Arrival-queue health of one timed stretch.
+#[derive(Debug, Clone, Serialize)]
+struct QueueReport {
+    enqueued: u64,
+    dropped_full: u64,
+    queued_peak: u64,
+    drained: u64,
+    drained_per_round: f64,
+}
+
+impl QueueReport {
+    fn from_stats(stats: QueueStats, rounds: usize) -> Self {
+        Self {
+            enqueued: stats.enqueued,
+            dropped_full: stats.dropped_full,
+            queued_peak: stats.queued_peak,
+            drained: stats.drained,
+            drained_per_round: if rounds == 0 {
+                0.0
+            } else {
+                stats.drained as f64 / rounds as f64
+            },
+        }
+    }
+}
+
 /// The demo's full JSON report (`--json <path>`).
 #[derive(Debug, Clone, Serialize)]
 struct DemoReport {
@@ -62,7 +96,11 @@ struct DemoReport {
     rounds: usize,
     monte_carlo_samples: usize,
     restored_from_checkpoint: bool,
+    /// Arrivals are enqueued by a producer thread overlapped with the
+    /// previous round's planning (the drain-at-round-boundary contract).
+    ingest_overlapped: bool,
     runs: Vec<RunReport>,
+    queue: Option<QueueReport>,
     determinism_across_workers: bool,
     checkpoint: Option<CheckpointReport>,
 }
@@ -78,10 +116,11 @@ fn fleet_config(samples: usize) -> OnlineConfig {
 
 /// A fleet whose tenants are warm-started with a diurnal-ish model so every
 /// round exercises the full forecast → plan path without paying ADMM
-/// training inside the timed loop.
+/// training inside the timed loop, with the arrival bus attached.
 fn build_fleet(tenants: usize, samples: usize, seed: u64) -> TenantFleet {
     let config = fleet_config(samples);
     let mut fleet = TenantFleet::new(&config, 0.0, tenants, seed).expect("valid fleet");
+    fleet.attach_bus(BusConfig::default()).expect("fresh bus");
     for index in 0..tenants {
         // Tenant traffic levels spread over [0.5, 2.5] QPS with a mild
         // sinusoidal daily profile — ~50 arrivals per 10 s window at the
@@ -101,26 +140,64 @@ fn build_fleet(tenants: usize, samples: usize, seed: u64) -> TenantFleet {
     fleet
 }
 
+/// Enqueue round `round`'s synthetic arrival window for every tenant — a
+/// deterministic function of (round, tenant), so any two fleets fed the
+/// same round sequence see identical queue contents regardless of when
+/// (or from which thread) the enqueue ran.
+fn enqueue_window(bus: &ArrivalBus, tenants: usize, round: usize) {
+    let now = 86_400.0 + 10.0 * round as f64;
+    for tenant in 0..tenants {
+        let arrivals = [
+            now + 1.0 + (tenant % 5) as f64,
+            now + 4.5 + (tenant % 3) as f64,
+            now + 8.0,
+        ];
+        bus.push_batch(tenant, &arrivals).expect("queue has room");
+    }
+}
+
 /// Run `rounds` planning rounds starting at round index `first_round`,
-/// returning (wall seconds, decision count, per-round first-creation
-/// fingerprints for determinism comparison).
+/// overlapping each round's planning with the enqueue of the *next*
+/// round's arrivals on a producer thread (joined at the round boundary,
+/// so drains — and therefore plans — stay deterministic). Returns (wall
+/// seconds, decision count, per-round first-creation fingerprints for
+/// determinism comparison).
 fn run_rounds(
     fleet: &mut TenantFleet,
     first_round: usize,
     rounds: usize,
 ) -> (f64, usize, Vec<Vec<f64>>) {
     let interval = 10.0;
+    let tenants = fleet.len();
+    let bus = fleet.bus().cloned();
     let mut decisions = 0usize;
     let mut plans = Vec::with_capacity(rounds);
     let started = Instant::now();
+    // Only a cold start (round 0) enqueues its window up front; a
+    // continuation stretch already holds window `first_round` — the prior
+    // stretch's trailing producer enqueued it (and a restored fleet got it
+    // from the checkpoint), so enqueueing again would double-ingest the
+    // boundary window.
+    if first_round == 0 {
+        if let Some(bus) = &bus {
+            enqueue_window(bus, tenants, 0);
+        }
+    }
     for round in first_round..first_round + rounds {
         let now = 86_400.0 + interval * round as f64;
+        let producer = bus.as_ref().map(|bus| {
+            let bus = Arc::clone(bus);
+            std::thread::spawn(move || enqueue_window(&bus, tenants, round + 1))
+        });
         let round_plans: Vec<_> = fleet
             .run_round_uniform(now, round % 3)
             .expect("round succeeds")
             .into_iter()
             .map(|plan| plan.expect("warm-started tenant plans"))
             .collect();
+        if let Some(producer) = producer {
+            producer.join().expect("producer thread panicked");
+        }
         decisions += round_plans.iter().map(|p| p.decisions.len()).sum::<usize>();
         plans.push(
             round_plans
@@ -251,6 +328,17 @@ fn main() {
         if identical { "IDENTICAL" } else { "MISMATCH" }
     );
 
+    let queue = parallel_fleet
+        .queue_stats()
+        .map(|stats| QueueReport::from_stats(stats, rounds));
+    if let Some(queue) = &queue {
+        println!(
+            "queue health: {} enqueued, {} dropped (full), peak {} queued, \
+             {:.1} drained/round",
+            queue.enqueued, queue.dropped_full, queue.queued_peak, queue.drained_per_round
+        );
+    }
+
     // Kill-and-restore: checkpoint the parallel fleet after its timed
     // stretch, restore from disk, and verify the next rounds match the
     // fleet that never stopped.
@@ -282,6 +370,8 @@ fn main() {
             rounds,
             monte_carlo_samples: samples,
             restored_from_checkpoint: restore,
+            ingest_overlapped: queue.is_some(),
+            queue,
             runs: vec![
                 RunReport {
                     workers: 1,

@@ -41,6 +41,16 @@ fn print_report(report: &HarnessReport) {
         report.stats.skipped_rounds,
         report.stats.failed_rounds
     );
+    if let Some(queue) = &report.queue {
+        println!(
+            "ingest queue:   {} enqueued, {} dropped (full), peak {} queued, \
+             {:.1} drained/round",
+            queue.enqueued,
+            queue.dropped_full,
+            queue.queued_peak,
+            report.drained_per_round.unwrap_or(0.0)
+        );
+    }
 }
 
 fn main() {

@@ -23,14 +23,26 @@
 //! On-disk layout under the checkpoint directory:
 //!
 //! ```text
-//! manifest.json               # swap point: {version, generation, shards}
+//! manifest.json               # swap point: {version, generation, shards, bus}
 //! gen-000003/shard-0000.json  # Vec<TenantSnapshot> for tenant group 0
 //! gen-000003/shard-0001.json  # ...
 //! ```
+//!
+//! **Format v2** (reads v1): tenant snapshots optionally carry the
+//! tenant's *undrained arrival queue* (contents + [`QueueStats`]) so a
+//! fleet killed mid-burst restores with its queues intact and replays
+//! bit-identically; the manifest records the bus configuration needed to
+//! rebuild the queues, and shard entries may be **reused** from the
+//! previous generation: a shard whose tenants have not mutated since the
+//! last checkpoint is hard-linked (or copied) into the new generation
+//! instead of reserialized, with `reused_from` naming the generation that
+//! actually wrote the bytes. Every generation directory remains
+//! self-contained, so the old-generation sweep is unchanged.
 
 use crate::error::OnlineError;
+use crate::ingest::{BusConfig, QueueStats};
 use crate::scaler::ScalerSnapshot;
-use robustscaler_parallel::parallel_map;
+use robustscaler_parallel::{parallel_map, WorkerPool};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::Write;
@@ -38,19 +50,41 @@ use std::path::{Path, PathBuf};
 
 /// Checkpoint format version recorded in the manifest; bump on any change
 /// to the manifest or shard layout and keep [`CheckpointStore::read_manifest`]
-/// able to read every version still deployed.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+/// able to read every version still deployed (v1 checkpoints — no queue
+/// state, no shard reuse — load as fleets with empty queues).
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
 
 /// Default number of tenants per shard file.
 pub const DEFAULT_TENANTS_PER_SHARD: usize = 64;
 
-/// One tenant's persisted state: its stable id plus the scaler snapshot.
+/// One tenant's persisted state: its stable id, the scaler snapshot, and
+/// (format v2, when the fleet runs an arrival bus) the tenant's undrained
+/// ingestion queue.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TenantSnapshot {
     /// Stable tenant identifier.
     pub id: u64,
     /// The tenant's full serving state.
     pub scaler: ScalerSnapshot,
+    /// Arrivals enqueued but not yet drained at checkpoint time, in
+    /// enqueue order (`None` in v1 checkpoints and for fleets without a
+    /// bus).
+    pub queued: Option<Vec<f64>>,
+    /// The tenant queue's back-pressure accounting at checkpoint time.
+    pub queue: Option<QueueStats>,
+}
+
+impl TenantSnapshot {
+    /// A snapshot with no queue state (fleets without a bus, single-tenant
+    /// harness checkpoints).
+    pub fn new(id: u64, scaler: ScalerSnapshot) -> Self {
+        Self {
+            id,
+            scaler,
+            queued: None,
+            queue: None,
+        }
+    }
 }
 
 /// Manifest entry for one shard file.
@@ -62,6 +96,11 @@ pub struct ShardEntry {
     pub tenants: usize,
     /// FNV-1a 64-bit checksum of the shard file's bytes, lowercase hex.
     pub checksum: String,
+    /// When the shard was **reused** from an earlier generation (none of
+    /// its tenants mutated since), the generation that actually serialized
+    /// these bytes; `None` for freshly written shards (and all v1
+    /// entries).
+    pub reused_from: Option<u64>,
 }
 
 /// The checkpoint manifest: the single swap point that makes a generation
@@ -76,6 +115,29 @@ pub struct Manifest {
     pub tenant_count: usize,
     /// The shard files of this generation, in tenant order.
     pub shards: Vec<ShardEntry>,
+    /// The arrival-bus configuration of the checkpointed fleet, needed to
+    /// rebuild the queues on restore; `None` when the fleet had no bus
+    /// (and in v1 checkpoints).
+    pub bus: Option<BusConfig>,
+}
+
+/// Knobs for [`CheckpointStore::write_with`] beyond the snapshot set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteOptions<'a> {
+    /// Consecutive tenants per shard file (≥ 1; 0 is clamped to 1).
+    pub tenants_per_shard: usize,
+    /// Worker budget for parallel shard serialization.
+    pub workers: usize,
+    /// Persistent worker pool to serialize on (falls back to scoped
+    /// threads when `None`).
+    pub pool: Option<&'a WorkerPool>,
+    /// Bus configuration to record in the manifest (fleets with a bus).
+    pub bus: Option<BusConfig>,
+    /// Per-shard-group cleanliness, aligned with the `tenants_per_shard`
+    /// chunking: `clean_shards[g] == true` asserts group `g`'s bytes are
+    /// identical to the previous generation's shard `g`, allowing reuse.
+    /// `None` (or a mismatched length) rewrites everything.
+    pub clean_shards: Option<&'a [bool]>,
 }
 
 /// FNV-1a 64-bit hash — small, dependency-free, and plenty for detecting
@@ -169,7 +231,7 @@ impl CheckpointStore {
                 shard: None,
                 message: format!("manifest parse failure: {e}"),
             })?;
-        if manifest.version != CHECKPOINT_FORMAT_VERSION {
+        if manifest.version == 0 || manifest.version > CHECKPOINT_FORMAT_VERSION {
             return Err(OnlineError::UnsupportedSnapshotVersion {
                 found: manifest.version,
                 supported: CHECKPOINT_FORMAT_VERSION,
@@ -200,12 +262,40 @@ impl CheckpointStore {
         tenants_per_shard: usize,
         workers: usize,
     ) -> Result<Manifest, OnlineError> {
+        self.write_with(
+            snapshots,
+            &WriteOptions {
+                tenants_per_shard,
+                workers,
+                ..WriteOptions::default()
+            },
+        )
+    }
+
+    /// [`CheckpointStore::write`] with the full option set: a persistent
+    /// worker pool to serialize on, a bus configuration to record, and —
+    /// the incremental-checkpoint path — per-shard-group cleanliness that
+    /// lets unchanged shards be *reused* from the previous generation.
+    ///
+    /// A reusable shard (its group is marked clean, and the previous
+    /// manifest has a same-sized shard for the group) is hard-linked —
+    /// copied, on filesystems without hard links — into the new
+    /// generation's directory instead of reserialized, keeping every
+    /// generation self-contained while skipping the serialization and
+    /// write cost for tenants that neither ingested nor planned since the
+    /// last checkpoint. Its manifest entry carries the previous checksum
+    /// and `reused_from` = the generation that actually wrote the bytes.
+    pub fn write_with(
+        &self,
+        snapshots: &[TenantSnapshot],
+        options: &WriteOptions<'_>,
+    ) -> Result<Manifest, OnlineError> {
         if snapshots.is_empty() {
             return Err(OnlineError::InvalidConfig(
                 "cannot checkpoint an empty tenant set",
             ));
         }
-        let tenants_per_shard = tenants_per_shard.max(1);
+        let tenants_per_shard = options.tenants_per_shard.max(1);
         fs::create_dir_all(&self.dir)
             .map_err(|e| io_err(&format!("create {}", self.dir.display()), &e))?;
         // No manifest at all → first generation. An *unreadable* or
@@ -213,11 +303,12 @@ impl CheckpointStore {
         // restarting at generation 1 would break the documented
         // monotonicity, and an old binary would clobber a newer-format
         // checkpoint rather than failing loudly.
-        let generation = if self.exists() {
-            self.read_manifest()?.generation + 1
+        let previous = if self.exists() {
+            Some(self.read_manifest()?)
         } else {
-            1
+            None
         };
+        let generation = previous.as_ref().map_or(1, |m| m.generation + 1);
         let gen_name = format!("gen-{generation:06}");
         let gen_dir = self.dir.join(&gen_name);
         // Clear remnants of a crashed write that reached this generation
@@ -231,22 +322,46 @@ impl CheckpointStore {
 
         let groups: Vec<(usize, &[TenantSnapshot])> =
             snapshots.chunks(tenants_per_shard).enumerate().collect();
-        let shard_results: Vec<Result<ShardEntry, OnlineError>> =
-            parallel_map(&groups, workers, |(group, chunk)| {
-                let file = format!("{gen_name}/shard-{group:04}.json");
-                let json = serde_json::to_string(chunk).map_err(|e| OnlineError::Checkpoint {
-                    shard: Some(file.clone()),
-                    message: format!("serialize failure: {e}"),
-                })?;
-                let bytes = json.as_bytes();
-                let checksum = format!("{:016x}", fnv1a64(bytes));
-                write_atomic(&self.dir.join(&file), bytes)?;
-                Ok(ShardEntry {
-                    file,
-                    tenants: chunk.len(),
-                    checksum,
-                })
-            });
+        let clean = options
+            .clean_shards
+            .filter(|flags| flags.len() == groups.len());
+        let write_shard = |&(group, chunk): &(usize, &[TenantSnapshot])| {
+            let file = format!("{gen_name}/shard-{group:04}.json");
+            // Reuse path: the group is clean and the previous generation
+            // holds a same-sized shard for it → link/copy those bytes.
+            if clean.is_some_and(|flags| flags[group]) {
+                if let Some(prev) = previous
+                    .as_ref()
+                    .and_then(|m| m.shards.get(group))
+                    .filter(|prev| prev.tenants == chunk.len())
+                {
+                    if let Ok(entry) = self.reuse_shard(prev, &file, generation) {
+                        return Ok(entry);
+                    }
+                    // Fall through to a fresh write when the previous
+                    // shard file cannot be linked or copied (e.g. swept by
+                    // a concurrent process) — reuse is an optimization,
+                    // never a correctness dependency.
+                }
+            }
+            let json = serde_json::to_string(chunk).map_err(|e| OnlineError::Checkpoint {
+                shard: Some(file.clone()),
+                message: format!("serialize failure: {e}"),
+            })?;
+            let bytes = json.as_bytes();
+            let checksum = format!("{:016x}", fnv1a64(bytes));
+            write_atomic(&self.dir.join(&file), bytes)?;
+            Ok(ShardEntry {
+                file,
+                tenants: chunk.len(),
+                checksum,
+                reused_from: None,
+            })
+        };
+        let shard_results: Vec<Result<ShardEntry, OnlineError>> = match options.pool {
+            Some(pool) => pool.parallel_map(&groups, options.workers, write_shard),
+            None => parallel_map(&groups, options.workers, write_shard),
+        };
         let shards = shard_results
             .into_iter()
             .collect::<Result<Vec<_>, OnlineError>>()?;
@@ -256,6 +371,7 @@ impl CheckpointStore {
             generation,
             tenant_count: snapshots.len(),
             shards,
+            bus: options.bus,
         };
         let manifest_json =
             serde_json::to_string(&manifest).map_err(|e| OnlineError::Checkpoint {
@@ -273,6 +389,41 @@ impl CheckpointStore {
         sync_dir(&self.dir)?;
         self.sweep_old_generations(&gen_name);
         Ok(manifest)
+    }
+
+    /// Materialize a clean shard in the new generation directory by
+    /// hard-linking (or copying) the previous generation's file, carrying
+    /// the checksum forward. `reused_from` records the generation that
+    /// actually serialized the bytes, chaining through repeated reuse.
+    ///
+    /// Durability: the linked/copied bytes were fsynced when their
+    /// generation was written, and the new directory entry is covered by
+    /// the generation-directory fsync that precedes the manifest swap.
+    fn reuse_shard(
+        &self,
+        prev: &ShardEntry,
+        file: &str,
+        generation: u64,
+    ) -> Result<ShardEntry, OnlineError> {
+        let source = self.dir.join(&prev.file);
+        let target = self.dir.join(file);
+        if fs::hard_link(&source, &target).is_err() {
+            // Cross-filesystem checkpoint dirs or FSes without hard links:
+            // fall back to a byte copy (still cheaper than reserializing
+            // hundreds of ring+model snapshots).
+            fs::copy(&source, &target).map_err(|e| {
+                io_err(
+                    &format!("reuse {} -> {}", source.display(), target.display()),
+                    &e,
+                )
+            })?;
+        }
+        Ok(ShardEntry {
+            file: file.to_string(),
+            tenants: prev.tenants,
+            checksum: prev.checksum.clone(),
+            reused_from: Some(prev.reused_from.unwrap_or(generation - 1)),
+        })
     }
 
     /// Best-effort removal of generation directories other than `keep` —
@@ -368,10 +519,7 @@ mod tests {
                 let arrivals: Vec<f64> = (0..200).map(|i| i as f64 * 3.0).collect();
                 scaler.ingest_batch(&arrivals);
                 scaler.plan_round(600.0, 0).unwrap();
-                TenantSnapshot {
-                    id,
-                    scaler: scaler.snapshot(),
-                }
+                TenantSnapshot::new(id, scaler.snapshot())
             })
             .collect()
     }
@@ -423,6 +571,101 @@ mod tests {
         // And the all-or-nothing load names the bad shard.
         let err = store.load(2).unwrap_err();
         assert!(err.to_string().contains(&manifest.shards[0].file));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_shards_are_reused_across_generations() {
+        let dir = temp_dir("reuse");
+        let store = CheckpointStore::new(&dir);
+        let mut snapshots = some_snapshots(5);
+        let first = store.write(&snapshots, 2, 1).unwrap();
+        assert!(first.shards.iter().all(|s| s.reused_from.is_none()));
+
+        // Generation 2: only group 0 changed.
+        snapshots[0].scaler.stats.planning_rounds += 1;
+        let options = WriteOptions {
+            tenants_per_shard: 2,
+            workers: 1,
+            clean_shards: Some(&[false, true, true]),
+            ..WriteOptions::default()
+        };
+        let second = store.write_with(&snapshots, &options).unwrap();
+        assert_eq!(second.generation, 2);
+        assert_eq!(second.shards[0].reused_from, None);
+        assert_eq!(second.shards[1].reused_from, Some(1));
+        assert_eq!(second.shards[2].reused_from, Some(1));
+        assert_eq!(second.shards[1].checksum, first.shards[1].checksum);
+
+        // Generation 3: reuse chains back to the writing generation.
+        let third = store.write_with(&snapshots, &options).unwrap();
+        assert_eq!(third.shards[1].reused_from, Some(1));
+        assert_eq!(third.shards[0].reused_from, None);
+
+        // The reused files are self-contained in the new generation: the
+        // old directories are swept yet everything still loads and
+        // checksum-verifies.
+        assert!(!dir.join("gen-000001").exists());
+        assert!(!dir.join("gen-000002").exists());
+        let loaded = store.load(2).unwrap();
+        assert_eq!(loaded, snapshots);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_or_mismatched_clean_flags_fall_back_to_fresh_writes() {
+        let dir = temp_dir("reuse-fallback");
+        let store = CheckpointStore::new(&dir);
+        let snapshots = some_snapshots(4);
+        store.write(&snapshots, 2, 1).unwrap();
+        // Wrong flag length: ignored, everything rewritten.
+        let options = WriteOptions {
+            tenants_per_shard: 2,
+            workers: 1,
+            clean_shards: Some(&[true]),
+            ..WriteOptions::default()
+        };
+        let manifest = store.write_with(&snapshots, &options).unwrap();
+        assert!(manifest.shards.iter().all(|s| s.reused_from.is_none()));
+        // Different sharding than the previous generation: group sizes no
+        // longer line up, so "clean" groups are rewritten, not mislinked.
+        let options = WriteOptions {
+            tenants_per_shard: 3,
+            workers: 1,
+            clean_shards: Some(&[true, true]),
+            ..WriteOptions::default()
+        };
+        let manifest = store.write_with(&snapshots, &options).unwrap();
+        assert!(manifest.shards.iter().all(|s| s.reused_from.is_none()));
+        assert_eq!(store.load(1).unwrap(), snapshots);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_manifests_without_bus_or_reuse_fields_still_load() {
+        let dir = temp_dir("v1-compat");
+        let store = CheckpointStore::new(&dir);
+        let snapshots = some_snapshots(2);
+        store.write(&snapshots, 8, 1).unwrap();
+        // Rewrite the manifest the way a v1 binary would have: no `bus`,
+        // no `reused_from`, version 1 — field-for-field what PR 4 wrote.
+        let manifest = store.read_manifest().unwrap();
+        let shard = &manifest.shards[0];
+        let v1 = format!(
+            "{{\"version\":1,\"generation\":{},\"tenant_count\":{},\"shards\":[{{\
+             \"file\":\"{}\",\"tenants\":{},\"checksum\":\"{}\"}}]}}",
+            manifest.generation, manifest.tenant_count, shard.file, shard.tenants, shard.checksum
+        );
+        write_atomic(&dir.join("manifest.json"), v1.as_bytes()).unwrap();
+        let back = store.read_manifest().unwrap();
+        assert_eq!(back.version, 1);
+        assert_eq!(back.bus, None);
+        assert_eq!(back.shards[0].reused_from, None);
+        assert_eq!(store.load(1).unwrap(), snapshots);
+        // And the next write continues the generation sequence.
+        let next = store.write(&snapshots, 8, 1).unwrap();
+        assert_eq!(next.generation, manifest.generation + 1);
+        assert_eq!(next.version, CHECKPOINT_FORMAT_VERSION);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,21 +1,47 @@
 //! Multi-tenant fleet planning: hundreds of independent [`OnlineScaler`]s
-//! sharded across worker threads.
+//! sharded across a persistent worker pool, fed by an event-driven
+//! arrival bus.
 //!
 //! Each tenant owns its scaler — ring buffer, model, planner scratch and
 //! RNG — so tenants never share mutable state and a round's output is a
 //! pure function of (per-tenant seed, ingestion history, round sequence).
-//! The fleet shards the tenant vector into contiguous chunks via
-//! `robustscaler_parallel::map_chunks_mut`; because chunk outputs are
-//! collected in chunk order and no randomness crosses tenant boundaries,
-//! the result is **identical for any worker count**, which the online
-//! proptests pin.
+//! The fleet shards the tenant vector into contiguous chunks on a
+//! [`WorkerPool`] whose threads park between rounds (no spawn/join on the
+//! round's critical path); because chunking depends only on the worker
+//! budget, chunk outputs are collected in chunk order, and no randomness
+//! crosses tenant boundaries, the result is **identical for any worker
+//! count**, which the online proptests pin.
+//!
+//! ## Ingestion runtime
+//!
+//! With an [`ArrivalBus`] attached ([`TenantFleet::attach_bus`]),
+//! producers enqueue arrivals from any thread — including while a round
+//! is planning — and each round worker *drains its tenants' queues first,
+//! then plans*, making drain + plan one parallel pass over the shard.
+//! Arrivals enqueued during round `N` are picked up by round `N + 1`'s
+//! drain: the round boundary is the only synchronization point, so a
+//! producer that finishes enqueueing window `N + 1` before round `N + 1`
+//! starts gets bit-identical plans to fully synchronous ingestion
+//! (pinned in `tests/online_props.rs`).
+//!
+//! ## Incremental checkpoints
+//!
+//! The fleet tracks per-tenant dirtiness (scaler mutated, or bus queue
+//! mutated since the last successful checkpoint); a checkpoint reuses the
+//! previous generation's shard files for groups whose tenants are all
+//! clean instead of reserializing them (see
+//! [`crate::checkpoint::CheckpointStore::write_with`]).
 
-use crate::checkpoint::{CheckpointStore, Manifest, TenantSnapshot, DEFAULT_TENANTS_PER_SHARD};
+use crate::checkpoint::{
+    CheckpointStore, Manifest, TenantSnapshot, WriteOptions, DEFAULT_TENANTS_PER_SHARD,
+};
 use crate::error::OnlineError;
+use crate::ingest::{ArrivalBus, BusConfig, QueueCheckpoint, QueueStats};
 use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats};
-use robustscaler_parallel::{available_threads, map_chunks_mut, parallel_map};
+use robustscaler_parallel::{available_threads, map_chunks_mut, WorkerPool};
 use robustscaler_scaling::PlanningRound;
 use std::path::Path;
+use std::sync::Arc;
 
 /// SplitMix64 — the same stateless mixer the Monte Carlo sampler uses to
 /// derive per-path streams; here it derives per-tenant RNG seeds from the
@@ -36,11 +62,69 @@ pub struct Tenant {
     pub scaler: OnlineScaler,
 }
 
+/// Sentinel for "no checkpoint has captured this queue yet": a mutation
+/// counter can never reach it, so comparisons always read "dirty".
+const NEVER_CHECKPOINTED: u64 = u64::MAX;
+
+/// Identity of the fleet's last successful checkpoint write — shard reuse
+/// is offered only when the directory's current manifest is *verifiably
+/// this fleet's own previous write* (same path, generation and per-shard
+/// checksums). Without this, a second writer sharing the directory could
+/// get its tenants' bytes silently linked into our next generation.
+#[derive(Debug, Clone, PartialEq)]
+struct LastCheckpoint {
+    dir: std::path::PathBuf,
+    generation: u64,
+    checksums: Vec<String>,
+}
+
 /// A fleet of independent tenants planned concurrently.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TenantFleet {
     tenants: Vec<Tenant>,
     workers: usize,
+    /// Persistent round workers, parked between rounds.
+    pool: Arc<WorkerPool>,
+    /// The ingestion runtime, when attached.
+    bus: Option<Arc<ArrivalBus>>,
+    /// Per-tenant: scaler mutated since the last successful checkpoint
+    /// (ingested directly, planned, or handed out via `tenant_mut`).
+    dirty: Vec<bool>,
+    /// Per-tenant: the bus mutation counter captured by the last
+    /// successful checkpoint ([`NEVER_CHECKPOINTED`] before the first).
+    checkpointed_queue_mutations: Vec<u64>,
+    /// What the last successful checkpoint wrote (see [`LastCheckpoint`]).
+    last_checkpoint: Option<LastCheckpoint>,
+}
+
+impl Clone for TenantFleet {
+    /// Deep clone: tenants and dirtiness copy; the worker pool is shared
+    /// (it holds no per-fleet state); the bus — if any — is rebuilt with
+    /// identical queue contents and stats, so the clone drains the same
+    /// arrivals but has its own producer endpoint. The clone starts fully
+    /// dirty: its first checkpoint rewrites every shard.
+    fn clone(&self) -> Self {
+        let tenant_count = self.tenants.len();
+        let bus = self.bus.as_ref().map(|bus| {
+            let fresh =
+                ArrivalBus::new(tenant_count, bus.config()).expect("existing bus config is valid");
+            for (tenant, cp) in bus.checkpoint_queues().into_iter().enumerate() {
+                fresh
+                    .restore_tenant(tenant, cp.queued, cp.stats)
+                    .expect("existing queue fits its own capacity");
+            }
+            Arc::new(fresh)
+        });
+        Self {
+            tenants: self.tenants.clone(),
+            workers: self.workers,
+            pool: Arc::clone(&self.pool),
+            bus,
+            dirty: vec![true; tenant_count],
+            checkpointed_queue_mutations: vec![NEVER_CHECKPOINTED; tenant_count],
+            last_checkpoint: None,
+        }
+    }
 }
 
 impl TenantFleet {
@@ -69,10 +153,21 @@ impl TenantFleet {
                 })
             })
             .collect::<Result<Vec<_>, OnlineError>>()?;
-        Ok(Self {
+        Ok(Self::assemble(tenants, available_threads(), None))
+    }
+
+    /// Wire up the non-tenant state around a tenant vector.
+    fn assemble(tenants: Vec<Tenant>, workers: usize, bus: Option<Arc<ArrivalBus>>) -> Self {
+        let tenant_count = tenants.len();
+        Self {
             tenants,
-            workers: available_threads(),
-        })
+            workers,
+            pool: Arc::new(WorkerPool::new(workers)),
+            bus,
+            dirty: vec![true; tenant_count],
+            checkpointed_queue_mutations: vec![NEVER_CHECKPOINTED; tenant_count],
+            last_checkpoint: None,
+        }
     }
 
     /// Number of tenants.
@@ -90,9 +185,50 @@ impl TenantFleet {
         self.workers
     }
 
-    /// Set the worker-thread budget (≥ 1). Plans do not depend on it.
+    /// Set the worker-thread budget (≥ 1). Plans do not depend on it: it
+    /// only controls how the tenant vector is chunked and how many pool
+    /// threads may execute the chunks.
     pub fn set_workers(&mut self, workers: usize) {
         self.workers = workers.max(1);
+        self.pool.ensure_threads(self.workers);
+    }
+
+    /// Attach the event-driven ingestion runtime: one bounded arrival
+    /// queue per tenant, drained at the start of every round.
+    ///
+    /// Returns the producer endpoint — a cheaply clonable handle that any
+    /// thread can [`ArrivalBus::push`] into, concurrently with planning.
+    /// Fails if a bus is already attached (swapping one out mid-serving
+    /// would silently discard queued arrivals).
+    pub fn attach_bus(&mut self, config: BusConfig) -> Result<Arc<ArrivalBus>, OnlineError> {
+        if self.bus.is_some() {
+            return Err(OnlineError::InvalidConfig(
+                "an arrival bus is already attached to this fleet",
+            ));
+        }
+        let bus = Arc::new(ArrivalBus::new(self.tenants.len(), config)?);
+        self.bus = Some(Arc::clone(&bus));
+        Ok(bus)
+    }
+
+    /// The attached arrival bus, if any.
+    pub fn bus(&self) -> Option<&Arc<ArrivalBus>> {
+        self.bus.as_ref()
+    }
+
+    /// Enqueue one arrival for tenant `index` on the attached bus (the
+    /// round-boundary drain will ingest it). Returns whether it was
+    /// queued (`false` = shed by back-pressure).
+    pub fn enqueue(&self, index: usize, arrival: f64) -> Result<bool, OnlineError> {
+        let bus = self.bus.as_ref().ok_or(OnlineError::InvalidConfig(
+            "no arrival bus attached; use attach_bus or ingest",
+        ))?;
+        bus.push(index, arrival)
+    }
+
+    /// Aggregate queue health across the attached bus's tenants.
+    pub fn queue_stats(&self) -> Option<QueueStats> {
+        self.bus.as_ref().map(|bus| bus.stats())
     }
 
     /// Borrow a tenant by index.
@@ -100,28 +236,41 @@ impl TenantFleet {
         self.tenants.get(index)
     }
 
-    /// Mutably borrow a tenant by index (ingestion is routed by the
-    /// caller's sharding, e.g. a per-tenant arrival queue).
+    /// Mutably borrow a tenant by index (ingestion routed by the caller,
+    /// warm-starting models, ...). Conservatively marks the tenant dirty
+    /// for incremental checkpointing.
     pub fn tenant_mut(&mut self, index: usize) -> Option<&mut Tenant> {
+        if let Some(flag) = self.dirty.get_mut(index) {
+            *flag = true;
+        }
         self.tenants.get_mut(index)
     }
 
-    /// Ingest one arrival for tenant `index`.
+    /// Ingest one arrival for tenant `index`, synchronously on the calling
+    /// thread (the pre-bus path; kept for callers that already hold the
+    /// arrival ordered and in hand).
     pub fn ingest(&mut self, index: usize, arrival: f64) -> Result<(), OnlineError> {
         let tenant = self
             .tenants
             .get_mut(index)
             .ok_or(OnlineError::InvalidConfig("tenant index out of range"))?;
         tenant.scaler.ingest(arrival);
+        self.dirty[index] = true;
         Ok(())
     }
 
-    /// Run one planning round for every tenant at time `now`.
+    /// Run one planning round for every tenant at time `now`, on the
+    /// persistent worker pool.
+    ///
+    /// With a bus attached, each worker first drains its tenants' arrival
+    /// queues (batched, in timestamp order, through the ring's bulk
+    /// append) and then plans — drain + plan is one parallel pass, so
+    /// ingestion work is off the caller's thread and amortized across the
+    /// round workers.
     ///
     /// `covered[i]` is tenant `i`'s count of upcoming arrivals already
-    /// covered by scheduled/pending/ready instances. Tenants are planned in
-    /// parallel across the worker budget; the output vector is ordered by
-    /// tenant index and is identical for any worker count.
+    /// covered by scheduled/pending/ready instances. The output vector is
+    /// ordered by tenant index and is identical for any worker count.
     ///
     /// Tenant failures are isolated: a tenant whose round errors (still
     /// warming up, failed refit, ...) yields `Err` *in its own slot* while
@@ -134,20 +283,63 @@ impl TenantFleet {
         now: f64,
         covered: &[usize],
     ) -> Result<Vec<Result<PlanningRound, OnlineError>>, OnlineError> {
+        self.round_inner(now, covered, true)
+    }
+
+    /// [`TenantFleet::run_round`] executed on per-round *scoped threads*
+    /// instead of the persistent pool — the legacy execution flavour, kept
+    /// so the pool-vs-spawn round-latency comparison in `bench_fleet`
+    /// measures both on identical code. Outputs are bit-identical to
+    /// [`TenantFleet::run_round`].
+    #[allow(clippy::type_complexity)]
+    pub fn run_round_spawning(
+        &mut self,
+        now: f64,
+        covered: &[usize],
+    ) -> Result<Vec<Result<PlanningRound, OnlineError>>, OnlineError> {
+        self.round_inner(now, covered, false)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn round_inner(
+        &mut self,
+        now: f64,
+        covered: &[usize],
+        use_pool: bool,
+    ) -> Result<Vec<Result<PlanningRound, OnlineError>>, OnlineError> {
         if covered.len() != self.tenants.len() {
             return Err(OnlineError::InvalidConfig(
                 "covered must have one entry per tenant",
             ));
         }
         let workers = self.workers;
-        let per_chunk: Vec<Vec<Result<PlanningRound, OnlineError>>> =
-            map_chunks_mut(&mut self.tenants, workers, |start, chunk| {
-                chunk
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(i, tenant)| tenant.scaler.plan_round(now, covered[start + i]))
-                    .collect()
-            });
+        let bus = self.bus.clone();
+        let work = |start: usize, chunk: &mut [Tenant]| {
+            // One drain buffer per worker chunk, reused across its tenants.
+            let mut buf = Vec::new();
+            chunk
+                .iter_mut()
+                .enumerate()
+                .map(|(i, tenant)| {
+                    if let Some(bus) = &bus {
+                        match bus.drain_into(start + i, &mut buf) {
+                            Ok(0) => {}
+                            Ok(_) => tenant.scaler.ingest_batch(&buf),
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    tenant.scaler.plan_round(now, covered[start + i])
+                })
+                .collect::<Vec<Result<PlanningRound, OnlineError>>>()
+        };
+        let per_chunk: Vec<Vec<Result<PlanningRound, OnlineError>>> = if use_pool {
+            self.pool.map_chunks_mut(&mut self.tenants, workers, work)
+        } else {
+            map_chunks_mut(&mut self.tenants, workers, work)
+        };
+        // Every tenant's ring/stats advanced (plan_round touches both even
+        // on the error path), so the whole fleet is dirty for checkpoints.
+        self.dirty.fill(true);
         Ok(per_chunk.into_iter().flatten().collect())
     }
 
@@ -162,34 +354,174 @@ impl TenantFleet {
         self.run_round(now, &covered)
     }
 
+    /// Drain every tenant's arrival queue into its ring *without*
+    /// planning — a parallel ingestion-only pass (flushing before a
+    /// checkpoint, and the `ingest_throughput` bench). Returns the total
+    /// arrivals drained. A no-op without a bus.
+    pub fn drain_bus(&mut self) -> Result<u64, OnlineError> {
+        let Some(bus) = self.bus.clone() else {
+            return Ok(0);
+        };
+        let workers = self.workers;
+        let per_chunk: Vec<Result<Vec<u64>, OnlineError>> =
+            self.pool
+                .map_chunks_mut(&mut self.tenants, workers, |start, chunk| {
+                    let mut buf = Vec::new();
+                    chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, tenant)| {
+                            let n = bus.drain_into(start + i, &mut buf)?;
+                            if n > 0 {
+                                tenant.scaler.ingest_batch(&buf);
+                            }
+                            Ok(n as u64)
+                        })
+                        .collect()
+                });
+        let mut total = 0u64;
+        for (index, n) in per_chunk
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .flatten()
+            .enumerate()
+        {
+            if n > 0 {
+                self.dirty[index] = true;
+            }
+            total += n;
+        }
+        Ok(total)
+    }
+
     /// Checkpoint the whole fleet to `dir` with the default shard size
     /// ([`DEFAULT_TENANTS_PER_SHARD`] tenants per shard file). See
     /// [`TenantFleet::checkpoint_sharded`].
-    pub fn checkpoint(&self, dir: impl AsRef<Path>) -> Result<Manifest, OnlineError> {
+    pub fn checkpoint(&mut self, dir: impl AsRef<Path>) -> Result<Manifest, OnlineError> {
         self.checkpoint_sharded(dir, DEFAULT_TENANTS_PER_SHARD)
     }
 
     /// Checkpoint the whole fleet to `dir`, sharded into groups of
     /// `tenants_per_shard` consecutive tenants per file.
     ///
-    /// Tenant snapshots are taken and serialized in parallel across the
-    /// fleet's worker budget; the write is crash-safe (a new generation
+    /// Tenant snapshots are taken and serialized in parallel on the
+    /// fleet's worker pool; the write is crash-safe (a new generation
     /// becomes current only at the final atomic manifest rename, so a crash
     /// mid-checkpoint leaves the previous checkpoint intact). The snapshot
-    /// captures per-tenant seeds, RNG stream positions, serving counters
-    /// and refit deadlines, so a fleet restored from the checkpoint plans
-    /// bit-identically to one that never stopped.
+    /// captures per-tenant seeds, RNG stream positions, serving counters,
+    /// refit deadlines **and each tenant's undrained arrival queue**, so a
+    /// fleet restored from the checkpoint — even one taken mid-burst, with
+    /// arrivals still queued — plans bit-identically to one that never
+    /// stopped.
+    ///
+    /// Checkpoints are **incremental**: shard groups whose tenants neither
+    /// ingested nor planned since the last successful checkpoint (and
+    /// whose queues did not change) are reused from the previous
+    /// generation instead of reserialized; the manifest's `reused_from`
+    /// fields record which. Reuse is offered only when the directory's
+    /// current manifest is verifiably this fleet's own previous write
+    /// (same path, generation and per-shard checksums) — a different
+    /// writer sharing the directory, or a switch to a new directory,
+    /// forces a full rewrite rather than linking foreign bytes.
     pub fn checkpoint_sharded(
-        &self,
+        &mut self,
         dir: impl AsRef<Path>,
         tenants_per_shard: usize,
     ) -> Result<Manifest, OnlineError> {
+        let tenants_per_shard = tenants_per_shard.max(1);
+        let dir = dir.as_ref();
+        // Capture queue contents first: scaler state cannot change under
+        // us (`&mut self`), so the checkpoint is a consistent cut at the
+        // capture instant — arrivals pushed after it belong to the next
+        // generation and stay live on the bus.
+        let queues: Option<Vec<QueueCheckpoint>> =
+            self.bus.as_ref().map(|bus| bus.checkpoint_queues());
+        // Full snapshots are taken even for clean groups: the reuse path
+        // discards them, but they keep `CheckpointStore::write_with`'s
+        // fallback (reserialize when the previous shard file cannot be
+        // linked) self-contained. At 250 tenants this costs ~1 ms of the
+        // steady-state incremental checkpoint — accepted trade-off over a
+        // lazier, two-phase write API.
+        let indexed: Vec<(usize, &Tenant)> = self.tenants.iter().enumerate().collect();
         let snapshots: Vec<TenantSnapshot> =
-            parallel_map(&self.tenants, self.workers, |tenant| TenantSnapshot {
-                id: tenant.id,
-                scaler: tenant.scaler.snapshot(),
-            });
-        CheckpointStore::new(dir.as_ref()).write(&snapshots, tenants_per_shard, self.workers)
+            self.pool
+                .parallel_map(&indexed, self.workers, |&(index, tenant)| {
+                    let mut snapshot = TenantSnapshot::new(tenant.id, tenant.scaler.snapshot());
+                    if let Some(queues) = &queues {
+                        let queue = &queues[index];
+                        snapshot.queued = Some(queue.queued.clone());
+                        snapshot.queue = Some(queue.stats);
+                    }
+                    snapshot
+                });
+        let store = CheckpointStore::new(dir);
+        let clean: Vec<bool> = if self.previous_generation_is_ours(&store, dir) {
+            self.dirty
+                .chunks(tenants_per_shard)
+                .enumerate()
+                .map(|(group, dirty)| {
+                    dirty.iter().enumerate().all(|(offset, &tenant_dirty)| {
+                        let i = group * tenants_per_shard + offset;
+                        !tenant_dirty
+                            && queues.as_ref().is_none_or(|queues| {
+                                queues[i].mutations == self.checkpointed_queue_mutations[i]
+                            })
+                    })
+                })
+                .collect()
+        } else {
+            vec![false; self.tenants.len().div_ceil(tenants_per_shard)]
+        };
+        let manifest = store.write_with(
+            &snapshots,
+            &WriteOptions {
+                tenants_per_shard,
+                workers: self.workers,
+                pool: Some(&self.pool),
+                bus: self.bus.as_ref().map(|bus| bus.config()),
+                clean_shards: Some(&clean),
+            },
+        )?;
+        // Only a *successful* swap resets dirtiness; a failed write keeps
+        // every tenant dirty so the next attempt rewrites conservatively.
+        self.dirty.fill(false);
+        if let Some(queues) = &queues {
+            for (slot, queue) in self
+                .checkpointed_queue_mutations
+                .iter_mut()
+                .zip(queues.iter())
+            {
+                *slot = queue.mutations;
+            }
+        }
+        self.last_checkpoint = Some(LastCheckpoint {
+            dir: dir.to_path_buf(),
+            generation: manifest.generation,
+            checksums: manifest.shards.iter().map(|s| s.checksum.clone()).collect(),
+        });
+        Ok(manifest)
+    }
+
+    /// Whether `dir`'s current manifest is this fleet's own last write —
+    /// the precondition for offering shard reuse. Any doubt (different
+    /// directory, no prior write, unreadable manifest, generation or
+    /// checksum mismatch from a concurrent writer) answers `false`, which
+    /// only costs a full rewrite, never correctness.
+    fn previous_generation_is_ours(&self, store: &CheckpointStore, dir: &Path) -> bool {
+        let Some(last) = self.last_checkpoint.as_ref().filter(|last| last.dir == dir) else {
+            return false;
+        };
+        let Ok(manifest) = store.read_manifest() else {
+            return false;
+        };
+        manifest.generation == last.generation
+            && manifest.shards.len() == last.checksums.len()
+            && manifest
+                .shards
+                .iter()
+                .zip(&last.checksums)
+                .all(|(shard, checksum)| &shard.checksum == checksum)
     }
 
     /// Restore a fleet from the checkpoint in `dir`, loading and
@@ -198,18 +530,43 @@ impl TenantFleet {
     /// `config` is the shared serving configuration (per-tenant seeds and
     /// RNG positions come from the checkpoint, not from `config`'s seed).
     /// Shards are checksum-verified before parsing; a corrupt shard fails
-    /// the restore with an error naming that shard. The restored fleet's
-    /// worker budget defaults to the machine's available parallelism, and —
-    /// as with a fresh fleet — its plans do not depend on it.
+    /// the restore with an error naming that shard. When the checkpoint
+    /// was taken from a fleet with an arrival bus, the bus is rebuilt with
+    /// every tenant's undrained queue and back-pressure accounting intact,
+    /// so a restore mid-burst continues bit-identically. The restored
+    /// fleet's worker budget defaults to the machine's available
+    /// parallelism, and — as with a fresh fleet — its plans do not depend
+    /// on it.
     pub fn restore(dir: impl AsRef<Path>, config: &OnlineConfig) -> Result<Self, OnlineError> {
         let workers = available_threads();
-        let mut snapshots = CheckpointStore::new(dir.as_ref()).load(workers)?;
+        let store = CheckpointStore::new(dir.as_ref());
+        let (manifest, per_shard) = store.load_shards(workers)?;
+        let mut snapshots = Vec::with_capacity(manifest.tenant_count);
+        for result in per_shard {
+            snapshots.extend(result?);
+        }
         snapshots.sort_by_key(|s| s.id);
         if snapshots.windows(2).any(|w| w[0].id == w[1].id) {
             return Err(OnlineError::Checkpoint {
                 shard: None,
                 message: "duplicate tenant id across shards".to_string(),
             });
+        }
+        if snapshots.is_empty() {
+            return Err(OnlineError::InvalidConfig(
+                "a fleet needs at least one tenant",
+            ));
+        }
+        let bus = match manifest.bus {
+            Some(bus_config) => Some(Arc::new(ArrivalBus::new(snapshots.len(), bus_config)?)),
+            None => None,
+        };
+        if let Some(bus) = &bus {
+            for (index, snapshot) in snapshots.iter_mut().enumerate() {
+                let queued = snapshot.queued.take().unwrap_or_default();
+                let stats = snapshot.queue.take().unwrap_or_default();
+                bus.restore_tenant(index, queued, stats)?;
+            }
         }
         // Rebuild scalers in parallel *by value*: each worker takes its
         // snapshots out of the slots instead of cloning them — a snapshot
@@ -231,12 +588,7 @@ impl TenantFleet {
         .into_iter()
         .flatten()
         .collect::<Result<Vec<_>, OnlineError>>()?;
-        if tenants.is_empty() {
-            return Err(OnlineError::InvalidConfig(
-                "a fleet needs at least one tenant",
-            ));
-        }
-        Ok(Self { tenants, workers })
+        Ok(Self::assemble(tenants, workers, bus))
     }
 
     /// Sum of all tenants' serving counters.
@@ -279,6 +631,13 @@ mod tests {
         config
     }
 
+    fn small_bus_config() -> BusConfig {
+        BusConfig {
+            capacity_per_tenant: 4_096,
+            tenants_per_group: 2,
+        }
+    }
+
     /// Tenant `i` sees one arrival every `4 + i` seconds.
     fn ingest_uniform(fleet: &mut TenantFleet, duration: f64) {
         for index in 0..fleet.len() {
@@ -290,12 +649,26 @@ mod tests {
         }
     }
 
+    /// Same traffic, enqueued on the bus instead of ingested directly.
+    fn enqueue_uniform(fleet: &TenantFleet, duration: f64) {
+        for index in 0..fleet.len() {
+            let gap = 4.0 + index as f64;
+            let n = (duration / gap) as usize;
+            for k in 0..n {
+                assert!(fleet.enqueue(index, k as f64 * gap).unwrap());
+            }
+        }
+    }
+
     #[test]
     fn rejects_empty_fleets_and_bad_indices() {
         assert!(TenantFleet::new(&fleet_config(), 0.0, 0, 1).is_err());
         let mut fleet = TenantFleet::new(&fleet_config(), 0.0, 2, 1).unwrap();
         assert!(fleet.ingest(2, 1.0).is_err());
         assert!(fleet.run_round(400.0, &[0]).is_err());
+        // No bus attached: enqueue is a configuration error.
+        assert!(fleet.enqueue(0, 1.0).is_err());
+        assert!(fleet.queue_stats().is_none());
     }
 
     #[test]
@@ -333,6 +706,59 @@ mod tests {
     }
 
     #[test]
+    fn bus_fed_rounds_match_direct_ingestion() {
+        let config = fleet_config();
+        let mut direct = TenantFleet::new(&config, 0.0, 4, 11).unwrap();
+        ingest_uniform(&mut direct, 400.0);
+        let direct_rounds = direct.run_round_uniform(400.0, 0).unwrap();
+
+        let mut bused = TenantFleet::new(&config, 0.0, 4, 11).unwrap();
+        bused.attach_bus(small_bus_config()).unwrap();
+        assert!(bused.attach_bus(small_bus_config()).is_err());
+        enqueue_uniform(&bused, 400.0);
+        // Queued, not yet ingested.
+        assert_eq!(bused.aggregate_stats().arrivals_ingested, 0);
+        let bused_rounds = bused.run_round_uniform(400.0, 0).unwrap();
+        assert_eq!(direct_rounds, bused_rounds);
+        assert_eq!(direct.aggregate_stats(), bused.aggregate_stats());
+        let queue = bused.queue_stats().unwrap();
+        assert_eq!(queue.drained, queue.enqueued);
+        assert_eq!(queue.dropped_full, 0);
+        assert!(queue.queued_peak > 0);
+    }
+
+    #[test]
+    fn spawning_rounds_match_pool_rounds() {
+        let config = fleet_config();
+        let run = |spawning: bool| {
+            let mut fleet = TenantFleet::new(&config, 0.0, 5, 3).unwrap();
+            fleet.set_workers(3);
+            fleet.attach_bus(small_bus_config()).unwrap();
+            enqueue_uniform(&fleet, 400.0);
+            if spawning {
+                fleet.run_round_spawning(400.0, &[0; 5]).unwrap()
+            } else {
+                fleet.run_round(400.0, &[0; 5]).unwrap()
+            }
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn drain_bus_flushes_queues_without_planning() {
+        let mut fleet = TenantFleet::new(&fleet_config(), 0.0, 3, 5).unwrap();
+        assert_eq!(fleet.drain_bus().unwrap(), 0); // no bus: no-op
+        fleet.attach_bus(small_bus_config()).unwrap();
+        enqueue_uniform(&fleet, 200.0);
+        let queued = fleet.queue_stats().unwrap().enqueued;
+        assert_eq!(fleet.drain_bus().unwrap(), queued);
+        let stats = fleet.aggregate_stats();
+        assert_eq!(stats.arrivals_ingested, queued);
+        assert_eq!(stats.planning_rounds, 0);
+        assert_eq!(fleet.drain_bus().unwrap(), 0);
+    }
+
+    #[test]
     fn checkpoint_restore_round_trips_and_resumes_identically() {
         let dir =
             std::env::temp_dir().join(format!("robustscaler-fleet-ckpt-{}", std::process::id()));
@@ -356,6 +782,144 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_restores_undrained_queues_mid_burst() {
+        let dir = std::env::temp_dir().join(format!(
+            "robustscaler-fleet-ckpt-burst-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = fleet_config();
+        let mut fleet = TenantFleet::new(&config, 0.0, 3, 9).unwrap();
+        fleet.attach_bus(small_bus_config()).unwrap();
+        enqueue_uniform(&fleet, 400.0);
+        fleet.run_round_uniform(400.0, 0).unwrap();
+        // Mid-burst: new arrivals queued but NOT drained yet.
+        for index in 0..3 {
+            for k in 0..15 {
+                fleet.enqueue(index, 402.0 + k as f64 * 1.5).unwrap();
+            }
+        }
+        let manifest = fleet.checkpoint_sharded(&dir, 2).unwrap();
+        assert!(manifest.bus.is_some());
+        let mut restored = TenantFleet::restore(&dir, &config).unwrap();
+        assert_eq!(
+            restored.queue_stats().unwrap(),
+            fleet.queue_stats().unwrap()
+        );
+        // Both drain the same queued arrivals at the next round and stay
+        // bit-identical through further enqueue + round cycles.
+        for round in 1..4 {
+            let now = 400.0 + 20.0 * round as f64;
+            for index in 0..3 {
+                let t = now - 5.0 + index as f64;
+                fleet.enqueue(index, t).unwrap();
+                restored.enqueue(index, t).unwrap();
+            }
+            assert_eq!(
+                fleet.run_round_uniform(now, round).unwrap(),
+                restored.run_round_uniform(now, round).unwrap()
+            );
+        }
+        assert_eq!(fleet.aggregate_stats(), restored.aggregate_stats());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_checkpoints_reuse_clean_shards() {
+        let dir = std::env::temp_dir().join(format!(
+            "robustscaler-fleet-ckpt-incr-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = fleet_config();
+        let mut fleet = TenantFleet::new(&config, 0.0, 6, 21).unwrap();
+        fleet.attach_bus(small_bus_config()).unwrap();
+        ingest_uniform(&mut fleet, 400.0);
+        fleet.run_round_uniform(400.0, 0).unwrap();
+        let first = fleet.checkpoint_sharded(&dir, 2).unwrap();
+        assert!(first.shards.iter().all(|s| s.reused_from.is_none()));
+
+        // Nothing changed since: every shard is reused.
+        let second = fleet.checkpoint_sharded(&dir, 2).unwrap();
+        assert_eq!(second.generation, 2);
+        assert!(second.shards.iter().all(|s| s.reused_from == Some(1)));
+
+        // Touch only tenant 0 (group 0) via direct ingest, and tenant 5's
+        // queue (group 2) via the bus: groups 0 and 2 rewrite, group 1 is
+        // reused.
+        fleet.ingest(0, 401.0).unwrap();
+        fleet.enqueue(5, 401.5).unwrap();
+        let third = fleet.checkpoint_sharded(&dir, 2).unwrap();
+        assert_eq!(third.shards[0].reused_from, None);
+        assert_eq!(third.shards[1].reused_from, Some(1));
+        assert_eq!(third.shards[2].reused_from, None);
+
+        // The mixed-generation checkpoint restores completely.
+        let restored = TenantFleet::restore(&dir, &config).unwrap();
+        assert_eq!(restored.aggregate_stats(), fleet.aggregate_stats());
+        assert_eq!(
+            restored.queue_stats().unwrap(),
+            fleet.queue_stats().unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_writes_to_the_checkpoint_dir_disable_shard_reuse() {
+        let dir = std::env::temp_dir().join(format!(
+            "robustscaler-fleet-ckpt-foreign-{}",
+            std::process::id()
+        ));
+        let other_dir = std::env::temp_dir().join(format!(
+            "robustscaler-fleet-ckpt-foreign-other-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&other_dir);
+        let config = fleet_config();
+        let mut fleet = TenantFleet::new(&config, 0.0, 4, 13).unwrap();
+        ingest_uniform(&mut fleet, 400.0);
+        fleet.run_round_uniform(400.0, 0).unwrap();
+        fleet.checkpoint_sharded(&dir, 2).unwrap();
+
+        // A *different* fleet writes the next generation into the same
+        // directory while ours believes it is clean.
+        let mut foreign = TenantFleet::new(&config, 0.0, 4, 999).unwrap();
+        ingest_uniform(&mut foreign, 200.0);
+        foreign.checkpoint_sharded(&dir, 2).unwrap();
+
+        // Our next checkpoint must NOT link the foreign shards: every
+        // shard is rewritten fresh, and the restore returns OUR state.
+        let manifest = fleet.checkpoint_sharded(&dir, 2).unwrap();
+        assert!(manifest.shards.iter().all(|s| s.reused_from.is_none()));
+        let restored = TenantFleet::restore(&dir, &config).unwrap();
+        assert_eq!(restored.aggregate_stats(), fleet.aggregate_stats());
+
+        // Switching to a fresh directory likewise rewrites everything,
+        // even though the fleet itself is clean.
+        let manifest = fleet.checkpoint_sharded(&other_dir, 2).unwrap();
+        assert!(manifest.shards.iter().all(|s| s.reused_from.is_none()));
+        // And back on its own directory with nothing changed, reuse works.
+        let manifest = fleet.checkpoint_sharded(&other_dir, 2).unwrap();
+        assert!(manifest.shards.iter().all(|s| s.reused_from.is_some()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&other_dir);
+    }
+
+    #[test]
+    fn cloned_fleets_have_independent_buses_with_equal_contents() {
+        let mut fleet = TenantFleet::new(&fleet_config(), 0.0, 2, 3).unwrap();
+        fleet.attach_bus(small_bus_config()).unwrap();
+        fleet.enqueue(0, 1.0).unwrap();
+        let clone = fleet.clone();
+        assert_eq!(clone.queue_stats().unwrap(), fleet.queue_stats().unwrap());
+        // Pushes to the clone do not show up in the original.
+        clone.enqueue(0, 2.0).unwrap();
+        assert_eq!(fleet.queue_stats().unwrap().enqueued, 1);
+        assert_eq!(clone.queue_stats().unwrap().enqueued, 2);
     }
 
     #[test]

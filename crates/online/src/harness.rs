@@ -3,13 +3,23 @@
 //!
 //! This validates the serving layer the way the paper validates the
 //! offline pipeline (Section III, Algorithm 1): arrivals flow into the
-//! scaler *as they are simulated*, planning ticks run the online loop
-//! (drift check → optional refit → plan window), the planned creations
-//! feed back into the simulated cluster, and the run is scored with the
-//! paper's metrics — hit rate, `rt_avg`, total and relative cost.
+//! scaler's *arrival queue* as they are simulated, planning ticks run the
+//! full serving round (drain the queue in timestamp order → drift check →
+//! optional refit → plan window), the planned creations feed back into
+//! the simulated cluster, and the run is scored with the paper's metrics
+//! — hit rate, `rt_avg`, total and relative cost — plus the queue's
+//! back-pressure health.
+//!
+//! Routing arrivals through the [`ArrivalBus`] instead of per-arrival
+//! `ingest` calls mirrors production (ingestion is decoupled from the
+//! planning thread and batched at round boundaries) and is
+//! **bit-identical** to the synchronous path: a tick drains exactly the
+//! arrivals simulated before it, in timestamp order, into the ring's bulk
+//! append.
 
 use crate::checkpoint::{CheckpointStore, TenantSnapshot};
 use crate::error::OnlineError;
+use crate::ingest::{ArrivalBus, BusConfig, QueueStats};
 use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats};
 use robustscaler_core::relative_cost;
 use robustscaler_simulator::{
@@ -19,22 +29,53 @@ use robustscaler_simulator::{
 use serde::{Deserialize, Serialize};
 
 /// [`Autoscaler`] adapter that feeds the simulator's arrivals into an
-/// [`OnlineScaler`] and turns its planning rounds into scaling commands.
+/// [`OnlineScaler`]'s arrival queue — drained at each planning tick — and
+/// turns the scaler's planning rounds into scaling commands.
 pub struct OnlinePolicy {
     scaler: OnlineScaler,
+    /// Single-tenant arrival queue between the simulated request path and
+    /// the planning ticks.
+    bus: ArrivalBus,
+    /// Drain buffer reused across ticks.
+    drain_buf: Vec<f64>,
     name: String,
 }
 
 impl OnlinePolicy {
-    /// Wrap a scaler for use with the simulator.
+    /// Wrap a scaler for use with the simulator, with the default arrival
+    /// queue bound.
     pub fn new(scaler: OnlineScaler) -> Self {
+        Self::with_queue_capacity(scaler, crate::ingest::DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// [`OnlinePolicy::new`] with an explicit arrival-queue bound (smaller
+    /// bounds exercise back-pressure shedding in tests).
+    pub fn with_queue_capacity(scaler: OnlineScaler, capacity: usize) -> Self {
         let name = format!("online-{}", scaler.config().pipeline.variant.name());
-        Self { scaler, name }
+        let bus = ArrivalBus::new(
+            1,
+            BusConfig {
+                capacity_per_tenant: capacity.max(1),
+                tenants_per_group: 1,
+            },
+        )
+        .expect("a 1-tenant bus with capacity >= 1 is always valid");
+        Self {
+            scaler,
+            bus,
+            drain_buf: Vec::new(),
+            name,
+        }
     }
 
     /// Borrow the wrapped scaler (stats, model inspection).
     pub fn scaler(&self) -> &OnlineScaler {
         &self.scaler
+    }
+
+    /// The arrival queue's back-pressure accounting.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.bus.stats()
     }
 
     /// Unwrap the scaler (e.g. to keep serving after a replay).
@@ -53,6 +94,13 @@ impl Autoscaler for OnlinePolicy {
     }
 
     fn on_planning_tick(&mut self, state: &SystemState) -> Vec<ScalingCommand> {
+        // Round boundary: drain everything that arrived since the last
+        // tick (one batched, timestamp-ordered append), then plan.
+        let mut buf = std::mem::take(&mut self.drain_buf);
+        if let Ok(1..) = self.bus.drain_into(0, &mut buf) {
+            self.scaler.ingest_batch(&buf);
+        }
+        self.drain_buf = buf;
         match self.scaler.plan_round(state.now, state.covered()) {
             Ok(round) => round
                 .decisions
@@ -73,7 +121,9 @@ impl Autoscaler for OnlinePolicy {
 
     fn on_query_arrival(&mut self, state: &SystemState) -> Vec<ScalingCommand> {
         // `state.now` is the arrival instant of the query just dispatched.
-        self.scaler.ingest(state.now);
+        // Enqueue only — the ring work happens batched at the next tick. A
+        // full queue sheds the arrival (counted in `dropped_full`).
+        let _ = self.bus.push(0, state.now);
         Vec::new()
     }
 
@@ -114,6 +164,12 @@ pub struct HarnessReport {
     pub queries: usize,
     /// Serving-loop counters accumulated across warm-up and replay.
     pub stats: OnlineStats,
+    /// Arrival-queue health over the live replay: enqueued / dropped-full
+    /// / high-water mark / drained totals (`None` when parsed from a
+    /// pre-ingestion-runtime report).
+    pub queue: Option<QueueStats>,
+    /// Average arrivals drained per planning tick over the live replay.
+    pub drained_per_round: Option<f64>,
 }
 
 /// Replay `trace` through the full online loop and score it.
@@ -162,21 +218,44 @@ fn run_closed_loop_inner(
     let boundary = trace.start() + config.warmup;
     let (warm, live) = trace.split_at(boundary)?;
 
+    let simulator = Simulator::new(config.sim)?;
     let mut scaler = OnlineScaler::new(config.online, trace.start())?;
-    scaler.ingest_batch(&warm.arrival_times());
+
+    // Warm-up flows through an arrival bus, enqueued by a producer thread
+    // *while* the reactive baseline replays on this thread — the two touch
+    // disjoint state, so the overlap changes no result, only wall clock.
+    // The drain at the warm-up boundary then feeds the scaler one batched,
+    // timestamp-ordered append (bit-identical to per-arrival ingestion).
+    let warm_times = warm.arrival_times();
+    let warm_bus = ArrivalBus::new(
+        1,
+        BusConfig {
+            capacity_per_tenant: warm_times.len().max(1),
+            tenants_per_group: 1,
+        },
+    )?;
+    let mut reactive = Reactive::new();
+    let (reactive_metrics, enqueued) = std::thread::scope(|scope| {
+        let producer = scope.spawn(|| warm_bus.push_batch(0, &warm_times));
+        let metrics = simulator.run(&live, &mut reactive);
+        let enqueued = producer.join().expect("warm-up producer thread panicked");
+        (metrics, enqueued)
+    });
+    let reactive_metrics = reactive_metrics?;
+    if enqueued? != warm_times.len() {
+        return Err(OnlineError::InvalidConfig(
+            "warm-up bus sized to the warm window cannot shed arrivals",
+        ));
+    }
+    let mut warm_buf = Vec::new();
+    warm_bus.drain_into(0, &mut warm_buf)?;
+    scaler.ingest_batch(&warm_buf);
     scaler.refit_now(boundary)?;
 
     if let Some(dir) = restart_via {
         // Simulated process death: persist, drop, restore from disk.
         let store = CheckpointStore::new(dir);
-        store.write(
-            &[TenantSnapshot {
-                id: 0,
-                scaler: scaler.snapshot(),
-            }],
-            1,
-            1,
-        )?;
+        store.write(&[TenantSnapshot::new(0, scaler.snapshot())], 1, 1)?;
         drop(scaler);
         let snapshots = store.load(1)?;
         let snapshot = snapshots
@@ -189,12 +268,10 @@ fn run_closed_loop_inner(
         scaler = OnlineScaler::restore(snapshot.scaler, config.online)?;
     }
 
-    let simulator = Simulator::new(config.sim)?;
     let mut policy = OnlinePolicy::new(scaler);
     let metrics = simulator.run(&live, &mut policy)?;
-    let mut reactive = Reactive::new();
-    let reactive_metrics = simulator.run(&live, &mut reactive)?;
 
+    let queue = policy.queue_stats();
     let report = HarnessReport {
         policy: policy.name().to_string(),
         hit_rate: metrics.hit_rate(),
@@ -204,6 +281,8 @@ fn run_closed_loop_inner(
         relative_cost: relative_cost(metrics.total_cost(), reactive_metrics.total_cost()),
         queries: metrics.query_count(),
         stats: *policy.scaler().stats(),
+        queue: Some(queue),
+        drained_per_round: Some(queue.drained_per_drain()),
     };
     Ok((report, metrics))
 }
@@ -278,6 +357,61 @@ mod tests {
         assert!(report.stats.planning_rounds > 0);
         // Live arrivals were ingested during the replay (on top of warm-up).
         assert!(report.stats.arrivals_ingested as usize > report.queries);
+        // Every live arrival flowed through the queue; none were shed and
+        // the round drains kept the backlog bounded.
+        let queue = report.queue.expect("bus-fed harness reports queue health");
+        assert_eq!(queue.enqueued as usize, report.queries);
+        assert_eq!(queue.dropped_full, 0);
+        assert!(queue.queued_peak >= 1);
+        assert!(report.drained_per_round.unwrap() > 0.0);
+    }
+
+    /// The bus-fed serving loop must be bit-identical to per-arrival
+    /// synchronous ingestion: drive the same scaler state through both
+    /// paths and compare the planning outcomes.
+    #[test]
+    fn queued_ticks_match_synchronous_ingestion() {
+        let config = harness_config();
+        let arrivals: Vec<f64> = (0..500).map(|i| i as f64 * 17.0).collect();
+        let ticks: Vec<f64> = (1..20).map(|k| 7_300.0 + 20.0 * k as f64).collect();
+
+        // Synchronous reference: ingest each arrival the moment it happens.
+        let mut sync = OnlineScaler::new(config.online, 0.0).unwrap();
+        // Bus path: arrivals enqueue, ticks drain.
+        let mut policy = OnlinePolicy::new(OnlineScaler::new(config.online, 0.0).unwrap());
+
+        let mut next_arrival = 0usize;
+        for (round, &tick) in ticks.iter().enumerate() {
+            while next_arrival < arrivals.len() && arrivals[next_arrival] < tick {
+                let t = arrivals[next_arrival];
+                sync.ingest(t);
+                assert!(policy.bus.push(0, t).unwrap());
+                next_arrival += 1;
+            }
+            let expected = sync.plan_round(tick, round);
+            let mut buf = Vec::new();
+            if policy.bus.drain_into(0, &mut buf).unwrap() > 0 {
+                policy.scaler.ingest_batch(&buf);
+            }
+            let got = policy.scaler.plan_round(tick, round);
+            assert_eq!(expected, got, "diverged at tick {tick}");
+        }
+        assert_eq!(sync.stats(), policy.scaler().stats());
+    }
+
+    #[test]
+    fn tiny_queue_sheds_load_but_keeps_serving() {
+        let config = harness_config();
+        let policy =
+            OnlinePolicy::with_queue_capacity(OnlineScaler::new(config.online, 0.0).unwrap(), 2);
+        for k in 0..10 {
+            let _ = policy.bus.push(0, k as f64);
+        }
+        let stats = policy.queue_stats();
+        assert_eq!(stats.enqueued, 2);
+        assert_eq!(stats.dropped_full, 8);
+        let mut buf = Vec::new();
+        assert_eq!(policy.bus.drain_into(0, &mut buf).unwrap(), 2);
     }
 
     #[test]

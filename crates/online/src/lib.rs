@@ -6,31 +6,46 @@
 //! and must be refitted, and one process plans for many tenants at once.
 //! This crate closes that gap in three layers:
 //!
-//! * [`scaler::OnlineScaler`] — one tenant's loop: incremental ingestion
-//!   into a bounded [`CountRing`](robustscaler_timeseries::ring::CountRing),
-//!   drift detection against the live forecast, rolling NHPP refits
-//!   through `RobustScalerPipeline::train_on_counts`, and per-round plans
-//!   via the zero-copy `plan_window_with` machinery;
+//! * [`ingest::ArrivalBus`] — the event-driven ingestion runtime: one
+//!   bounded arrival queue per tenant (lock-sharded by tenant group, with
+//!   back-pressure accounting), filled by producers on any thread and
+//!   drained at round boundaries in timestamp order;
+//! * [`scaler::OnlineScaler`] — one tenant's loop: batched ingestion
+//!   into a bounded [`CountRing`](robustscaler_timeseries::ring::CountRing)
+//!   (`ingest_batch` → the ring's bulk append, bit-identical to the
+//!   per-arrival path), drift detection against the live forecast,
+//!   rolling NHPP refits through `RobustScalerPipeline::train_on_counts`,
+//!   and per-round plans via the zero-copy `plan_window_with` machinery;
 //! * [`fleet::TenantFleet`] — hundreds of independent tenants sharded
-//!   across worker threads (`robustscaler-parallel`), with per-tenant
+//!   across a persistent `robustscaler_parallel::WorkerPool` (threads
+//!   parked between rounds); each round worker drains its tenants'
+//!   queues and then plans, one parallel pass, with per-tenant
 //!   deterministic RNG seeds so fleet output is identical for any worker
 //!   count;
 //! * [`harness`] — the closed-loop validation harness: replay a trace
-//!   through `OnlineScaler` → `Simulator` end to end and report the
-//!   paper's metrics (hit rate, `rt_avg`, total/relative cost), including
-//!   a kill-and-restore replay mode that proves checkpoint equivalence;
-//! * [`checkpoint`] — durable fleet state: versioned scaler snapshots
-//!   persisted as sharded, checksummed, atomically swapped checkpoint
-//!   files, so a fleet process can restart without losing any tenant's
-//!   training window — and resume planning bit-identically.
+//!   through the bus → `OnlineScaler` → `Simulator` end to end and report
+//!   the paper's metrics (hit rate, `rt_avg`, total/relative cost) plus
+//!   queue health, including a kill-and-restore replay mode that proves
+//!   checkpoint equivalence;
+//! * [`checkpoint`] — durable fleet state: versioned scaler snapshots —
+//!   including each tenant's *undrained arrival queue* — persisted as
+//!   sharded, checksummed, atomically swapped checkpoint files with
+//!   incremental (dirty-shard-only) generations, so a fleet process can
+//!   restart mid-burst without losing any tenant's training window or
+//!   queued arrivals — and resume planning bit-identically.
 //!
 //! ## Determinism guarantees
 //!
-//! Given a fixed configuration (including seeds) and a fixed ingestion and
-//! round sequence, every plan is bit-identical across runs, worker counts
-//! and tenant-shard layouts: tenants own all of their mutable state (ring,
+//! Given a fixed configuration (including seeds) and a fixed queue state
+//! at every round boundary, every plan is bit-identical across runs,
+//! worker counts, execution flavours (pool vs spawned threads) and
+//! tenant-shard layouts: tenants own all of their mutable state (ring,
 //! model, planner scratch, RNG), and the only intra-tenant parallelism —
 //! Monte Carlo replication sampling — derives per-path RNG streams.
+//! Bus-fed ingestion (enqueue + round-boundary drain) is bit-identical to
+//! routing every arrival synchronously through `ingest`; producers that
+//! quiesce at round boundaries therefore keep the whole pipeline
+//! deterministic while overlapping enqueue with planning.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,6 +54,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod fleet;
 pub mod harness;
+pub mod ingest;
 pub mod scaler;
 
 pub use checkpoint::{
@@ -49,6 +65,9 @@ pub use error::OnlineError;
 pub use fleet::{Tenant, TenantFleet};
 pub use harness::{
     run_closed_loop, run_closed_loop_with_restart, HarnessConfig, HarnessReport, OnlinePolicy,
+};
+pub use ingest::{
+    ArrivalBus, BusConfig, QueueStats, DEFAULT_QUEUE_CAPACITY, DEFAULT_TENANTS_PER_GROUP,
 };
 pub use scaler::{
     OnlineConfig, OnlineScaler, OnlineStats, ScalerSnapshot, SCALER_SNAPSHOT_VERSION,

@@ -268,11 +268,21 @@ impl OnlineScaler {
         }
     }
 
-    /// Ingest a batch of arrival timestamps.
+    /// Ingest a batch of arrival timestamps through the ring's bulk append.
+    ///
+    /// This is the serving fast path the arrival queues drain into: one
+    /// [`CountRing::observe_batch`] call per batch instead of a per-arrival
+    /// `observe`, with the acceptance/drop accounting amortized to two
+    /// counter updates. The outcome — ring contents, counters, and every
+    /// drift/refit decision taken at the next round boundary — is
+    /// bit-identical to calling [`OnlineScaler::ingest`] on each element in
+    /// order (the per-arrival loop is kept as the reference implementation
+    /// in the tests, and the equivalence is proptest-pinned in
+    /// `tests/online_props.rs`).
     pub fn ingest_batch(&mut self, arrivals: &[f64]) {
-        for &t in arrivals {
-            self.ingest(t);
-        }
+        let accepted = self.ring.observe_batch(arrivals);
+        self.stats.arrivals_ingested += accepted as u64;
+        self.stats.arrivals_dropped += (arrivals.len() - accepted) as u64;
     }
 
     /// Install an externally fitted model (warm start from persisted state,
@@ -530,6 +540,33 @@ pub(crate) mod tests {
     fn uniform_arrivals(duration: f64, gap: f64) -> Vec<f64> {
         let n = (duration / gap) as usize;
         (0..n).map(|i| i as f64 * gap).collect()
+    }
+
+    /// Reference ingestion: the per-arrival loop `ingest_batch` replaced.
+    /// Kept only as the ground truth the bulk path is checked against.
+    pub(crate) fn ingest_reference(scaler: &mut OnlineScaler, arrivals: &[f64]) {
+        for &t in arrivals {
+            scaler.ingest(t);
+        }
+    }
+
+    #[test]
+    fn ingest_batch_is_bit_identical_to_the_per_arrival_loop() {
+        let config = fast_config();
+        let mut bulk = OnlineScaler::with_seed(config, 0.0, 3).unwrap();
+        let mut reference = OnlineScaler::with_seed(config, 0.0, 3).unwrap();
+        // Sorted traffic, a duplicate burst, an out-of-order straggler, a
+        // pre-origin drop and a corrupt timestamp.
+        let mut arrivals = uniform_arrivals(900.0, 4.0);
+        arrivals.extend_from_slice(&[650.0, 650.0, 650.0, 10.0, -5.0, f64::INFINITY, 901.0]);
+        bulk.ingest_batch(&arrivals);
+        ingest_reference(&mut reference, &arrivals);
+        assert_eq!(bulk.stats(), reference.stats());
+        assert_eq!(bulk.ring(), reference.ring());
+        assert_eq!(
+            bulk.plan_round(910.0, 0).unwrap(),
+            reference.plan_round(910.0, 0).unwrap()
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Tiny std-only data parallelism for the workspace's hot loops.
 //!
 //! The build environment has no crates.io access, so `rayon` is not an
-//! option; this crate provides the two chunked parallel-map shapes the
-//! workspace actually needs, built directly on [`std::thread::scope`]:
+//! option; this crate provides the chunked parallel-map shapes the
+//! workspace actually needs, in two execution flavours:
 //!
 //! * [`parallel_map`] — map a function over a shared slice, collecting
 //!   outputs in input order (used by the experiment sweeps, where each item
@@ -10,20 +10,31 @@
 //! * [`map_chunks_mut`] — hand each worker a contiguous mutable chunk of a
 //!   slice plus the chunk's start offset, collecting one output per chunk in
 //!   chunk order (used by the Monte Carlo arrival sampler, where each chunk
-//!   is a block of replication paths with per-path RNG state).
+//!   is a block of replication paths with per-path RNG state);
+//! * [`WorkerPool`] — the same two shapes executed on a **persistent** set
+//!   of worker threads that park between calls, for serving loops that fan
+//!   out every round and cannot afford a spawn/join per round (the online
+//!   fleet's drain + plan pass and its checkpoint sharding).
 //!
-//! Both helpers run inline (no threads spawned) when a single worker would
-//! do, so callers can use them unconditionally. Neither changes results
-//! versus a serial run: outputs are ordered by input position, and callers
-//! that need randomness are expected to derive *per-item* deterministic RNG
-//! streams, which makes the outcome independent of the worker count — the
-//! determinism contract the fixed-seed figure binaries rely on.
+//! All helpers run inline (no threads involved) when a single worker would
+//! do, so callers can use them unconditionally. None changes results
+//! versus a serial run: **chunking depends only on the caller's worker
+//! budget and the item count — never on how many OS threads actually
+//! execute the chunks** — outputs are ordered by input position, and
+//! callers that need randomness are expected to derive *per-item*
+//! deterministic RNG streams. That makes the outcome independent of both
+//! the worker count and the execution flavour (scoped spawn vs pool) — the
+//! determinism contract the fixed-seed figure binaries and the online
+//! fleet rely on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 thread_local! {
     /// Whether the current thread is one of this crate's workers. Nested
@@ -133,6 +144,344 @@ fn worker_budget(max_threads: usize, items: usize) -> usize {
     max_threads.min(items).max(1)
 }
 
+/// A lifetime-erased job queued on the pool. Soundness: every batch
+/// submitter blocks until all of its jobs have completed before returning,
+/// so the borrows a job captures always outlive its execution.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its worker threads.
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signalled when a job is queued or shutdown is requested.
+    job_ready: Condvar,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Completion tracking for one submitted batch of jobs.
+struct BatchSync {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    remaining: usize,
+    panicked: usize,
+}
+
+impl BatchSync {
+    fn new(jobs: usize) -> Self {
+        Self {
+            state: Mutex::new(BatchState {
+                remaining: jobs,
+                panicked: 0,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panicked: bool) {
+        let mut state = self.state.lock().expect("pool batch lock poisoned");
+        state.remaining -= 1;
+        if panicked {
+            state.panicked += 1;
+        }
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until every job of the batch has run; then propagate panics.
+    fn wait(&self) {
+        let mut state = self.state.lock().expect("pool batch lock poisoned");
+        while state.remaining > 0 {
+            state = self.done.wait(state).expect("pool batch lock poisoned");
+        }
+        if state.panicked > 0 {
+            drop(state);
+            panic!("WorkerPool job panicked");
+        }
+    }
+}
+
+/// One-shot output slot written by exactly one pool job and read by the
+/// submitter after the batch barrier; the barrier's mutex/condvar pair
+/// provides the happens-before edge.
+struct Slot<U>(std::cell::UnsafeCell<Option<U>>);
+
+// SAFETY: each slot is written by exactly one job and only read after the
+// batch barrier has observed that job's completion.
+unsafe impl<U: Send> Sync for Slot<U> {}
+
+impl<U> Slot<U> {
+    fn new() -> Self {
+        Slot(std::cell::UnsafeCell::new(None))
+    }
+
+    /// Store the job's output. Called exactly once, from the one job that
+    /// owns this slot.
+    fn put(&self, value: U) {
+        // SAFETY: single writer (see type docs); no concurrent reader until
+        // the batch barrier passes.
+        unsafe { *self.0.get() = Some(value) };
+    }
+
+    fn take(self) -> U {
+        self.0
+            .into_inner()
+            .expect("pool job completed without writing its slot")
+    }
+}
+
+/// A persistent pool of worker threads for round-based fan-outs.
+///
+/// [`parallel_map`]/[`map_chunks_mut`] spawn and join scoped threads on
+/// every call — fine for one-shot sweeps, but a serving loop that fans out
+/// every round pays the spawn/teardown on its critical path each time. A
+/// `WorkerPool` keeps its threads alive and **parked** (condvar wait)
+/// between calls; a round submits its chunk jobs, the workers wake, run
+/// them, and park again.
+///
+/// Guarantees, mirroring the free functions exactly:
+///
+/// * **Bit-identical outputs.** [`WorkerPool::map_chunks_mut`] and
+///   [`WorkerPool::parallel_map`] use the *same chunking* as the free
+///   functions for a given `(worker budget, item count)` — the number of
+///   pool threads only changes which OS thread runs a chunk, never what the
+///   chunks are or the order outputs are collected in.
+/// * **Inline degradation.** A budget of 1 (or nested use inside any of
+///   this crate's workers) runs inline on the caller, exactly like the free
+///   functions; a pool built with `threads <= 1` never spawns at all.
+/// * **No oversubscription.** Pool threads mark themselves as workers, so
+///   nested fan-outs inside a job collapse to inline execution.
+/// * **Panic propagation.** A panicking job poisons only its batch: the
+///   submitting call panics (`"WorkerPool job panicked"`) after all of the
+///   batch's jobs have finished, and the pool stays usable.
+///
+/// Threads are spawned lazily on first use and joined on [`Drop`]. The pool
+/// is `Sync`: submissions from multiple threads are safe (each batch tracks
+/// its own completion), though the intended shape is one serving loop per
+/// pool.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Desired thread count; threads are spawned lazily up to this target.
+    target: AtomicUsize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("target_threads", &self.target.load(Ordering::Relaxed))
+            .field(
+                "spawned_threads",
+                &self.handles.lock().map(|h| h.len()).unwrap_or(0),
+            )
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Create a pool that will run jobs on up to `threads` persistent
+    /// worker threads (spawned lazily on first use). `threads <= 1` makes
+    /// every call run inline on the caller — no threads are ever spawned.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(PoolQueue {
+                    jobs: VecDeque::new(),
+                    shutdown: false,
+                }),
+                job_ready: Condvar::new(),
+            }),
+            target: AtomicUsize::new(threads),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A pool sized to [`available_threads`].
+    pub fn with_available_threads() -> Self {
+        Self::new(available_threads())
+    }
+
+    /// The pool's thread target (the cap on concurrently executing jobs).
+    pub fn threads(&self) -> usize {
+        self.target.load(Ordering::Relaxed)
+    }
+
+    /// Raise the thread target to `threads` (never shrinks — parked
+    /// threads are cheap, and shrinking mid-flight would complicate the
+    /// queue for no caller that exists). Extra threads spawn lazily on the
+    /// next submission.
+    pub fn ensure_threads(&self, threads: usize) {
+        self.target.fetch_max(threads, Ordering::Relaxed);
+    }
+
+    /// Spawn workers up to the current target; returns how many exist.
+    fn ensure_spawned(&self) -> usize {
+        let target = self.target.load(Ordering::Relaxed);
+        if target <= 1 {
+            return 0;
+        }
+        let mut handles = self.handles.lock().expect("pool handle lock poisoned");
+        while handles.len() < target {
+            let shared = Arc::clone(&self.shared);
+            let index = handles.len();
+            let handle = std::thread::Builder::new()
+                .name(format!("robustscaler-pool-{index}"))
+                .spawn(move || Self::worker_loop(&shared))
+                .expect("failed to spawn pool worker thread");
+            handles.push(handle);
+        }
+        handles.len()
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        // Pool threads are workers for their whole life: nested fan-outs
+        // inside a job must run inline rather than oversubscribe.
+        IN_WORKER.with(|flag| flag.set(true));
+        loop {
+            let job = {
+                let mut queue = shared.queue.lock().expect("pool queue lock poisoned");
+                loop {
+                    if let Some(job) = queue.jobs.pop_front() {
+                        break job;
+                    }
+                    if queue.shutdown {
+                        return;
+                    }
+                    queue = shared
+                        .job_ready
+                        .wait(queue)
+                        .expect("pool queue lock poisoned");
+                }
+            };
+            // The job's own wrapper (see `run_batch`) catches panics and
+            // reports completion, so the loop body cannot unwind.
+            job();
+        }
+    }
+
+    /// Run `jobs` to completion, on pool threads when any exist, inline
+    /// otherwise. Blocks until every job has finished — this barrier is
+    /// what makes the lifetime erasure of the jobs' borrows sound.
+    fn run_batch<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        if self.ensure_spawned() == 0 {
+            // Inline flavour: same jobs, same order, caller's thread.
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let batch = Arc::new(BatchSync::new(jobs.len()));
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue lock poisoned");
+            for job in jobs {
+                let batch = Arc::clone(&batch);
+                let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err();
+                    batch.complete(outcome);
+                });
+                // SAFETY: `wait()` below blocks until every job of this
+                // batch has completed, so all borrows captured in `wrapped`
+                // (lifetime `'env`) strictly outlive its execution; the
+                // transmute only erases that lifetime, layout is identical.
+                let wrapped: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(wrapped) };
+                queue.jobs.push_back(wrapped);
+            }
+            self.shared.job_ready.notify_all();
+        }
+        batch.wait();
+    }
+
+    /// [`map_chunks_mut`] on the pool's persistent threads: split `items`
+    /// into at most `max_workers` contiguous chunks, apply
+    /// `f(chunk_start, chunk)` to each, and return the per-chunk outputs in
+    /// chunk order. Chunking — and therefore output — is bit-identical to
+    /// the free function for the same budget and items.
+    pub fn map_chunks_mut<T, U, F>(&self, items: &mut [T], max_workers: usize, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut [T]) -> U + Sync,
+    {
+        let workers = worker_budget(max_workers, items.len());
+        if workers == 1 {
+            return vec![f(0, items)];
+        }
+        let chunk_len = items.len().div_ceil(workers);
+        let chunk_count = items.len().div_ceil(chunk_len);
+        let slots: Vec<Slot<U>> = (0..chunk_count).map(|_| Slot::new()).collect();
+        let f = &f;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = items
+            .chunks_mut(chunk_len)
+            .zip(slots.iter())
+            .enumerate()
+            .map(|(i, (chunk, slot))| {
+                Box::new(move || slot.put(f(i * chunk_len, chunk))) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.run_batch(jobs);
+        slots.into_iter().map(Slot::take).collect()
+    }
+
+    /// [`parallel_map`] on the pool's persistent threads: apply `f` to
+    /// every element of `items` across at most `max_workers` contiguous
+    /// chunks, returning the outputs in input order. Bit-identical to the
+    /// free function for the same budget and items.
+    pub fn parallel_map<T, U, F>(&self, items: &[T], max_workers: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let workers = worker_budget(max_workers, items.len());
+        if workers == 1 {
+            return items.iter().map(&f).collect();
+        }
+        let chunk_len = items.len().div_ceil(workers);
+        let chunk_count = items.len().div_ceil(chunk_len);
+        let slots: Vec<Slot<Vec<U>>> = (0..chunk_count).map(|_| Slot::new()).collect();
+        let f = &f;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = items
+            .chunks(chunk_len)
+            .zip(slots.iter())
+            .map(|(chunk, slot)| {
+                Box::new(move || slot.put(chunk.iter().map(f).collect()))
+                    as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.run_batch(jobs);
+        let mut out = Vec::with_capacity(items.len());
+        for slot in slots {
+            out.extend(slot.take());
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue lock poisoned");
+            queue.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("pool handle lock poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +558,94 @@ mod tests {
             chunk.iter().sum::<f64>()
         });
         assert_eq!(sums, vec![8.0]);
+    }
+
+    #[test]
+    fn pool_map_matches_free_functions_for_every_budget() {
+        let items: Vec<u64> = (0..1_003).collect();
+        let pool = WorkerPool::new(4);
+        for budget in [1usize, 2, 3, 7, 16, 5_000] {
+            let expected = parallel_map(&items, budget, |&x| x * 3 + 1);
+            let pooled = pool.parallel_map(&items, budget, |&x| x * 3 + 1);
+            assert_eq!(pooled, expected, "budget = {budget}");
+
+            let mut a: Vec<usize> = vec![0; 257];
+            let mut b: Vec<usize> = vec![0; 257];
+            let fill = |start: usize, chunk: &mut [usize]| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = start + i;
+                }
+                chunk.len()
+            };
+            let expected = map_chunks_mut(&mut a, budget, fill);
+            let pooled = pool.map_chunks_mut(&mut b, budget, fill);
+            assert_eq!(a, b, "budget = {budget}");
+            assert_eq!(pooled, expected, "budget = {budget}");
+        }
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_rounds_and_mutates_in_place() {
+        let pool = WorkerPool::new(3);
+        let mut items: Vec<u64> = (0..100).collect();
+        for round in 0..50u64 {
+            pool.map_chunks_mut(&mut items, 3, |_, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1;
+                }
+            });
+            assert!(items
+                .iter()
+                .enumerate()
+                .all(|(i, &v)| v == i as u64 + round + 1));
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_never_spawns_and_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let out = pool.parallel_map(&[1, 2, 3], 8, |&x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+        assert_eq!(pool.ensure_spawned(), 0);
+    }
+
+    #[test]
+    fn pool_nested_fan_outs_run_inline() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<u32> = (0..16).collect();
+        let nested = pool.parallel_map(&items, 2, |&x| {
+            assert_eq!(available_threads(), 1);
+            let inner: Vec<u32> = (0..3).collect();
+            parallel_map(&inner, 4, move |&y| x * 10 + y)
+        });
+        for (x, inner) in nested.iter().enumerate() {
+            let expected: Vec<u32> = (0..3).map(|y| x as u32 * 10 + y).collect();
+            assert_eq!(inner, &expected);
+        }
+    }
+
+    #[test]
+    fn pool_propagates_job_panics_and_stays_usable() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<u32> = (0..8).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.parallel_map(&items, 4, |&x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked batch.
+        let out = pool.parallel_map(&items, 4, |&x| x + 1);
+        assert_eq!(out, (1..9).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn ensure_threads_grows_but_never_shrinks() {
+        let pool = WorkerPool::new(2);
+        pool.ensure_threads(4);
+        assert_eq!(pool.threads(), 4);
+        pool.ensure_threads(1);
+        assert_eq!(pool.threads(), 4);
     }
 }

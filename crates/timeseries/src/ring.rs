@@ -269,8 +269,61 @@ impl CountRing {
     }
 
     /// Record a batch of arrivals; returns how many were accepted.
+    ///
+    /// This is the bulk append behind the online layer's batched ingestion
+    /// fast path: consecutive observations landing in the same bucket are
+    /// grouped into one run, so the window bookkeeping (`grow_to`, the
+    /// before-window check, the ring indexing) runs once per *run* instead
+    /// of once per arrival. On a sorted batch — the shape arrival queues
+    /// drain in — runs are maximal and the per-arrival cost collapses to
+    /// one bucket-index computation.
+    ///
+    /// The result is **bit-identical to calling [`CountRing::observe`] on
+    /// each element in order** for *any* input (sorted or not): run
+    /// membership is decided with the same bucket arithmetic as the scalar
+    /// path, and a run's count is accumulated with the same sequence of
+    /// `+ 1.0` adds (pinned by the batch-equals-scalar tests).
     pub fn observe_batch(&mut self, times: &[f64]) -> usize {
-        times.iter().filter(|&&t| self.observe(t)).count()
+        let mut accepted = 0usize;
+        let mut i = 0usize;
+        while i < times.len() {
+            let Some(bucket) = self.bucket_index(times[i]) else {
+                self.dropped += 1;
+                i += 1;
+                continue;
+            };
+            if !self.counts.is_empty() && bucket < self.first_bucket {
+                self.dropped += 1;
+                i += 1;
+                continue;
+            }
+            self.grow_to(bucket);
+            // `grow_to` may still have evicted past `bucket` when the jump
+            // exceeded the capacity; re-check before indexing (mirrors
+            // `observe`).
+            if bucket < self.first_bucket {
+                self.dropped += 1;
+                i += 1;
+                continue;
+            }
+            let mut run = 1usize;
+            while i + run < times.len() && self.bucket_index(times[i + run]) == Some(bucket) {
+                run += 1;
+            }
+            let offset = (bucket - self.first_bucket) as usize;
+            // Repeated `+ 1.0` (not `+ run as f64`): the same op sequence
+            // as the scalar path, so even exotic fractional counts restored
+            // from snapshots stay bit-identical.
+            let mut count = self.counts[offset];
+            for _ in 0..run {
+                count += 1.0;
+            }
+            self.counts[offset] = count;
+            self.observed += run as u64;
+            accepted += run;
+            i += run;
+        }
+        accepted
     }
 
     /// Advance the window so it covers time `t` with (possibly zero-count)
@@ -523,6 +576,63 @@ mod tests {
         }
         assert_eq!(ring, restored);
         assert_eq!(ring.series().unwrap(), restored.series().unwrap());
+    }
+
+    /// Reference implementation of batch ingestion: the per-element
+    /// `observe` loop `observe_batch` is an optimization of. The bulk path
+    /// must stay bit-identical to this for arbitrary inputs.
+    fn observe_reference(ring: &mut CountRing, times: &[f64]) -> usize {
+        times.iter().filter(|&&t| ring.observe(t)).count()
+    }
+
+    #[test]
+    fn observe_batch_is_bit_identical_to_the_scalar_loop() {
+        // Mixed sorted runs, duplicates, out-of-order stragglers, pre-origin
+        // and absurd timestamps — every branch of the scalar path.
+        let times: Vec<f64> = vec![
+            0.5,
+            0.6,
+            0.7,
+            3.1,
+            3.1,
+            3.2,
+            9.9,
+            2.0,
+            50.0,
+            50.5,
+            49.0,
+            -1.0,
+            1e30,
+            f64::NAN,
+            120.0,
+            120.0,
+            119.5,
+            4_000.0,
+            4_000.5,
+            3_999.0,
+            0.25,
+        ];
+        let mut bulk = CountRing::new(0.0, 1.0, 32).unwrap();
+        let mut scalar = CountRing::new(0.0, 1.0, 32).unwrap();
+        let accepted_bulk = bulk.observe_batch(&times);
+        let accepted_scalar = observe_reference(&mut scalar, &times);
+        assert_eq!(accepted_bulk, accepted_scalar);
+        assert_eq!(bulk, scalar);
+        assert_eq!(bulk.snapshot(), scalar.snapshot());
+    }
+
+    #[test]
+    fn observe_batch_matches_scalar_on_chunked_sorted_streams() {
+        let times: Vec<f64> = (0..5_000).map(|i| i as f64 * 0.037).collect();
+        let mut bulk = CountRing::new(0.0, 2.5, 48).unwrap();
+        let mut scalar = CountRing::new(0.0, 2.5, 48).unwrap();
+        for chunk in times.chunks(97) {
+            assert_eq!(
+                bulk.observe_batch(chunk),
+                observe_reference(&mut scalar, chunk)
+            );
+        }
+        assert_eq!(bulk, scalar);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Property-based tests of the online serving layer: incremental ingestion
-//! must be indistinguishable from batch processing, and fleet output must
-//! not depend on the worker-thread count.
+//! must be indistinguishable from batch processing, bus-fed ingestion
+//! (enqueue + round-boundary drain) must be indistinguishable from direct
+//! synchronous ingestion, and fleet output must not depend on the
+//! worker-thread count.
 
 use proptest::prelude::*;
 use robustscaler::core::{RobustScalerConfig, RobustScalerVariant};
-use robustscaler::online::{OnlineConfig, OnlineScaler, TenantFleet};
+use robustscaler::online::{BusConfig, OnlineConfig, OnlineScaler, TenantFleet};
 use robustscaler::timeseries::{CountRing, TimeSeries};
 
 fn online_config(bucket_width: f64) -> OnlineConfig {
@@ -120,6 +122,126 @@ proptest! {
         prop_assert_eq!(online_model.period(), batch_model.period());
     }
 
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The batched ingestion fast path (`ingest_batch` → ring bulk append)
+    /// is bit-identical to the per-arrival reference loop — ring contents,
+    /// serving counters, and the drift/refit decisions taken at the next
+    /// round boundary — for arbitrary (not necessarily sorted) inputs.
+    #[test]
+    fn batched_ingestion_equals_the_per_arrival_loop(
+        input in arrivals_and_chunks(),
+        shuffle_stride in 1usize..7,
+        seed in 0u64..1_000,
+    ) {
+        let (sorted, chunks) = input;
+        // Derange the tail a little so out-of-order drops are exercised.
+        let mut arrivals = sorted;
+        let n = arrivals.len();
+        for i in (shuffle_stride..n).step_by(shuffle_stride * 2) {
+            arrivals.swap(i - shuffle_stride, i);
+        }
+        let config = online_config(10.0);
+        let mut bulk = OnlineScaler::with_seed(config, 0.0, seed).unwrap();
+        let mut reference = OnlineScaler::with_seed(config, 0.0, seed).unwrap();
+        let mut fed = 0;
+        let mut chunk_index = 0;
+        while fed < arrivals.len() {
+            let size = chunks[chunk_index % chunks.len()].min(arrivals.len() - fed);
+            bulk.ingest_batch(&arrivals[fed..fed + size]);
+            for &t in &arrivals[fed..fed + size] {
+                reference.ingest(t);
+            }
+            fed += size;
+            chunk_index += 1;
+        }
+        prop_assert_eq!(bulk.stats(), reference.stats());
+        prop_assert_eq!(bulk.ring(), reference.ring());
+        prop_assert_eq!(bulk.plan_round(620.0, 0), reference.plan_round(620.0, 0));
+        prop_assert_eq!(bulk.stats(), reference.stats());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The acceptance contract of the ingestion runtime: enqueueing
+    /// arrivals on the bus and draining them at round boundaries yields
+    /// bit-identical fleet plans, serving counters and drift decisions to
+    /// routing every arrival synchronously through `ingest` — for 1, 3
+    /// and 8 workers.
+    #[test]
+    fn bus_fed_fleet_equals_direct_ingestion_for_any_worker_count(
+        tenant_count in 2usize..5,
+        base_seed in 0u64..1_000,
+        gaps in prop::collection::vec(3.0_f64..12.0, 2..5),
+        rounds in 2usize..5,
+    ) {
+        let config = online_config(10.0);
+        // Window `r` of tenant `i`'s traffic: its uniform stream clipped to
+        // [window start, window end).
+        let window = |index: usize, round: usize| -> Vec<f64> {
+            let gap = gaps[index % gaps.len()];
+            let (lo, hi) = if round == 0 {
+                (0.0, 400.0)
+            } else {
+                (400.0 + 20.0 * (round as f64 - 1.0), 400.0 + 20.0 * round as f64)
+            };
+            let first = (lo / gap).ceil() as usize;
+            (first..)
+                .map(|k| k as f64 * gap)
+                .take_while(|t| *t < hi)
+                .collect()
+        };
+
+        let run_direct = |workers: usize| {
+            let mut fleet = TenantFleet::new(&config, 0.0, tenant_count, base_seed).unwrap();
+            fleet.set_workers(workers);
+            let mut all = Vec::new();
+            for round in 0..rounds {
+                for index in 0..tenant_count {
+                    for t in window(index, round) {
+                        fleet.ingest(index, t).unwrap();
+                    }
+                }
+                let now = 400.0 + 20.0 * round as f64;
+                all.push(fleet.run_round_uniform(now, round).unwrap());
+            }
+            (all, fleet.aggregate_stats())
+        };
+        let run_bus = |workers: usize| {
+            let mut fleet = TenantFleet::new(&config, 0.0, tenant_count, base_seed).unwrap();
+            fleet.set_workers(workers);
+            fleet
+                .attach_bus(BusConfig {
+                    capacity_per_tenant: 4_096,
+                    tenants_per_group: 2,
+                })
+                .unwrap();
+            let mut all = Vec::new();
+            for round in 0..rounds {
+                for index in 0..tenant_count {
+                    for t in window(index, round) {
+                        assert!(fleet.enqueue(index, t).unwrap(), "queue overflow");
+                    }
+                }
+                // The drain at the round boundary ingests this window.
+                let now = 400.0 + 20.0 * round as f64;
+                all.push(fleet.run_round_uniform(now, round).unwrap());
+            }
+            (all, fleet.aggregate_stats())
+        };
+
+        let direct = run_direct(1);
+        for workers in [1usize, 3, 8] {
+            let bused = run_bus(workers);
+            prop_assert_eq!(&direct.0, &bused.0, "plans diverged at {} workers", workers);
+            prop_assert_eq!(&direct.1, &bused.1, "stats diverged at {} workers", workers);
+        }
+    }
 }
 
 proptest! {

@@ -14,7 +14,8 @@
 use proptest::prelude::*;
 use robustscaler::core::{RobustScalerConfig, RobustScalerVariant};
 use robustscaler::online::{
-    CheckpointStore, OnlineConfig, OnlineError, OnlineScaler, ScalerSnapshot, TenantFleet,
+    BusConfig, CheckpointStore, OnlineConfig, OnlineError, OnlineScaler, ScalerSnapshot,
+    TenantFleet,
 };
 use robustscaler::timeseries::{CountRing, RingSnapshot};
 use std::path::PathBuf;
@@ -218,6 +219,139 @@ fn fleet_kill_and_restore_is_bit_identical_for_any_worker_count() {
         );
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Ingestion-runtime acceptance criterion: a fleet checkpointed
+    /// **mid-burst** — arrivals enqueued on the bus but not yet drained —
+    /// restores with its queues intact and replays bit-identically to the
+    /// fleet that never stopped, for 1, 3 and 8 workers.
+    #[test]
+    fn restore_with_queued_arrivals_replays_bit_identically(
+        base_seed in 0u64..1_000,
+        burst_len in 1usize..25,
+        burst_gap in 0.5_f64..4.0,
+        post_rounds in 1usize..4,
+    ) {
+        let dir = temp_dir("fleet-mid-burst");
+        let config = online_config();
+        let tenant_count = 5;
+        let mut live = TenantFleet::new(&config, 0.0, tenant_count, base_seed).unwrap();
+        live.attach_bus(BusConfig {
+            capacity_per_tenant: 2_048,
+            tenants_per_group: 2,
+        })
+        .unwrap();
+        // Warm traffic through the bus, one settled round.
+        for index in 0..tenant_count {
+            let gap = 3.0 + index as f64;
+            for k in 0..(400.0 / gap) as usize {
+                prop_assert!(live.enqueue(index, k as f64 * gap).unwrap());
+            }
+        }
+        live.run_round_uniform(400.0, 0).unwrap();
+        // The burst lands on the bus; the process "dies" before draining.
+        for index in 0..tenant_count {
+            for k in 0..burst_len {
+                prop_assert!(live.enqueue(index, 401.0 + k as f64 * burst_gap).unwrap());
+            }
+        }
+        let manifest = live.checkpoint_sharded(&dir, 2).unwrap();
+        prop_assert!(manifest.bus.is_some());
+        prop_assert_eq!(manifest.tenant_count, tenant_count);
+
+        // Continue the live fleet: the next rounds drain the burst.
+        let continue_run = |fleet: &mut TenantFleet| {
+            (0..post_rounds)
+                .map(|round| {
+                    let now = 420.0 + 20.0 * round as f64;
+                    for index in 0..fleet.len() {
+                        fleet.enqueue(index, now - 10.0 + index as f64).unwrap();
+                    }
+                    fleet.run_round_uniform(now, round + 1).unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+        let live_rounds = continue_run(&mut live);
+
+        // "Fresh process": restore from disk only, at several worker
+        // counts — queues, back-pressure accounting and plans all match.
+        for workers in [1usize, 3, 8] {
+            let mut restored = TenantFleet::restore(&dir, &config).unwrap();
+            restored.set_workers(workers);
+            let restored_rounds = continue_run(&mut restored);
+            prop_assert_eq!(
+                &live_rounds,
+                &restored_rounds,
+                "mid-burst restore diverged at {} workers",
+                workers
+            );
+            prop_assert_eq!(live.aggregate_stats(), restored.aggregate_stats());
+            prop_assert_eq!(
+                live.queue_stats().unwrap(),
+                restored.queue_stats().unwrap()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Incremental checkpoints must stay restore-equivalent: generations that
+/// reuse clean shards load into exactly the same fleet as a full rewrite
+/// would have produced.
+#[test]
+fn incremental_generations_restore_identically_to_full_rewrites() {
+    let dir = temp_dir("fleet-incremental");
+    let full_dir = temp_dir("fleet-incremental-full");
+    let config = online_config();
+    let mut fleet = TenantFleet::new(&config, 0.0, 6, 17).unwrap();
+    fleet
+        .attach_bus(BusConfig {
+            capacity_per_tenant: 1_024,
+            tenants_per_group: 2,
+        })
+        .unwrap();
+    ingest_fleet(&mut fleet, 400.0);
+    fleet.run_round_uniform(400.0, 0).unwrap();
+    fleet.checkpoint_sharded(&dir, 2).unwrap();
+
+    // Touch one tenant's scaler and another's queue; checkpoint again —
+    // this generation mixes fresh and reused shards.
+    fleet.ingest(1, 405.0).unwrap();
+    fleet.enqueue(4, 406.0).unwrap();
+    let incremental = fleet.checkpoint_sharded(&dir, 2).unwrap();
+    assert!(
+        incremental.shards.iter().any(|s| s.reused_from.is_some()),
+        "expected at least one reused shard"
+    );
+    assert!(
+        incremental.shards.iter().any(|s| s.reused_from.is_none()),
+        "expected at least one rewritten shard"
+    );
+    // A clone checkpoints fully fresh (clones start dirty) — the reference.
+    fleet.clone().checkpoint_sharded(&full_dir, 2).unwrap();
+
+    let mut from_incremental = TenantFleet::restore(&dir, &config).unwrap();
+    let mut from_full = TenantFleet::restore(&full_dir, &config).unwrap();
+    assert_eq!(
+        from_incremental.aggregate_stats(),
+        from_full.aggregate_stats()
+    );
+    assert_eq!(
+        from_incremental.queue_stats().unwrap(),
+        from_full.queue_stats().unwrap()
+    );
+    for round in 1..3 {
+        let now = 400.0 + 20.0 * round as f64;
+        assert_eq!(
+            from_incremental.run_round_uniform(now, round).unwrap(),
+            from_full.run_round_uniform(now, round).unwrap()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&full_dir);
 }
 
 /// Acceptance criterion: a truncated shard is detected via checksum and
