@@ -1,0 +1,31 @@
+use robustscaler_online::fleet::TenantFleet;
+use robustscaler_online::scaler::OnlineConfig;
+
+fn fleet_config() -> OnlineConfig {
+    OnlineConfig::default()
+}
+
+#[test]
+fn shard_size_change_reuse() {
+    let dir = std::env::temp_dir().join(format!("repro-reuse-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = fleet_config();
+    let mut fleet = TenantFleet::new(&config, 0.0, 6, 21).unwrap();
+    for index in 0..6 {
+        for k in 0..50 {
+            fleet.ingest(index, k as f64 * (4.0 + index as f64)).unwrap();
+        }
+    }
+    fleet.run_round_uniform(400.0, 0).unwrap();
+    // First checkpoint: shard size 2 -> shards of [2,2,2] tenants.
+    fleet.checkpoint_sharded(&dir, 2).unwrap();
+    // Second checkpoint, nothing dirty, shard size 4 -> groups [4,2].
+    let m = fleet.checkpoint_sharded(&dir, 4).unwrap();
+    for (i, s) in m.shards.iter().enumerate() {
+        eprintln!("shard {i}: tenants={} reused_from={:?}", s.tenants, s.reused_from);
+    }
+    let restored = TenantFleet::restore(&dir, &config);
+    eprintln!("restore result: {:?}", restored.as_ref().err());
+    assert!(restored.is_ok(), "restore failed: checkpoint corrupted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
