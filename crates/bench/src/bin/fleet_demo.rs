@@ -22,14 +22,23 @@
 //!   `--restore`);
 //! * `--restore` — start from the checkpoint in `--checkpoint-dir` instead
 //!   of building a warm fleet;
-//! * `--json <path>` — dump the run report as JSON.
+//! * `--record <path>` — record the parallel fleet's timed stretch (model
+//!   installs, every round's arrivals/plans/refits, queue drains, final
+//!   QoS) as a replayable JSONL trace; recording enqueues synchronously
+//!   (no producer overlap) so the recorded queue contents are exact, and
+//!   is rejected together with `--restore` (a restored fleet's history
+//!   predates the trace);
+//! * `--json <path>` — dump the run report as JSON (includes the trace
+//!   path and record counts when recording).
 //!
 //! Environment knobs: `FLEET_TENANTS` (default 250), `FLEET_ROUNDS`
 //! (default 20), `FLEET_SAMPLES` (Monte Carlo R, default 250).
 
 use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
 use robustscaler_nhpp::NhppModel;
-use robustscaler_online::{ArrivalBus, BusConfig, OnlineConfig, QueueStats, TenantFleet};
+use robustscaler_online::{
+    ArrivalBus, BusConfig, OnlineConfig, QueueStats, TenantFleet, TraceRecorder, TraceSummary,
+};
 use robustscaler_parallel::available_threads;
 use serde::Serialize;
 use std::sync::Arc;
@@ -103,6 +112,8 @@ struct DemoReport {
     queue: Option<QueueReport>,
     determinism_across_workers: bool,
     checkpoint: Option<CheckpointReport>,
+    /// Recorded-session trace (`--record`): path plus record/round counts.
+    trace: Option<TraceSummary>,
 }
 
 fn fleet_config(samples: usize) -> OnlineConfig {
@@ -167,6 +178,15 @@ fn run_rounds(
     first_round: usize,
     rounds: usize,
 ) -> (f64, usize, Vec<Vec<f64>>) {
+    run_rounds_with(fleet, first_round, rounds, false)
+}
+
+fn run_rounds_with(
+    fleet: &mut TenantFleet,
+    first_round: usize,
+    rounds: usize,
+    synchronous: bool,
+) -> (f64, usize, Vec<Vec<f64>>) {
     let interval = 10.0;
     let tenants = fleet.len();
     let bus = fleet.bus().cloned();
@@ -185,10 +205,18 @@ fn run_rounds(
     }
     for round in first_round..first_round + rounds {
         let now = 86_400.0 + interval * round as f64;
-        let producer = bus.as_ref().map(|bus| {
-            let bus = Arc::clone(bus);
-            std::thread::spawn(move || enqueue_window(&bus, tenants, round + 1))
-        });
+        // Recording mode enqueues the next window synchronously *after*
+        // the round: a producer overlapped with the round's drain would
+        // race the recorder's pre-drain queue capture. The queue contents
+        // at every drain are identical either way — only wall clock moves.
+        let producer = if synchronous {
+            None
+        } else {
+            bus.as_ref().map(|bus| {
+                let bus = Arc::clone(bus);
+                std::thread::spawn(move || enqueue_window(&bus, tenants, round + 1))
+            })
+        };
         let round_plans: Vec<_> = fleet
             .run_round_uniform(now, round % 3)
             .expect("round succeeds")
@@ -197,6 +225,8 @@ fn run_rounds(
             .collect();
         if let Some(producer) = producer {
             producer.join().expect("producer thread panicked");
+        } else if let Some(bus) = &bus {
+            enqueue_window(bus, tenants, round + 1);
         }
         decisions += round_plans.iter().map(|p| p.decisions.len()).sum::<usize>();
         plans.push(
@@ -256,6 +286,7 @@ fn main() {
     let mut checkpoint_dir: Option<String> = None;
     let mut restore = false;
     let mut json_path: Option<String> = None;
+    let mut record_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -263,15 +294,23 @@ fn main() {
                 checkpoint_dir = Some(args.next().expect("--checkpoint-dir needs a path"));
             }
             "--restore" => restore = true,
+            "--record" => record_path = Some(args.next().expect("--record needs a path")),
             "--json" => json_path = Some(args.next().expect("--json needs a path")),
             other => {
-                eprintln!("unknown flag `{other}` (expected --checkpoint-dir/--restore/--json)");
+                eprintln!(
+                    "unknown flag `{other}` \
+                     (expected --checkpoint-dir/--restore/--record/--json)"
+                );
                 std::process::exit(2);
             }
         }
     }
     if restore && checkpoint_dir.is_none() {
         eprintln!("--restore requires --checkpoint-dir");
+        std::process::exit(2);
+    }
+    if restore && record_path.is_some() {
+        eprintln!("--record cannot be combined with --restore: a restored fleet's training history predates the trace, so the recording would not replay from its own header");
         std::process::exit(2);
     }
 
@@ -298,8 +337,29 @@ fn main() {
 
     let mut parallel_fleet = build(7);
     parallel_fleet.set_workers(cores);
+    // Recording attaches *before* the timed stretch (per-tenant Install
+    // records are emitted at attach, outside the timed loop) and detaches
+    // after it, before the checkpoint phase's extra verification rounds.
+    if let Some(path) = &record_path {
+        let recorder = TraceRecorder::to_file(path, &parallel_fleet.trace_header(7))
+            .expect("writable trace path");
+        parallel_fleet
+            .start_recording(recorder)
+            .expect("fresh fleet starts recording");
+    }
     let (parallel_secs, parallel_decisions, parallel_plans) =
-        run_rounds(&mut parallel_fleet, 0, rounds);
+        run_rounds_with(&mut parallel_fleet, 0, rounds, record_path.is_some());
+    let trace = record_path.as_ref().map(|_| {
+        let summary = parallel_fleet
+            .finish_recording()
+            .expect("trace finalizes")
+            .expect("recording was active");
+        println!(
+            "trace: {} ({} records, {} rounds)",
+            summary.path, summary.records, summary.rounds
+        );
+        summary
+    });
 
     let tenant_rounds = (tenants * rounds) as f64;
     println!(
@@ -388,6 +448,7 @@ fn main() {
             ],
             determinism_across_workers: identical,
             checkpoint,
+            trace,
         };
         let json = serde_json::to_string(&report).expect("serializable report");
         std::fs::write(&path, json).expect("writable json path");

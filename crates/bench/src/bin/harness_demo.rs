@@ -8,17 +8,31 @@
 //!   "dies" at the warm-up boundary, is checkpointed to `<dir>`, restored
 //!   from disk, and must produce a bit-identical report to the
 //!   uninterrupted run (the binary verifies this and fails on mismatch);
-//! * `--json <path>` — dump the [`HarnessReport`] as JSON.
+//! * `--record <path>` — record the session (warm-up, every round's
+//!   arrivals/plans/refits, final QoS) as a replayable JSONL trace (see
+//!   the `trace_replay` binary);
+//! * `--json <path>` — dump the [`HarnessReport`] as JSON; when recording,
+//!   the report is wrapped as `{"report": ..., "trace": ...}` so the trace
+//!   path and record counts ride along.
 //!
 //! Environment knobs: `HARNESS_HOURS` (trace length, default 6),
 //! `HARNESS_SCALE` (traffic scale, default 0.5).
 
 use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
 use robustscaler_online::{
-    run_closed_loop, run_closed_loop_with_restart, HarnessConfig, HarnessReport, OnlineConfig,
+    run_closed_loop, run_closed_loop_recorded, run_closed_loop_with_restart, HarnessConfig,
+    HarnessReport, OnlineConfig, TraceSummary,
 };
 use robustscaler_simulator::{PendingTimeDistribution, SimulationConfig};
 use robustscaler_traces::{google_like, ProcessingTimeModel, TraceConfig};
+use serde::Serialize;
+
+/// `--json` payload when `--record` is active: the report plus the trace.
+#[derive(Debug, Clone, Serialize)]
+struct RecordedReport {
+    report: HarnessReport,
+    trace: TraceSummary,
+}
 
 fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)
@@ -56,15 +70,17 @@ fn print_report(report: &HarnessReport) {
 fn main() {
     let mut restart_dir: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut record_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--restart-dir" => {
                 restart_dir = Some(args.next().expect("--restart-dir needs a path"));
             }
+            "--record" => record_path = Some(args.next().expect("--record needs a path")),
             "--json" => json_path = Some(args.next().expect("--json needs a path")),
             other => {
-                eprintln!("unknown flag `{other}` (expected --restart-dir/--json)");
+                eprintln!("unknown flag `{other}` (expected --restart-dir/--record/--json)");
                 std::process::exit(2);
             }
         }
@@ -99,8 +115,24 @@ fn main() {
         "Closed-loop harness — {hours} h trace, {} h warm-up",
         hours / 2.0
     );
-    let (report, _) = run_closed_loop(&trace, &config).expect("closed loop runs");
+    let (report, trace_summary) = match &record_path {
+        Some(path) => {
+            let (report, _, summary) =
+                run_closed_loop_recorded(&trace, &config, path).expect("recorded closed loop runs");
+            (report, Some(summary))
+        }
+        None => {
+            let (report, _) = run_closed_loop(&trace, &config).expect("closed loop runs");
+            (report, None)
+        }
+    };
     print_report(&report);
+    if let Some(summary) = &trace_summary {
+        println!(
+            "trace:          {} ({} records, {} rounds)",
+            summary.path, summary.records, summary.rounds
+        );
+    }
 
     if let Some(dir) = restart_dir {
         let (restarted, _) =
@@ -116,7 +148,11 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string(&report).expect("serializable report");
+        let json = match trace_summary {
+            Some(trace) => serde_json::to_string(&RecordedReport { report, trace }),
+            None => serde_json::to_string(&report),
+        }
+        .expect("serializable report");
         std::fs::write(&path, json).expect("writable json path");
         println!("report written to {path}");
     }

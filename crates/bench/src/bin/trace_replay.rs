@@ -1,0 +1,106 @@
+//! Replay a recorded session trace and validate it.
+//!
+//! ```text
+//! trace_replay <trace.jsonl> [--strict | --lenient]
+//!              [--min-hit-rate X] [--max-rt-avg X] [--max-relative-cost X]
+//! ```
+//!
+//! * `--strict` (default) re-executes the session from the trace header and
+//!   fails on the **first** bit-level divergence, printing a pointed diff
+//!   (round, tenant, field, expected vs got);
+//! * `--lenient` re-executes the whole session, collects every divergence,
+//!   and additionally judges the recorded QoS metrics against the policy
+//!   bands given by the `--min-hit-rate` / `--max-rt-avg` /
+//!   `--max-relative-cost` flags.
+//!
+//! Exit status: 0 when the replay passes, 1 on any divergence, band
+//! violation or trace error, 2 on usage errors.
+
+use robustscaler_online::{replay_path, PolicyBands, ReplayMode};
+
+fn parse_f64(flag: &str, value: Option<String>) -> f64 {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a numeric value");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut trace: Option<String> = None;
+    let mut mode = ReplayMode::Strict;
+    let mut bands = PolicyBands::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--strict" => mode = ReplayMode::Strict,
+            "--lenient" => mode = ReplayMode::Lenient,
+            "--min-hit-rate" => bands.min_hit_rate = Some(parse_f64(&arg, args.next())),
+            "--max-rt-avg" => bands.max_rt_avg = Some(parse_f64(&arg, args.next())),
+            "--max-relative-cost" => bands.max_relative_cost = Some(parse_f64(&arg, args.next())),
+            other if other.starts_with("--") => {
+                eprintln!(
+                    "unknown flag `{other}` (expected --strict/--lenient/\
+                     --min-hit-rate/--max-rt-avg/--max-relative-cost)"
+                );
+                std::process::exit(2);
+            }
+            path => {
+                if trace.replace(path.to_string()).is_some() {
+                    eprintln!("exactly one trace path expected");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let Some(trace) = trace else {
+        eprintln!(
+            "usage: trace_replay <trace.jsonl> [--strict|--lenient] \
+             [--min-hit-rate X] [--max-rt-avg X] [--max-relative-cost X]"
+        );
+        std::process::exit(2);
+    };
+
+    let report = match replay_path(&trace, mode, &bands) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("replay of {trace} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "replayed {trace}: {:?} {:?} session, {} tenant(s), {} rounds, \
+         {} records, {} plans checked, {} refits checked",
+        report.mode,
+        report.session,
+        report.tenants,
+        report.rounds,
+        report.records,
+        report.plans_checked,
+        report.refits_checked
+    );
+    if let Some(qos) = &report.qos {
+        if let (Some(hit_rate), Some(rt_avg)) = (qos.hit_rate, qos.rt_avg) {
+            println!(
+                "recorded QoS: hit rate {hit_rate:.4}, rt_avg {rt_avg:.3} s, \
+                 relative cost {}",
+                qos.relative_cost
+                    .map_or_else(|| "n/a".to_string(), |c| format!("{c:.3}"))
+            );
+        }
+    }
+    for divergence in &report.divergences {
+        eprintln!("divergence: {divergence}");
+    }
+    for violation in &report.band_violations {
+        eprintln!("band violation: {violation}");
+    }
+    if !report.passed() {
+        eprintln!(
+            "FAILED: {} divergence(s), {} band violation(s)",
+            report.divergences.len(),
+            report.band_violations.len()
+        );
+        std::process::exit(1);
+    }
+    println!("PASSED");
+}

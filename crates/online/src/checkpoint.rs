@@ -142,8 +142,9 @@ pub struct WriteOptions<'a> {
 
 /// FNV-1a 64-bit hash — small, dependency-free, and plenty for detecting
 /// truncation and bit rot in shard files (not a cryptographic integrity
-/// guarantee).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// guarantee). Also the hash behind trace model fingerprints
+/// (`crate::replay::model_fingerprint`).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325_u64;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -328,11 +329,23 @@ impl CheckpointStore {
         let write_shard = |&(group, chunk): &(usize, &[TenantSnapshot])| {
             let file = format!("{gen_name}/shard-{group:04}.json");
             // Reuse path: the group is clean and the previous generation
-            // holds a same-sized shard for it → link/copy those bytes.
+            // holds a same-sized shard *for the same tenant range* →
+            // link/copy those bytes. The range check matters: when the
+            // shard size changes between generations, shard `g` of the old
+            // layout can hold the right *count* of the wrong tenants
+            // (e.g. [2,2,2] → [4,2]: new group 1 starts at tenant 4, old
+            // shard 1 held tenants 2..4), and linking it would corrupt the
+            // checkpoint.
             if clean.is_some_and(|flags| flags[group]) {
                 if let Some(prev) = previous
                     .as_ref()
-                    .and_then(|m| m.shards.get(group))
+                    .and_then(|m| {
+                        let prev_start: usize =
+                            m.shards.iter().take(group).map(|s| s.tenants).sum();
+                        m.shards
+                            .get(group)
+                            .filter(|_| prev_start == group * tenants_per_shard)
+                    })
                     .filter(|prev| prev.tenants == chunk.len())
                 {
                     if let Ok(entry) = self.reuse_shard(prev, &file, generation) {
@@ -637,6 +650,30 @@ mod tests {
         };
         let manifest = store.write_with(&snapshots, &options).unwrap();
         assert!(manifest.shards.iter().all(|s| s.reused_from.is_none()));
+        assert_eq!(store.load(1).unwrap(), snapshots);
+        let _ = fs::remove_dir_all(&dir);
+
+        // The count-match trap: [2,2,2] -> [4,2] over 6 tenants. New group 1
+        // holds tenants 4..6 with the same tenant *count* as old shard 1
+        // (tenants 2..4); only the offset-alignment check keeps the reuse
+        // path from hard-linking the wrong tenants' bytes.
+        let dir = temp_dir("reuse-fallback-regroup");
+        let store = CheckpointStore::new(&dir);
+        let snapshots = some_snapshots(6);
+        store.write(&snapshots, 2, 1).unwrap();
+        let options = WriteOptions {
+            tenants_per_shard: 4,
+            workers: 1,
+            clean_shards: Some(&[true, true]),
+            ..WriteOptions::default()
+        };
+        let manifest = store.write_with(&snapshots, &options).unwrap();
+        assert_eq!(manifest.shards.len(), 2);
+        assert!(
+            manifest.shards.iter().all(|s| s.reused_from.is_none()),
+            "misaligned count-matching shard was reused: {:?}",
+            manifest.shards
+        );
         assert_eq!(store.load(1).unwrap(), snapshots);
         let _ = fs::remove_dir_all(&dir);
     }

@@ -38,6 +38,30 @@ pub enum OnlineError {
         /// What went wrong.
         message: String,
     },
+    /// A session trace could not be recorded or parsed. `line` names the
+    /// offending 1-based trace line when the failure is line-local (a
+    /// corrupt or truncated record must be reported by position, never as
+    /// a bare parse error).
+    Trace {
+        /// The trace line the failure is scoped to, if any.
+        line: Option<usize>,
+        /// What went wrong.
+        message: String,
+    },
+    /// Strict replay of a recorded trace regenerated a different value
+    /// than the recording: the pointed diff names exactly where.
+    ReplayDivergence {
+        /// The planning round the divergence occurred in.
+        round: u64,
+        /// The tenant whose stream diverged.
+        tenant: u64,
+        /// The diverging field (e.g. `decisions[3].creation_time`).
+        field: String,
+        /// The recorded value.
+        expected: String,
+        /// The regenerated value.
+        got: String,
+    },
 }
 
 impl fmt::Display for OnlineError {
@@ -59,6 +83,21 @@ impl fmt::Display for OnlineError {
                 Some(shard) => write!(f, "checkpoint shard `{shard}`: {message}"),
                 None => write!(f, "checkpoint: {message}"),
             },
+            OnlineError::Trace { line, message } => match line {
+                Some(line) => write!(f, "trace line {line}: {message}"),
+                None => write!(f, "trace: {message}"),
+            },
+            OnlineError::ReplayDivergence {
+                round,
+                tenant,
+                field,
+                expected,
+                got,
+            } => write!(
+                f,
+                "replay diverged at round {round}, tenant {tenant}, field `{field}`: \
+                 expected {expected}, got {got}"
+            ),
         }
     }
 }
@@ -105,5 +144,27 @@ mod tests {
         assert!(e.to_string().contains("simulator"));
         assert!(OnlineError::NotTrained.to_string().contains("history"));
         assert!(OnlineError::InvalidConfig("w").to_string().contains("w"));
+        let e = OnlineError::Trace {
+            line: Some(12),
+            message: "bad record".to_string(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        let e = OnlineError::Trace {
+            line: None,
+            message: "io failure".to_string(),
+        };
+        assert!(e.to_string().contains("trace: io failure"));
+        let e = OnlineError::ReplayDivergence {
+            round: 3,
+            tenant: 1,
+            field: "decisions[0].creation_time".to_string(),
+            expected: "410.5".to_string(),
+            got: "411.0".to_string(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("round 3"));
+        assert!(text.contains("tenant 1"));
+        assert!(text.contains("decisions[0].creation_time"));
+        assert!(text.contains("410.5") && text.contains("411.0"));
     }
 }

@@ -37,6 +37,10 @@ use crate::checkpoint::{
 };
 use crate::error::OnlineError;
 use crate::ingest::{ArrivalBus, BusConfig, QueueCheckpoint, QueueStats};
+use crate::replay::{
+    model_fingerprint, QosRecord, ScalerEvent, SessionKind, TraceHeader, TraceRecord,
+    TraceRecorder, TraceSummary, TRACE_FORMAT_VERSION,
+};
 use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats};
 use robustscaler_parallel::{available_threads, map_chunks_mut, WorkerPool};
 use robustscaler_scaling::PlanningRound;
@@ -76,6 +80,12 @@ struct LastCheckpoint {
     dir: std::path::PathBuf,
     generation: u64,
     checksums: Vec<String>,
+    /// The shard size the previous generation was written with. Reuse is
+    /// only sound when the new write groups tenants identically: with a
+    /// different shard size, a group can *count-match* a previous shard
+    /// that holds different tenants, and linking its bytes would corrupt
+    /// the checkpoint (restore then fails on duplicate/missing tenants).
+    tenants_per_shard: usize,
 }
 
 /// A fleet of independent tenants planned concurrently.
@@ -95,6 +105,8 @@ pub struct TenantFleet {
     checkpointed_queue_mutations: Vec<u64>,
     /// What the last successful checkpoint wrote (see [`LastCheckpoint`]).
     last_checkpoint: Option<LastCheckpoint>,
+    /// The session recorder, while a trace recording is active.
+    recorder: Option<TraceRecorder>,
 }
 
 impl Clone for TenantFleet {
@@ -102,7 +114,9 @@ impl Clone for TenantFleet {
     /// (it holds no per-fleet state); the bus — if any — is rebuilt with
     /// identical queue contents and stats, so the clone drains the same
     /// arrivals but has its own producer endpoint. The clone starts fully
-    /// dirty: its first checkpoint rewrites every shard.
+    /// dirty: its first checkpoint rewrites every shard. A recording is
+    /// *not* cloned — a trace has exactly one writer — so the clone starts
+    /// with tracing off.
     fn clone(&self) -> Self {
         let tenant_count = self.tenants.len();
         let bus = self.bus.as_ref().map(|bus| {
@@ -115,14 +129,20 @@ impl Clone for TenantFleet {
             }
             Arc::new(fresh)
         });
+        let mut tenants = self.tenants.clone();
+        for tenant in &mut tenants {
+            tenant.scaler.set_tracing(false);
+            let _ = tenant.scaler.take_trace_events();
+        }
         Self {
-            tenants: self.tenants.clone(),
+            tenants,
             workers: self.workers,
             pool: Arc::clone(&self.pool),
             bus,
             dirty: vec![true; tenant_count],
             checkpointed_queue_mutations: vec![NEVER_CHECKPOINTED; tenant_count],
             last_checkpoint: None,
+            recorder: None,
         }
     }
 }
@@ -167,6 +187,7 @@ impl TenantFleet {
             dirty: vec![true; tenant_count],
             checkpointed_queue_mutations: vec![NEVER_CHECKPOINTED; tenant_count],
             last_checkpoint: None,
+            recorder: None,
         }
     }
 
@@ -256,6 +277,9 @@ impl TenantFleet {
             .ok_or(OnlineError::InvalidConfig("tenant index out of range"))?;
         tenant.scaler.ingest(arrival);
         self.dirty[index] = true;
+        if let Some(recorder) = &mut self.recorder {
+            recorder.pend_direct(index, arrival);
+        }
         Ok(())
     }
 
@@ -312,6 +336,32 @@ impl TenantFleet {
                 "covered must have one entry per tenant",
             ));
         }
+        // Recording: capture everything a replay needs *before* the round
+        // mutates it — the between-round scaler events (installs, explicit
+        // refits) and the queued arrivals the round is about to drain
+        // (stored in drain order so the replayed drain sees them
+        // identically). Recording a bus-fed round assumes producers have
+        // quiesced at the round boundary, per the ingestion contract.
+        let (pre_events, bus_arrivals) = if self.recorder.is_some() {
+            let pre: Vec<Vec<ScalerEvent>> = self
+                .tenants
+                .iter_mut()
+                .map(|t| t.scaler.take_trace_events())
+                .collect();
+            let arrivals = self.bus.as_ref().map(|bus| {
+                bus.checkpoint_queues()
+                    .into_iter()
+                    .map(|cp| {
+                        let mut queued = cp.queued;
+                        queued.sort_by(|a, b| a.total_cmp(b));
+                        queued
+                    })
+                    .collect::<Vec<Vec<f64>>>()
+            });
+            (pre, arrivals)
+        } else {
+            (Vec::new(), None)
+        };
         let workers = self.workers;
         let bus = self.bus.clone();
         let work = |start: usize, chunk: &mut [Tenant]| {
@@ -340,7 +390,30 @@ impl TenantFleet {
         // Every tenant's ring/stats advanced (plan_round touches both even
         // on the error path), so the whole fleet is dirty for checkpoints.
         self.dirty.fill(true);
-        Ok(per_chunk.into_iter().flatten().collect())
+        let results: Vec<Result<PlanningRound, OnlineError>> =
+            per_chunk.into_iter().flatten().collect();
+        // Detach the recorder while harvesting (the harvest borrows the
+        // tenants mutably), then re-attach before propagating any error.
+        if let Some(mut recorder) = self.recorder.take() {
+            let post_events: Vec<Vec<ScalerEvent>> = self
+                .tenants
+                .iter_mut()
+                .map(|t| t.scaler.take_trace_events())
+                .collect();
+            let queue = self.bus.as_ref().map(|bus| bus.stats());
+            let outcome = recorder.record_round(
+                now,
+                covered,
+                pre_events,
+                bus_arrivals,
+                &results,
+                post_events,
+                queue,
+            );
+            self.recorder = Some(recorder);
+            outcome?;
+        }
+        Ok(results)
     }
 
     /// One planning round with the same `covered` count for every tenant.
@@ -456,7 +529,7 @@ impl TenantFleet {
                     snapshot
                 });
         let store = CheckpointStore::new(dir);
-        let clean: Vec<bool> = if self.previous_generation_is_ours(&store, dir) {
+        let clean: Vec<bool> = if self.previous_generation_is_ours(&store, dir, tenants_per_shard) {
             self.dirty
                 .chunks(tenants_per_shard)
                 .enumerate()
@@ -499,6 +572,7 @@ impl TenantFleet {
             dir: dir.to_path_buf(),
             generation: manifest.generation,
             checksums: manifest.shards.iter().map(|s| s.checksum.clone()).collect(),
+            tenants_per_shard,
         });
         Ok(manifest)
     }
@@ -507,9 +581,20 @@ impl TenantFleet {
     /// the precondition for offering shard reuse. Any doubt (different
     /// directory, no prior write, unreadable manifest, generation or
     /// checksum mismatch from a concurrent writer) answers `false`, which
-    /// only costs a full rewrite, never correctness.
-    fn previous_generation_is_ours(&self, store: &CheckpointStore, dir: &Path) -> bool {
-        let Some(last) = self.last_checkpoint.as_ref().filter(|last| last.dir == dir) else {
+    /// only costs a full rewrite, never correctness. A shard-size change
+    /// also answers `false`: reusing across different groupings could link
+    /// a shard holding the wrong tenants (see [`LastCheckpoint`]).
+    fn previous_generation_is_ours(
+        &self,
+        store: &CheckpointStore,
+        dir: &Path,
+        tenants_per_shard: usize,
+    ) -> bool {
+        let Some(last) = self
+            .last_checkpoint
+            .as_ref()
+            .filter(|last| last.dir == dir && last.tenants_per_shard == tenants_per_shard)
+        else {
             return false;
         };
         let Ok(manifest) = store.read_manifest() else {
@@ -589,6 +674,101 @@ impl TenantFleet {
         .flatten()
         .collect::<Result<Vec<_>, OnlineError>>()?;
         Ok(Self::assemble(tenants, workers, bus))
+    }
+
+    /// Enable or disable trace-event capture on every tenant's scaler.
+    pub fn set_tracing(&mut self, on: bool) {
+        for tenant in &mut self.tenants {
+            tenant.scaler.set_tracing(on);
+        }
+    }
+
+    /// The [`TraceHeader`] describing this fleet session: everything a
+    /// replay needs to rebuild it. `base_seed` must be the seed the fleet
+    /// was constructed with (per-tenant seeds are derived from it and are
+    /// not recoverable from the tenants).
+    pub fn trace_header(&self, base_seed: u64) -> TraceHeader {
+        let scaler = &self.tenants[0].scaler;
+        TraceHeader {
+            version: TRACE_FORMAT_VERSION,
+            session: SessionKind::Fleet,
+            seed: base_seed,
+            tenants: self.tenants.len(),
+            origin: scaler.ring().origin(),
+            online: *scaler.config(),
+            bus: self.bus.as_ref().map(|bus| bus.config()),
+        }
+    }
+
+    /// Attach a [`TraceRecorder`] and start (or resume) recording this
+    /// session: every subsequent `ingest`, round, refit and install is
+    /// serialized to the trace.
+    ///
+    /// A recorder that has recorded nothing yet gets warm-start
+    /// [`TraceRecord::Install`] records for every tenant that already has
+    /// a model, so replay can rebuild pre-recording state; a resumed
+    /// recorder (from [`TenantFleet::take_recorder`], e.g. across a kill +
+    /// restore) continues its trace as-is.
+    pub fn start_recording(&mut self, mut recorder: TraceRecorder) -> Result<(), OnlineError> {
+        if self.recorder.is_some() {
+            return Err(OnlineError::InvalidConfig(
+                "a trace recording is already active on this fleet",
+            ));
+        }
+        if recorder.records() == 0 {
+            for (index, tenant) in self.tenants.iter().enumerate() {
+                if let Some(model) = tenant.scaler.model() {
+                    recorder.record(&TraceRecord::Install {
+                        round: recorder.round(),
+                        tenant: index as u64,
+                        at: tenant.scaler.last_refit_at().unwrap_or(0.0),
+                        fingerprint: model_fingerprint(model),
+                        model: model.clone(),
+                    })?;
+                }
+            }
+        }
+        self.set_tracing(true);
+        self.recorder = Some(recorder);
+        Ok(())
+    }
+
+    /// Detach the active recorder without finalizing the trace: buffered
+    /// events and direct arrivals are flushed, tracing is disabled, and
+    /// the recorder is returned so a successor fleet (a restore of this
+    /// one) can [`TenantFleet::start_recording`] it and continue the same
+    /// trace. `None` when no recording is active.
+    pub fn take_recorder(&mut self) -> Result<Option<TraceRecorder>, OnlineError> {
+        let Some(mut recorder) = self.recorder.take() else {
+            return Ok(None);
+        };
+        let pre: Vec<Vec<ScalerEvent>> = self
+            .tenants
+            .iter_mut()
+            .map(|t| t.scaler.take_trace_events())
+            .collect();
+        recorder.flush_pending(pre)?;
+        self.set_tracing(false);
+        Ok(Some(recorder))
+    }
+
+    /// Finalize the active recording: flush buffered state, write the
+    /// final QoS record (the fleet's aggregate serving and queue
+    /// counters), and return the trace summary. `None` when no recording
+    /// is active.
+    pub fn finish_recording(&mut self) -> Result<Option<TraceSummary>, OnlineError> {
+        let Some(recorder) = self.take_recorder()? else {
+            return Ok(None);
+        };
+        let qos = QosRecord {
+            stats: self.aggregate_stats(),
+            queue: self.queue_stats(),
+            hit_rate: None,
+            rt_avg: None,
+            relative_cost: None,
+            queries: None,
+        };
+        Ok(Some(recorder.finish(qos)?))
     }
 
     /// Sum of all tenants' serving counters.

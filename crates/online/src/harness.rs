@@ -20,6 +20,10 @@
 use crate::checkpoint::{CheckpointStore, TenantSnapshot};
 use crate::error::OnlineError;
 use crate::ingest::{ArrivalBus, BusConfig, QueueStats};
+use crate::replay::{
+    QosRecord, SessionKind, TraceHeader, TraceRecord, TraceRecorder, TraceSummary,
+    TRACE_FORMAT_VERSION,
+};
 use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats};
 use robustscaler_core::relative_cost;
 use robustscaler_simulator::{
@@ -39,6 +43,12 @@ pub struct OnlinePolicy {
     /// Drain buffer reused across ticks.
     drain_buf: Vec<f64>,
     name: String,
+    /// The session recorder, while a trace recording is active.
+    recorder: Option<TraceRecorder>,
+    /// First recording failure. `on_planning_tick` cannot propagate
+    /// errors, so the driver checks this after the simulation run — a
+    /// recording that silently stopped mid-session must fail the run.
+    record_error: Option<OnlineError>,
 }
 
 impl OnlinePolicy {
@@ -65,6 +75,8 @@ impl OnlinePolicy {
             bus,
             drain_buf: Vec::new(),
             name,
+            recorder: None,
+            record_error: None,
         }
     }
 
@@ -96,12 +108,17 @@ impl Autoscaler for OnlinePolicy {
     fn on_planning_tick(&mut self, state: &SystemState) -> Vec<ScalingCommand> {
         // Round boundary: drain everything that arrived since the last
         // tick (one batched, timestamp-ordered append), then plan.
+        let pre_events = if self.recorder.is_some() {
+            vec![self.scaler.take_trace_events()]
+        } else {
+            Vec::new()
+        };
         let mut buf = std::mem::take(&mut self.drain_buf);
         if let Ok(1..) = self.bus.drain_into(0, &mut buf) {
             self.scaler.ingest_batch(&buf);
         }
-        self.drain_buf = buf;
-        match self.scaler.plan_round(state.now, state.covered()) {
+        let result = self.scaler.plan_round(state.now, state.covered());
+        let commands = match &result {
             Ok(round) => round
                 .decisions
                 .iter()
@@ -116,7 +133,24 @@ impl Autoscaler for OnlinePolicy {
                 self.scaler.record_failed_round();
                 Vec::new()
             }
+        };
+        if let Some(recorder) = &mut self.recorder {
+            let post_events = vec![self.scaler.take_trace_events()];
+            let outcome = recorder.record_round(
+                state.now,
+                &[state.covered()],
+                pre_events,
+                Some(vec![buf.clone()]),
+                std::slice::from_ref(&result),
+                post_events,
+                Some(self.bus.stats()),
+            );
+            if let Err(e) = outcome {
+                self.record_error.get_or_insert(e);
+            }
         }
+        self.drain_buf = buf;
+        commands
     }
 
     fn on_query_arrival(&mut self, state: &SystemState) -> Vec<ScalingCommand> {
@@ -183,7 +217,26 @@ pub fn run_closed_loop(
     trace: &Trace,
     config: &HarnessConfig,
 ) -> Result<(HarnessReport, SimulationMetrics), OnlineError> {
-    run_closed_loop_inner(trace, config, None)
+    let (report, metrics, _) = run_closed_loop_inner(trace, config, None, None)?;
+    Ok((report, metrics))
+}
+
+/// [`run_closed_loop`] with the whole session — warm-up arrivals, the
+/// boundary refit, every live round's drained arrivals, plans and refits,
+/// and the final QoS metrics — recorded as a replayable JSONL trace at
+/// `record_path` (see [`crate::replay`]).
+pub fn run_closed_loop_recorded(
+    trace: &Trace,
+    config: &HarnessConfig,
+    record_path: impl AsRef<std::path::Path>,
+) -> Result<(HarnessReport, SimulationMetrics, TraceSummary), OnlineError> {
+    let (report, metrics, summary) =
+        run_closed_loop_inner(trace, config, None, Some(record_path.as_ref()))?;
+    Ok((
+        report,
+        metrics,
+        summary.expect("a recorded run always produces a summary"),
+    ))
 }
 
 /// Kill-and-restore replay: [`run_closed_loop`], except the serving process
@@ -201,14 +254,17 @@ pub fn run_closed_loop_with_restart(
     config: &HarnessConfig,
     checkpoint_dir: impl AsRef<std::path::Path>,
 ) -> Result<(HarnessReport, SimulationMetrics), OnlineError> {
-    run_closed_loop_inner(trace, config, Some(checkpoint_dir.as_ref()))
+    let (report, metrics, _) =
+        run_closed_loop_inner(trace, config, Some(checkpoint_dir.as_ref()), None)?;
+    Ok((report, metrics))
 }
 
 fn run_closed_loop_inner(
     trace: &Trace,
     config: &HarnessConfig,
     restart_via: Option<&std::path::Path>,
-) -> Result<(HarnessReport, SimulationMetrics), OnlineError> {
+    record: Option<&std::path::Path>,
+) -> Result<(HarnessReport, SimulationMetrics, Option<TraceSummary>), OnlineError> {
     config.online.validate()?;
     if !(config.warmup > 0.0) || config.warmup >= trace.duration() {
         return Err(OnlineError::InvalidConfig(
@@ -220,6 +276,27 @@ fn run_closed_loop_inner(
 
     let simulator = Simulator::new(config.sim)?;
     let mut scaler = OnlineScaler::new(config.online, trace.start())?;
+    let mut recorder = match record {
+        Some(path) => {
+            scaler.set_tracing(true);
+            Some(TraceRecorder::to_file(
+                path,
+                &TraceHeader {
+                    version: TRACE_FORMAT_VERSION,
+                    session: SessionKind::Single,
+                    seed: config.online.pipeline.seed,
+                    tenants: 1,
+                    origin: trace.start(),
+                    online: config.online,
+                    bus: Some(BusConfig {
+                        capacity_per_tenant: crate::ingest::DEFAULT_QUEUE_CAPACITY,
+                        tenants_per_group: 1,
+                    }),
+                },
+            )?)
+        }
+        None => None,
+    };
 
     // Warm-up flows through an arrival bus, enqueued by a producer thread
     // *while* the reactive baseline replays on this thread — the two touch
@@ -251,6 +328,18 @@ fn run_closed_loop_inner(
     warm_bus.drain_into(0, &mut warm_buf)?;
     scaler.ingest_batch(&warm_buf);
     scaler.refit_now(boundary)?;
+    if let Some(recorder) = &mut recorder {
+        // The warm window is one direct batched ingestion followed by the
+        // boundary refit; recording both lets replay rebuild the training
+        // window before validating any live round.
+        recorder.record(&TraceRecord::Arrivals {
+            round: 0,
+            tenant: 0,
+            direct: true,
+            times: warm_buf.clone(),
+        })?;
+        recorder.flush_pending(vec![scaler.take_trace_events()])?;
+    }
 
     if let Some(dir) = restart_via {
         // Simulated process death: persist, drop, restore from disk.
@@ -266,10 +355,19 @@ fn run_closed_loop_inner(
                 message: "harness checkpoint holds no tenant".to_string(),
             })?;
         scaler = OnlineScaler::restore(snapshot.scaler, config.online)?;
+        // Tracing is runtime wiring, not scaler state, so it is deliberately
+        // absent from snapshots — re-arm it on the restored instance.
+        if recorder.is_some() {
+            scaler.set_tracing(true);
+        }
     }
 
     let mut policy = OnlinePolicy::new(scaler);
+    policy.recorder = recorder;
     let metrics = simulator.run(&live, &mut policy)?;
+    if let Some(e) = policy.record_error.take() {
+        return Err(e);
+    }
 
     let queue = policy.queue_stats();
     let report = HarnessReport {
@@ -284,7 +382,18 @@ fn run_closed_loop_inner(
         queue: Some(queue),
         drained_per_round: Some(queue.drained_per_drain()),
     };
-    Ok((report, metrics))
+    let summary = match policy.recorder.take() {
+        Some(recorder) => Some(recorder.finish(QosRecord {
+            stats: report.stats,
+            queue: report.queue,
+            hit_rate: Some(report.hit_rate),
+            rt_avg: Some(report.rt_avg),
+            relative_cost: Some(report.relative_cost),
+            queries: Some(report.queries as u64),
+        })?),
+        None => None,
+    };
+    Ok((report, metrics, summary))
 }
 
 #[cfg(test)]
@@ -422,6 +531,33 @@ mod tests {
         let (a, _) = run_closed_loop(&trace, &config).unwrap();
         let (b, _) = run_closed_loop(&trace, &config).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recorded_closed_loop_replays_strictly_and_matches_the_plain_run() {
+        use crate::replay::{replay_path, PolicyBands, ReplayMode};
+        let path = std::env::temp_dir().join(format!(
+            "robustscaler-harness-trace-{}.jsonl",
+            std::process::id()
+        ));
+        let trace = uniform_trace(3.0 * 3_600.0, 45.0, 5.0);
+        let mut config = harness_config();
+        config.warmup = 1.5 * 3_600.0;
+        let (plain, plain_metrics) = run_closed_loop(&trace, &config).unwrap();
+        let (report, metrics, summary) = run_closed_loop_recorded(&trace, &config, &path).unwrap();
+        // Recording is observation only: the reported session is unchanged.
+        assert_eq!(plain, report);
+        assert_eq!(plain_metrics, metrics);
+        assert_eq!(summary.path, path.display().to_string());
+        assert!(summary.records > 0);
+        assert!(summary.rounds > 0);
+
+        let replay = replay_path(&path, ReplayMode::Strict, &PolicyBands::default()).unwrap();
+        assert!(replay.passed(), "divergences: {:?}", replay.divergences);
+        assert_eq!(replay.rounds, summary.rounds);
+        assert!(replay.plans_checked > 0);
+        assert!(replay.refits_checked >= 1, "boundary refit must be checked");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -32,7 +32,13 @@
 //!   sharded, checksummed, atomically swapped checkpoint files with
 //!   incremental (dirty-shard-only) generations, so a fleet process can
 //!   restart mid-burst without losing any tenant's training window or
-//!   queued arrivals — and resume planning bit-identically.
+//!   queued arrivals — and resume planning bit-identically;
+//! * [`replay`] — recorded-trace replay: sessions serialize every
+//!   arrival, plan, refit and queue drain to a versioned JSONL trace,
+//!   and a replay engine re-executes the session from the header and
+//!   validates the regenerated stream bit-for-bit (strict) or against
+//!   QoS policy bands (lenient) — the regression substrate CI gates
+//!   perf refactors on.
 //!
 //! ## Determinism guarantees
 //!
@@ -55,6 +61,7 @@ pub mod error;
 pub mod fleet;
 pub mod harness;
 pub mod ingest;
+pub mod replay;
 pub mod scaler;
 
 pub use checkpoint::{
@@ -64,10 +71,17 @@ pub use checkpoint::{
 pub use error::OnlineError;
 pub use fleet::{Tenant, TenantFleet};
 pub use harness::{
-    run_closed_loop, run_closed_loop_with_restart, HarnessConfig, HarnessReport, OnlinePolicy,
+    run_closed_loop, run_closed_loop_recorded, run_closed_loop_with_restart, HarnessConfig,
+    HarnessReport, OnlinePolicy,
 };
 pub use ingest::{
     ArrivalBus, BusConfig, QueueStats, DEFAULT_QUEUE_CAPACITY, DEFAULT_TENANTS_PER_GROUP,
+};
+pub use replay::{
+    model_fingerprint, replay_path, replay_trace, FileSink, MemorySink, PlanRecord, PolicyBands,
+    QosRecord, RecordedTrace, RefitRecord, RefitTrigger, ReplayMode, ReplayReport, ScalerEvent,
+    SessionKind, TraceHeader, TraceRecord, TraceRecorder, TraceSink, TraceSummary,
+    TRACE_FORMAT_VERSION,
 };
 pub use scaler::{
     OnlineConfig, OnlineScaler, OnlineStats, ScalerSnapshot, SCALER_SNAPSHOT_VERSION,

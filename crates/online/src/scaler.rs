@@ -15,6 +15,7 @@
 //! threads the surrounding fleet uses.
 
 use crate::error::OnlineError;
+use crate::replay::{model_fingerprint, RefitTrigger, ScalerEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustscaler_core::{RobustScalerConfig, RobustScalerPipeline};
@@ -177,6 +178,11 @@ pub struct OnlineScaler {
     cached_until: f64,
     last_refit_at: f64,
     stats: OnlineStats,
+    /// Whether refits and installs are captured as trace events. Not part
+    /// of snapshots: a restored scaler starts with tracing off and the
+    /// recording driver re-enables it.
+    tracing: bool,
+    trace_events: Vec<ScalerEvent>,
 }
 
 impl OnlineScaler {
@@ -213,6 +219,8 @@ impl OnlineScaler {
             cached_until: f64::NEG_INFINITY,
             last_refit_at: f64::NEG_INFINITY,
             stats: OnlineStats::default(),
+            tracing: false,
+            trace_events: Vec::new(),
         })
     }
 
@@ -259,6 +267,27 @@ impl OnlineScaler {
         self.forecaster.as_ref().map(Forecaster::model)
     }
 
+    /// When the last refit (or model install) ran; `None` before the first.
+    pub fn last_refit_at(&self) -> Option<f64> {
+        self.last_refit_at.is_finite().then_some(self.last_refit_at)
+    }
+
+    /// Enable or disable trace-event capture. Enabling clears any stale
+    /// events; disabling leaves buffered events intact so a recorder being
+    /// detached can still flush them.
+    pub fn set_tracing(&mut self, on: bool) {
+        if on && !self.tracing {
+            self.trace_events.clear();
+        }
+        self.tracing = on;
+    }
+
+    /// Drain the trace events (refits with their trigger, model installs)
+    /// captured since the last call. Empty unless tracing is enabled.
+    pub fn take_trace_events(&mut self) -> Vec<ScalerEvent> {
+        std::mem::take(&mut self.trace_events)
+    }
+
     /// Ingest one arrival timestamp.
     pub fn ingest(&mut self, arrival: f64) {
         if self.ring.observe(arrival) {
@@ -288,6 +317,13 @@ impl OnlineScaler {
     /// Install an externally fitted model (warm start from persisted state,
     /// or synthetic models in benches) without consuming ring history.
     pub fn install_model(&mut self, model: NhppModel, now: f64) -> Result<(), OnlineError> {
+        if self.tracing {
+            self.trace_events.push(ScalerEvent::Install {
+                at: now,
+                fingerprint: model_fingerprint(&model),
+                model: model.clone(),
+            });
+        }
         match &mut self.forecaster {
             Some(f) => f.refresh(model),
             None => {
@@ -307,9 +343,20 @@ impl OnlineScaler {
     /// Refit the NHPP from the ring's complete buckets at `now` and swap it
     /// into the forecaster.
     pub fn refit_now(&mut self, now: f64) -> Result<(), OnlineError> {
+        self.refit_with_trigger(now, RefitTrigger::Explicit)
+    }
+
+    fn refit_with_trigger(&mut self, now: f64, trigger: RefitTrigger) -> Result<(), OnlineError> {
         self.ring.advance_to(now);
         let snapshot = self.ring.series_complete(now)?;
         let trained = self.pipeline.train_on_counts(snapshot)?;
+        if self.tracing {
+            self.trace_events.push(ScalerEvent::Refit {
+                at: now,
+                trigger,
+                fingerprint: model_fingerprint(&trained.model),
+            });
+        }
         match &mut self.forecaster {
             Some(f) => f.refresh(trained.model),
             None => self.forecaster = Some(trained.forecaster(self.pipeline.config())?),
@@ -330,18 +377,18 @@ impl OnlineScaler {
         let complete = self.ring.complete_len(now);
         if self.forecaster.is_none() {
             if complete >= self.config.min_training_buckets {
-                self.refit_now(now)?;
+                self.refit_with_trigger(now, RefitTrigger::First)?;
                 return Ok(true);
             }
             return Ok(false);
         }
         if complete >= self.config.min_training_buckets.max(10) {
             if now - self.last_refit_at >= self.config.refit_interval {
-                self.refit_now(now)?;
+                self.refit_with_trigger(now, RefitTrigger::Scheduled)?;
                 return Ok(true);
             }
             if self.drift_detected(now) {
-                self.refit_now(now)?;
+                self.refit_with_trigger(now, RefitTrigger::Drift)?;
                 self.stats.drift_refits += 1;
                 return Ok(true);
             }

@@ -21,9 +21,13 @@ use robustscaler::timeseries::{CountRing, RingSnapshot};
 use std::path::PathBuf;
 
 /// Fresh per-test temp directory (no tempfile crate in the offline build).
+/// Collision-safe across processes (pid) and within one (monotonic counter),
+/// so proptest cases and parallel test threads never share a directory.
 fn temp_dir(tag: &str) -> PathBuf {
+    static DIR_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = DIR_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let dir = std::env::temp_dir().join(format!(
-        "robustscaler-persistence-{tag}-{}",
+        "robustscaler-persistence-{tag}-{}-{seq}",
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
@@ -352,6 +356,61 @@ fn incremental_generations_restore_identically_to_full_rewrites() {
     }
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&full_dir);
+}
+
+/// Regression (formerly `tests/repro_reuse_bug.rs`): changing
+/// `tenants_per_shard` between incremental checkpoints must never reuse a
+/// shard from the old grouping. With 6 clean tenants checkpointed as
+/// [2,2,2] and then as [4,2], new group 1 (tenants 4..6) has the same
+/// tenant *count* as old shard 1 (tenants 2..4) — a count-only match would
+/// link the wrong tenants' bytes into the new generation. Both the
+/// store-level offset check and the fleet-level `tenants_per_shard` guard
+/// must force fresh writes, and reuse must resume on the next checkpoint
+/// under the new grouping.
+#[test]
+fn shard_size_change_between_checkpoints_never_reuses_misaligned_shards() {
+    let dir = temp_dir("fleet-regroup");
+    let config = online_config();
+    let mut fleet = TenantFleet::new(&config, 0.0, 6, 21).unwrap();
+    ingest_fleet(&mut fleet, 400.0);
+    fleet.run_round_uniform(400.0, 0).unwrap();
+
+    let first = fleet.checkpoint_sharded(&dir, 2).unwrap();
+    assert_eq!(first.shards.len(), 3);
+    assert!(first.shards.iter().all(|s| s.reused_from.is_none()));
+
+    // Same grouping, nothing mutated: every shard is reused from gen 1.
+    let second = fleet.checkpoint_sharded(&dir, 2).unwrap();
+    assert!(second.shards.iter().all(|s| s.reused_from == Some(1)));
+
+    // Regrouped [2,2,2] -> [4,2] with all tenants still clean: the
+    // count-match trap. Every shard must be written fresh.
+    let regrouped = fleet.checkpoint_sharded(&dir, 4).unwrap();
+    assert_eq!(regrouped.shards.len(), 2);
+    assert!(
+        regrouped.shards.iter().all(|s| s.reused_from.is_none()),
+        "regrouped checkpoint reused shards from a different grouping: {:?}",
+        regrouped.shards
+    );
+
+    // The regrouped checkpoint restores the *right* tenants and the
+    // restored fleet keeps planning identically to the live one.
+    let mut restored = TenantFleet::restore(&dir, &config).unwrap();
+    assert_eq!(restored.len(), 6);
+    assert_eq!(restored.aggregate_stats(), fleet.aggregate_stats());
+    assert_eq!(
+        restored.run_round_uniform(420.0, 1).unwrap(),
+        fleet.run_round_uniform(420.0, 1).unwrap()
+    );
+
+    // Under the *new* grouping, reuse works again (gen 3 wrote the bytes).
+    // The round above dirtied every tenant, so checkpoint once to settle...
+    let settle = fleet.checkpoint_sharded(&dir, 4).unwrap();
+    assert!(settle.shards.iter().all(|s| s.reused_from.is_none()));
+    // ...and the next clean checkpoint reuses both shards.
+    let reused = fleet.checkpoint_sharded(&dir, 4).unwrap();
+    assert!(reused.shards.iter().all(|s| s.reused_from == Some(4)));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Acceptance criterion: a truncated shard is detected via checksum and
