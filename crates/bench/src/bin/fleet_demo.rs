@@ -29,7 +29,12 @@
 //!   is rejected together with `--restore` (a restored fleet's history
 //!   predates the trace);
 //! * `--json <path>` — dump the run report as JSON (includes the trace
-//!   path and record counts when recording).
+//!   path and record counts when recording, plus a `warnings` array that
+//!   is non-empty whenever the run degraded: dropped arrivals, quarantined
+//!   tenants, checkpoint retries or fallbacks);
+//! * `--fault-*` — deterministic fault injection; faulted runs plan through
+//!   the supervised round path (quarantine, backoff probes, sticky
+//!   fallbacks) instead of failing outright (see `--help`).
 //!
 //! Environment knobs: `FLEET_TENANTS` (default 250), `FLEET_ROUNDS`
 //! (default 20), `FLEET_SAMPLES` (Monte Carlo R, default 250).
@@ -37,12 +42,47 @@
 use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
 use robustscaler_nhpp::NhppModel;
 use robustscaler_online::{
-    ArrivalBus, BusConfig, OnlineConfig, QueueStats, TenantFleet, TraceRecorder, TraceSummary,
+    ArrivalBus, BusConfig, CheckpointIoStats, FaultPlan, FaultyStorage, OnlineConfig, QueueStats,
+    SupervisionStats, TenantFleet, TraceRecorder, TraceSummary,
 };
 use robustscaler_parallel::available_threads;
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
+
+const USAGE: &str = "\
+Multi-tenant fleet serving demo: rounds/sec at fleet scale through the
+event-driven ingestion runtime, plus durable checkpoint/restore.
+
+USAGE: fleet_demo [FLAGS]
+
+  --checkpoint-dir <dir>  checkpoint mid-run, restore, verify bit-identity
+  --restore               start from the checkpoint in --checkpoint-dir
+  --record <path>         record the parallel stretch as a JSONL trace
+  --json <path>           dump the run report (with warnings) as JSON
+  --help                  print this help
+
+Deterministic fault injection (chaos mode). Every fault decision is a pure
+function of --fault-seed and the (round, tenant) pair — same knobs, same
+faults, bit-identical outcomes at any worker count. With any fault enabled
+the demo plans through the supervised path: failing tenants are quarantined
+with exponential-backoff probes and served their last good plan (sticky
+fallback) while unhealthy. Probabilities are per tenant-round:
+
+  --fault-seed <n>             fault-schedule seed (default 1337)
+  --fault-plan-error <p>       probability planning fails with an injected error
+  --fault-plan-panic <p>       probability planning panics inside the round worker
+                               (caught; poisons only that tenant's slot)
+  --fault-arrival-nan <p>      probability one drained arrival is corrupted to NaN
+  --fault-clock-skew <p>       probability a drained batch is shifted in time
+  --fault-clock-skew-secs <s>  signed skew magnitude in seconds (default 30)
+  --fault-io <p>               per-file probability each checkpoint write fails
+                               (writes retry with bounded backoff; high values
+                               can exhaust the retries and fail the run)
+  --fault-tenant <n>           restrict planning/arrival faults to tenant n
+
+Environment: FLEET_TENANTS (default 250), FLEET_ROUNDS (default 20),
+FLEET_SAMPLES (Monte Carlo R, default 250).";
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -114,6 +154,64 @@ struct DemoReport {
     checkpoint: Option<CheckpointReport>,
     /// Recorded-session trace (`--record`): path plus record/round counts.
     trace: Option<TraceSummary>,
+    /// The fault schedule when chaos mode is active (`--fault-*`).
+    faults: Option<FaultPlan>,
+    /// Supervision counters from the parallel stretch (chaos mode only).
+    supervision: Option<SupervisionStats>,
+    /// Degradation warnings: empty on a fully clean run, non-empty when
+    /// arrivals were dropped, tenants were quarantined, or checkpoint I/O
+    /// had to retry or fall back.
+    warnings: Vec<String>,
+}
+
+/// Degradation warnings surfaced in the report and on stdout.
+fn collect_warnings(
+    queue: Option<&QueueReport>,
+    supervision: Option<&SupervisionStats>,
+    io: &CheckpointIoStats,
+) -> Vec<String> {
+    let mut warnings = Vec::new();
+    if let Some(queue) = queue {
+        if queue.dropped_full > 0 {
+            warnings.push(format!(
+                "arrival queue dropped {} batch(es) on the floor (queue full)",
+                queue.dropped_full
+            ));
+        }
+    }
+    if let Some(sup) = supervision {
+        if sup.failures > 0 {
+            warnings.push(format!(
+                "{} tenant-round(s) failed ({} by panic), {} served the degraded sticky fallback",
+                sup.failures, sup.panics, sup.degraded_rounds
+            ));
+        }
+        if sup.probes > 0 || sup.quarantined_now > 0 {
+            warnings.push(format!(
+                "{} tenant(s) quarantined right now; {} recovery probe(s) ran, {} succeeded",
+                sup.quarantined_now, sup.probes, sup.recoveries
+            ));
+        }
+    }
+    if io.retries > 0 {
+        warnings.push(format!(
+            "checkpoint writes retried {} time(s) before succeeding",
+            io.retries
+        ));
+    }
+    if io.reuse_fallbacks > 0 {
+        warnings.push(format!(
+            "{} clean shard(s) fell back from incremental reuse to a full rewrite",
+            io.reuse_fallbacks
+        ));
+    }
+    if io.generation_fallbacks > 0 {
+        warnings.push(format!(
+            "{} restore(s) fell back past a corrupt generation",
+            io.generation_fallbacks
+        ));
+    }
+    warnings
 }
 
 fn fleet_config(samples: usize) -> OnlineConfig {
@@ -189,6 +287,7 @@ fn run_rounds_with(
 ) -> (f64, usize, Vec<Vec<f64>>) {
     let interval = 10.0;
     let tenants = fleet.len();
+    let chaos = fleet.fault_plan().is_some();
     let bus = fleet.bus().cloned();
     let mut decisions = 0usize;
     let mut plans = Vec::with_capacity(rounds);
@@ -217,22 +316,44 @@ fn run_rounds_with(
                 std::thread::spawn(move || enqueue_window(&bus, tenants, round + 1))
             })
         };
-        let round_plans: Vec<_> = fleet
-            .run_round_uniform(now, round % 3)
-            .expect("round succeeds")
-            .into_iter()
-            .map(|plan| plan.expect("warm-started tenant plans"))
-            .collect();
+        // Chaos mode plans through the supervised path: injected failures
+        // quarantine their tenant and serve the sticky fallback instead of
+        // aborting the demo. A clean run keeps the plain round (identical
+        // plans, no supervision bookkeeping inside the timed loop).
+        let round_plans: Vec<_> = if chaos {
+            fleet
+                .run_round_supervised(now, &vec![round % 3; tenants])
+                .expect("supervised round succeeds")
+                .outcomes
+                .into_iter()
+                .map(|outcome| outcome.plan)
+                .collect()
+        } else {
+            fleet
+                .run_round_uniform(now, round % 3)
+                .expect("round succeeds")
+                .into_iter()
+                .map(|plan| Some(plan.expect("warm-started tenant plans")))
+                .collect()
+        };
         if let Some(producer) = producer {
             producer.join().expect("producer thread panicked");
         } else if let Some(bus) = &bus {
             enqueue_window(bus, tenants, round + 1);
         }
-        decisions += round_plans.iter().map(|p| p.decisions.len()).sum::<usize>();
+        decisions += round_plans
+            .iter()
+            .flatten()
+            .map(|p| p.decisions.len())
+            .sum::<usize>();
         plans.push(
             round_plans
                 .iter()
-                .map(|p| p.decisions.first().map_or(f64::NAN, |d| d.creation_time))
+                .map(|p| {
+                    p.as_ref()
+                        .and_then(|p| p.decisions.first())
+                        .map_or(f64::NAN, |d| d.creation_time)
+                })
                 .collect(),
         );
     }
@@ -264,6 +385,13 @@ fn checkpoint_and_verify(
     let started = Instant::now();
     let mut restored = TenantFleet::restore(dir, config).expect("restore succeeds");
     let restore_secs = started.elapsed().as_secs_f64();
+    // The fault schedule and supervision policy are runtime wiring, not
+    // checkpoint state — the restored fleet must re-arm them or its
+    // continuation rounds run fault-free and diverge from the live fleet.
+    if let Some(plan) = fleet.fault_plan() {
+        restored.set_faults(plan);
+    }
+    restored.set_supervisor(fleet.supervisor());
     let (_, _, live_plans) = run_rounds(fleet, first_round, rounds);
     let (_, _, restored_plans) = run_rounds(&mut restored, first_round, rounds);
     CheckpointReport {
@@ -287,24 +415,44 @@ fn main() {
     let mut restore = false;
     let mut json_path: Option<String> = None;
     let mut record_path: Option<String> = None;
+    let mut faults = FaultPlan {
+        seed: 1_337,
+        ..FaultPlan::default()
+    };
+    let arg_f64 = |flag: &str, value: Option<String>| -> f64 {
+        value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} needs a numeric value");
+            std::process::exit(2);
+        })
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             "--checkpoint-dir" => {
                 checkpoint_dir = Some(args.next().expect("--checkpoint-dir needs a path"));
             }
             "--restore" => restore = true,
             "--record" => record_path = Some(args.next().expect("--record needs a path")),
             "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--fault-seed" => faults.seed = arg_f64(&arg, args.next()) as u64,
+            "--fault-plan-error" => faults.plan_error = arg_f64(&arg, args.next()),
+            "--fault-plan-panic" => faults.plan_panic = arg_f64(&arg, args.next()),
+            "--fault-arrival-nan" => faults.arrival_nan = arg_f64(&arg, args.next()),
+            "--fault-clock-skew" => faults.clock_skew = arg_f64(&arg, args.next()),
+            "--fault-clock-skew-secs" => faults.clock_skew_secs = arg_f64(&arg, args.next()),
+            "--fault-io" => faults.checkpoint_io = arg_f64(&arg, args.next()),
+            "--fault-tenant" => faults.target_tenant = Some(arg_f64(&arg, args.next()) as u64),
             other => {
-                eprintln!(
-                    "unknown flag `{other}` \
-                     (expected --checkpoint-dir/--restore/--record/--json)"
-                );
+                eprintln!("unknown flag `{other}` (see --help)");
                 std::process::exit(2);
             }
         }
     }
+    let chaos = faults.enabled();
     if restore && checkpoint_dir.is_none() {
         eprintln!("--restore requires --checkpoint-dir");
         std::process::exit(2);
@@ -316,18 +464,29 @@ fn main() {
 
     let config = fleet_config(samples);
     println!(
-        "Fleet serving demo — {tenants} tenants, {rounds} rounds, R = {samples}, {cores} core(s)"
+        "Fleet serving demo — {tenants} tenants, {rounds} rounds, R = {samples}, {cores} core(s){}",
+        if chaos {
+            format!(" — chaos mode (fault seed {})", faults.seed)
+        } else {
+            String::new()
+        }
     );
 
     let build = |seed: u64| -> TenantFleet {
-        if restore {
+        let mut fleet = if restore {
             let dir = checkpoint_dir.as_deref().expect("checked above");
             let fleet = TenantFleet::restore(dir, &config).expect("restore succeeds");
             println!("restored {} tenants from {dir}", fleet.len());
             fleet
         } else {
             build_fleet(tenants, samples, seed)
+        };
+        // The fault plan and supervision policy are runtime wiring, not
+        // fleet state — applied to every fleet (restored ones included).
+        if chaos {
+            fleet.set_faults(faults);
         }
+        fleet
     };
 
     let mut serial_fleet = build(7);
@@ -399,6 +558,27 @@ fn main() {
         );
     }
 
+    let supervision = chaos.then(|| parallel_fleet.supervision_stats());
+    if let Some(sup) = &supervision {
+        println!(
+            "supervision: {} failed tenant-rounds ({} panics), {} degraded, \
+             {} probes / {} recoveries, {} quarantined now",
+            sup.failures,
+            sup.panics,
+            sup.degraded_rounds,
+            sup.probes,
+            sup.recoveries,
+            sup.quarantined_now
+        );
+    }
+
+    // `--fault-io`: checkpoint writes go through the fault-injecting
+    // storage backend; the store's bounded retries and full-rewrite
+    // fallbacks absorb the failures (and show up as warnings below).
+    if faults.checkpoint_io > 0.0 {
+        parallel_fleet.set_checkpoint_storage(Arc::new(FaultyStorage::new(faults)));
+    }
+
     // Kill-and-restore: checkpoint the parallel fleet after its timed
     // stretch, restore from disk, and verify the next rounds match the
     // fleet that never stopped.
@@ -423,6 +603,15 @@ fn main() {
     let checkpoint_ok = checkpoint
         .as_ref()
         .is_none_or(|c| c.identical_after_restore);
+
+    let warnings = collect_warnings(
+        queue.as_ref(),
+        supervision.as_ref(),
+        &parallel_fleet.checkpoint_io_stats(),
+    );
+    for warning in &warnings {
+        println!("warning: {warning}");
+    }
 
     if let Some(path) = json_path {
         let report = DemoReport {
@@ -449,6 +638,9 @@ fn main() {
             determinism_across_workers: identical,
             checkpoint,
             trace,
+            faults: chaos.then_some(faults),
+            supervision,
+            warnings,
         };
         let json = serde_json::to_string(&report).expect("serializable report");
         std::fs::write(&path, json).expect("writable json path");

@@ -38,21 +38,53 @@
 //! instead of reserialized, with `reused_from` naming the generation that
 //! actually wrote the bytes. Every generation directory remains
 //! self-contained, so the old-generation sweep is unchanged.
+//!
+//! **Format v3** (reads v1 and v2) adds self-healing durability:
+//!
+//! * every filesystem touch goes through a small [`CheckpointStorage`]
+//!   trait (default: [`OsStorage`]), so chaos tests can inject
+//!   deterministic `io::ErrorKind`s straight into the atomic-swap path;
+//! * shard and manifest writes **retry with bounded backoff** before
+//!   failing the checkpoint, and a clean shard whose previous file cannot
+//!   be linked or copied falls back to a full rewrite (both surfaced via
+//!   [`CheckpointStore::io_stats`]);
+//! * the **previous generation is retained** alongside the current one
+//!   (older ones are still swept), each generation directory carries its
+//!   own `manifest.json` copy, and [`CheckpointStore::load_shards`] scans
+//!   back to the newest *restorable* generation when the current one is
+//!   corrupt — noting which generation was skipped instead of stranding
+//!   the data;
+//! * tenant snapshots optionally persist the fleet's per-tenant
+//!   supervision state ([`SupervisionSnapshot`]: failure counters,
+//!   quarantine + backoff schedule, the last good plan/snapshot), so a
+//!   restored fleet resumes its quarantine lifecycle bit-identically.
 
 use crate::error::OnlineError;
 use crate::ingest::{BusConfig, QueueStats};
 use crate::scaler::ScalerSnapshot;
 use robustscaler_parallel::{parallel_map, WorkerPool};
+use robustscaler_scaling::PlanningRound;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Checkpoint format version recorded in the manifest; bump on any change
 /// to the manifest or shard layout and keep [`CheckpointStore::read_manifest`]
 /// able to read every version still deployed (v1 checkpoints — no queue
-/// state, no shard reuse — load as fleets with empty queues).
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+/// state, no shard reuse — load as fleets with empty queues; v2 — no
+/// supervision state — as fleets with every tenant healthy).
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 3;
+
+/// How many times a shard/manifest write is attempted before the
+/// checkpoint fails (first try + retries).
+const WRITE_ATTEMPTS: u32 = 3;
+
+/// Base backoff between write retries; attempt `n` sleeps `n` times this.
+const RETRY_BACKOFF: Duration = Duration::from_millis(2);
 
 /// Default number of tenants per shard file.
 pub const DEFAULT_TENANTS_PER_SHARD: usize = 64;
@@ -72,6 +104,9 @@ pub struct TenantSnapshot {
     pub queued: Option<Vec<f64>>,
     /// The tenant queue's back-pressure accounting at checkpoint time.
     pub queue: Option<QueueStats>,
+    /// The fleet's supervision state for this tenant (format v3; `None`
+    /// in older checkpoints and for single-tenant harness snapshots).
+    pub supervision: Option<SupervisionSnapshot>,
 }
 
 impl TenantSnapshot {
@@ -83,8 +118,51 @@ impl TenantSnapshot {
             scaler,
             queued: None,
             queue: None,
+            supervision: None,
         }
     }
+}
+
+/// A tenant's quarantine: entered after K consecutive failures, probed on
+/// an exponential-backoff schedule until a probe round succeeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineState {
+    /// The fleet round the tenant was quarantined in.
+    pub since_round: u64,
+    /// Current backoff, in rounds, between probes (doubles on every failed
+    /// probe, capped by the supervisor's `max_backoff`).
+    pub backoff: u64,
+    /// The fleet round at which the next recovery probe runs.
+    pub next_probe: u64,
+}
+
+/// Per-tenant supervision state persisted with the tenant (format v3), so
+/// a restored fleet resumes failure counting, quarantine backoff and
+/// degraded-mode planning exactly where the checkpointed fleet stopped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupervisionSnapshot {
+    /// The fleet's round counter at checkpoint time (every tenant records
+    /// the same value; restore takes the max).
+    pub round: u64,
+    /// Consecutive supervised failures (cold-start `NotTrained` excluded).
+    pub consecutive_failures: u32,
+    /// The active quarantine, if any.
+    pub quarantine: Option<QuarantineState>,
+    /// Total supervised failures over the tenant's lifetime.
+    pub failures: u64,
+    /// How many of those failures were caught panics.
+    pub panics: u64,
+    /// Recovery probes attempted while quarantined.
+    pub probes: u64,
+    /// Successful recoveries (a probe round that planned cleanly).
+    pub recoveries: u64,
+    /// Rounds served by the degraded plan-stickiness fallback.
+    pub degraded_rounds: u64,
+    /// The tenant's last successful plan — the degraded-mode fallback.
+    pub last_good_plan: Option<PlanningRound>,
+    /// The scaler snapshot recovery restores from (captured periodically
+    /// when the supervisor's recovery action is snapshot restore).
+    pub last_good_snapshot: Option<Box<ScalerSnapshot>>,
 }
 
 /// Manifest entry for one shard file.
@@ -153,6 +231,11 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Parse a `gen-NNNNNN` directory name into its generation number.
+fn parse_generation_dir(name: &str) -> Option<u64> {
+    name.strip_prefix("gen-")?.parse().ok()
+}
+
 fn io_err(context: &str, e: &std::io::Error) -> OnlineError {
     OnlineError::Checkpoint {
         shard: None,
@@ -160,38 +243,105 @@ fn io_err(context: &str, e: &std::io::Error) -> OnlineError {
     }
 }
 
-/// Write `bytes` to `path` atomically: temp file in the same directory,
-/// fsync, rename. A crash mid-write leaves either the old file or no file —
-/// never a torn one.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), OnlineError> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
-    let mut file =
-        fs::File::create(&tmp).map_err(|e| io_err(&format!("create {}", tmp.display()), &e))?;
-    file.write_all(bytes)
-        .map_err(|e| io_err(&format!("write {}", tmp.display()), &e))?;
-    file.sync_all()
-        .map_err(|e| io_err(&format!("sync {}", tmp.display()), &e))?;
-    drop(file);
-    fs::rename(&tmp, path).map_err(|e| {
-        io_err(
-            &format!("rename {} -> {}", tmp.display(), path.display()),
-            &e,
-        )
-    })
+/// The filesystem surface the checkpoint store runs on. The default
+/// [`OsStorage`] forwards to `std::fs`; chaos tests substitute a faulty
+/// implementation ([`crate::faults::FaultyStorage`]) so injected
+/// `io::ErrorKind`s exercise the retry, reuse-fallback and atomic-swap
+/// paths deterministically.
+pub trait CheckpointStorage: std::fmt::Debug + Send + Sync {
+    /// `fs::create_dir_all`.
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()>;
+    /// Create (truncate) `path`, write all of `bytes`, fsync the file.
+    fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+    /// `fs::rename` — the atomic-swap primitive.
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+    /// `fs::hard_link` — the shard-reuse fast path.
+    fn hard_link(&self, src: &Path, dst: &Path) -> std::io::Result<()>;
+    /// `fs::copy` — the shard-reuse fallback.
+    fn copy(&self, src: &Path, dst: &Path) -> std::io::Result<()>;
+    /// `fs::remove_dir_all`.
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()>;
+    /// Fsync a directory (durability of renames/creates inside it).
+    fn sync_dir(&self, path: &Path) -> std::io::Result<()>;
+    /// `fs::read`.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+    /// Entry names (not full paths) of a directory.
+    fn read_dir_names(&self, path: &Path) -> std::io::Result<Vec<String>>;
 }
 
-/// Fsync a directory so renames/creates inside it are durable — the file
-/// fsync in [`write_atomic`] persists *contents*, but the directory entry
-/// created by the rename lives in the directory and needs its own sync for
-/// power-loss safety.
-fn sync_dir(dir: &Path) -> Result<(), OnlineError> {
-    let handle =
-        fs::File::open(dir).map_err(|e| io_err(&format!("open dir {}", dir.display()), &e))?;
-    handle
-        .sync_all()
-        .map_err(|e| io_err(&format!("sync dir {}", dir.display()), &e))
+/// [`CheckpointStorage`] over the real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OsStorage;
+
+impl CheckpointStorage for OsStorage {
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let mut file = fs::File::create(path)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn hard_link(&self, src: &Path, dst: &Path) -> std::io::Result<()> {
+        fs::hard_link(src, dst)
+    }
+
+    fn copy(&self, src: &Path, dst: &Path) -> std::io::Result<()> {
+        fs::copy(src, dst).map(|_| ())
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        fs::remove_dir_all(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> std::io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn read_dir_names(&self, path: &Path) -> std::io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(path)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+}
+
+/// Counters behind [`CheckpointStore::io_stats`], shared across clones of
+/// the store.
+#[derive(Debug, Default)]
+struct IoCounters {
+    retries: AtomicU64,
+    reuse_fallbacks: AtomicU64,
+    generation_fallbacks: AtomicU64,
+    notes: Mutex<Vec<String>>,
+}
+
+/// Self-healing accounting for one checkpoint store: how often writes had
+/// to retry, shard reuse fell back to a full rewrite, and restores fell
+/// back to an older generation. Demo binaries surface non-zero counters as
+/// warnings.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CheckpointIoStats {
+    /// Shard/manifest write attempts beyond the first (bounded backoff).
+    pub retries: u64,
+    /// Clean shards rewritten in full because link/copy reuse failed.
+    pub reuse_fallbacks: u64,
+    /// Restores served from an older generation because the current one
+    /// was corrupt.
+    pub generation_fallbacks: u64,
 }
 
 /// A checkpoint directory: one manifest plus generation subdirectories of
@@ -199,18 +349,46 @@ fn sync_dir(dir: &Path) -> Result<(), OnlineError> {
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    storage: Arc<dyn CheckpointStorage>,
+    io: Arc<IoCounters>,
 }
 
 impl CheckpointStore {
     /// Open (or designate) a checkpoint directory. The directory is created
     /// on first write, not here.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into() }
+        Self::with_storage(dir, Arc::new(OsStorage))
+    }
+
+    /// [`CheckpointStore::new`] on an explicit [`CheckpointStorage`]
+    /// implementation (fault injection in chaos tests).
+    pub fn with_storage(dir: impl Into<PathBuf>, storage: Arc<dyn CheckpointStorage>) -> Self {
+        Self {
+            dir: dir.into(),
+            storage,
+            io: Arc::new(IoCounters::default()),
+        }
     }
 
     /// The checkpoint directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Self-healing accounting since this store (or a clone of it) was
+    /// created: write retries, reuse fallbacks, generation fallbacks.
+    pub fn io_stats(&self) -> CheckpointIoStats {
+        CheckpointIoStats {
+            retries: self.io.retries.load(Ordering::Relaxed),
+            reuse_fallbacks: self.io.reuse_fallbacks.load(Ordering::Relaxed),
+            generation_fallbacks: self.io.generation_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drain the human-readable notes recorded by self-healing actions
+    /// (e.g. which corrupt generation a restore skipped).
+    pub fn take_notes(&self) -> Vec<String> {
+        std::mem::take(&mut *self.io.notes.lock().expect("checkpoint note lock poisoned"))
     }
 
     fn manifest_path(&self) -> PathBuf {
@@ -222,13 +400,49 @@ impl CheckpointStore {
         self.manifest_path().is_file()
     }
 
-    /// Read and validate the current manifest.
-    pub fn read_manifest(&self) -> Result<Manifest, OnlineError> {
-        let path = self.manifest_path();
-        let text = fs::read_to_string(&path)
-            .map_err(|e| io_err(&format!("read {}", path.display()), &e))?;
+    /// Write `bytes` to `path` atomically — temp file in the same
+    /// directory, fsync, rename, so a crash mid-write leaves either the old
+    /// file or no file, never a torn one — retrying with bounded backoff on
+    /// transient failures. Retries are counted in
+    /// [`CheckpointStore::io_stats`].
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), OnlineError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let mut last = None;
+        for attempt in 0..WRITE_ATTEMPTS {
+            if attempt > 0 {
+                self.io.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(RETRY_BACKOFF * attempt);
+            }
+            if let Err(e) = self.storage.write(&tmp, bytes) {
+                last = Some(io_err(&format!("write {}", tmp.display()), &e));
+                continue;
+            }
+            match self.storage.rename(&tmp, path) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    last = Some(io_err(
+                        &format!("rename {} -> {}", tmp.display(), path.display()),
+                        &e,
+                    ));
+                }
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<(), OnlineError> {
+        self.storage
+            .sync_dir(dir)
+            .map_err(|e| io_err(&format!("sync dir {}", dir.display()), &e))
+    }
+
+    /// Parse and validate manifest text (shared by the root manifest and
+    /// the per-generation copies).
+    fn parse_manifest(text: &str) -> Result<Manifest, OnlineError> {
         let manifest: Manifest =
-            serde_json::from_str(&text).map_err(|e| OnlineError::Checkpoint {
+            serde_json::from_str(text).map_err(|e| OnlineError::Checkpoint {
                 shard: None,
                 message: format!("manifest parse failure: {e}"),
             })?;
@@ -249,6 +463,20 @@ impl CheckpointStore {
             });
         }
         Ok(manifest)
+    }
+
+    /// Read and validate the current manifest.
+    pub fn read_manifest(&self) -> Result<Manifest, OnlineError> {
+        let path = self.manifest_path();
+        let bytes = self
+            .storage
+            .read(&path)
+            .map_err(|e| io_err(&format!("read {}", path.display()), &e))?;
+        let text = std::str::from_utf8(&bytes).map_err(|e| OnlineError::Checkpoint {
+            shard: None,
+            message: format!("manifest is not UTF-8: {e}"),
+        })?;
+        Self::parse_manifest(text)
     }
 
     /// Write a new checkpoint generation holding `snapshots`, sharded into
@@ -297,7 +525,8 @@ impl CheckpointStore {
             ));
         }
         let tenants_per_shard = options.tenants_per_shard.max(1);
-        fs::create_dir_all(&self.dir)
+        self.storage
+            .create_dir_all(&self.dir)
             .map_err(|e| io_err(&format!("create {}", self.dir.display()), &e))?;
         // No manifest at all → first generation. An *unreadable* or
         // unsupported manifest must fail the write instead: silently
@@ -315,10 +544,12 @@ impl CheckpointStore {
         // Clear remnants of a crashed write that reached this generation
         // number but never swapped its manifest in.
         if gen_dir.exists() {
-            fs::remove_dir_all(&gen_dir)
+            self.storage
+                .remove_dir_all(&gen_dir)
                 .map_err(|e| io_err(&format!("clear stale {}", gen_dir.display()), &e))?;
         }
-        fs::create_dir_all(&gen_dir)
+        self.storage
+            .create_dir_all(&gen_dir)
             .map_err(|e| io_err(&format!("create {}", gen_dir.display()), &e))?;
 
         let groups: Vec<(usize, &[TenantSnapshot])> =
@@ -348,13 +579,17 @@ impl CheckpointStore {
                     })
                     .filter(|prev| prev.tenants == chunk.len())
                 {
-                    if let Ok(entry) = self.reuse_shard(prev, &file, generation) {
-                        return Ok(entry);
+                    match self.reuse_shard(prev, &file, generation) {
+                        Ok(entry) => return Ok(entry),
+                        // Fall through to a fresh write when the previous
+                        // shard file cannot be linked or copied (e.g. swept
+                        // by a concurrent process, or injected I/O faults) —
+                        // reuse is an optimization, never a correctness
+                        // dependency.
+                        Err(_) => {
+                            self.io.reuse_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
-                    // Fall through to a fresh write when the previous
-                    // shard file cannot be linked or copied (e.g. swept by
-                    // a concurrent process) — reuse is an optimization,
-                    // never a correctness dependency.
                 }
             }
             let json = serde_json::to_string(chunk).map_err(|e| OnlineError::Checkpoint {
@@ -363,7 +598,7 @@ impl CheckpointStore {
             })?;
             let bytes = json.as_bytes();
             let checksum = format!("{:016x}", fnv1a64(bytes));
-            write_atomic(&self.dir.join(&file), bytes)?;
+            self.write_atomic(&self.dir.join(&file), bytes)?;
             Ok(ShardEntry {
                 file,
                 tenants: chunk.len(),
@@ -391,16 +626,21 @@ impl CheckpointStore {
                 shard: None,
                 message: format!("manifest serialize failure: {e}"),
             })?;
+        // Each generation directory carries its own manifest copy, written
+        // before the root swap: if the root manifest is later corrupted,
+        // restore can scan the retained generations and rebuild from the
+        // newest one that still loads (`load_shards`' fallback path).
+        self.write_atomic(&gen_dir.join("manifest.json"), manifest_json.as_bytes())?;
         // Durability ordering for power-loss safety: persist the shard
         // directory entries, then the manifest swap, and only then delete
         // the old generation. Without the directory fsyncs, the old
         // generation's unlinks could become durable before the new
         // manifest's rename, leaving the on-disk manifest pointing at
         // deleted shards after a crash.
-        sync_dir(&gen_dir)?;
-        write_atomic(&self.manifest_path(), manifest_json.as_bytes())?;
-        sync_dir(&self.dir)?;
-        self.sweep_old_generations(&gen_name);
+        self.sync_dir(&gen_dir)?;
+        self.write_atomic(&self.manifest_path(), manifest_json.as_bytes())?;
+        self.sync_dir(&self.dir)?;
+        self.sweep_old_generations(generation);
         Ok(manifest)
     }
 
@@ -420,11 +660,11 @@ impl CheckpointStore {
     ) -> Result<ShardEntry, OnlineError> {
         let source = self.dir.join(&prev.file);
         let target = self.dir.join(file);
-        if fs::hard_link(&source, &target).is_err() {
+        if self.storage.hard_link(&source, &target).is_err() {
             // Cross-filesystem checkpoint dirs or FSes without hard links:
             // fall back to a byte copy (still cheaper than reserializing
             // hundreds of ring+model snapshots).
-            fs::copy(&source, &target).map_err(|e| {
+            self.storage.copy(&source, &target).map_err(|e| {
                 io_err(
                     &format!("reuse {} -> {}", source.display(), target.display()),
                     &e,
@@ -439,18 +679,22 @@ impl CheckpointStore {
         })
     }
 
-    /// Best-effort removal of generation directories other than `keep` —
-    /// they are no longer referenced once the manifest swap succeeded, and
-    /// a failure to delete them only wastes disk, never correctness.
-    fn sweep_old_generations(&self, keep: &str) {
-        let Ok(entries) = fs::read_dir(&self.dir) else {
+    /// Best-effort removal of generation directories older than the
+    /// previous one. The **previous generation is retained** alongside the
+    /// current one so restore can fall back to it when the current
+    /// generation turns out corrupt; everything older is no longer
+    /// referenced once the manifest swap succeeded, and a failure to delete
+    /// it only wastes disk, never correctness.
+    fn sweep_old_generations(&self, current: u64) {
+        let keep_from = current.saturating_sub(1);
+        let Ok(names) = self.storage.read_dir_names(&self.dir) else {
             return;
         };
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if name.starts_with("gen-") && name != keep {
-                let _ = fs::remove_dir_all(entry.path());
+        for name in names {
+            if let Some(generation) = parse_generation_dir(&name) {
+                if generation < keep_from {
+                    let _ = self.storage.remove_dir_all(&self.dir.join(&name));
+                }
             }
         }
     }
@@ -463,7 +707,10 @@ impl CheckpointStore {
             message,
         };
         let path = self.dir.join(&entry.file);
-        let bytes = fs::read(&path).map_err(|e| shard_err(format!("read failure: {e}")))?;
+        let bytes = self
+            .storage
+            .read(&path)
+            .map_err(|e| shard_err(format!("read failure: {e}")))?;
         let computed = format!("{:016x}", fnv1a64(&bytes));
         if computed != entry.checksum {
             return Err(shard_err(format!(
@@ -489,14 +736,92 @@ impl CheckpointStore {
     /// Load every shard of the current manifest across up to `workers`
     /// threads, returning one `Result` per shard (in manifest order) so a
     /// corrupt shard leaves the others loadable and attributable.
+    ///
+    /// **Self-healing fallback:** when the current generation cannot be
+    /// fully loaded (unreadable root manifest, or any corrupt shard), the
+    /// retained older generations are scanned newest-first via their
+    /// per-generation manifest copies; the newest one that loads completely
+    /// is returned instead, with an error-level note naming the generation
+    /// that was skipped (also counted in [`CheckpointStore::io_stats`] and
+    /// queued for [`CheckpointStore::take_notes`]). Only when no generation
+    /// is restorable does the original failure surface.
     #[allow(clippy::type_complexity)]
     pub fn load_shards(
         &self,
         workers: usize,
     ) -> Result<(Manifest, Vec<Result<Vec<TenantSnapshot>, OnlineError>>), OnlineError> {
-        let manifest = self.read_manifest()?;
-        let results = parallel_map(&manifest.shards, workers, |entry| self.load_shard(entry));
-        Ok((manifest, results))
+        let primary = match self.read_manifest() {
+            Ok(manifest) => {
+                let results =
+                    parallel_map(&manifest.shards, workers, |entry| self.load_shard(entry));
+                if results.iter().all(Result::is_ok) {
+                    return Ok((manifest, results));
+                }
+                Ok((manifest, results))
+            }
+            Err(e) => Err(e),
+        };
+        let (current, broken) = match &primary {
+            Ok((manifest, results)) => {
+                let first = results
+                    .iter()
+                    .find_map(|r| r.as_ref().err())
+                    .expect("a shard failure put us on the fallback path");
+                (Some(manifest.generation), first.to_string())
+            }
+            Err(e) => (None, e.to_string()),
+        };
+        for (generation, manifest) in self.fallback_generations(current) {
+            let results = parallel_map(&manifest.shards, workers, |entry| self.load_shard(entry));
+            if results.iter().all(Result::is_ok) {
+                let skipped = current.map_or_else(
+                    || "current generation".to_string(),
+                    |g| format!("generation {g}"),
+                );
+                let note = format!(
+                    "checkpoint fallback: {skipped} is not restorable ({broken}); \
+                     restored generation {generation} instead"
+                );
+                eprintln!("ERROR: {note}");
+                self.io.generation_fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.io
+                    .notes
+                    .lock()
+                    .expect("checkpoint note lock poisoned")
+                    .push(note);
+                return Ok((manifest, results));
+            }
+        }
+        primary
+    }
+
+    /// Older generations that might still be restorable, newest first:
+    /// every retained `gen-*` directory with a readable manifest copy,
+    /// strictly older than `current` (a generation newer than the root
+    /// manifest was never swapped in and must not be restored).
+    fn fallback_generations(&self, current: Option<u64>) -> Vec<(u64, Manifest)> {
+        let Ok(names) = self.storage.read_dir_names(&self.dir) else {
+            return Vec::new();
+        };
+        let mut generations: Vec<u64> = names
+            .iter()
+            .filter_map(|name| parse_generation_dir(name))
+            .filter(|&g| current.is_none_or(|cur| g < cur))
+            .collect();
+        generations.sort_unstable_by(|a, b| b.cmp(a));
+        generations
+            .into_iter()
+            .filter_map(|generation| {
+                let path = self
+                    .dir
+                    .join(format!("gen-{generation:06}"))
+                    .join("manifest.json");
+                let bytes = self.storage.read(&path).ok()?;
+                let text = std::str::from_utf8(&bytes).ok()?;
+                let manifest = Self::parse_manifest(text).ok()?;
+                (manifest.generation == generation).then_some((generation, manifest))
+            })
+            .collect()
     }
 
     /// Load the complete checkpoint: every tenant of every shard, in tenant
@@ -550,10 +875,17 @@ mod tests {
         assert_eq!(manifest.shards.len(), 3); // 2 + 2 + 1
         let loaded = store.load(3).unwrap();
         assert_eq!(loaded, snapshots);
-        // A second write bumps the generation and sweeps the old one.
+        // A second write bumps the generation; the previous generation is
+        // retained as the restore fallback.
         let manifest2 = store.write(&snapshots, 2, 1).unwrap();
         assert_eq!(manifest2.generation, 2);
+        assert!(dir.join("gen-000001").exists());
+        assert_eq!(store.load(1).unwrap(), snapshots);
+        // A third write sweeps generation 1 (only current + previous stay).
+        let manifest3 = store.write(&snapshots, 2, 1).unwrap();
+        assert_eq!(manifest3.generation, 3);
         assert!(!dir.join("gen-000001").exists());
+        assert!(dir.join("gen-000002").exists());
         assert_eq!(store.load(1).unwrap(), snapshots);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -615,11 +947,11 @@ mod tests {
         assert_eq!(third.shards[1].reused_from, Some(1));
         assert_eq!(third.shards[0].reused_from, None);
 
-        // The reused files are self-contained in the new generation: the
-        // old directories are swept yet everything still loads and
-        // checksum-verifies.
+        // The reused files are self-contained in the new generation:
+        // generations beyond the retained previous one are swept, yet
+        // everything still loads and checksum-verifies.
         assert!(!dir.join("gen-000001").exists());
-        assert!(!dir.join("gen-000002").exists());
+        assert!(dir.join("gen-000002").exists());
         let loaded = store.load(2).unwrap();
         assert_eq!(loaded, snapshots);
         let _ = fs::remove_dir_all(&dir);
@@ -679,6 +1011,40 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_current_generation_falls_back_to_previous() {
+        let dir = temp_dir("genfall");
+        let store = CheckpointStore::new(&dir);
+        let mut snapshots = some_snapshots(4);
+        let first = store.write(&snapshots, 2, 1).unwrap();
+        let first_loaded = store.load(2).unwrap();
+        snapshots[0].scaler.stats.planning_rounds += 1;
+        let second = store.write(&snapshots, 2, 1).unwrap();
+        assert_eq!(second.generation, 2);
+        // Corrupt a shard of the current generation: the load falls back to
+        // the retained generation 1, names what it skipped, and counts it.
+        let victim = dir.join(&second.shards[1].file);
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        let (manifest, per_shard) = store.load_shards(2).unwrap();
+        assert_eq!(manifest.generation, first.generation);
+        assert!(per_shard.iter().all(Result::is_ok));
+        assert_eq!(store.io_stats().generation_fallbacks, 1);
+        let notes = store.take_notes();
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("generation 2"), "{}", notes[0]);
+        assert!(notes[0].contains("restored generation 1"), "{}", notes[0]);
+        assert!(store.take_notes().is_empty());
+        assert_eq!(store.load(2).unwrap(), first_loaded);
+        // A corrupt ROOT manifest scans all retained generations newest
+        // first; generation 2 is still corrupt, so generation 1 wins again.
+        fs::write(dir.join("manifest.json"), b"{ not json").unwrap();
+        let (manifest, per_shard) = store.load_shards(2).unwrap();
+        assert_eq!(manifest.generation, 1);
+        assert!(per_shard.iter().all(Result::is_ok));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn v1_manifests_without_bus_or_reuse_fields_still_load() {
         let dir = temp_dir("v1-compat");
         let store = CheckpointStore::new(&dir);
@@ -693,7 +1059,7 @@ mod tests {
              \"file\":\"{}\",\"tenants\":{},\"checksum\":\"{}\"}}]}}",
             manifest.generation, manifest.tenant_count, shard.file, shard.tenants, shard.checksum
         );
-        write_atomic(&dir.join("manifest.json"), v1.as_bytes()).unwrap();
+        fs::write(dir.join("manifest.json"), v1.as_bytes()).unwrap();
         let back = store.read_manifest().unwrap();
         assert_eq!(back.version, 1);
         assert_eq!(back.bus, None);
@@ -714,8 +1080,8 @@ mod tests {
         store.write(&snapshots, 8, 1).unwrap();
         let mut manifest = store.read_manifest().unwrap();
         manifest.version += 1;
-        write_atomic(
-            &dir.join("manifest.json"),
+        fs::write(
+            dir.join("manifest.json"),
             serde_json::to_string(&manifest).unwrap().as_bytes(),
         )
         .unwrap();
@@ -725,8 +1091,8 @@ mod tests {
         ));
         manifest.version -= 1;
         manifest.tenant_count += 1;
-        write_atomic(
-            &dir.join("manifest.json"),
+        fs::write(
+            dir.join("manifest.json"),
             serde_json::to_string(&manifest).unwrap().as_bytes(),
         )
         .unwrap();

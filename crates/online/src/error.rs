@@ -38,6 +38,40 @@ pub enum OnlineError {
         /// What went wrong.
         message: String,
     },
+    /// A tenant's round worker panicked. The panic is caught at the tenant
+    /// boundary (`catch_unwind` in the fleet's round worker) and converted
+    /// into this per-tenant error so one panicking tenant never takes down
+    /// the round for the hundreds sharing the process.
+    TenantPanicked {
+        /// The tenant whose round panicked.
+        tenant: u64,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The tenant is quarantined after repeated consecutive failures;
+    /// planning is suspended until its next scheduled probe round.
+    Quarantined {
+        /// The quarantined tenant.
+        tenant: u64,
+        /// The fleet round at which the next recovery probe runs.
+        until_round: u64,
+    },
+    /// A deterministically injected planning fault (chaos testing via
+    /// [`crate::faults::FaultPlan`]).
+    Injected {
+        /// The fleet round the fault fired in.
+        round: u64,
+        /// The tenant the fault targeted.
+        tenant: u64,
+    },
+    /// The whole planning round died: a worker thread panicked outside any
+    /// tenant boundary (injected worker faults, pool bugs). Tenant state
+    /// may be partially advanced; the caller should checkpoint/restore or
+    /// retry the round.
+    RoundPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// A session trace could not be recorded or parsed. `line` names the
     /// offending 1-based trace line when the failure is line-local (a
     /// corrupt or truncated record must be reported by position, never as
@@ -83,6 +117,25 @@ impl fmt::Display for OnlineError {
                 Some(shard) => write!(f, "checkpoint shard `{shard}`: {message}"),
                 None => write!(f, "checkpoint: {message}"),
             },
+            OnlineError::TenantPanicked { tenant, message } => {
+                write!(f, "tenant {tenant} panicked during its round: {message}")
+            }
+            OnlineError::Quarantined {
+                tenant,
+                until_round,
+            } => write!(
+                f,
+                "tenant {tenant} is quarantined until round {until_round}"
+            ),
+            OnlineError::Injected { round, tenant } => {
+                write!(
+                    f,
+                    "injected planning fault (round {round}, tenant {tenant})"
+                )
+            }
+            OnlineError::RoundPanicked { message } => {
+                write!(f, "planning round panicked: {message}")
+            }
             OnlineError::Trace { line, message } => match line {
                 Some(line) => write!(f, "trace line {line}: {message}"),
                 None => write!(f, "trace: {message}"),
@@ -154,6 +207,25 @@ mod tests {
             message: "io failure".to_string(),
         };
         assert!(e.to_string().contains("trace: io failure"));
+        let e = OnlineError::TenantPanicked {
+            tenant: 4,
+            message: "boom".to_string(),
+        };
+        assert!(e.to_string().contains("tenant 4") && e.to_string().contains("boom"));
+        let e = OnlineError::Quarantined {
+            tenant: 2,
+            until_round: 9,
+        };
+        assert!(e.to_string().contains("tenant 2") && e.to_string().contains("round 9"));
+        let e = OnlineError::Injected {
+            round: 5,
+            tenant: 1,
+        };
+        assert!(e.to_string().contains("round 5") && e.to_string().contains("tenant 1"));
+        let e = OnlineError::RoundPanicked {
+            message: "worker died".to_string(),
+        };
+        assert!(e.to_string().contains("worker died"));
         let e = OnlineError::ReplayDivergence {
             round: 3,
             tenant: 1,

@@ -31,19 +31,53 @@
 //! previous generation's shard files for groups whose tenants are all
 //! clean instead of reserializing them (see
 //! [`crate::checkpoint::CheckpointStore::write_with`]).
+//!
+//! ## Supervision
+//!
+//! Tenants misbehave at fleet scale, so the fleet supervises them. A
+//! tenant whose round panics is caught at the tenant boundary
+//! (`catch_unwind` inside the round worker) and reported as a per-tenant
+//! [`TenantPanicked`](OnlineError::TenantPanicked) error — one bad tenant
+//! never takes down the round. [`SupervisorConfig::quarantine_after`]
+//! consecutive failures quarantine the tenant: planning is suspended (its
+//! slot reports [`Quarantined`](OnlineError::Quarantined), though its
+//! arrival queue keeps draining so no data is lost), and the fleet probes
+//! it on an exponential-backoff schedule, applying a
+//! [`RecoveryAction`] — a forced refit or a restore from the tenant's
+//! last good snapshot — before the probe plan. Failing or quarantined
+//! tenants can serve a *degraded plan-stickiness fallback*: the last good
+//! plan, flagged `sticky` in [`FleetRound`], so QoS degrades gracefully
+//! instead of going unplanned. Cold tenants still warming up
+//! ([`NotTrained`](OnlineError::NotTrained)) are never counted as
+//! failures, so healthy fleets behave bit-identically with supervision
+//! on (the default) or off.
+//!
+//! Deterministic chaos — injected planning errors/panics, arrival
+//! corruption, checkpoint I/O faults — plugs in via
+//! [`TenantFleet::set_faults`]; every fault decision and every recovery
+//! action is a pure function of the [`FaultPlan`] seed and the round
+//! coordinates, pinned by `tests/chaos.rs`. The one exception is
+//! worker-thread panics, which key on chunk offsets and are therefore
+//! worker-count-dependent by construction; they abort the whole round
+//! ([`RoundPanicked`](OnlineError::RoundPanicked)) and must not be
+//! combined with trace recording.
 
 use crate::checkpoint::{
-    CheckpointStore, Manifest, TenantSnapshot, WriteOptions, DEFAULT_TENANTS_PER_SHARD,
+    CheckpointIoStats, CheckpointStorage, CheckpointStore, Manifest, QuarantineState,
+    SupervisionSnapshot, TenantSnapshot, WriteOptions, DEFAULT_TENANTS_PER_SHARD,
 };
 use crate::error::OnlineError;
+use crate::faults::{FaultInjector, FaultPlan, PlanFault};
 use crate::ingest::{ArrivalBus, BusConfig, QueueCheckpoint, QueueStats};
 use crate::replay::{
     model_fingerprint, QosRecord, ScalerEvent, SessionKind, TraceHeader, TraceRecord,
     TraceRecorder, TraceSummary, TRACE_FORMAT_VERSION,
 };
-use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats};
+use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats, ScalerSnapshot};
 use robustscaler_parallel::{available_threads, map_chunks_mut, WorkerPool};
 use robustscaler_scaling::PlanningRound;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -64,6 +98,233 @@ pub struct Tenant {
     pub id: u64,
     /// The tenant's serving scaler.
     pub scaler: OnlineScaler,
+}
+
+/// How a probe round tries to bring a quarantined tenant back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// Refit the model from the tenant's current ring before the probe
+    /// plan — keeps every ingested arrival, rebuilds the model.
+    ForceRefit,
+    /// Replace the scaler with its last captured good snapshot before the
+    /// probe plan — rolls the tenant back to known-good state (arrivals
+    /// ingested since that snapshot are lost). Falls back to a forced
+    /// refit while no snapshot has been captured yet.
+    RestoreSnapshot,
+}
+
+/// Supervision policy for a [`TenantFleet`]. The default is active but
+/// conservative: it only ever reacts to *real* failures (panics, injected
+/// faults, refit errors), never to cold-start
+/// [`NotTrained`](OnlineError::NotTrained) rounds, so fleets that never
+/// fail behave bit-identically with or without it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Consecutive failures after which a tenant is quarantined.
+    pub quarantine_after: u32,
+    /// Rounds to wait before the first recovery probe (doubles after
+    /// every failed probe; minimum 1).
+    pub probe_backoff: u64,
+    /// Upper bound on the probe backoff.
+    pub max_backoff: u64,
+    /// What a probe does before attempting to plan.
+    pub recovery: RecoveryAction,
+    /// Capture a last-good scaler snapshot every this many rounds (per
+    /// tenant, on successful rounds; 0 = never). Only consulted when
+    /// `recovery` is [`RecoveryAction::RestoreSnapshot`] — snapshots are
+    /// not captured otherwise, so the default policy adds no per-round
+    /// cost.
+    pub snapshot_every: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            quarantine_after: 3,
+            probe_backoff: 2,
+            max_backoff: 32,
+            recovery: RecoveryAction::ForceRefit,
+            snapshot_every: 8,
+        }
+    }
+}
+
+/// A tenant's health as of the last planning round.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TenantHealth {
+    /// Planning normally (cold-start rounds included).
+    #[default]
+    Healthy,
+    /// Failed at least one recent round, not yet quarantined.
+    Failing,
+    /// Quarantined: planning suspended until the next probe round.
+    Quarantined,
+    /// A recovery probe ran this round and failed; backoff doubled.
+    Probing,
+    /// A recovery probe ran this round and succeeded.
+    Recovered,
+}
+
+/// One tenant's slot in a supervised round report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantOutcome {
+    /// The tenant.
+    pub tenant: u64,
+    /// The plan served this round: a fresh plan on success, the last good
+    /// plan when degraded (`sticky`), `None` when nothing can be served.
+    pub plan: Option<PlanningRound>,
+    /// True when `plan` is the degraded plan-stickiness fallback.
+    pub sticky: bool,
+    /// The failure behind a degraded or empty slot, if any.
+    pub error: Option<OnlineError>,
+    /// The tenant's health after this round.
+    pub health: TenantHealth,
+}
+
+/// A supervised round report: [`TenantFleet::run_round_supervised`]'s
+/// view of one round, with degraded-mode fallbacks applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRound {
+    /// The fleet round this report describes.
+    pub round: u64,
+    /// Per-tenant outcomes, ordered by tenant index.
+    pub outcomes: Vec<TenantOutcome>,
+    /// Tenants served the sticky fallback this round.
+    pub degraded: usize,
+    /// Tenants currently quarantined (probing ones included).
+    pub quarantined: usize,
+    /// Tenants recovered by a probe this round.
+    pub recovered: usize,
+}
+
+/// Fleet-wide supervision counters (sums over tenants).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisionStats {
+    /// Failed tenant-rounds (panics included; cold-start rounds are not
+    /// failures).
+    pub failures: u64,
+    /// Tenant-rounds that failed by panicking.
+    pub panics: u64,
+    /// Recovery probes attempted.
+    pub probes: u64,
+    /// Probes that succeeded.
+    pub recoveries: u64,
+    /// Tenant-rounds served the degraded sticky fallback.
+    pub degraded_rounds: u64,
+    /// Tenants quarantined right now.
+    pub quarantined_now: usize,
+}
+
+/// Per-tenant supervision state ([`SupervisionSnapshot`] minus the round
+/// counter, which is fleet-global, plus transient per-round flags).
+#[derive(Debug, Clone, Default)]
+struct Supervision {
+    consecutive_failures: u32,
+    quarantine: Option<QuarantineState>,
+    health: TenantHealth,
+    failures: u64,
+    panics: u64,
+    probes: u64,
+    recoveries: u64,
+    degraded_rounds: u64,
+    last_good_plan: Option<PlanningRound>,
+    last_good_snapshot: Option<Box<ScalerSnapshot>>,
+    /// The last round served the sticky fallback (transient).
+    served_sticky: bool,
+}
+
+/// What the supervisor decided for one tenant *before* the parallel
+/// section — decisions are taken serially so they are deterministic and
+/// identical for any worker count.
+#[allow(clippy::large_enum_variant)] // probes are rare; boxing would churn the hot Normal path
+enum TenantAction {
+    /// Plan normally.
+    Normal,
+    /// Quarantined and not yet due for a probe: drain, don't plan.
+    Skip { until_round: u64 },
+    /// Probe round: apply the recovery, then plan.
+    Probe {
+        recovery: RecoveryAction,
+        snapshot: Option<Box<ScalerSnapshot>>,
+        config: OnlineConfig,
+    },
+}
+
+/// Render a caught panic payload for error reporting.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One tenant's share of a planning round, executed inside the round
+/// worker's per-tenant `catch_unwind` boundary.
+///
+/// Order matters for determinism and data retention: the recovery (if
+/// this is a probe) runs *first* so a snapshot restore cannot eat the
+/// arrivals this round is about to drain; then the queue is drained —
+/// even for quarantined tenants, so no arrival is ever lost to a
+/// suspension and the record/replay invariant (every round drains the
+/// bus) holds; injected corruption applies to the drained batch *after*
+/// the recorder captured the queue, so a replayed drain re-derives the
+/// identical corruption; only then is planning attempted (or skipped,
+/// for quarantined tenants).
+#[allow(clippy::too_many_arguments)]
+fn tenant_round(
+    tenant: &mut Tenant,
+    index: usize,
+    round: u64,
+    now: f64,
+    covered: usize,
+    bus: Option<&ArrivalBus>,
+    faults: Option<&FaultInjector>,
+    action: &TenantAction,
+    buf: &mut Vec<f64>,
+) -> Result<PlanningRound, OnlineError> {
+    let id = tenant.id;
+    if let TenantAction::Probe {
+        recovery,
+        snapshot,
+        config,
+    } = action
+    {
+        match (recovery, snapshot) {
+            (RecoveryAction::RestoreSnapshot, Some(snapshot)) => {
+                tenant.scaler = OnlineScaler::restore((**snapshot).clone(), *config)?;
+            }
+            _ => tenant.scaler.probe_refit(now)?,
+        }
+    }
+    if let Some(bus) = bus {
+        match bus.drain_into(index, buf) {
+            Ok(0) => {}
+            Ok(_) => {
+                if let Some(injector) = faults {
+                    injector.corrupt_arrivals(round, id, buf);
+                }
+                tenant.scaler.ingest_batch(buf);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if let TenantAction::Skip { until_round } = action {
+        return Err(OnlineError::Quarantined {
+            tenant: id,
+            until_round: *until_round,
+        });
+    }
+    if let Some(injector) = faults {
+        match injector.plan_fault(round, id) {
+            Some(PlanFault::Error) => return Err(OnlineError::Injected { round, tenant: id }),
+            Some(PlanFault::Panic) => panic!("injected tenant panic (round {round}, tenant {id})"),
+            None => {}
+        }
+    }
+    tenant.scaler.plan_round(now, covered)
 }
 
 /// Sentinel for "no checkpoint has captured this queue yet": a mutation
@@ -107,6 +368,22 @@ pub struct TenantFleet {
     last_checkpoint: Option<LastCheckpoint>,
     /// The session recorder, while a trace recording is active.
     recorder: Option<TraceRecorder>,
+    /// Round sequence number: increments once per planning round
+    /// (aborted rounds included). Fault schedules and quarantine probes
+    /// key on it, and checkpoints persist it.
+    round_counter: u64,
+    /// The supervision policy.
+    supervisor: SupervisorConfig,
+    /// The active fault injector, when chaos is enabled.
+    faults: Option<FaultInjector>,
+    /// Per-tenant supervision state.
+    supervision: Vec<Supervision>,
+    /// Checkpoint I/O counters accumulated across this fleet's writes
+    /// and its restore (retries, reuse fallbacks, generation fallbacks).
+    checkpoint_io: CheckpointIoStats,
+    /// Storage backend for checkpoints (the real filesystem unless a
+    /// chaos test injects a faulty one).
+    checkpoint_storage: Option<Arc<dyn CheckpointStorage>>,
 }
 
 impl Clone for TenantFleet {
@@ -143,6 +420,12 @@ impl Clone for TenantFleet {
             checkpointed_queue_mutations: vec![NEVER_CHECKPOINTED; tenant_count],
             last_checkpoint: None,
             recorder: None,
+            round_counter: self.round_counter,
+            supervisor: self.supervisor,
+            faults: self.faults,
+            supervision: self.supervision.clone(),
+            checkpoint_io: self.checkpoint_io,
+            checkpoint_storage: self.checkpoint_storage.clone(),
         }
     }
 }
@@ -188,6 +471,12 @@ impl TenantFleet {
             checkpointed_queue_mutations: vec![NEVER_CHECKPOINTED; tenant_count],
             last_checkpoint: None,
             recorder: None,
+            round_counter: 0,
+            supervisor: SupervisorConfig::default(),
+            faults: None,
+            supervision: (0..tenant_count).map(|_| Supervision::default()).collect(),
+            checkpoint_io: CheckpointIoStats::default(),
+            checkpoint_storage: None,
         }
     }
 
@@ -336,6 +625,31 @@ impl TenantFleet {
                 "covered must have one entry per tenant",
             ));
         }
+        let round = self.round_counter;
+        // Supervision decisions are taken serially, before the parallel
+        // section, so they are a pure function of (round, per-tenant
+        // state) — identical for any worker count.
+        let actions: Vec<TenantAction> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, tenant)| match &self.supervision[i].quarantine {
+                Some(q) if round < q.next_probe => TenantAction::Skip {
+                    until_round: q.next_probe,
+                },
+                Some(_) => TenantAction::Probe {
+                    recovery: self.supervisor.recovery,
+                    snapshot: match self.supervisor.recovery {
+                        RecoveryAction::RestoreSnapshot => {
+                            self.supervision[i].last_good_snapshot.clone()
+                        }
+                        RecoveryAction::ForceRefit => None,
+                    },
+                    config: *tenant.scaler.config(),
+                },
+                None => TenantAction::Normal,
+            })
+            .collect();
         // Recording: capture everything a replay needs *before* the round
         // mutates it — the between-round scaler events (installs, explicit
         // refits) and the queued arrivals the round is about to drain
@@ -364,34 +678,77 @@ impl TenantFleet {
         };
         let workers = self.workers;
         let bus = self.bus.clone();
+        let faults = self.faults;
+        let actions_ref = &actions;
         let work = |start: usize, chunk: &mut [Tenant]| {
+            // Injected worker-thread death: fires at the chunk boundary,
+            // outside any tenant, so the whole round aborts (see the
+            // module docs — this fault class is worker-count-dependent).
+            if let Some(injector) = &faults {
+                if injector.worker_panics(round, start) {
+                    panic!("injected worker panic (round {round}, chunk {start})");
+                }
+            }
             // One drain buffer per worker chunk, reused across its tenants.
             let mut buf = Vec::new();
             chunk
                 .iter_mut()
                 .enumerate()
                 .map(|(i, tenant)| {
-                    if let Some(bus) = &bus {
-                        match bus.drain_into(start + i, &mut buf) {
-                            Ok(0) => {}
-                            Ok(_) => tenant.scaler.ingest_batch(&buf),
-                            Err(e) => return Err(e),
-                        }
-                    }
-                    tenant.scaler.plan_round(now, covered[start + i])
+                    let index = start + i;
+                    let id = tenant.id;
+                    // The tenant boundary: a panicking tenant (injected or
+                    // real) poisons only its own slot.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        tenant_round(
+                            tenant,
+                            index,
+                            round,
+                            now,
+                            covered[index],
+                            bus.as_deref(),
+                            faults.as_ref(),
+                            &actions_ref[index],
+                            &mut buf,
+                        )
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(OnlineError::TenantPanicked {
+                            tenant: id,
+                            message: panic_message(payload),
+                        })
+                    })
                 })
                 .collect::<Vec<Result<PlanningRound, OnlineError>>>()
         };
-        let per_chunk: Vec<Vec<Result<PlanningRound, OnlineError>>> = if use_pool {
-            self.pool.map_chunks_mut(&mut self.tenants, workers, work)
-        } else {
-            map_chunks_mut(&mut self.tenants, workers, work)
-        };
+        let round_outcome = catch_unwind(AssertUnwindSafe(|| {
+            if use_pool {
+                self.pool.map_chunks_mut(&mut self.tenants, workers, work)
+            } else {
+                map_chunks_mut(&mut self.tenants, workers, work)
+            }
+        }));
         // Every tenant's ring/stats advanced (plan_round touches both even
         // on the error path), so the whole fleet is dirty for checkpoints.
         self.dirty.fill(true);
+        let per_chunk: Vec<Vec<Result<PlanningRound, OnlineError>>> = match round_outcome {
+            Ok(per_chunk) => per_chunk,
+            Err(payload) => {
+                // A panic escaped the tenant boundary (injected worker
+                // fault or pool bug): the round is aborted whole. Tenant
+                // state may be partially advanced — the caller should
+                // checkpoint/restore or retry; the round counter still
+                // advances so fault schedules and probes stay on time.
+                self.round_counter += 1;
+                return Err(OnlineError::RoundPanicked {
+                    message: panic_message(payload),
+                });
+            }
+        };
         let results: Vec<Result<PlanningRound, OnlineError>> =
             per_chunk.into_iter().flatten().collect();
+        self.update_supervision(round, &actions, &results);
+        self.round_counter += 1;
         // Detach the recorder while harvesting (the harvest borrows the
         // tenants mutably), then re-attach before propagating any error.
         if let Some(mut recorder) = self.recorder.take() {
@@ -414,6 +771,208 @@ impl TenantFleet {
             outcome?;
         }
         Ok(results)
+    }
+
+    /// Fold one round's results into the per-tenant supervision state:
+    /// failure counting, quarantine entry/exit, probe backoff doubling,
+    /// last-good plan/snapshot capture. Serial and deterministic.
+    fn update_supervision(
+        &mut self,
+        round: u64,
+        actions: &[TenantAction],
+        results: &[Result<PlanningRound, OnlineError>],
+    ) {
+        let config = self.supervisor;
+        for (i, result) in results.iter().enumerate() {
+            let probing = matches!(actions[i], TenantAction::Probe { .. });
+            let skipped = matches!(actions[i], TenantAction::Skip { .. });
+            let sup = &mut self.supervision[i];
+            sup.served_sticky = false;
+            if probing {
+                sup.probes += 1;
+            }
+            match result {
+                Ok(plan) => {
+                    sup.consecutive_failures = 0;
+                    if probing {
+                        sup.quarantine = None;
+                        sup.recoveries += 1;
+                        sup.health = TenantHealth::Recovered;
+                    } else {
+                        sup.health = TenantHealth::Healthy;
+                    }
+                    sup.last_good_plan = Some(plan.clone());
+                    if config.recovery == RecoveryAction::RestoreSnapshot
+                        && config.snapshot_every > 0
+                        && round.is_multiple_of(config.snapshot_every)
+                    {
+                        sup.last_good_snapshot = Some(Box::new(self.tenants[i].scaler.snapshot()));
+                    }
+                }
+                // Cold start is not a failure: a tenant still accumulating
+                // its first training window must never be quarantined for
+                // it (and a healthy fleet must behave identically with
+                // supervision on or off).
+                Err(OnlineError::NotTrained) => {
+                    sup.health = if probing {
+                        TenantHealth::Probing
+                    } else {
+                        TenantHealth::Healthy
+                    };
+                }
+                Err(OnlineError::Quarantined { .. }) if skipped => {
+                    sup.health = TenantHealth::Quarantined;
+                    if sup.last_good_plan.is_some() {
+                        sup.degraded_rounds += 1;
+                        sup.served_sticky = true;
+                    }
+                }
+                Err(e) => {
+                    sup.failures += 1;
+                    if matches!(e, OnlineError::TenantPanicked { .. }) {
+                        sup.panics += 1;
+                    }
+                    sup.consecutive_failures += 1;
+                    if let Some(mut q) = sup.quarantine {
+                        // A failed probe doubles the backoff, capped.
+                        q.backoff = q.backoff.saturating_mul(2).min(config.max_backoff.max(1));
+                        q.next_probe = round + q.backoff;
+                        sup.quarantine = Some(q);
+                        sup.health = TenantHealth::Probing;
+                    } else if sup.consecutive_failures >= config.quarantine_after.max(1) {
+                        let backoff = config.probe_backoff.clamp(1, config.max_backoff.max(1));
+                        sup.quarantine = Some(QuarantineState {
+                            since_round: round,
+                            backoff,
+                            next_probe: round + backoff,
+                        });
+                        sup.health = TenantHealth::Quarantined;
+                    } else {
+                        sup.health = TenantHealth::Failing;
+                    }
+                    if sup.last_good_plan.is_some() {
+                        sup.degraded_rounds += 1;
+                        sup.served_sticky = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One supervised planning round: [`TenantFleet::run_round`] plus the
+    /// degraded-mode view — failing/quarantined tenants are served their
+    /// last good plan (flagged `sticky`) instead of nothing, and the
+    /// report carries per-tenant health and fleet-level degradation
+    /// counts. The underlying plans, errors and supervision transitions
+    /// are identical to calling `run_round` directly.
+    pub fn run_round_supervised(
+        &mut self,
+        now: f64,
+        covered: &[usize],
+    ) -> Result<FleetRound, OnlineError> {
+        let round = self.round_counter;
+        let results = self.run_round(now, covered)?;
+        let mut outcomes = Vec::with_capacity(results.len());
+        let mut degraded = 0;
+        let mut quarantined = 0;
+        let mut recovered = 0;
+        for (i, result) in results.into_iter().enumerate() {
+            let sup = &self.supervision[i];
+            match sup.health {
+                TenantHealth::Quarantined | TenantHealth::Probing => quarantined += 1,
+                TenantHealth::Recovered => recovered += 1,
+                TenantHealth::Healthy | TenantHealth::Failing => {}
+            }
+            let (plan, sticky, error) = match result {
+                Ok(plan) => (Some(plan), false, None),
+                Err(e) if sup.served_sticky => {
+                    degraded += 1;
+                    (sup.last_good_plan.clone(), true, Some(e))
+                }
+                Err(e) => (None, false, Some(e)),
+            };
+            outcomes.push(TenantOutcome {
+                tenant: self.tenants[i].id,
+                plan,
+                sticky,
+                error,
+                health: sup.health,
+            });
+        }
+        Ok(FleetRound {
+            round,
+            outcomes,
+            degraded,
+            quarantined,
+            recovered,
+        })
+    }
+
+    /// Enable deterministic fault injection for planning and ingestion
+    /// seams (checkpoint I/O faults are injected separately, via
+    /// [`TenantFleet::set_checkpoint_storage`] with a
+    /// [`crate::faults::FaultyStorage`]). A plan with every probability
+    /// at zero disables injection.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = if plan.enabled() {
+            Some(FaultInjector::new(plan))
+        } else {
+            None
+        };
+    }
+
+    /// The active fault plan, if chaos is enabled.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.map(|injector| *injector.plan())
+    }
+
+    /// Replace the supervision policy (applies from the next round).
+    pub fn set_supervisor(&mut self, config: SupervisorConfig) {
+        self.supervisor = config;
+    }
+
+    /// The active supervision policy.
+    pub fn supervisor(&self) -> SupervisorConfig {
+        self.supervisor
+    }
+
+    /// The next round's sequence number (rounds run so far).
+    pub fn round(&self) -> u64 {
+        self.round_counter
+    }
+
+    /// A tenant's health as of the last round.
+    pub fn tenant_health(&self, index: usize) -> Option<TenantHealth> {
+        self.supervision.get(index).map(|sup| sup.health)
+    }
+
+    /// Fleet-wide supervision counters.
+    pub fn supervision_stats(&self) -> SupervisionStats {
+        let mut total = SupervisionStats::default();
+        for sup in &self.supervision {
+            total.failures += sup.failures;
+            total.panics += sup.panics;
+            total.probes += sup.probes;
+            total.recoveries += sup.recoveries;
+            total.degraded_rounds += sup.degraded_rounds;
+            if sup.quarantine.is_some() {
+                total.quarantined_now += 1;
+            }
+        }
+        total
+    }
+
+    /// Use `storage` for subsequent checkpoints (chaos tests inject a
+    /// [`crate::faults::FaultyStorage`] here; production uses the default
+    /// filesystem backend).
+    pub fn set_checkpoint_storage(&mut self, storage: Arc<dyn CheckpointStorage>) {
+        self.checkpoint_storage = Some(storage);
+    }
+
+    /// Checkpoint I/O counters accumulated across this fleet's writes
+    /// and restore: retries, reuse fallbacks, generation fallbacks.
+    pub fn checkpoint_io_stats(&self) -> CheckpointIoStats {
+        self.checkpoint_io
     }
 
     /// One planning round with the same `covered` count for every tenant.
@@ -517,6 +1076,8 @@ impl TenantFleet {
         // steady-state incremental checkpoint — accepted trade-off over a
         // lazier, two-phase write API.
         let indexed: Vec<(usize, &Tenant)> = self.tenants.iter().enumerate().collect();
+        let supervision = &self.supervision;
+        let round = self.round_counter;
         let snapshots: Vec<TenantSnapshot> =
             self.pool
                 .parallel_map(&indexed, self.workers, |&(index, tenant)| {
@@ -526,9 +1087,22 @@ impl TenantFleet {
                         snapshot.queued = Some(queue.queued.clone());
                         snapshot.queue = Some(queue.stats);
                     }
+                    let sup = &supervision[index];
+                    snapshot.supervision = Some(SupervisionSnapshot {
+                        round,
+                        consecutive_failures: sup.consecutive_failures,
+                        quarantine: sup.quarantine,
+                        failures: sup.failures,
+                        panics: sup.panics,
+                        probes: sup.probes,
+                        recoveries: sup.recoveries,
+                        degraded_rounds: sup.degraded_rounds,
+                        last_good_plan: sup.last_good_plan.clone(),
+                        last_good_snapshot: sup.last_good_snapshot.clone(),
+                    });
                     snapshot
                 });
-        let store = CheckpointStore::new(dir);
+        let store = self.open_store(dir);
         let clean: Vec<bool> = if self.previous_generation_is_ours(&store, dir, tenants_per_shard) {
             self.dirty
                 .chunks(tenants_per_shard)
@@ -546,7 +1120,7 @@ impl TenantFleet {
         } else {
             vec![false; self.tenants.len().div_ceil(tenants_per_shard)]
         };
-        let manifest = store.write_with(
+        let written = store.write_with(
             &snapshots,
             &WriteOptions {
                 tenants_per_shard,
@@ -555,7 +1129,12 @@ impl TenantFleet {
                 bus: self.bus.as_ref().map(|bus| bus.config()),
                 clean_shards: Some(&clean),
             },
-        )?;
+        );
+        // Accumulate I/O counters whether or not the write landed: retries
+        // and fallbacks on a failed write are exactly what the warnings
+        // surface.
+        self.absorb_io(store.io_stats());
+        let manifest = written?;
         // Only a *successful* swap resets dirtiness; a failed write keeps
         // every tenant dirty so the next attempt rewrites conservatively.
         self.dirty.fill(false);
@@ -575,6 +1154,21 @@ impl TenantFleet {
             tenants_per_shard,
         });
         Ok(manifest)
+    }
+
+    /// Build a checkpoint store on this fleet's storage backend.
+    fn open_store(&self, dir: &Path) -> CheckpointStore {
+        match &self.checkpoint_storage {
+            Some(storage) => CheckpointStore::with_storage(dir, Arc::clone(storage)),
+            None => CheckpointStore::new(dir),
+        }
+    }
+
+    /// Fold one store's I/O counters into the fleet's running totals.
+    fn absorb_io(&mut self, io: CheckpointIoStats) {
+        self.checkpoint_io.retries += io.retries;
+        self.checkpoint_io.reuse_fallbacks += io.reuse_fallbacks;
+        self.checkpoint_io.generation_fallbacks += io.generation_fallbacks;
     }
 
     /// Whether `dir`'s current manifest is this fleet's own last write —
@@ -623,8 +1217,40 @@ impl TenantFleet {
     /// parallelism, and — as with a fresh fleet — its plans do not depend
     /// on it.
     pub fn restore(dir: impl AsRef<Path>, config: &OnlineConfig) -> Result<Self, OnlineError> {
+        Self::restore_from(CheckpointStore::new(dir.as_ref()), config).map(|(fleet, _)| fleet)
+    }
+
+    /// [`TenantFleet::restore`] with the recovery surfaced: returns the
+    /// restored fleet plus the store's fallback notes (non-empty when the
+    /// newest generation was corrupt and an older restorable one was used
+    /// — each note names the generation that was skipped and why).
+    pub fn restore_with_report(
+        dir: impl AsRef<Path>,
+        config: &OnlineConfig,
+    ) -> Result<(Self, Vec<String>), OnlineError> {
+        Self::restore_from(CheckpointStore::new(dir.as_ref()), config)
+    }
+
+    /// [`TenantFleet::restore`] through an injected storage backend
+    /// (chaos tests exercise the retry/scan-back machinery with a
+    /// [`crate::faults::FaultyStorage`] here). The restored fleet keeps
+    /// `storage` for its subsequent checkpoints.
+    pub fn restore_with_storage(
+        dir: impl AsRef<Path>,
+        config: &OnlineConfig,
+        storage: Arc<dyn CheckpointStorage>,
+    ) -> Result<(Self, Vec<String>), OnlineError> {
+        let store = CheckpointStore::with_storage(dir.as_ref(), Arc::clone(&storage));
+        let (mut fleet, notes) = Self::restore_from(store, config)?;
+        fleet.checkpoint_storage = Some(storage);
+        Ok((fleet, notes))
+    }
+
+    fn restore_from(
+        store: CheckpointStore,
+        config: &OnlineConfig,
+    ) -> Result<(Self, Vec<String>), OnlineError> {
         let workers = available_threads();
-        let store = CheckpointStore::new(dir.as_ref());
         let (manifest, per_shard) = store.load_shards(workers)?;
         let mut snapshots = Vec::with_capacity(manifest.tenant_count);
         for result in per_shard {
@@ -653,6 +1279,13 @@ impl TenantFleet {
                 bus.restore_tenant(index, queued, stats)?;
             }
         }
+        // Supervision state travels with the tenants: pull it out before
+        // the snapshots are consumed by the scaler rebuild below. Pre-v3
+        // checkpoints carry none — those tenants restore healthy.
+        let supervision: Vec<Option<SupervisionSnapshot>> = snapshots
+            .iter_mut()
+            .map(|snapshot| snapshot.supervision.take())
+            .collect();
         // Rebuild scalers in parallel *by value*: each worker takes its
         // snapshots out of the slots instead of cloning them — a snapshot
         // carries the full ring and model, and doubling peak memory on the
@@ -673,7 +1306,32 @@ impl TenantFleet {
         .into_iter()
         .flatten()
         .collect::<Result<Vec<_>, OnlineError>>()?;
-        Ok(Self::assemble(tenants, workers, bus))
+        let mut fleet = Self::assemble(tenants, workers, bus);
+        let mut round_counter = 0;
+        for (i, snapshot) in supervision.into_iter().enumerate() {
+            let Some(snapshot) = snapshot else { continue };
+            round_counter = round_counter.max(snapshot.round);
+            fleet.supervision[i] = Supervision {
+                consecutive_failures: snapshot.consecutive_failures,
+                quarantine: snapshot.quarantine,
+                health: if snapshot.quarantine.is_some() {
+                    TenantHealth::Quarantined
+                } else {
+                    TenantHealth::Healthy
+                },
+                failures: snapshot.failures,
+                panics: snapshot.panics,
+                probes: snapshot.probes,
+                recoveries: snapshot.recoveries,
+                degraded_rounds: snapshot.degraded_rounds,
+                last_good_plan: snapshot.last_good_plan,
+                last_good_snapshot: snapshot.last_good_snapshot,
+                served_sticky: false,
+            };
+        }
+        fleet.round_counter = round_counter;
+        fleet.absorb_io(store.io_stats());
+        Ok((fleet, store.take_notes()))
     }
 
     /// Enable or disable trace-event capture on every tenant's scaler.
@@ -697,6 +1355,8 @@ impl TenantFleet {
             origin: scaler.ring().origin(),
             online: *scaler.config(),
             bus: self.bus.as_ref().map(|bus| bus.config()),
+            faults: self.fault_plan(),
+            supervisor: Some(self.supervisor),
         }
     }
 
@@ -1100,6 +1760,248 @@ mod tests {
         clone.enqueue(0, 2.0).unwrap();
         assert_eq!(fleet.queue_stats().unwrap().enqueued, 1);
         assert_eq!(clone.queue_stats().unwrap().enqueued, 2);
+    }
+
+    /// Silence the default panic hook's stderr spew for *injected*
+    /// panics (the `catch_unwind` boundaries still see the payload).
+    /// Installed once; everything else forwards to the previous hook.
+    fn silence_injected_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let message = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|m| (*m).to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                if !message.contains("injected") {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn injected_tenant_panic_poisons_only_its_slot() {
+        silence_injected_panics();
+        let config = fleet_config();
+        let mut clean = TenantFleet::new(&config, 0.0, 3, 7).unwrap();
+        ingest_uniform(&mut clean, 400.0);
+        let clean_rounds = clean.run_round_uniform(400.0, 0).unwrap();
+
+        let mut faulted = TenantFleet::new(&config, 0.0, 3, 7).unwrap();
+        faulted.set_faults(FaultPlan {
+            seed: 1,
+            plan_panic: 1.0,
+            target_tenant: Some(1),
+            ..FaultPlan::default()
+        });
+        ingest_uniform(&mut faulted, 400.0);
+        let rounds = faulted.run_round_uniform(400.0, 0).unwrap();
+        match &rounds[1] {
+            Err(OnlineError::TenantPanicked { tenant: 1, message }) => {
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("expected a caught tenant panic, got {other:?}"),
+        }
+        // The neighbors' plans are bit-identical to the clean run.
+        assert_eq!(rounds[0], clean_rounds[0]);
+        assert_eq!(rounds[2], clean_rounds[2]);
+        let stats = faulted.supervision_stats();
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.panics, 1);
+        assert_eq!(faulted.tenant_health(1), Some(TenantHealth::Failing));
+    }
+
+    #[test]
+    fn injected_worker_panic_aborts_the_round_but_not_the_fleet() {
+        silence_injected_panics();
+        let mut fleet = TenantFleet::new(&fleet_config(), 0.0, 3, 7).unwrap();
+        ingest_uniform(&mut fleet, 400.0);
+        fleet.set_faults(FaultPlan {
+            seed: 4,
+            worker_panic: 1.0,
+            ..FaultPlan::default()
+        });
+        let err = fleet.run_round_uniform(400.0, 0).unwrap_err();
+        assert!(matches!(err, OnlineError::RoundPanicked { .. }), "{err:?}");
+        // The aborted round still counts, so fault schedules and probe
+        // deadlines stay on time.
+        assert_eq!(fleet.round(), 1);
+        // Clearing the fault lets the next round proceed normally.
+        fleet.set_faults(FaultPlan::default());
+        let rounds = fleet.run_round_uniform(420.0, 0).unwrap();
+        assert!(rounds.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn quarantine_lifecycle_backs_off_and_recovers() {
+        let config = fleet_config();
+        let mut fleet = TenantFleet::new(&config, 0.0, 2, 5).unwrap();
+        fleet.set_supervisor(SupervisorConfig {
+            quarantine_after: 2,
+            probe_backoff: 2,
+            max_backoff: 8,
+            recovery: RecoveryAction::ForceRefit,
+            snapshot_every: 0,
+        });
+        ingest_uniform(&mut fleet, 400.0);
+        // Round 0: clean — captures tenant 0's last good plan.
+        let round0 = fleet.run_round_supervised(400.0, &[0, 0]).unwrap();
+        assert!(round0
+            .outcomes
+            .iter()
+            .all(|o| o.health == TenantHealth::Healthy && !o.sticky));
+        let last_good = round0.outcomes[0].plan.clone().unwrap();
+
+        // Rounds 1-2: tenant 0 errors every round → quarantined after 2,
+        // served the sticky fallback throughout.
+        fleet.set_faults(FaultPlan {
+            seed: 2,
+            plan_error: 1.0,
+            target_tenant: Some(0),
+            ..FaultPlan::default()
+        });
+        let r1 = fleet.run_round_supervised(420.0, &[0, 0]).unwrap();
+        assert_eq!(r1.outcomes[0].health, TenantHealth::Failing);
+        assert!(r1.outcomes[0].sticky);
+        assert_eq!(r1.outcomes[0].plan.as_ref(), Some(&last_good));
+        assert_eq!(r1.degraded, 1);
+        let r2 = fleet.run_round_supervised(440.0, &[0, 0]).unwrap();
+        assert_eq!(r2.outcomes[0].health, TenantHealth::Quarantined);
+        assert_eq!(fleet.supervision_stats().quarantined_now, 1);
+
+        // Round 3: suspended (probe due at round 2 + backoff 2 = 4).
+        let r3 = fleet.run_round_supervised(460.0, &[0, 0]).unwrap();
+        assert!(matches!(
+            r3.outcomes[0].error,
+            Some(OnlineError::Quarantined {
+                tenant: 0,
+                until_round: 4
+            })
+        ));
+        assert!(r3.outcomes[0].sticky);
+        assert_eq!(r3.quarantined, 1);
+
+        // Round 4: the probe runs, still faulted → backoff doubles to 4.
+        let r4 = fleet.run_round_supervised(480.0, &[0, 0]).unwrap();
+        assert_eq!(r4.outcomes[0].health, TenantHealth::Probing);
+        assert_eq!(fleet.supervision_stats().probes, 1);
+        assert_eq!(fleet.supervision_stats().recoveries, 0);
+
+        // Rounds 5-7: suspended again (next probe at 4 + 4 = 8).
+        for round in 5..8u64 {
+            let now = 400.0 + 20.0 * round as f64;
+            let r = fleet.run_round_supervised(now, &[0, 0]).unwrap();
+            assert_eq!(
+                r.outcomes[0].health,
+                TenantHealth::Quarantined,
+                "round {round}"
+            );
+        }
+
+        // Faults cleared: round 8's probe succeeds and the tenant
+        // recovers with a fresh (non-sticky) plan.
+        fleet.set_faults(FaultPlan::default());
+        let r8 = fleet.run_round_supervised(560.0, &[0, 0]).unwrap();
+        assert_eq!(r8.outcomes[0].health, TenantHealth::Recovered);
+        assert!(!r8.outcomes[0].sticky);
+        assert!(r8.outcomes[0].plan.is_some());
+        assert_eq!(r8.recovered, 1);
+        let stats = fleet.supervision_stats();
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.probes, 2);
+        assert_eq!(stats.quarantined_now, 0);
+        assert_eq!(stats.failures, 3); // rounds 1, 2 and the failed probe
+        let r9 = fleet.run_round_supervised(580.0, &[0, 0]).unwrap();
+        assert_eq!(r9.outcomes[0].health, TenantHealth::Healthy);
+        // Tenant 1 was never disturbed.
+        assert_eq!(fleet.tenant_health(1), Some(TenantHealth::Healthy));
+    }
+
+    #[test]
+    fn snapshot_recovery_restores_the_last_good_scaler() {
+        let config = fleet_config();
+        let mut fleet = TenantFleet::new(&config, 0.0, 2, 19).unwrap();
+        fleet.set_supervisor(SupervisorConfig {
+            quarantine_after: 1,
+            probe_backoff: 1,
+            max_backoff: 4,
+            recovery: RecoveryAction::RestoreSnapshot,
+            snapshot_every: 1,
+        });
+        ingest_uniform(&mut fleet, 400.0);
+        // Round 0 succeeds and (snapshot_every = 1) captures a snapshot.
+        fleet.run_round_supervised(400.0, &[0, 0]).unwrap();
+        // Round 1 fails → immediate quarantine; round 2 probes via the
+        // captured snapshot and recovers.
+        fleet.set_faults(FaultPlan {
+            seed: 6,
+            plan_error: 1.0,
+            target_tenant: Some(0),
+            ..FaultPlan::default()
+        });
+        let r1 = fleet.run_round_supervised(420.0, &[0, 0]).unwrap();
+        assert_eq!(r1.outcomes[0].health, TenantHealth::Quarantined);
+        fleet.set_faults(FaultPlan::default());
+        let r2 = fleet.run_round_supervised(440.0, &[0, 0]).unwrap();
+        assert_eq!(r2.outcomes[0].health, TenantHealth::Recovered);
+        assert!(r2.outcomes[0].plan.is_some());
+        assert_eq!(fleet.supervision_stats().recoveries, 1);
+    }
+
+    #[test]
+    fn supervision_state_survives_checkpoint_restore() {
+        let dir = std::env::temp_dir().join(format!(
+            "robustscaler-fleet-sup-ckpt-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = fleet_config();
+        let mut fleet = TenantFleet::new(&config, 0.0, 3, 17).unwrap();
+        fleet.set_supervisor(SupervisorConfig {
+            quarantine_after: 1,
+            probe_backoff: 4,
+            ..SupervisorConfig::default()
+        });
+        ingest_uniform(&mut fleet, 400.0);
+        fleet.run_round_uniform(400.0, 0).unwrap();
+        fleet.set_faults(FaultPlan {
+            seed: 3,
+            plan_error: 1.0,
+            target_tenant: Some(2),
+            ..FaultPlan::default()
+        });
+        fleet.run_round_uniform(420.0, 0).unwrap();
+        fleet.set_faults(FaultPlan::default());
+        assert_eq!(fleet.tenant_health(2), Some(TenantHealth::Quarantined));
+
+        fleet.checkpoint_sharded(&dir, 2).unwrap();
+        let mut restored = TenantFleet::restore(&dir, &config).unwrap();
+        // The policy is runtime wiring (like tracing), not checkpoint
+        // state — re-apply it on the restored fleet.
+        restored.set_supervisor(fleet.supervisor());
+        assert_eq!(restored.round(), fleet.round());
+        assert_eq!(restored.supervision_stats(), fleet.supervision_stats());
+        assert_eq!(restored.tenant_health(2), Some(TenantHealth::Quarantined));
+
+        // Both continue identically: the quarantined tenant probes on
+        // the same round (1 + 4 = 5) and recovers in both fleets.
+        let mut saw_recovery = false;
+        for round in 2..8u64 {
+            let now = 400.0 + 20.0 * round as f64;
+            let ours = fleet.run_round_supervised(now, &[0, 0, 0]).unwrap();
+            let theirs = restored.run_round_supervised(now, &[0, 0, 0]).unwrap();
+            assert_eq!(ours, theirs, "round {round}");
+            saw_recovery |= ours.recovered > 0;
+        }
+        assert!(saw_recovery, "the quarantined tenant never recovered");
+        assert_eq!(fleet.supervision_stats(), restored.supervision_stats());
+        assert_eq!(fleet.supervision_stats().quarantined_now, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

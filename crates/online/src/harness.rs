@@ -19,6 +19,7 @@
 
 use crate::checkpoint::{CheckpointStore, TenantSnapshot};
 use crate::error::OnlineError;
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::ingest::{ArrivalBus, BusConfig, QueueStats};
 use crate::replay::{
     QosRecord, SessionKind, TraceHeader, TraceRecord, TraceRecorder, TraceSummary,
@@ -49,6 +50,11 @@ pub struct OnlinePolicy {
     /// errors, so the driver checks this after the simulation run — a
     /// recording that silently stopped mid-session must fail the run.
     record_error: Option<OnlineError>,
+    /// Deterministic fault injector, when chaos is enabled for the run.
+    faults: Option<FaultInjector>,
+    /// Planning-tick counter; matches the recorder's round index so
+    /// injected faults replay on the same rounds.
+    round: u64,
 }
 
 impl OnlinePolicy {
@@ -77,7 +83,16 @@ impl OnlinePolicy {
             name,
             recorder: None,
             record_error: None,
+            faults: None,
+            round: 0,
         }
+    }
+
+    /// Enable deterministic fault injection (arrival corruption, injected
+    /// planning failures) on this policy's ticks. A disabled plan clears
+    /// the injector.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan.enabled().then(|| FaultInjector::new(plan));
     }
 
     /// Borrow the wrapped scaler (stats, model inspection).
@@ -114,10 +129,38 @@ impl Autoscaler for OnlinePolicy {
             Vec::new()
         };
         let mut buf = std::mem::take(&mut self.drain_buf);
-        if let Ok(1..) = self.bus.drain_into(0, &mut buf) {
+        let drained = matches!(self.bus.drain_into(0, &mut buf), Ok(1..));
+        // Record the *uncorrupted* drain: replay re-applies the same
+        // injected corruption from the header's fault plan, so the trace
+        // stores what actually arrived.
+        let recorded_arrivals = if self.recorder.is_some() {
+            Some(buf.clone())
+        } else {
+            None
+        };
+        if drained {
+            if let Some(injector) = &self.faults {
+                injector.corrupt_arrivals(self.round, 0, &mut buf);
+            }
             self.scaler.ingest_batch(&buf);
         }
-        let result = self.scaler.plan_round(state.now, state.covered());
+        let injected = self
+            .faults
+            .as_ref()
+            .and_then(|injector| injector.plan_fault(self.round, 0))
+            .is_some();
+        let result = if injected {
+            // Both flavours of injected plan fault (error and panic)
+            // surface here as a planning error: a single-scaler policy has
+            // no supervisor, so there is no catch boundary to distinguish
+            // them — the round is simply counted as failed.
+            Err(OnlineError::Injected {
+                round: self.round,
+                tenant: 0,
+            })
+        } else {
+            self.scaler.plan_round(state.now, state.covered())
+        };
         let commands = match &result {
             Ok(round) => round
                 .decisions
@@ -140,7 +183,7 @@ impl Autoscaler for OnlinePolicy {
                 state.now,
                 &[state.covered()],
                 pre_events,
-                Some(vec![buf.clone()]),
+                Some(vec![recorded_arrivals.unwrap_or_default()]),
                 std::slice::from_ref(&result),
                 post_events,
                 Some(self.bus.stats()),
@@ -149,6 +192,7 @@ impl Autoscaler for OnlinePolicy {
                 self.record_error.get_or_insert(e);
             }
         }
+        self.round += 1;
         self.drain_buf = buf;
         commands
     }
@@ -176,6 +220,10 @@ pub struct HarnessConfig {
     /// Seconds of the trace's head ingested for warm-up (initial history +
     /// first fit) before the simulated replay starts on the remainder.
     pub warmup: f64,
+    /// Deterministic fault injection for the live replay (`None` or a
+    /// disabled plan runs clean). Warm-up ingestion and the boundary refit
+    /// are never faulted — chaos starts with the first live planning tick.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Metrics of one closed-loop run (the paper's headline numbers plus the
@@ -292,6 +340,8 @@ fn run_closed_loop_inner(
                         capacity_per_tenant: crate::ingest::DEFAULT_QUEUE_CAPACITY,
                         tenants_per_group: 1,
                     }),
+                    faults: config.faults.filter(FaultPlan::enabled),
+                    supervisor: None,
                 },
             )?)
         }
@@ -364,6 +414,9 @@ fn run_closed_loop_inner(
 
     let mut policy = OnlinePolicy::new(scaler);
     policy.recorder = recorder;
+    if let Some(plan) = config.faults {
+        policy.set_faults(plan);
+    }
     let metrics = simulator.run(&live, &mut policy)?;
     if let Some(e) = policy.record_error.take() {
         return Err(e);
@@ -440,6 +493,7 @@ mod tests {
                 recent_history_window: 600.0,
             },
             warmup: 2.0 * 3_600.0,
+            faults: None,
         }
     }
 

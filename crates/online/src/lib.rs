@@ -58,6 +58,7 @@
 
 pub mod checkpoint;
 pub mod error;
+pub mod faults;
 pub mod fleet;
 pub mod harness;
 pub mod ingest;
@@ -65,11 +66,16 @@ pub mod replay;
 pub mod scaler;
 
 pub use checkpoint::{
-    CheckpointStore, Manifest, ShardEntry, TenantSnapshot, CHECKPOINT_FORMAT_VERSION,
+    CheckpointIoStats, CheckpointStorage, CheckpointStore, Manifest, OsStorage, QuarantineState,
+    ShardEntry, SupervisionSnapshot, TenantSnapshot, CHECKPOINT_FORMAT_VERSION,
     DEFAULT_TENANTS_PER_SHARD,
 };
 pub use error::OnlineError;
-pub use fleet::{Tenant, TenantFleet};
+pub use faults::{FaultInjector, FaultPlan, FaultyStorage, IoOp, PlanFault};
+pub use fleet::{
+    FleetRound, RecoveryAction, SupervisionStats, SupervisorConfig, Tenant, TenantFleet,
+    TenantHealth, TenantOutcome,
+};
 pub use harness::{
     run_closed_loop, run_closed_loop_recorded, run_closed_loop_with_restart, HarnessConfig,
     HarnessReport, OnlinePolicy,

@@ -27,7 +27,7 @@
 //!   wall-clock `now`, per-tenant `covered` counts). Replay runs the round.
 //! * [`TraceRecord::Refit`] — a refit that ran. [`RefitTrigger::Explicit`]
 //!   refits (driver-initiated, outside a round) are *executed* by replay;
-//!   `First`/`Scheduled`/`Drift` refits fire inside rounds and are
+//!   `First`/`Scheduled`/`Drift`/`Probe` refits fire inside rounds and are
 //!   *validated* against the refits the replayed round regenerates.
 //! * [`TraceRecord::Plan`] — one tenant's planning outcome for a round.
 //!   Validated bit-for-bit (every decision field compared as f64 bits).
@@ -74,7 +74,11 @@ use std::sync::{Arc, Mutex};
 /// Trace format version written by [`TraceRecorder`]; bump on any record
 /// layout change and keep [`RecordedTrace::parse`] reading every version
 /// still present in checked-in golden corpora.
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+///
+/// v2 added the optional `faults` / `supervisor` header fields (chaos
+/// sessions replay their injected faults and quarantine decisions); v1
+/// traces parse as fault-free sessions under the default supervisor.
+pub const TRACE_FORMAT_VERSION: u32 = 2;
 
 /// What kind of session a trace records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,6 +101,9 @@ pub enum RefitTrigger {
     /// A driver-initiated refit ([`OnlineScaler::refit_now`]) outside a
     /// planning round; replay re-executes these rather than validating.
     Explicit,
+    /// A supervised probe's forced recovery refit. Runs *inside* a fleet
+    /// round, so replay regenerates and validates it like `Scheduled`.
+    Probe,
 }
 
 /// One scaler-side event captured while tracing is enabled (refits with
@@ -142,6 +149,14 @@ pub struct TraceHeader {
     pub online: OnlineConfig,
     /// The arrival-bus configuration, when a bus was attached.
     pub bus: Option<BusConfig>,
+    /// The fault plan active while recording, when chaos was enabled —
+    /// replay re-applies it so every injected fault (and therefore every
+    /// recovery action) reproduces. Absent in v1 traces and fault-free
+    /// sessions.
+    pub faults: Option<crate::faults::FaultPlan>,
+    /// The fleet supervision policy the session ran under; absent in v1
+    /// traces and single-scaler sessions (replay then uses the default).
+    pub supervisor: Option<crate::fleet::SupervisorConfig>,
 }
 
 /// One tenant's planning outcome for one round.
@@ -196,6 +211,7 @@ pub struct QosRecord {
 
 /// One line of a session trace.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)] // one Header per trace; boxing it would noise up every parse site
 pub enum TraceRecord {
     /// Line 1: session identity and configuration.
     Header(TraceHeader),
@@ -755,12 +771,14 @@ impl ReplayReport {
     }
 }
 
+#[allow(clippy::large_enum_variant)] // exactly one session per replay
 enum ReplaySession {
     Fleet(TenantFleet),
     Single {
         scaler: Box<OnlineScaler>,
         bus: ArrivalBus,
         buf: Vec<f64>,
+        faults: Option<crate::faults::FaultInjector>,
     },
 }
 
@@ -799,6 +817,15 @@ impl Replayer {
                 if let Some(bus) = header.bus {
                     fleet.attach_bus(bus)?;
                 }
+                // Chaos sessions: replay under the recorded fault plan and
+                // supervision policy, so injected faults, quarantines and
+                // recovery actions all reproduce bit-for-bit.
+                if let Some(supervisor) = header.supervisor {
+                    fleet.set_supervisor(supervisor);
+                }
+                if let Some(faults) = header.faults {
+                    fleet.set_faults(faults);
+                }
                 fleet.set_tracing(true);
                 ReplaySession::Fleet(fleet)
             }
@@ -811,6 +838,10 @@ impl Replayer {
                     scaler: Box::new(scaler),
                     bus,
                     buf: Vec::new(),
+                    faults: header
+                        .faults
+                        .filter(crate::faults::FaultPlan::enabled)
+                        .map(crate::faults::FaultInjector::new),
                 }
             }
         };
@@ -969,15 +1000,31 @@ impl Replayer {
                 let queue = fleet.queue_stats();
                 (results, events, queue)
             }
-            ReplaySession::Single { scaler, bus, buf } => {
+            ReplaySession::Single {
+                scaler,
+                bus,
+                buf,
+                faults,
+            } => {
                 // Mirror `OnlinePolicy::on_planning_tick` exactly: drain,
-                // batch-ingest, plan; a failed plan is swallowed but
-                // counted.
+                // corrupt (when chaos is enabled), batch-ingest, plan; a
+                // failed plan is swallowed but counted.
                 let drained = bus.drain_into(0, buf)?;
                 if drained > 0 {
+                    if let Some(injector) = faults {
+                        injector.corrupt_arrivals(round, 0, buf);
+                    }
                     scaler.ingest_batch(buf);
                 }
-                let result = scaler.plan_round(now, covered[0]);
+                let injected = faults
+                    .as_ref()
+                    .and_then(|injector| injector.plan_fault(round, 0))
+                    .is_some();
+                let result = if injected {
+                    Err(OnlineError::Injected { round, tenant: 0 })
+                } else {
+                    scaler.plan_round(now, covered[0])
+                };
                 if result.is_err() {
                     scaler.record_failed_round();
                 }
@@ -1528,7 +1575,12 @@ mod tests {
             Err(OnlineError::Trace { line: Some(1), .. })
         ));
         let text = record_session(3, 1);
-        let bumped = text.replacen("\"version\":1", "\"version\":99", 1);
+        let current = format!("\"version\":{TRACE_FORMAT_VERSION}");
+        assert!(
+            text.contains(&current),
+            "header no longer carries {current}"
+        );
+        let bumped = text.replacen(&current, "\"version\":99", 1);
         let err = RecordedTrace::parse(&bumped).unwrap_err();
         assert!(err.to_string().contains("version 99"), "{err}");
         assert!(err.to_string().contains("line 1"), "{err}");

@@ -346,6 +346,14 @@ impl OnlineScaler {
         self.refit_with_trigger(now, RefitTrigger::Explicit)
     }
 
+    /// Forced refit as a supervised probe's recovery action. Identical to
+    /// [`OnlineScaler::refit_now`] except the trace event carries the
+    /// `Probe` trigger, so replay validates it in-round instead of
+    /// re-executing it as a driver action.
+    pub(crate) fn probe_refit(&mut self, now: f64) -> Result<(), OnlineError> {
+        self.refit_with_trigger(now, RefitTrigger::Probe)
+    }
+
     fn refit_with_trigger(&mut self, now: f64, trigger: RefitTrigger) -> Result<(), OnlineError> {
         self.ring.advance_to(now);
         let snapshot = self.ring.series_complete(now)?;

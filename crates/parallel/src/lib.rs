@@ -88,7 +88,10 @@ where
             })
             .collect();
         for handle in handles {
-            out.extend(handle.join().expect("parallel_map worker panicked"));
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     out
@@ -129,7 +132,10 @@ where
             })
             .collect();
         for handle in handles {
-            out.push(handle.join().expect("map_chunks_mut worker panicked"));
+            match handle.join() {
+                Ok(part) => out.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     out
@@ -169,7 +175,10 @@ struct BatchSync {
 
 struct BatchState {
     remaining: usize,
-    panicked: usize,
+    /// The first panicking job's payload, kept verbatim so the submitting
+    /// call re-raises the *original* panic (message included) instead of a
+    /// generic marker — supervisors above the pool match on the payload.
+    panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
 impl BatchSync {
@@ -177,32 +186,33 @@ impl BatchSync {
         Self {
             state: Mutex::new(BatchState {
                 remaining: jobs,
-                panicked: 0,
+                panic: None,
             }),
             done: Condvar::new(),
         }
     }
 
-    fn complete(&self, panicked: bool) {
+    fn complete(&self, panicked: Option<Box<dyn std::any::Any + Send>>) {
         let mut state = self.state.lock().expect("pool batch lock poisoned");
         state.remaining -= 1;
-        if panicked {
-            state.panicked += 1;
+        if let Some(payload) = panicked {
+            state.panic.get_or_insert(payload);
         }
         if state.remaining == 0 {
             self.done.notify_all();
         }
     }
 
-    /// Block until every job of the batch has run; then propagate panics.
+    /// Block until every job of the batch has run; then propagate the
+    /// first panic (original payload) to the submitter.
     fn wait(&self) {
         let mut state = self.state.lock().expect("pool batch lock poisoned");
         while state.remaining > 0 {
             state = self.done.wait(state).expect("pool batch lock poisoned");
         }
-        if state.panicked > 0 {
+        if let Some(payload) = state.panic.take() {
             drop(state);
-            panic!("WorkerPool job panicked");
+            std::panic::resume_unwind(payload);
         }
     }
 }
@@ -258,8 +268,10 @@ impl<U> Slot<U> {
 /// * **No oversubscription.** Pool threads mark themselves as workers, so
 ///   nested fan-outs inside a job collapse to inline execution.
 /// * **Panic propagation.** A panicking job poisons only its batch: the
-///   submitting call panics (`"WorkerPool job panicked"`) after all of the
-///   batch's jobs have finished, and the pool stays usable.
+///   submitting call re-raises the first job's *original* panic payload
+///   after all of the batch's jobs have finished, and the pool stays
+///   usable. Supervisors above the pool (the fleet's round boundary) rely
+///   on the payload surviving verbatim to report what actually died.
 ///
 /// Threads are spawned lazily on first use and joined on [`Drop`]. The pool
 /// is `Sync`: submissions from multiple threads are safe (each batch tracks
@@ -385,8 +397,7 @@ impl WorkerPool {
             for job in jobs {
                 let batch = Arc::clone(&batch);
                 let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-                    let outcome =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err();
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).err();
                     batch.complete(outcome);
                 });
                 // SAFETY: `wait()` below blocks until every job of this
@@ -634,7 +645,14 @@ mod tests {
                 x
             })
         }));
-        assert!(result.is_err());
+        // The original payload survives the pool boundary verbatim.
+        let payload = result.unwrap_err();
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .expect("panic payload is a string");
+        assert!(message.contains("boom"), "{message}");
         // The pool survives a panicked batch.
         let out = pool.parallel_map(&items, 4, |&x| x + 1);
         assert_eq!(out, (1..9).collect::<Vec<u32>>());

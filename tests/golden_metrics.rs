@@ -145,6 +145,7 @@ fn golden_online_harness_closed_loop() {
         online,
         sim: golden_sim(),
         warmup: 24.0 * HOUR,
+        faults: None,
     };
     let (report, _) = run_closed_loop(&trace, &config).unwrap();
     eprintln!(
