@@ -212,12 +212,108 @@ fn bench_fleet_checkpoint(c: &mut Criterion) {
     group.finish();
 }
 
+/// The hibernating-tier contract: round latency is driven by *active*
+/// tenants, not *registered* ones. `round_100k_registered_1k_active`
+/// runs a fleet with 100k cold-registered tenants of which 1k are hot
+/// (warm models installed); `round_1k_resident` is the reference fleet
+/// holding only those 1k tenants. The acceptance bar is the big fleet's
+/// round staying within 2x of the reference. `page_in` is the latency
+/// of waking one hibernated tenant from its page file (read +
+/// checksum + parse + scaler rebuild) — the cold-start tax of the tier.
+fn bench_fleet_hibernation(c: &mut Criterion) {
+    use robustscaler_online::{HibernationStore, OnlineScaler, ResidencyConfig};
+
+    let mut group = c.benchmark_group("fleet_hibernation");
+    group.sample_size(10);
+    let registered = 100_000usize;
+    let active = 1_000usize;
+
+    let residency = ResidencyConfig {
+        cold_after: 3,
+        idle_epsilon: 1e-9,
+        start_cold: true,
+    };
+    let warm = |fleet: &mut TenantFleet, tenants: usize| {
+        for index in 0..tenants {
+            let base = 0.5 + 2.0 * (index as f64 / tenants.max(2) as f64);
+            let log_rates = vec![base.ln(); 1_440];
+            let model =
+                NhppModel::from_log_rates(0.0, 60.0, log_rates, Some(1_440)).expect("model");
+            fleet
+                .tenant_mut(index)
+                .expect("index in range")
+                .scaler
+                .install_model(model, 0.0)
+                .expect("install");
+        }
+    };
+
+    let mut pipeline =
+        RobustScalerConfig::for_variant(RobustScalerVariant::HittingProbability { target: 0.9 });
+    pipeline.planning_interval = 10.0;
+    pipeline.monte_carlo_samples = 250;
+    pipeline.mean_processing = 20.0;
+    let config = OnlineConfig::new(pipeline);
+
+    let mut big = TenantFleet::new_cold(&config, 0.0, registered, 7, residency).expect("fleet");
+    big.set_workers(1);
+    warm(&mut big, active);
+    group.bench_function(
+        BenchmarkId::new("round_100k_registered_1k_active", registered),
+        |b| {
+            let mut round = 0u64;
+            b.iter(|| {
+                let now = 86_400.0 + 10.0 * round as f64;
+                round += 1;
+                big.run_round_uniform(now, 0).expect("round succeeds")
+            });
+        },
+    );
+    drop(big);
+
+    let mut reference = build_fleet(active, 250);
+    reference.set_workers(1);
+    group.bench_function(BenchmarkId::new("round_1k_resident", active), |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            let now = 86_400.0 + 10.0 * round as f64;
+            round += 1;
+            reference.run_round_uniform(now, 0).expect("round succeeds")
+        });
+    });
+    drop(reference);
+
+    // Page-in latency: one hibernated tenant's wake path — page read,
+    // checksum verify, JSON parse, scaler rebuild (forecast cache
+    // recompute included), exactly what a Wake{Arrival} pays in-round.
+    let dir = std::env::temp_dir().join(format!("robustscaler-bench-pages-{}", std::process::id()));
+    let store = HibernationStore::new(&dir);
+    let scaler = {
+        let mut fleet = build_fleet(1, 250);
+        fleet
+            .run_round_uniform(86_400.0, 0)
+            .expect("round succeeds");
+        fleet.tenant(0).expect("tenant 0").scaler.snapshot()
+    };
+    let receipt = store.page_out(0, &scaler).expect("page out");
+    let scaler_config = config;
+    group.bench_function(BenchmarkId::new("page_in", 1), |b| {
+        b.iter(|| {
+            let snapshot = store.page_in(0, receipt).expect("page in");
+            OnlineScaler::restore(snapshot, scaler_config).expect("restore")
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fleet_round,
     bench_fleet_round_parallel,
     bench_ingest_throughput,
     bench_pool_vs_spawn,
-    bench_fleet_checkpoint
+    bench_fleet_checkpoint,
+    bench_fleet_hibernation
 );
 criterion_main!(benches);

@@ -60,6 +60,7 @@
 //!   restored fleet resumes its quarantine lifecycle bit-identically.
 
 use crate::error::OnlineError;
+use crate::fleet::ResidencyConfig;
 use crate::ingest::{BusConfig, QueueStats};
 use crate::scaler::ScalerSnapshot;
 use robustscaler_parallel::{parallel_map, WorkerPool};
@@ -76,8 +77,14 @@ use std::time::Duration;
 /// to the manifest or shard layout and keep [`CheckpointStore::read_manifest`]
 /// able to read every version still deployed (v1 checkpoints — no queue
 /// state, no shard reuse — load as fleets with empty queues; v2 — no
-/// supervision state — as fleets with every tenant healthy).
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 3;
+/// supervision state — as fleets with every tenant healthy; v3 — no
+/// residency state or fleet round in the manifest — as fully-hot fleets).
+///
+/// **Format v4** adds the hot/cold residency tier: tenant snapshots
+/// optionally carry a [`ResidencySnapshot`], and the manifest records the
+/// fleet's [`ResidencyConfig`](crate::fleet::ResidencyConfig) and round
+/// counter so a restored fleet resumes its residency state machine exactly.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 4;
 
 /// How many times a shard/manifest write is attempted before the
 /// checkpoint fails (first try + retries).
@@ -107,6 +114,10 @@ pub struct TenantSnapshot {
     /// The fleet's supervision state for this tenant (format v3; `None`
     /// in older checkpoints and for single-tenant harness snapshots).
     pub supervision: Option<SupervisionSnapshot>,
+    /// The fleet's residency state for this tenant (format v4; `None` in
+    /// older checkpoints and for fleets without residency tiering — the
+    /// tenant restores hot).
+    pub residency: Option<ResidencySnapshot>,
 }
 
 impl TenantSnapshot {
@@ -119,8 +130,26 @@ impl TenantSnapshot {
             queued: None,
             queue: None,
             supervision: None,
+            residency: None,
         }
     }
+}
+
+/// Per-tenant residency state persisted with the tenant (format v4), so a
+/// restored fleet resumes its hot/cold tiering exactly: a cold tenant comes
+/// back cold (resident in memory, re-paged lazily), a hot tenant's idle
+/// streak continues where it left off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResidencySnapshot {
+    /// Whether the tenant was cold (hibernated) at checkpoint time.
+    pub cold: bool,
+    /// Consecutive idle rounds observed while hot (cold-entry countdown).
+    pub idle_streak: u64,
+    /// The scheduled wake time of a cold tenant; `None` encodes "never
+    /// without external input" (`f64::INFINITY` does not round-trip JSON).
+    pub wake_at: Option<f64>,
+    /// The fleet round the tenant went cold in (0 while hot).
+    pub since_round: u64,
 }
 
 /// A tenant's quarantine: entered after K consecutive failures, probed on
@@ -197,6 +226,15 @@ pub struct Manifest {
     /// rebuild the queues on restore; `None` when the fleet had no bus
     /// (and in v1 checkpoints).
     pub bus: Option<BusConfig>,
+    /// The fleet's round counter at checkpoint time (format v4). Older
+    /// checkpoints reconstruct it from the per-tenant supervision
+    /// snapshots; recording it here keeps it correct even when every
+    /// tenant's shard was reused (a reused shard's `SupervisionSnapshot`
+    /// round is the round of the generation that wrote the bytes).
+    pub round: Option<u64>,
+    /// The fleet's residency configuration (format v4); `None` for fleets
+    /// without residency tiering. Restore re-enables tiering from it.
+    pub residency: Option<ResidencyConfig>,
 }
 
 /// Knobs for [`CheckpointStore::write_with`] beyond the snapshot set.
@@ -216,6 +254,10 @@ pub struct WriteOptions<'a> {
     /// identical to the previous generation's shard `g`, allowing reuse.
     /// `None` (or a mismatched length) rewrites everything.
     pub clean_shards: Option<&'a [bool]>,
+    /// Fleet round counter to record in the manifest (format v4).
+    pub round: Option<u64>,
+    /// Residency configuration to record in the manifest (format v4).
+    pub residency: Option<ResidencyConfig>,
 }
 
 /// FNV-1a 64-bit hash — small, dependency-free, and plenty for detecting
@@ -326,6 +368,7 @@ struct IoCounters {
     retries: AtomicU64,
     reuse_fallbacks: AtomicU64,
     generation_fallbacks: AtomicU64,
+    retention_verify_failures: AtomicU64,
     notes: Mutex<Vec<String>>,
 }
 
@@ -342,6 +385,29 @@ pub struct CheckpointIoStats {
     /// Restores served from an older generation because the current one
     /// was corrupt.
     pub generation_fallbacks: u64,
+    /// Generation sweeps skipped because no kept generation verified as
+    /// restorable (the retention guard refused to delete the only
+    /// generations scan-back recovery could still use).
+    pub retention_verify_failures: u64,
+}
+
+/// How many checkpoint generations the sweep retains, and the guard that
+/// makes retention restorability-aware: old generations are deleted only
+/// once at least one kept generation is verified restorable, so GC can
+/// never remove the generations the scan-back recovery path
+/// ([`CheckpointStore::load_shards`]) would need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetentionPolicy {
+    /// Newest generations kept on disk (≥ 1; the current generation always
+    /// counts as one of them). The default of 2 — current plus previous —
+    /// matches the pre-policy sweep behaviour.
+    pub keep_depth: u64,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        Self { keep_depth: 2 }
+    }
 }
 
 /// A checkpoint directory: one manifest plus generation subdirectories of
@@ -351,6 +417,7 @@ pub struct CheckpointStore {
     dir: PathBuf,
     storage: Arc<dyn CheckpointStorage>,
     io: Arc<IoCounters>,
+    retention: RetentionPolicy,
 }
 
 impl CheckpointStore {
@@ -367,7 +434,18 @@ impl CheckpointStore {
             dir: dir.into(),
             storage,
             io: Arc::new(IoCounters::default()),
+            retention: RetentionPolicy::default(),
         }
+    }
+
+    /// Replace the generation-retention policy (keep-depth of the sweep).
+    pub fn set_retention(&mut self, policy: RetentionPolicy) {
+        self.retention = policy;
+    }
+
+    /// The generation-retention policy in effect.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
     }
 
     /// The checkpoint directory.
@@ -382,6 +460,7 @@ impl CheckpointStore {
             retries: self.io.retries.load(Ordering::Relaxed),
             reuse_fallbacks: self.io.reuse_fallbacks.load(Ordering::Relaxed),
             generation_fallbacks: self.io.generation_fallbacks.load(Ordering::Relaxed),
+            retention_verify_failures: self.io.retention_verify_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -620,6 +699,8 @@ impl CheckpointStore {
             tenant_count: snapshots.len(),
             shards,
             bus: options.bus,
+            round: options.round,
+            residency: options.residency,
         };
         let manifest_json =
             serde_json::to_string(&manifest).map_err(|e| OnlineError::Checkpoint {
@@ -640,7 +721,12 @@ impl CheckpointStore {
         self.sync_dir(&gen_dir)?;
         self.write_atomic(&self.manifest_path(), manifest_json.as_bytes())?;
         self.sync_dir(&self.dir)?;
-        self.sweep_old_generations(generation);
+        // A generation whose shards were all freshly serialized from live
+        // state is restorable by construction (every byte was just fsynced
+        // and checksummed); one that reused shards inherits the linked
+        // files' health and must be read back before the sweep may trust it.
+        let all_fresh = manifest.shards.iter().all(|s| s.reused_from.is_none());
+        self.sweep_old_generations(&manifest, all_fresh);
         Ok(manifest)
     }
 
@@ -679,24 +765,82 @@ impl CheckpointStore {
         })
     }
 
-    /// Best-effort removal of generation directories older than the
-    /// previous one. The **previous generation is retained** alongside the
-    /// current one so restore can fall back to it when the current
-    /// generation turns out corrupt; everything older is no longer
-    /// referenced once the manifest swap succeeded, and a failure to delete
-    /// it only wastes disk, never correctness.
-    fn sweep_old_generations(&self, current: u64) {
-        let keep_from = current.saturating_sub(1);
+    /// Best-effort, restorability-aware removal of old generation
+    /// directories. The newest [`RetentionPolicy::keep_depth`] generations
+    /// are retained (default: current plus previous); everything older is
+    /// deleted **only after at least one kept generation verifies as
+    /// restorable** (every shard's bytes re-hash to its manifest checksum).
+    ///
+    /// The guard closes the GC/scan-back race: after a corrupt write, the
+    /// following generations can *reuse* (hard-link) the corrupt bytes, so
+    /// every kept generation is equally broken — the old unconditional
+    /// sweep would then delete exactly the older generation that
+    /// [`CheckpointStore::load_shards`]'s scan-back still needed. When no
+    /// kept generation verifies, nothing is swept, the refusal is counted
+    /// in [`CheckpointIoStats::retention_verify_failures`], and a note
+    /// names what failed so the fleet can self-heal with a full rewrite.
+    ///
+    /// `current_verified` short-circuits the read-back when the generation
+    /// just written is trustworthy by construction (all shards freshly
+    /// serialized). A failure to delete only wastes disk, never
+    /// correctness.
+    fn sweep_old_generations(&self, current: &Manifest, current_verified: bool) {
+        let keep_depth = self.retention.keep_depth.max(1);
+        let cutoff = (current.generation + 1).saturating_sub(keep_depth);
         let Ok(names) = self.storage.read_dir_names(&self.dir) else {
             return;
         };
-        for name in names {
-            if let Some(generation) = parse_generation_dir(&name) {
-                if generation < keep_from {
-                    let _ = self.storage.remove_dir_all(&self.dir.join(&name));
-                }
-            }
+        let doomed: Vec<String> = names
+            .into_iter()
+            .filter(|name| parse_generation_dir(name).is_some_and(|g| g < cutoff))
+            .collect();
+        if doomed.is_empty() {
+            return;
         }
+        let verified = current_verified || self.any_kept_generation_verifies(current, cutoff);
+        if !verified {
+            self.io
+                .retention_verify_failures
+                .fetch_add(1, Ordering::Relaxed);
+            let note = format!(
+                "retention guard: no generation in {}..={} verifies as restorable; \
+                 keeping {} older generation(s) for scan-back recovery",
+                cutoff,
+                current.generation,
+                doomed.len()
+            );
+            self.io
+                .notes
+                .lock()
+                .expect("checkpoint note lock poisoned")
+                .push(note);
+            return;
+        }
+        for name in doomed {
+            let _ = self.storage.remove_dir_all(&self.dir.join(&name));
+        }
+    }
+
+    /// Whether any kept generation (`cutoff..=current`) is fully
+    /// restorable: every shard's bytes re-hash to its manifest checksum.
+    /// Checksum-only — no JSON parse — so the read-back costs one pass over
+    /// the kept shard files, and only runs on the (rare) sweeps that follow
+    /// shard reuse.
+    fn any_kept_generation_verifies(&self, current: &Manifest, cutoff: u64) -> bool {
+        let verify = |manifest: &Manifest| {
+            manifest.shards.iter().all(|entry| {
+                self.storage
+                    .read(&self.dir.join(&entry.file))
+                    .is_ok_and(|bytes| format!("{:016x}", fnv1a64(&bytes)) == entry.checksum)
+            })
+        };
+        if verify(current) {
+            return true;
+        }
+        self.fallback_generations(Some(current.generation))
+            .iter()
+            .filter(|(generation, _)| *generation >= cutoff)
+            .any(|(_, manifest)| verify(manifest))
     }
 
     /// Load one shard, verifying its checksum before parsing. Every failure
@@ -834,6 +978,159 @@ impl CheckpointStore {
             all.extend(result?);
         }
         Ok(all)
+    }
+}
+
+/// Format version of hibernation page files.
+pub const HIBERNATION_FORMAT_VERSION: u32 = 1;
+
+/// On-disk envelope of one hibernated tenant's page file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HibernatedTenant {
+    version: u32,
+    tenant: u64,
+    scaler: ScalerSnapshot,
+}
+
+/// Proof of a successful page-out: the content checksum the fleet must
+/// present to page the tenant back in (a paged-out tenant's only in-memory
+/// trace of its state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageReceipt {
+    /// FNV-1a 64-bit checksum of the page file's bytes.
+    pub checksum: u64,
+}
+
+/// Per-tenant page files for the fleet's hibernating (cold) tier.
+///
+/// Unlike generation checkpoints — whole-fleet, round-boundary,
+/// crash-recovery artifacts — pages are *per-tenant* and written exactly
+/// when a tenant goes cold: `tenant-{id:08}.json`, one atomic temp+rename
+/// write each, overwritten in place on the next hibernation and never
+/// deleted (a stale page is unreachable without its receipt). Page-in
+/// verifies the receipt checksum before parsing, so a torn or tampered
+/// page surfaces as a checkpoint error and the tenant stays paged (the
+/// wake trigger persists, so the read retries next round).
+#[derive(Debug, Clone)]
+pub struct HibernationStore {
+    dir: PathBuf,
+    storage: Arc<dyn CheckpointStorage>,
+}
+
+impl HibernationStore {
+    /// Open (or designate) a page directory on the real filesystem. The
+    /// directory is created on first page-out, not here.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self::with_storage(dir, Arc::new(OsStorage))
+    }
+
+    /// [`HibernationStore::new`] on an explicit storage implementation
+    /// (fault injection in chaos tests).
+    pub fn with_storage(dir: impl Into<PathBuf>, storage: Arc<dyn CheckpointStorage>) -> Self {
+        Self {
+            dir: dir.into(),
+            storage,
+        }
+    }
+
+    /// The page directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn page_path(&self, tenant: u64) -> PathBuf {
+        self.dir.join(format!("tenant-{tenant:08}.json"))
+    }
+
+    /// Write `tenant`'s scaler snapshot to its page file (atomic
+    /// temp+rename, retried with bounded backoff like shard writes) and
+    /// return the receipt that pages it back in.
+    pub fn page_out(
+        &self,
+        tenant: u64,
+        scaler: &ScalerSnapshot,
+    ) -> Result<PageReceipt, OnlineError> {
+        self.storage
+            .create_dir_all(&self.dir)
+            .map_err(|e| io_err(&format!("create {}", self.dir.display()), &e))?;
+        let envelope = HibernatedTenant {
+            version: HIBERNATION_FORMAT_VERSION,
+            tenant,
+            scaler: scaler.clone(),
+        };
+        let json = serde_json::to_string(&envelope).map_err(|e| OnlineError::Checkpoint {
+            shard: None,
+            message: format!("page serialize failure (tenant {tenant}): {e}"),
+        })?;
+        let bytes = json.as_bytes();
+        let checksum = fnv1a64(bytes);
+        let path = self.page_path(tenant);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let mut last = None;
+        for attempt in 0..WRITE_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(RETRY_BACKOFF * attempt);
+            }
+            if let Err(e) = self.storage.write(&tmp, bytes) {
+                last = Some(io_err(&format!("write {}", tmp.display()), &e));
+                continue;
+            }
+            match self.storage.rename(&tmp, &path) {
+                Ok(()) => return Ok(PageReceipt { checksum }),
+                Err(e) => {
+                    last = Some(io_err(
+                        &format!("rename {} -> {}", tmp.display(), path.display()),
+                        &e,
+                    ));
+                }
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// Read `tenant`'s page file back, verifying the receipt checksum
+    /// before parsing. Every failure names the page file.
+    pub fn page_in(
+        &self,
+        tenant: u64,
+        receipt: PageReceipt,
+    ) -> Result<ScalerSnapshot, OnlineError> {
+        let path = self.page_path(tenant);
+        let page_err = |message: String| OnlineError::Checkpoint {
+            shard: Some(path.display().to_string()),
+            message,
+        };
+        let bytes = self
+            .storage
+            .read(&path)
+            .map_err(|e| page_err(format!("read failure: {e}")))?;
+        let computed = fnv1a64(&bytes);
+        if computed != receipt.checksum {
+            return Err(page_err(format!(
+                "checksum mismatch: receipt says {:016x}, file hashes to {computed:016x} \
+                 (torn or stale page)",
+                receipt.checksum
+            )));
+        }
+        let text =
+            std::str::from_utf8(&bytes).map_err(|e| page_err(format!("invalid UTF-8: {e}")))?;
+        let envelope: HibernatedTenant =
+            serde_json::from_str(text).map_err(|e| page_err(format!("parse failure: {e}")))?;
+        if envelope.version == 0 || envelope.version > HIBERNATION_FORMAT_VERSION {
+            return Err(OnlineError::UnsupportedSnapshotVersion {
+                found: envelope.version,
+                supported: HIBERNATION_FORMAT_VERSION,
+            });
+        }
+        if envelope.tenant != tenant {
+            return Err(page_err(format!(
+                "page holds tenant {}, expected {tenant}",
+                envelope.tenant
+            )));
+        }
+        Ok(envelope.scaler)
     }
 }
 

@@ -48,6 +48,13 @@ pub enum OnlineError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The tenant is hibernated (cold, possibly paged out to its
+    /// checkpoint shard); planning is skipped until an arrival or its
+    /// scheduled wake time brings it back.
+    Hibernated {
+        /// The hibernated tenant.
+        tenant: u64,
+    },
     /// The tenant is quarantined after repeated consecutive failures;
     /// planning is suspended until its next scheduled probe round.
     Quarantined {
@@ -119,6 +126,9 @@ impl fmt::Display for OnlineError {
             },
             OnlineError::TenantPanicked { tenant, message } => {
                 write!(f, "tenant {tenant} panicked during its round: {message}")
+            }
+            OnlineError::Hibernated { tenant } => {
+                write!(f, "tenant {tenant} is hibernated (cold)")
             }
             OnlineError::Quarantined {
                 tenant,
@@ -212,6 +222,8 @@ mod tests {
             message: "boom".to_string(),
         };
         assert!(e.to_string().contains("tenant 4") && e.to_string().contains("boom"));
+        let e = OnlineError::Hibernated { tenant: 7 };
+        assert!(e.to_string().contains("tenant 7") && e.to_string().contains("hibernated"));
         let e = OnlineError::Quarantined {
             tenant: 2,
             until_round: 9,

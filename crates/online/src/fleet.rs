@@ -63,15 +63,16 @@
 //! combined with trace recording.
 
 use crate::checkpoint::{
-    CheckpointIoStats, CheckpointStorage, CheckpointStore, Manifest, QuarantineState,
-    SupervisionSnapshot, TenantSnapshot, WriteOptions, DEFAULT_TENANTS_PER_SHARD,
+    CheckpointIoStats, CheckpointStorage, CheckpointStore, HibernationStore, Manifest, PageReceipt,
+    QuarantineState, ResidencySnapshot, SupervisionSnapshot, TenantSnapshot, WriteOptions,
+    DEFAULT_TENANTS_PER_SHARD,
 };
 use crate::error::OnlineError;
 use crate::faults::{FaultInjector, FaultPlan, PlanFault};
 use crate::ingest::{ArrivalBus, BusConfig, QueueCheckpoint, QueueStats};
 use crate::replay::{
-    model_fingerprint, QosRecord, ScalerEvent, SessionKind, TraceHeader, TraceRecord,
-    TraceRecorder, TraceSummary, TRACE_FORMAT_VERSION,
+    model_fingerprint, QosRecord, ResidencyEvent, ScalerEvent, SessionKind, TraceHeader,
+    TraceRecord, TraceRecorder, TraceSummary, WakeReason, TRACE_FORMAT_VERSION,
 };
 use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats, ScalerSnapshot};
 use robustscaler_parallel::{available_threads, map_chunks_mut, WorkerPool};
@@ -98,6 +99,123 @@ pub struct Tenant {
     pub id: u64,
     /// The tenant's serving scaler.
     pub scaler: OnlineScaler,
+}
+
+/// Residency policy: when a quiescent tenant leaves the hot tier.
+///
+/// With residency enabled ([`TenantFleet::enable_residency`]), a tenant
+/// that spends [`cold_after`](ResidencyConfig::cold_after) consecutive
+/// rounds idle — no arrivals drained or ingested, nothing to plan — and
+/// whose forecast expects no work goes **cold**: planning is skipped
+/// (its slot reports [`Hibernated`](OnlineError::Hibernated)) until an
+/// arrival lands on its queue, its scheduled wake time passes, or the
+/// driver touches it directly. With a hibernation directory attached
+/// ([`TenantFleet::set_hibernation_dir`]), cold tenants are additionally
+/// **paged out** — serialized to a per-tenant page file and dropped from
+/// memory — which is what bounds fleet memory by *active* tenants rather
+/// than registered ones. Paging is transparent: a paged tenant woken by
+/// an arrival plans bit-identically to one that stayed resident.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResidencyConfig {
+    /// Consecutive idle rounds after which a tenant may go cold (≥ 1).
+    pub cold_after: u64,
+    /// Expected-arrival threshold below which a forecast window counts
+    /// as quiet (see [`crate::scaler::OnlineScaler::quiescence_horizon`]).
+    pub idle_epsilon: f64,
+    /// Start every tenant cold (set by [`TenantFleet::new_cold`]; a
+    /// replayed cold-start session must reproduce it).
+    pub start_cold: bool,
+}
+
+impl Default for ResidencyConfig {
+    fn default() -> Self {
+        Self {
+            cold_after: 3,
+            idle_epsilon: 1e-9,
+            start_cold: false,
+        }
+    }
+}
+
+/// A tenant slot: resident (scaler in memory) or paged out.
+#[derive(Debug, Clone)]
+enum TenantSlot {
+    /// The tenant's scaler is in memory.
+    Resident(Box<Tenant>),
+    /// The tenant is cold and its scaler is *not* in memory — it either
+    /// never existed (virgin) or lives in the hibernation store.
+    Paged(PagedTenant),
+}
+
+impl TenantSlot {
+    fn id(&self) -> u64 {
+        match self {
+            TenantSlot::Resident(tenant) => tenant.id,
+            TenantSlot::Paged(paged) => paged.id,
+        }
+    }
+}
+
+/// Everything the fleet remembers about a paged-out tenant: enough to
+/// rebuild it bit-identically, nothing more.
+#[derive(Debug, Clone)]
+struct PagedTenant {
+    id: u64,
+    /// The tenant's derived RNG seed — materializes a virgin tenant.
+    seed: u64,
+    kind: PageKind,
+    /// Serving counters frozen at page-out ([`TenantFleet::aggregate_stats`]
+    /// reads them without paging the tenant back in).
+    stats: OnlineStats,
+}
+
+/// Where a paged tenant's state lives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PageKind {
+    /// Never materialized: rebuilt from `(config, origin, seed)` alone.
+    Virgin,
+    /// Paged out to the hibernation store; `checksum` is the page
+    /// receipt that verifies the read back.
+    OnDisk {
+        /// FNV-1a 64 checksum of the page file (see [`PageReceipt`]).
+        checksum: u64,
+    },
+}
+
+/// Per-tenant residency state. Orthogonal to paging: a cold tenant may
+/// stay resident (no hibernation store, a failed page-out, or a fresh
+/// restore); a paged tenant is always cold.
+#[derive(Debug, Clone, Copy)]
+enum Residency {
+    /// Planning every round; `idle_streak` counts consecutive idle rounds.
+    Hot { idle_streak: u64 },
+    /// Hibernated since round `since_round`; due for a scheduled wake at
+    /// `wake_at` (`INFINITY` = wake on arrival or access only).
+    Cold { wake_at: f64, since_round: u64 },
+}
+
+/// Residency tier counters ([`TenantFleet::residency_stats`]): current
+/// tier occupancy plus lifetime transition totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResidencyStats {
+    /// Tenants currently hot (planning every round).
+    pub hot: usize,
+    /// Tenants currently cold (hibernated, resident or paged).
+    pub cold: usize,
+    /// Tenants currently paged out of memory.
+    pub paged: usize,
+    /// Hibernation transitions since construction.
+    pub hibernated_total: u64,
+    /// Wake transitions since construction.
+    pub woken_total: u64,
+    /// Successful page-outs.
+    pub page_outs: u64,
+    /// Successful page-ins.
+    pub page_ins: u64,
+    /// Failed page-outs (the tenant stayed resident; retried).
+    pub page_out_failures: u64,
+    /// Failed page-ins (the tenant stayed paged; retried).
+    pub page_in_failures: u64,
 }
 
 /// How a probe round tries to bring a quarantined tenant back.
@@ -163,6 +281,10 @@ pub enum TenantHealth {
     Probing,
     /// A recovery probe ran this round and succeeded.
     Recovered,
+    /// Hibernated: cold (possibly paged out); planning skipped until an
+    /// arrival, its scheduled wake time, or direct access wakes it. Not
+    /// a failure state — a hibernated tenant is healthy by definition.
+    Hibernated,
 }
 
 /// One tenant's slot in a supervised round report.
@@ -195,6 +317,8 @@ pub struct FleetRound {
     pub quarantined: usize,
     /// Tenants recovered by a probe this round.
     pub recovered: usize,
+    /// Tenants hibernated this round (planning skipped, not failures).
+    pub hibernated: usize,
 }
 
 /// Fleet-wide supervision counters (sums over tenants).
@@ -248,6 +372,10 @@ enum TenantAction {
         snapshot: Option<Box<ScalerSnapshot>>,
         config: OnlineConfig,
     },
+    /// Hibernated and nothing to do: skip the tenant entirely.
+    Dormant,
+    /// Hibernated but triggered: wake (page in if needed), then plan.
+    Wake { reason: WakeReason },
 }
 
 /// Render a caught panic payload for error reporting.
@@ -349,10 +477,32 @@ struct LastCheckpoint {
     tenants_per_shard: usize,
 }
 
+/// Runtime wiring to re-arm atomically with a checkpoint restore (see
+/// [`TenantFleet::restore_with`]). Everything defaults to `None` — an
+/// all-`None` options value behaves like [`TenantFleet::restore`] except
+/// that the result still counts as armed (the caller explicitly chose
+/// the defaults).
+#[derive(Debug, Clone, Default)]
+pub struct RestoreOptions {
+    /// Supervision policy the checkpointed session ran with.
+    pub supervisor: Option<SupervisorConfig>,
+    /// Fault plan the checkpointed session ran with (chaos sessions).
+    pub faults: Option<FaultPlan>,
+    /// Storage backend for the restore *and* subsequent checkpoints.
+    pub storage: Option<Arc<dyn CheckpointStorage>>,
+    /// Hibernation directory to re-attach (requires the checkpoint to
+    /// carry residency state).
+    pub hibernation_dir: Option<std::path::PathBuf>,
+}
+
 /// A fleet of independent tenants planned concurrently.
 #[derive(Debug)]
 pub struct TenantFleet {
-    tenants: Vec<Tenant>,
+    /// The shared serving configuration (every tenant uses it).
+    config: OnlineConfig,
+    /// The shared ring origin (every tenant's ring is anchored at it).
+    origin: f64,
+    tenants: Vec<TenantSlot>,
     workers: usize,
     /// Persistent round workers, parked between rounds.
     pool: Arc<WorkerPool>,
@@ -384,6 +534,30 @@ pub struct TenantFleet {
     /// Storage backend for checkpoints (the real filesystem unless a
     /// chaos test injects a faulty one).
     checkpoint_storage: Option<Arc<dyn CheckpointStorage>>,
+    /// The residency policy, when activity tiering is enabled.
+    residency: Option<ResidencyConfig>,
+    /// Per-tenant residency state (all hot while residency is disabled).
+    residency_state: Vec<Residency>,
+    /// The per-tenant page store, when paging is enabled.
+    hibernation: Option<HibernationStore>,
+    /// Lifetime residency transition counters.
+    residency_counters: ResidencyStats,
+    /// Whether trace-event capture is on (applied to tenants as they
+    /// materialize, so a paged tenant woken mid-recording traces too).
+    tracing: bool,
+    /// Per-tenant: touched through `tenant_mut`/`ingest` since the last
+    /// round (direct driver activity blocks cold entry that round).
+    saw_direct: Vec<bool>,
+    /// Access-wake events accumulated between rounds, emitted (and
+    /// recorded) with the next round's residency events.
+    pending_wakes: Vec<(u64, ResidencyEvent)>,
+    /// Residency events of completed rounds, until taken with
+    /// [`TenantFleet::take_residency_events`].
+    residency_events: Vec<(u64, ResidencyEvent)>,
+    /// True after a plain [`TenantFleet::restore`]: the checkpoint's
+    /// supervisor policy, fault plan and storage wiring were *not*
+    /// re-armed (see [`TenantFleet::restore_with`]).
+    restored_unarmed: bool,
 }
 
 impl Clone for TenantFleet {
@@ -407,11 +581,15 @@ impl Clone for TenantFleet {
             Arc::new(fresh)
         });
         let mut tenants = self.tenants.clone();
-        for tenant in &mut tenants {
-            tenant.scaler.set_tracing(false);
-            let _ = tenant.scaler.take_trace_events();
+        for slot in &mut tenants {
+            if let TenantSlot::Resident(tenant) = slot {
+                tenant.scaler.set_tracing(false);
+                let _ = tenant.scaler.take_trace_events();
+            }
         }
         Self {
+            config: self.config,
+            origin: self.origin,
             tenants,
             workers: self.workers,
             pool: Arc::clone(&self.pool),
@@ -426,6 +604,18 @@ impl Clone for TenantFleet {
             supervision: self.supervision.clone(),
             checkpoint_io: self.checkpoint_io,
             checkpoint_storage: self.checkpoint_storage.clone(),
+            residency: self.residency,
+            // The clone shares the hibernation store: its paged tenants'
+            // page files live there. Clones that will diverge should be
+            // re-pointed with `set_hibernation_dir` after `wake_all`.
+            residency_state: self.residency_state.clone(),
+            hibernation: self.hibernation.clone(),
+            residency_counters: self.residency_counters,
+            tracing: false,
+            saw_direct: vec![false; tenant_count],
+            pending_wakes: Vec::new(),
+            residency_events: Vec::new(),
+            restored_unarmed: self.restored_unarmed,
         }
     }
 }
@@ -450,19 +640,87 @@ impl TenantFleet {
         let tenants = (0..tenant_count as u64)
             .map(|id| {
                 let seed = splitmix64(base_seed.wrapping_add(id));
-                Ok(Tenant {
+                Ok(TenantSlot::Resident(Box::new(Tenant {
                     id,
                     scaler: OnlineScaler::with_seed(*config, origin, seed)?,
-                })
+                })))
             })
             .collect::<Result<Vec<_>, OnlineError>>()?;
-        Ok(Self::assemble(tenants, available_threads(), None))
+        Ok(Self::assemble(
+            *config,
+            origin,
+            tenants,
+            available_threads(),
+            None,
+        ))
     }
 
-    /// Wire up the non-tenant state around a tenant vector.
-    fn assemble(tenants: Vec<Tenant>, workers: usize, bus: Option<Arc<ArrivalBus>>) -> Self {
+    /// Build a fleet of `tenant_count` tenants with **no scaler in
+    /// memory**: every slot starts cold and virgin, materialized on first
+    /// arrival (or direct access) from `(config, origin, seed)` alone.
+    ///
+    /// This is the memory-bounded registration path: a fleet can register
+    /// 100k+ tenants and pay memory only for the ones that actually see
+    /// traffic. Residency is enabled with `residency` (its `start_cold`
+    /// is forced on, so a recorded session's header reproduces the cold
+    /// start); attach a page store with
+    /// [`TenantFleet::set_hibernation_dir`] to let woken-then-quiet
+    /// tenants leave memory again.
+    ///
+    /// A cold-started fleet plans bit-identically to a [`TenantFleet::new`]
+    /// fleet with the same seed under the same driving: a virgin tenant
+    /// materializes to exactly the scaler `new` would have built.
+    pub fn new_cold(
+        config: &OnlineConfig,
+        origin: f64,
+        tenant_count: usize,
+        base_seed: u64,
+        residency: ResidencyConfig,
+    ) -> Result<Self, OnlineError> {
+        if tenant_count == 0 {
+            return Err(OnlineError::InvalidConfig(
+                "a fleet needs at least one tenant",
+            ));
+        }
+        // Validate the shared configuration once, up front: every tenant
+        // uses it, so one constructed-and-discarded scaler proves all
+        // `tenant_count` of them constructible — without materializing
+        // them (the whole point of a cold start).
+        drop(OnlineScaler::with_seed(
+            *config,
+            origin,
+            splitmix64(base_seed),
+        )?);
+        let tenants = (0..tenant_count as u64)
+            .map(|id| {
+                TenantSlot::Paged(PagedTenant {
+                    id,
+                    seed: splitmix64(base_seed.wrapping_add(id)),
+                    kind: PageKind::Virgin,
+                    stats: OnlineStats::default(),
+                })
+            })
+            .collect();
+        let mut fleet = Self::assemble(*config, origin, tenants, available_threads(), None);
+        fleet.enable_residency(ResidencyConfig {
+            start_cold: true,
+            ..residency
+        })?;
+        Ok(fleet)
+    }
+
+    /// Wire up the non-tenant state around a tenant-slot vector.
+    fn assemble(
+        config: OnlineConfig,
+        origin: f64,
+        tenants: Vec<TenantSlot>,
+        workers: usize,
+        bus: Option<Arc<ArrivalBus>>,
+    ) -> Self {
         let tenant_count = tenants.len();
         Self {
+            config,
+            origin,
             tenants,
             workers,
             pool: Arc::new(WorkerPool::new(workers)),
@@ -477,7 +735,174 @@ impl TenantFleet {
             supervision: (0..tenant_count).map(|_| Supervision::default()).collect(),
             checkpoint_io: CheckpointIoStats::default(),
             checkpoint_storage: None,
+            residency: None,
+            residency_state: vec![Residency::Hot { idle_streak: 0 }; tenant_count],
+            hibernation: None,
+            residency_counters: ResidencyStats::default(),
+            tracing: false,
+            saw_direct: vec![false; tenant_count],
+            pending_wakes: Vec::new(),
+            residency_events: Vec::new(),
+            restored_unarmed: false,
         }
+    }
+
+    /// Enable activity tiering: tenants idle for
+    /// [`cold_after`](ResidencyConfig::cold_after) consecutive rounds
+    /// whose forecast expects no work hibernate (planning skipped) until
+    /// an arrival, their scheduled wake time, or direct access wakes
+    /// them. Enabling residency on a busy fleet changes nothing until a
+    /// tenant actually goes quiet; hibernate→wake is bit-equivalent to
+    /// never hibernating.
+    pub fn enable_residency(&mut self, config: ResidencyConfig) -> Result<(), OnlineError> {
+        if config.cold_after == 0 {
+            return Err(OnlineError::InvalidConfig(
+                "residency cold_after must be at least 1",
+            ));
+        }
+        if !config.idle_epsilon.is_finite() || config.idle_epsilon < 0.0 {
+            return Err(OnlineError::InvalidConfig(
+                "residency idle_epsilon must be finite and non-negative",
+            ));
+        }
+        self.residency = Some(config);
+        if config.start_cold {
+            for state in &mut self.residency_state {
+                *state = Residency::Cold {
+                    wake_at: f64::INFINITY,
+                    since_round: 0,
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// The active residency policy, if tiering is enabled.
+    pub fn residency(&self) -> Option<ResidencyConfig> {
+        self.residency
+    }
+
+    /// Attach a per-tenant page store rooted at `dir`: cold tenants are
+    /// serialized there and dropped from memory, bounding fleet memory by
+    /// *active* tenants. Requires residency
+    /// ([`TenantFleet::enable_residency`] or [`TenantFleet::new_cold`]).
+    /// Page I/O goes through the fleet's checkpoint storage backend, so
+    /// chaos tests inject page faults the same way as checkpoint faults.
+    pub fn set_hibernation_dir(&mut self, dir: impl AsRef<Path>) -> Result<(), OnlineError> {
+        if self.residency.is_none() {
+            return Err(OnlineError::InvalidConfig(
+                "enable residency before attaching a hibernation store",
+            ));
+        }
+        let dir = dir.as_ref();
+        self.hibernation = Some(match &self.checkpoint_storage {
+            Some(storage) => HibernationStore::with_storage(dir, Arc::clone(storage)),
+            None => HibernationStore::new(dir),
+        });
+        Ok(())
+    }
+
+    /// The attached page store's directory, if paging is enabled.
+    pub fn hibernation_dir(&self) -> Option<&Path> {
+        self.hibernation.as_ref().map(|store| store.dir())
+    }
+
+    /// Ensure slot `index` is resident, materializing it if paged: a
+    /// virgin tenant is built from `(config, origin, seed)`, an on-disk
+    /// one is paged in and verified against its receipt.
+    fn materialize(&mut self, index: usize) -> Result<(), OnlineError> {
+        let TenantSlot::Paged(paged) = &self.tenants[index] else {
+            return Ok(());
+        };
+        let (id, seed, kind) = (paged.id, paged.seed, paged.kind);
+        let scaler = match kind {
+            PageKind::Virgin => OnlineScaler::with_seed(self.config, self.origin, seed),
+            PageKind::OnDisk { checksum } => self
+                .hibernation
+                .as_ref()
+                .ok_or_else(|| OnlineError::Checkpoint {
+                    shard: None,
+                    message: format!(
+                        "tenant {id} is paged out but no hibernation store is attached"
+                    ),
+                })
+                .and_then(|store| store.page_in(id, PageReceipt { checksum }))
+                .and_then(|snapshot| OnlineScaler::restore(snapshot, self.config)),
+        };
+        match scaler {
+            Ok(mut scaler) => {
+                scaler.set_tracing(self.tracing);
+                self.tenants[index] = TenantSlot::Resident(Box::new(Tenant { id, scaler }));
+                self.dirty[index] = true;
+                self.residency_counters.page_ins += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.residency_counters.page_in_failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Wake a cold tenant because the driver touched it directly. The
+    /// wake is buffered ([`pending_wakes`](Self::pending_wakes)) and
+    /// emitted with the next round's residency events.
+    fn wake_for_access(&mut self, index: usize) -> Result<(), OnlineError> {
+        if self.residency.is_none() || matches!(self.residency_state[index], Residency::Hot { .. })
+        {
+            return Ok(());
+        }
+        self.materialize(index)?;
+        self.residency_state[index] = Residency::Hot { idle_streak: 0 };
+        self.residency_counters.woken_total += 1;
+        self.pending_wakes.push((
+            self.tenants[index].id(),
+            ResidencyEvent::Wake {
+                reason: WakeReason::Access,
+            },
+        ));
+        Ok(())
+    }
+
+    /// Materialize every paged tenant and mark the whole fleet hot — the
+    /// administrative bulk-wake (before migrating the hibernation
+    /// directory, or before [`TenantFleet::start_recording`] on a fleet
+    /// with paged tenants). Emits **no** wake events: this is operator
+    /// action, not serving activity, and must not perturb a trace.
+    pub fn wake_all(&mut self) -> Result<(), OnlineError> {
+        for index in 0..self.tenants.len() {
+            self.materialize(index)?;
+            self.residency_state[index] = Residency::Hot { idle_streak: 0 };
+        }
+        Ok(())
+    }
+
+    /// Residency tier occupancy and lifetime transition counters.
+    pub fn residency_stats(&self) -> ResidencyStats {
+        let mut stats = self.residency_counters;
+        for (slot, state) in self.tenants.iter().zip(&self.residency_state) {
+            match state {
+                Residency::Hot { .. } => stats.hot += 1,
+                Residency::Cold { .. } => stats.cold += 1,
+            }
+            if matches!(slot, TenantSlot::Paged(_)) {
+                stats.paged += 1;
+            }
+        }
+        stats
+    }
+
+    /// Drain the residency events (hibernates and wakes, in emission
+    /// order) of the rounds run since the last take.
+    pub fn take_residency_events(&mut self) -> Vec<(u64, ResidencyEvent)> {
+        std::mem::take(&mut self.residency_events)
+    }
+
+    /// Drain the access wakes buffered since the last round boundary —
+    /// the replayer's hook for consuming the wake it just re-applied so
+    /// the next round does not re-emit it.
+    pub(crate) fn take_pending_wakes(&mut self) -> Vec<(u64, ResidencyEvent)> {
+        std::mem::take(&mut self.pending_wakes)
     }
 
     /// Number of tenants.
@@ -541,31 +966,48 @@ impl TenantFleet {
         self.bus.as_ref().map(|bus| bus.stats())
     }
 
-    /// Borrow a tenant by index.
+    /// Borrow a tenant by index. `None` for out-of-range indices *and*
+    /// for paged-out tenants (reading cannot page one in — use
+    /// [`TenantFleet::tenant_mut`] to wake it first).
     pub fn tenant(&self, index: usize) -> Option<&Tenant> {
-        self.tenants.get(index)
+        match self.tenants.get(index)? {
+            TenantSlot::Resident(tenant) => Some(tenant),
+            TenantSlot::Paged(_) => None,
+        }
     }
 
     /// Mutably borrow a tenant by index (ingestion routed by the caller,
     /// warm-starting models, ...). Conservatively marks the tenant dirty
-    /// for incremental checkpointing.
+    /// for incremental checkpointing; a cold tenant is woken (paged in if
+    /// needed) first — `None` if that page-in fails.
     pub fn tenant_mut(&mut self, index: usize) -> Option<&mut Tenant> {
-        if let Some(flag) = self.dirty.get_mut(index) {
-            *flag = true;
+        if index >= self.tenants.len() || self.wake_for_access(index).is_err() {
+            return None;
         }
-        self.tenants.get_mut(index)
+        self.dirty[index] = true;
+        self.saw_direct[index] = true;
+        match &mut self.tenants[index] {
+            TenantSlot::Resident(tenant) => Some(tenant),
+            TenantSlot::Paged(_) => None,
+        }
     }
 
     /// Ingest one arrival for tenant `index`, synchronously on the calling
     /// thread (the pre-bus path; kept for callers that already hold the
-    /// arrival ordered and in hand).
+    /// arrival ordered and in hand). A cold tenant is woken first.
     pub fn ingest(&mut self, index: usize, arrival: f64) -> Result<(), OnlineError> {
-        let tenant = self
-            .tenants
-            .get_mut(index)
-            .ok_or(OnlineError::InvalidConfig("tenant index out of range"))?;
+        if index >= self.tenants.len() {
+            return Err(OnlineError::InvalidConfig("tenant index out of range"));
+        }
+        self.wake_for_access(index)?;
+        let TenantSlot::Resident(tenant) = &mut self.tenants[index] else {
+            return Err(OnlineError::Hibernated {
+                tenant: index as u64,
+            });
+        };
         tenant.scaler.ingest(arrival);
         self.dirty[index] = true;
+        self.saw_direct[index] = true;
         if let Some(recorder) = &mut self.recorder {
             recorder.pend_direct(index, arrival);
         }
@@ -626,30 +1068,85 @@ impl TenantFleet {
             ));
         }
         let round = self.round_counter;
-        // Supervision decisions are taken serially, before the parallel
-        // section, so they are a pure function of (round, per-tenant
-        // state) — identical for any worker count.
+        let residency_on = self.residency.is_some();
+        // Supervision and residency decisions are taken serially, before
+        // the parallel section, so they are a pure function of (round,
+        // per-tenant state) — identical for any worker count. A cold
+        // tenant wakes on a queued arrival or a passed wake time and is
+        // otherwise dormant: invariantly healthy and unquarantined, so
+        // the supervision match below never applies to it.
         let actions: Vec<TenantAction> = self
             .tenants
             .iter()
             .enumerate()
-            .map(|(i, tenant)| match &self.supervision[i].quarantine {
-                Some(q) if round < q.next_probe => TenantAction::Skip {
-                    until_round: q.next_probe,
-                },
-                Some(_) => TenantAction::Probe {
-                    recovery: self.supervisor.recovery,
-                    snapshot: match self.supervisor.recovery {
-                        RecoveryAction::RestoreSnapshot => {
-                            self.supervision[i].last_good_snapshot.clone()
-                        }
-                        RecoveryAction::ForceRefit => None,
+            .map(|(i, slot)| {
+                if residency_on {
+                    if let Residency::Cold { wake_at, .. } = self.residency_state[i] {
+                        let arrival = self.bus.as_ref().is_some_and(|bus| {
+                            bus.pending_hint(i).unwrap_or(true)
+                                && bus.queued(i).map(|n| n > 0).unwrap_or(true)
+                        });
+                        return if arrival {
+                            TenantAction::Wake {
+                                reason: WakeReason::Arrival,
+                            }
+                        } else if now >= wake_at {
+                            TenantAction::Wake {
+                                reason: WakeReason::Due,
+                            }
+                        } else {
+                            TenantAction::Dormant
+                        };
+                    }
+                }
+                match &self.supervision[i].quarantine {
+                    Some(q) if round < q.next_probe => TenantAction::Skip {
+                        until_round: q.next_probe,
                     },
-                    config: *tenant.scaler.config(),
-                },
-                None => TenantAction::Normal,
+                    Some(_) => TenantAction::Probe {
+                        recovery: self.supervisor.recovery,
+                        snapshot: match self.supervisor.recovery {
+                            RecoveryAction::RestoreSnapshot => {
+                                self.supervision[i].last_good_snapshot.clone()
+                            }
+                            RecoveryAction::ForceRefit => None,
+                        },
+                        config: match slot {
+                            TenantSlot::Resident(tenant) => *tenant.scaler.config(),
+                            TenantSlot::Paged(_) => self.config,
+                        },
+                    },
+                    None => TenantAction::Normal,
+                }
             })
             .collect();
+        // Residency bookkeeping inputs, captured before the round mutates
+        // anything: each tenant's ingested-arrivals counter (the idle
+        // test is "the round ingested nothing") and which wakes must page
+        // in (to attribute page-in successes/failures afterwards).
+        let (pre_ingested, wake_from_page): (Vec<u64>, Vec<usize>) = if residency_on {
+            let pre = self
+                .tenants
+                .iter()
+                .map(|slot| match slot {
+                    TenantSlot::Resident(tenant) => tenant.scaler.stats().arrivals_ingested,
+                    TenantSlot::Paged(paged) => paged.stats.arrivals_ingested,
+                })
+                .collect();
+            let wakes = self
+                .tenants
+                .iter()
+                .enumerate()
+                .filter(|(i, slot)| {
+                    matches!(actions[*i], TenantAction::Wake { .. })
+                        && matches!(slot, TenantSlot::Paged(_))
+                })
+                .map(|(i, _)| i)
+                .collect();
+            (pre, wakes)
+        } else {
+            (Vec::new(), Vec::new())
+        };
         // Recording: capture everything a replay needs *before* the round
         // mutates it — the between-round scaler events (installs, explicit
         // refits) and the queued arrivals the round is about to drain
@@ -657,11 +1154,7 @@ impl TenantFleet {
         // identically). Recording a bus-fed round assumes producers have
         // quiesced at the round boundary, per the ingestion contract.
         let (pre_events, bus_arrivals) = if self.recorder.is_some() {
-            let pre: Vec<Vec<ScalerEvent>> = self
-                .tenants
-                .iter_mut()
-                .map(|t| t.scaler.take_trace_events())
-                .collect();
+            let pre = self.harvest_trace_events();
             let arrivals = self.bus.as_ref().map(|bus| {
                 bus.checkpoint_queues()
                     .into_iter()
@@ -680,7 +1173,11 @@ impl TenantFleet {
         let bus = self.bus.clone();
         let faults = self.faults;
         let actions_ref = &actions;
-        let work = |start: usize, chunk: &mut [Tenant]| {
+        let config = self.config;
+        let origin = self.origin;
+        let tracing = self.tracing;
+        let hibernation = self.hibernation.as_ref();
+        let work = |start: usize, chunk: &mut [TenantSlot]| {
             // Injected worker-thread death: fires at the chunk boundary,
             // outside any tenant, so the whole round aborts (see the
             // module docs — this fault class is worker-count-dependent).
@@ -694,9 +1191,55 @@ impl TenantFleet {
             chunk
                 .iter_mut()
                 .enumerate()
-                .map(|(i, tenant)| {
+                .map(|(i, slot)| {
                     let index = start + i;
-                    let id = tenant.id;
+                    let id = slot.id();
+                    match &actions_ref[index] {
+                        // Dormant tenants are not touched at all — that
+                        // is the whole round-latency win.
+                        TenantAction::Dormant => {
+                            return Err(OnlineError::Hibernated { tenant: id });
+                        }
+                        TenantAction::Wake { .. } => {
+                            if let TenantSlot::Paged(paged) = slot {
+                                let (seed, kind) = (paged.seed, paged.kind);
+                                let built = match kind {
+                                    PageKind::Virgin => {
+                                        OnlineScaler::with_seed(config, origin, seed)
+                                    }
+                                    PageKind::OnDisk { checksum } => hibernation
+                                        .ok_or_else(|| OnlineError::Checkpoint {
+                                            shard: None,
+                                            message: format!(
+                                                "tenant {id} is paged out but no hibernation \
+                                                 store is attached"
+                                            ),
+                                        })
+                                        .and_then(|store| {
+                                            store.page_in(id, PageReceipt { checksum })
+                                        })
+                                        .and_then(|snapshot| {
+                                            OnlineScaler::restore(snapshot, config)
+                                        }),
+                                };
+                                match built {
+                                    Ok(mut scaler) => {
+                                        scaler.set_tracing(tracing);
+                                        *slot =
+                                            TenantSlot::Resident(Box::new(Tenant { id, scaler }));
+                                    }
+                                    // A failed page-in leaves the tenant
+                                    // paged; the wake trigger persists,
+                                    // so next round retries.
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    let TenantSlot::Resident(tenant) = slot else {
+                        return Err(OnlineError::Hibernated { tenant: id });
+                    };
                     // The tenant boundary: a panicking tenant (injected or
                     // real) poisons only its own slot.
                     catch_unwind(AssertUnwindSafe(|| {
@@ -728,17 +1271,27 @@ impl TenantFleet {
                 map_chunks_mut(&mut self.tenants, workers, work)
             }
         }));
-        // Every tenant's ring/stats advanced (plan_round touches both even
-        // on the error path), so the whole fleet is dirty for checkpoints.
-        self.dirty.fill(true);
+        // Every *planned* tenant's ring/stats advanced (plan_round touches
+        // both even on the error path), so those tenants are dirty for
+        // checkpoints; dormant tenants were not touched at all, which is
+        // what keeps their checkpoint shards clean (and reusable) across
+        // quiet rounds.
+        for (i, action) in actions.iter().enumerate() {
+            if !matches!(action, TenantAction::Dormant) {
+                self.dirty[i] = true;
+            }
+        }
         let per_chunk: Vec<Vec<Result<PlanningRound, OnlineError>>> = match round_outcome {
             Ok(per_chunk) => per_chunk,
             Err(payload) => {
                 // A panic escaped the tenant boundary (injected worker
                 // fault or pool bug): the round is aborted whole. Tenant
-                // state may be partially advanced — the caller should
-                // checkpoint/restore or retry; the round counter still
-                // advances so fault schedules and probes stay on time.
+                // state may be partially advanced — conservatively mark
+                // everything dirty, skip residency bookkeeping, and let
+                // the caller checkpoint/restore or retry; the round
+                // counter still advances so fault schedules and probes
+                // stay on time.
+                self.dirty.fill(true);
                 self.round_counter += 1;
                 return Err(OnlineError::RoundPanicked {
                     message: panic_message(payload),
@@ -747,16 +1300,23 @@ impl TenantFleet {
         };
         let results: Vec<Result<PlanningRound, OnlineError>> =
             per_chunk.into_iter().flatten().collect();
+        // Attribute the page-ins the parallel section performed: a wake
+        // whose slot is resident now paged in successfully; one still
+        // paged failed (and will retry next round).
+        for &i in &wake_from_page {
+            match &self.tenants[i] {
+                TenantSlot::Resident(_) => self.residency_counters.page_ins += 1,
+                TenantSlot::Paged(_) => self.residency_counters.page_in_failures += 1,
+            }
+        }
         self.update_supervision(round, &actions, &results);
+        let residency_events = self.update_residency(round, now, &actions, &results, &pre_ingested);
+        self.saw_direct.fill(false);
         self.round_counter += 1;
         // Detach the recorder while harvesting (the harvest borrows the
         // tenants mutably), then re-attach before propagating any error.
         if let Some(mut recorder) = self.recorder.take() {
-            let post_events: Vec<Vec<ScalerEvent>> = self
-                .tenants
-                .iter_mut()
-                .map(|t| t.scaler.take_trace_events())
-                .collect();
+            let post_events = self.harvest_trace_events();
             let queue = self.bus.as_ref().map(|bus| bus.stats());
             let outcome = recorder.record_round(
                 now,
@@ -765,12 +1325,137 @@ impl TenantFleet {
                 bus_arrivals,
                 &results,
                 post_events,
+                &residency_events,
                 queue,
             );
             self.recorder = Some(recorder);
             outcome?;
         }
+        self.residency_events.extend(residency_events);
         Ok(results)
+    }
+
+    /// Fold one round's actions and results into the residency state:
+    /// wake bookkeeping, idle-streak counting, cold entry (gated on the
+    /// forecast via [`OnlineScaler::quiescence_horizon`]) and the
+    /// page-out sweep. Serial and deterministic; returns the round's
+    /// residency events in emission order (buffered access wakes first,
+    /// then wakes and hibernations in tenant order).
+    fn update_residency(
+        &mut self,
+        round: u64,
+        now: f64,
+        actions: &[TenantAction],
+        results: &[Result<PlanningRound, OnlineError>],
+        pre_ingested: &[u64],
+    ) -> Vec<(u64, ResidencyEvent)> {
+        let Some(rc) = self.residency else {
+            return Vec::new();
+        };
+        let mut events = std::mem::take(&mut self.pending_wakes);
+        // Wake bookkeeping: a wake action whose slot is resident now woke
+        // this round; one still paged failed its page-in and stays cold
+        // (the trigger persists, so next round retries).
+        for (i, action) in actions.iter().enumerate() {
+            if let TenantAction::Wake { reason } = action {
+                if matches!(self.tenants[i], TenantSlot::Resident(_)) {
+                    self.residency_state[i] = Residency::Hot { idle_streak: 0 };
+                    self.residency_counters.woken_total += 1;
+                    events.push((
+                        self.tenants[i].id(),
+                        ResidencyEvent::Wake { reason: *reason },
+                    ));
+                }
+            }
+        }
+        // Cold entry: a healthy resident tenant that did nothing this
+        // round — ingested no arrivals, was not touched directly, and had
+        // nothing to plan — extends its idle streak; a long enough streak
+        // plus a forecast that expects no work hibernates it. The wake
+        // time comes from the forecast (next active window or refit
+        // deadline), so a hibernated tenant can never sleep through work
+        // its own model predicted.
+        for (i, slot) in self.tenants.iter().enumerate() {
+            let TenantSlot::Resident(tenant) = slot else {
+                continue;
+            };
+            let Residency::Hot { idle_streak } = self.residency_state[i] else {
+                continue;
+            };
+            let idle = self.supervision[i].health == TenantHealth::Healthy
+                && matches!(actions[i], TenantAction::Normal)
+                && tenant.scaler.stats().arrivals_ingested == pre_ingested[i]
+                && !self.saw_direct[i]
+                && match &results[i] {
+                    Ok(plan) => plan.decisions.is_empty(),
+                    Err(OnlineError::NotTrained) => true,
+                    Err(_) => false,
+                };
+            let streak = if idle { idle_streak + 1 } else { 0 };
+            self.residency_state[i] = Residency::Hot {
+                idle_streak: streak,
+            };
+            if idle && streak >= rc.cold_after {
+                if let Some(wake_at) = tenant.scaler.quiescence_horizon(now, rc.idle_epsilon) {
+                    self.residency_state[i] = Residency::Cold {
+                        wake_at,
+                        since_round: round,
+                    };
+                    self.residency_counters.hibernated_total += 1;
+                    events.push((tenant.id, ResidencyEvent::Hibernate));
+                }
+            }
+        }
+        // Page-out sweep: every cold resident (fresh hibernations,
+        // restored-cold tenants, previous page-out failures) leaves
+        // memory. A failed page-out keeps the tenant resident — cold but
+        // safe — and retries here next round.
+        // (Cloned out of `self` so the loop below can mutate tenant
+        // slots; the store is a path + shared storage handle.)
+        if let Some(store) = self.hibernation.clone() {
+            for i in 0..self.tenants.len() {
+                if !matches!(self.residency_state[i], Residency::Cold { .. }) {
+                    continue;
+                }
+                let TenantSlot::Resident(tenant) = &self.tenants[i] else {
+                    continue;
+                };
+                let id = tenant.id;
+                let snapshot = tenant.scaler.snapshot();
+                let stats = *tenant.scaler.stats();
+                match store.page_out(id, &snapshot) {
+                    Ok(receipt) => {
+                        self.tenants[i] = TenantSlot::Paged(PagedTenant {
+                            id,
+                            // Never used: an on-disk page rebuilds from
+                            // its snapshot, not from a seed.
+                            seed: 0,
+                            kind: PageKind::OnDisk {
+                                checksum: receipt.checksum,
+                            },
+                            stats,
+                        });
+                        self.residency_counters.page_outs += 1;
+                    }
+                    Err(_) => self.residency_counters.page_out_failures += 1,
+                }
+            }
+        }
+        events
+    }
+
+    /// Take every resident tenant's buffered trace events (paged tenants
+    /// have none, structurally) *without* marking anything dirty or
+    /// waking anyone — the replayer's harvest path, which must not
+    /// perturb residency.
+    pub(crate) fn harvest_trace_events(&mut self) -> Vec<Vec<ScalerEvent>> {
+        self.tenants
+            .iter_mut()
+            .map(|slot| match slot {
+                TenantSlot::Resident(tenant) => tenant.scaler.take_trace_events(),
+                TenantSlot::Paged(_) => Vec::new(),
+            })
+            .collect()
     }
 
     /// Fold one round's results into the per-tenant supervision state:
@@ -806,7 +1491,11 @@ impl TenantFleet {
                         && config.snapshot_every > 0
                         && round.is_multiple_of(config.snapshot_every)
                     {
-                        sup.last_good_snapshot = Some(Box::new(self.tenants[i].scaler.snapshot()));
+                        // An Ok result implies the slot is resident (only
+                        // resident tenants plan).
+                        if let TenantSlot::Resident(tenant) = &self.tenants[i] {
+                            sup.last_good_snapshot = Some(Box::new(tenant.scaler.snapshot()));
+                        }
                     }
                 }
                 // Cold start is not a failure: a tenant still accumulating
@@ -819,6 +1508,21 @@ impl TenantFleet {
                     } else {
                         TenantHealth::Healthy
                     };
+                }
+                // Hibernation is not a failure: a dormant tenant skipped
+                // its round *because it is healthy and idle* — counting
+                // it toward quarantine would punish quiescence.
+                Err(OnlineError::Hibernated { .. }) => {
+                    sup.health = TenantHealth::Hibernated;
+                }
+                // A page-in I/O failure under a wake action is
+                // infrastructure trouble, not the tenant's: it stays
+                // hibernated (and paged), the wake trigger persists, and
+                // next round retries without burning failure budget.
+                Err(OnlineError::Checkpoint { .. })
+                    if matches!(actions[i], TenantAction::Wake { .. }) =>
+                {
+                    sup.health = TenantHealth::Hibernated;
                 }
                 Err(OnlineError::Quarantined { .. }) if skipped => {
                     sup.health = TenantHealth::Quarantined;
@@ -876,11 +1580,13 @@ impl TenantFleet {
         let mut degraded = 0;
         let mut quarantined = 0;
         let mut recovered = 0;
+        let mut hibernated = 0;
         for (i, result) in results.into_iter().enumerate() {
             let sup = &self.supervision[i];
             match sup.health {
                 TenantHealth::Quarantined | TenantHealth::Probing => quarantined += 1,
                 TenantHealth::Recovered => recovered += 1,
+                TenantHealth::Hibernated => hibernated += 1,
                 TenantHealth::Healthy | TenantHealth::Failing => {}
             }
             let (plan, sticky, error) = match result {
@@ -892,7 +1598,7 @@ impl TenantFleet {
                 Err(e) => (None, false, Some(e)),
             };
             outcomes.push(TenantOutcome {
-                tenant: self.tenants[i].id,
+                tenant: self.tenants[i].id(),
                 plan,
                 sticky,
                 error,
@@ -905,6 +1611,7 @@ impl TenantFleet {
             degraded,
             quarantined,
             recovered,
+            hibernated,
         })
     }
 
@@ -919,6 +1626,7 @@ impl TenantFleet {
         } else {
             None
         };
+        self.restored_unarmed = false;
     }
 
     /// The active fault plan, if chaos is enabled.
@@ -929,6 +1637,7 @@ impl TenantFleet {
     /// Replace the supervision policy (applies from the next round).
     pub fn set_supervisor(&mut self, config: SupervisorConfig) {
         self.supervisor = config;
+        self.restored_unarmed = false;
     }
 
     /// The active supervision policy.
@@ -995,6 +1704,8 @@ impl TenantFleet {
             return Ok(0);
         };
         let workers = self.workers;
+        let residency_on = self.residency.is_some();
+        let residency_state: &[Residency] = &self.residency_state;
         let per_chunk: Vec<Result<Vec<u64>, OnlineError>> =
             self.pool
                 .map_chunks_mut(&mut self.tenants, workers, |start, chunk| {
@@ -1002,8 +1713,22 @@ impl TenantFleet {
                     chunk
                         .iter_mut()
                         .enumerate()
-                        .map(|(i, tenant)| {
-                            let n = bus.drain_into(start + i, &mut buf)?;
+                        .map(|(i, slot)| {
+                            let index = start + i;
+                            // Cold tenants keep their arrivals queued: the
+                            // queue *is* their wake trigger, and draining it
+                            // here would need a paged-out scaler anyway. A
+                            // checkpoint still captures queued arrivals, so
+                            // nothing is lost.
+                            if residency_on
+                                && matches!(residency_state[index], Residency::Cold { .. })
+                            {
+                                return Ok(0u64);
+                            }
+                            let TenantSlot::Resident(tenant) = slot else {
+                                return Ok(0u64);
+                            };
+                            let n = bus.drain_into(index, &mut buf)?;
                             if n > 0 {
                                 tenant.scaler.ingest_batch(&buf);
                             }
@@ -1075,33 +1800,82 @@ impl TenantFleet {
         // linked) self-contained. At 250 tenants this costs ~1 ms of the
         // steady-state incremental checkpoint — accepted trade-off over a
         // lazier, two-phase write API.
-        let indexed: Vec<(usize, &Tenant)> = self.tenants.iter().enumerate().collect();
+        let indexed: Vec<(usize, &TenantSlot)> = self.tenants.iter().enumerate().collect();
         let supervision = &self.supervision;
         let round = self.round_counter;
-        let snapshots: Vec<TenantSnapshot> =
-            self.pool
-                .parallel_map(&indexed, self.workers, |&(index, tenant)| {
-                    let mut snapshot = TenantSnapshot::new(tenant.id, tenant.scaler.snapshot());
-                    if let Some(queues) = &queues {
-                        let queue = &queues[index];
-                        snapshot.queued = Some(queue.queued.clone());
-                        snapshot.queue = Some(queue.stats);
-                    }
-                    let sup = &supervision[index];
-                    snapshot.supervision = Some(SupervisionSnapshot {
-                        round,
-                        consecutive_failures: sup.consecutive_failures,
-                        quarantine: sup.quarantine,
-                        failures: sup.failures,
-                        panics: sup.panics,
-                        probes: sup.probes,
-                        recoveries: sup.recoveries,
-                        degraded_rounds: sup.degraded_rounds,
-                        last_good_plan: sup.last_good_plan.clone(),
-                        last_good_snapshot: sup.last_good_snapshot.clone(),
-                    });
-                    snapshot
+        let residency_on = self.residency.is_some();
+        let residency_state: &[Residency] = &self.residency_state;
+        let config = self.config;
+        let origin = self.origin;
+        let hibernation = self.hibernation.as_ref();
+        let snapshots: Vec<TenantSnapshot> = self
+            .pool
+            .parallel_map(&indexed, self.workers, |&(index, slot)| {
+                // A paged tenant's snapshot comes from its page (or, for a
+                // virgin one, from materializing a fresh scaler): the
+                // checkpoint stays self-contained — restorable without the
+                // hibernation directory.
+                let scaler_snapshot = match slot {
+                    TenantSlot::Resident(tenant) => tenant.scaler.snapshot(),
+                    TenantSlot::Paged(paged) => match paged.kind {
+                        PageKind::Virgin => {
+                            OnlineScaler::with_seed(config, origin, paged.seed)?.snapshot()
+                        }
+                        PageKind::OnDisk { checksum } => hibernation
+                            .ok_or_else(|| OnlineError::Checkpoint {
+                                shard: None,
+                                message: format!(
+                                    "tenant {} is paged out but no hibernation store is attached",
+                                    paged.id
+                                ),
+                            })?
+                            .page_in(paged.id, PageReceipt { checksum })?,
+                    },
+                };
+                let mut snapshot = TenantSnapshot::new(slot.id(), scaler_snapshot);
+                if let Some(queues) = &queues {
+                    let queue = &queues[index];
+                    snapshot.queued = Some(queue.queued.clone());
+                    snapshot.queue = Some(queue.stats);
+                }
+                let sup = &supervision[index];
+                snapshot.supervision = Some(SupervisionSnapshot {
+                    round,
+                    consecutive_failures: sup.consecutive_failures,
+                    quarantine: sup.quarantine,
+                    failures: sup.failures,
+                    panics: sup.panics,
+                    probes: sup.probes,
+                    recoveries: sup.recoveries,
+                    degraded_rounds: sup.degraded_rounds,
+                    last_good_plan: sup.last_good_plan.clone(),
+                    last_good_snapshot: sup.last_good_snapshot.clone(),
                 });
+                if residency_on {
+                    snapshot.residency = Some(match residency_state[index] {
+                        Residency::Hot { idle_streak } => ResidencySnapshot {
+                            cold: false,
+                            idle_streak,
+                            wake_at: None,
+                            since_round: 0,
+                        },
+                        Residency::Cold {
+                            wake_at,
+                            since_round,
+                        } => ResidencySnapshot {
+                            cold: true,
+                            idle_streak: 0,
+                            // `None` encodes the unreachable INFINITY wake
+                            // (JSON has no infinities).
+                            wake_at: wake_at.is_finite().then_some(wake_at),
+                            since_round,
+                        },
+                    });
+                }
+                Ok(snapshot)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, OnlineError>>()?;
         let store = self.open_store(dir);
         let clean: Vec<bool> = if self.previous_generation_is_ours(&store, dir, tenants_per_shard) {
             self.dirty
@@ -1128,12 +1902,16 @@ impl TenantFleet {
                 pool: Some(&self.pool),
                 bus: self.bus.as_ref().map(|bus| bus.config()),
                 clean_shards: Some(&clean),
+                round: Some(self.round_counter),
+                residency: self.residency,
             },
         );
         // Accumulate I/O counters whether or not the write landed: retries
         // and fallbacks on a failed write are exactly what the warnings
         // surface.
-        self.absorb_io(store.io_stats());
+        let io = store.io_stats();
+        let retention_blocked = io.retention_verify_failures > 0;
+        self.absorb_io(io);
         let manifest = written?;
         // Only a *successful* swap resets dirtiness; a failed write keeps
         // every tenant dirty so the next attempt rewrites conservatively.
@@ -1147,12 +1925,21 @@ impl TenantFleet {
                 *slot = queue.mutations;
             }
         }
-        self.last_checkpoint = Some(LastCheckpoint {
-            dir: dir.to_path_buf(),
-            generation: manifest.generation,
-            checksums: manifest.shards.iter().map(|s| s.checksum.clone()).collect(),
-            tenants_per_shard,
-        });
+        if retention_blocked {
+            // Retention could not verify an old generation restorable, so
+            // the sweep was withheld (see `RetentionPolicy`). Forget our
+            // last write: the next checkpoint is then a full rewrite,
+            // which verifies trivially, and sweeping resumes — the store
+            // self-heals instead of accumulating generations forever.
+            self.last_checkpoint = None;
+        } else {
+            self.last_checkpoint = Some(LastCheckpoint {
+                dir: dir.to_path_buf(),
+                generation: manifest.generation,
+                checksums: manifest.shards.iter().map(|s| s.checksum.clone()).collect(),
+                tenants_per_shard,
+            });
+        }
         Ok(manifest)
     }
 
@@ -1169,6 +1956,7 @@ impl TenantFleet {
         self.checkpoint_io.retries += io.retries;
         self.checkpoint_io.reuse_fallbacks += io.reuse_fallbacks;
         self.checkpoint_io.generation_fallbacks += io.generation_fallbacks;
+        self.checkpoint_io.retention_verify_failures += io.retention_verify_failures;
     }
 
     /// Whether `dir`'s current manifest is this fleet's own last write —
@@ -1246,6 +2034,53 @@ impl TenantFleet {
         Ok((fleet, notes))
     }
 
+    /// Restore a fleet from the checkpoint in `dir` **and re-arm its
+    /// runtime wiring** in one step.
+    ///
+    /// A checkpoint persists per-tenant supervision *state* (quarantines,
+    /// failure counters, last-good plans) but not the runtime *wiring*
+    /// around it: the supervisor policy, the fault plan and the storage
+    /// backend live outside the tenants. A plain [`TenantFleet::restore`]
+    /// silently reverts all three to defaults — a quarantined tenant
+    /// would probe under the default policy, and a chaos session would
+    /// resume with injection off. This constructor applies the wiring
+    /// atomically with the restore; the result reports
+    /// [`TenantFleet::restored_unarmed`] `false`.
+    pub fn restore_with(
+        dir: impl AsRef<Path>,
+        config: &OnlineConfig,
+        options: RestoreOptions,
+    ) -> Result<(Self, Vec<String>), OnlineError> {
+        let dir = dir.as_ref();
+        let store = match &options.storage {
+            Some(storage) => CheckpointStore::with_storage(dir, Arc::clone(storage)),
+            None => CheckpointStore::new(dir),
+        };
+        let (mut fleet, notes) = Self::restore_from(store, config)?;
+        fleet.checkpoint_storage = options.storage;
+        if let Some(supervisor) = options.supervisor {
+            fleet.supervisor = supervisor;
+        }
+        if let Some(faults) = options.faults {
+            fleet.set_faults(faults);
+        }
+        if let Some(hibernation_dir) = options.hibernation_dir {
+            fleet.set_hibernation_dir(hibernation_dir)?;
+        }
+        fleet.restored_unarmed = false;
+        Ok((fleet, notes))
+    }
+
+    /// True when this fleet came from a plain [`TenantFleet::restore`]
+    /// (or [`TenantFleet::restore_with_report`]) and its supervisor
+    /// policy, fault plan and storage wiring have **not** been re-armed —
+    /// they are defaults, not what the checkpointed session ran with.
+    /// Cleared by [`TenantFleet::restore_with`],
+    /// [`TenantFleet::set_supervisor`] and [`TenantFleet::set_faults`].
+    pub fn restored_unarmed(&self) -> bool {
+        self.restored_unarmed
+    }
+
     fn restore_from(
         store: CheckpointStore,
         config: &OnlineConfig,
@@ -1279,12 +2114,17 @@ impl TenantFleet {
                 bus.restore_tenant(index, queued, stats)?;
             }
         }
-        // Supervision state travels with the tenants: pull it out before
-        // the snapshots are consumed by the scaler rebuild below. Pre-v3
-        // checkpoints carry none — those tenants restore healthy.
+        // Supervision and residency state travel with the tenants: pull
+        // them out before the snapshots are consumed by the scaler rebuild
+        // below. Pre-v3 checkpoints carry no supervision (those tenants
+        // restore healthy); pre-v4 carry no residency (all hot).
         let supervision: Vec<Option<SupervisionSnapshot>> = snapshots
             .iter_mut()
             .map(|snapshot| snapshot.supervision.take())
+            .collect();
+        let residency_snapshots: Vec<Option<ResidencySnapshot>> = snapshots
+            .iter_mut()
+            .map(|snapshot| snapshot.residency.take())
             .collect();
         // Rebuild scalers in parallel *by value*: each worker takes its
         // snapshots out of the slots instead of cloning them — a snapshot
@@ -1296,17 +2136,21 @@ impl TenantFleet {
                 .iter_mut()
                 .map(|slot| {
                     let snapshot = slot.take().expect("each slot is visited exactly once");
-                    Ok(Tenant {
+                    Ok(TenantSlot::Resident(Box::new(Tenant {
                         id: snapshot.id,
                         scaler: OnlineScaler::restore(snapshot.scaler, *config)?,
-                    })
+                    })))
                 })
-                .collect::<Vec<Result<Tenant, OnlineError>>>()
+                .collect::<Vec<Result<TenantSlot, OnlineError>>>()
         })
         .into_iter()
         .flatten()
         .collect::<Result<Vec<_>, OnlineError>>()?;
-        let mut fleet = Self::assemble(tenants, workers, bus);
+        let origin = match &tenants[0] {
+            TenantSlot::Resident(tenant) => tenant.scaler.ring().origin(),
+            TenantSlot::Paged(_) => unreachable!("restore materializes every tenant"),
+        };
+        let mut fleet = Self::assemble(*config, origin, tenants, workers, bus);
         let mut round_counter = 0;
         for (i, snapshot) in supervision.into_iter().enumerate() {
             let Some(snapshot) = snapshot else { continue };
@@ -1329,15 +2173,42 @@ impl TenantFleet {
                 served_sticky: false,
             };
         }
-        fleet.round_counter = round_counter;
+        // The manifest round (format v4) is authoritative; older
+        // checkpoints fall back to the max supervision round.
+        fleet.round_counter = manifest.round.unwrap_or(round_counter);
+        // Residency state restores resident-cold: cold tenants come back
+        // in memory (the restore just built them) but stay hibernated —
+        // they re-page lazily on the first round if a hibernation store
+        // is attached, and plan nothing until their wake trigger fires.
+        if let Some(residency) = manifest.residency {
+            fleet.residency = Some(residency);
+            for (i, snapshot) in residency_snapshots.into_iter().enumerate() {
+                let Some(snapshot) = snapshot else { continue };
+                fleet.residency_state[i] = if snapshot.cold {
+                    Residency::Cold {
+                        wake_at: snapshot.wake_at.unwrap_or(f64::INFINITY),
+                        since_round: snapshot.since_round,
+                    }
+                } else {
+                    Residency::Hot {
+                        idle_streak: snapshot.idle_streak,
+                    }
+                };
+            }
+        }
         fleet.absorb_io(store.io_stats());
+        fleet.restored_unarmed = true;
         Ok((fleet, store.take_notes()))
     }
 
     /// Enable or disable trace-event capture on every tenant's scaler.
+    /// The setting sticks: a paged tenant materialized later inherits it.
     pub fn set_tracing(&mut self, on: bool) {
-        for tenant in &mut self.tenants {
-            tenant.scaler.set_tracing(on);
+        self.tracing = on;
+        for slot in &mut self.tenants {
+            if let TenantSlot::Resident(tenant) = slot {
+                tenant.scaler.set_tracing(on);
+            }
         }
     }
 
@@ -1346,17 +2217,17 @@ impl TenantFleet {
     /// was constructed with (per-tenant seeds are derived from it and are
     /// not recoverable from the tenants).
     pub fn trace_header(&self, base_seed: u64) -> TraceHeader {
-        let scaler = &self.tenants[0].scaler;
         TraceHeader {
             version: TRACE_FORMAT_VERSION,
             session: SessionKind::Fleet,
             seed: base_seed,
             tenants: self.tenants.len(),
-            origin: scaler.ring().origin(),
-            online: *scaler.config(),
+            origin: self.origin,
+            online: self.config,
             bus: self.bus.as_ref().map(|bus| bus.config()),
             faults: self.fault_plan(),
             supervisor: Some(self.supervisor),
+            residency: self.residency,
         }
     }
 
@@ -1376,7 +2247,27 @@ impl TenantFleet {
             ));
         }
         if recorder.records() == 0 {
-            for (index, tenant) in self.tenants.iter().enumerate() {
+            // Warm-start records need every trained model in hand; a
+            // paged-out tenant's lives on disk. (A tenant that pages out
+            // *during* the recording is fine — residency events capture
+            // the transition and replay reproduces it.)
+            if self.tenants.iter().any(|slot| {
+                matches!(
+                    slot,
+                    TenantSlot::Paged(PagedTenant {
+                        kind: PageKind::OnDisk { .. },
+                        ..
+                    })
+                )
+            }) {
+                return Err(OnlineError::InvalidConfig(
+                    "cannot start recording with paged-out tenants; wake the fleet first (wake_all)",
+                ));
+            }
+            for (index, slot) in self.tenants.iter().enumerate() {
+                let TenantSlot::Resident(tenant) = slot else {
+                    continue;
+                };
                 if let Some(model) = tenant.scaler.model() {
                     recorder.record(&TraceRecord::Install {
                         round: recorder.round(),
@@ -1402,11 +2293,7 @@ impl TenantFleet {
         let Some(mut recorder) = self.recorder.take() else {
             return Ok(None);
         };
-        let pre: Vec<Vec<ScalerEvent>> = self
-            .tenants
-            .iter_mut()
-            .map(|t| t.scaler.take_trace_events())
-            .collect();
+        let pre = self.harvest_trace_events();
         recorder.flush_pending(pre)?;
         self.set_tracing(false);
         Ok(Some(recorder))
@@ -1431,11 +2318,15 @@ impl TenantFleet {
         Ok(Some(recorder.finish(qos)?))
     }
 
-    /// Sum of all tenants' serving counters.
+    /// Sum of all tenants' serving counters. Paged tenants contribute
+    /// their counters as frozen at page-out — no page-in needed.
     pub fn aggregate_stats(&self) -> OnlineStats {
         let mut total = OnlineStats::default();
-        for tenant in &self.tenants {
-            let s = tenant.scaler.stats();
+        for slot in &self.tenants {
+            let s = match slot {
+                TenantSlot::Resident(tenant) => tenant.scaler.stats(),
+                TenantSlot::Paged(paged) => &paged.stats,
+            };
             total.arrivals_ingested += s.arrivals_ingested;
             total.arrivals_dropped += s.arrivals_dropped;
             total.refits += s.refits;

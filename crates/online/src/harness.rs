@@ -186,6 +186,7 @@ impl Autoscaler for OnlinePolicy {
                 Some(vec![recorded_arrivals.unwrap_or_default()]),
                 std::slice::from_ref(&result),
                 post_events,
+                &[],
                 Some(self.bus.stats()),
             );
             if let Err(e) = outcome {
@@ -342,6 +343,7 @@ fn run_closed_loop_inner(
                     }),
                     faults: config.faults.filter(FaultPlan::enabled),
                     supervisor: None,
+                    residency: None,
                 },
             )?)
         }

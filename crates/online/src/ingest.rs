@@ -50,6 +50,7 @@
 use crate::error::OnlineError;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Default bound on each tenant's arrival queue.
@@ -177,6 +178,12 @@ pub struct ArrivalBus {
     config: BusConfig,
     tenant_count: usize,
     groups: Vec<Mutex<Vec<TenantQueue>>>,
+    /// Per-group count of currently queued arrivals, maintained under the
+    /// group lock but readable without it. This is the fleet's wake scan:
+    /// with 100k registered tenants and a handful active, the per-round
+    /// "who has arrivals?" question must not take 100k/64 mutexes — it
+    /// reads one atomic per group and only locks groups that report work.
+    pending: Vec<AtomicU64>,
 }
 
 impl ArrivalBus {
@@ -196,10 +203,12 @@ impl ArrivalBus {
                 Mutex::new((0..len).map(|_| TenantQueue::new()).collect())
             })
             .collect();
+        let pending = (0..group_count).map(|_| AtomicU64::new(0)).collect();
         Ok(Self {
             config,
             tenant_count,
             groups,
+            pending,
         })
     }
 
@@ -249,7 +258,20 @@ impl ArrivalBus {
         queue.stats.dropped_full += dropped;
         queue.stats.queued_peak = queue.stats.queued_peak.max(queue.items.len() as u64);
         queue.mutations += 1;
+        if accepted > 0 {
+            self.pending[group].fetch_add(accepted as u64, Ordering::Release);
+        }
         Ok(accepted)
+    }
+
+    /// Whether `tenant`'s *group* might have queued arrivals — a cheap,
+    /// lock-free over-approximation for the fleet's wake scan. `false` is
+    /// authoritative (nothing queued anywhere in the group at some recent
+    /// instant); `true` means "take the lock and check" via
+    /// [`ArrivalBus::queued`].
+    pub fn pending_hint(&self, tenant: usize) -> Result<bool, OnlineError> {
+        let (group, _) = self.locate(tenant)?;
+        Ok(self.pending[group].load(Ordering::Acquire) > 0)
     }
 
     /// Currently queued arrivals for `tenant`.
@@ -281,6 +303,9 @@ impl ArrivalBus {
             // so it must invalidate shard reuse — a stale counter in a
             // reused shard would break restore equivalence.
             queue.mutations += 1;
+            if !buf.is_empty() {
+                self.pending[group].fetch_sub(buf.len() as u64, Ordering::Release);
+            }
         }
         // `total_cmp` keeps the comparator total even if a producer pushed
         // a NaN (the ring drops it downstream either way).
@@ -352,9 +377,16 @@ impl ArrivalBus {
         let (group, slot) = self.locate(tenant)?;
         let mut queues = self.groups[group].lock().expect("bus group lock poisoned");
         let queue = &mut queues[slot];
+        let before = queue.items.len() as u64;
         queue.items = VecDeque::from(queued);
         queue.stats = stats;
         queue.mutations = 0;
+        let after = queue.items.len() as u64;
+        if after > before {
+            self.pending[group].fetch_add(after - before, Ordering::Release);
+        } else if before > after {
+            self.pending[group].fetch_sub(before - after, Ordering::Release);
+        }
         Ok(())
     }
 }
@@ -512,6 +544,35 @@ mod tests {
         let full = at(&bus);
         bus.push(0, 9.0).unwrap();
         assert!(at(&bus) > full);
+    }
+
+    #[test]
+    fn pending_hint_tracks_group_occupancy_locklessly() {
+        let bus = small_bus(4); // groups of 2: {0,1}, {2,3}
+        assert!(!bus.pending_hint(0).unwrap());
+        assert!(!bus.pending_hint(2).unwrap());
+        assert!(bus.pending_hint(9).is_err());
+        bus.push(1, 5.0).unwrap();
+        // The hint is group-granular: tenant 0 shares tenant 1's group.
+        assert!(bus.pending_hint(0).unwrap());
+        assert!(bus.pending_hint(1).unwrap());
+        assert!(!bus.pending_hint(3).unwrap());
+        let mut buf = Vec::new();
+        bus.drain_into(1, &mut buf).unwrap();
+        assert!(!bus.pending_hint(0).unwrap());
+        // Rejected pushes never count as pending.
+        for k in 0..9 {
+            bus.push(2, k as f64).unwrap();
+        }
+        bus.drain_into(2, &mut buf).unwrap();
+        assert!(!bus.pending_hint(2).unwrap());
+        // Restore adjusts the counter in both directions.
+        bus.restore_tenant(3, vec![1.0, 2.0], QueueStats::default())
+            .unwrap();
+        assert!(bus.pending_hint(2).unwrap());
+        bus.restore_tenant(3, Vec::new(), QueueStats::default())
+            .unwrap();
+        assert!(!bus.pending_hint(2).unwrap());
     }
 
     #[test]

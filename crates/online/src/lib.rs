@@ -66,15 +66,16 @@ pub mod replay;
 pub mod scaler;
 
 pub use checkpoint::{
-    CheckpointIoStats, CheckpointStorage, CheckpointStore, Manifest, OsStorage, QuarantineState,
-    ShardEntry, SupervisionSnapshot, TenantSnapshot, CHECKPOINT_FORMAT_VERSION,
+    CheckpointIoStats, CheckpointStorage, CheckpointStore, HibernationStore, Manifest, OsStorage,
+    PageReceipt, QuarantineState, ResidencySnapshot, RetentionPolicy, ShardEntry,
+    SupervisionSnapshot, TenantSnapshot, WriteOptions, CHECKPOINT_FORMAT_VERSION,
     DEFAULT_TENANTS_PER_SHARD,
 };
 pub use error::OnlineError;
 pub use faults::{FaultInjector, FaultPlan, FaultyStorage, IoOp, PlanFault};
 pub use fleet::{
-    FleetRound, RecoveryAction, SupervisionStats, SupervisorConfig, Tenant, TenantFleet,
-    TenantHealth, TenantOutcome,
+    FleetRound, RecoveryAction, ResidencyConfig, ResidencyStats, RestoreOptions, SupervisionStats,
+    SupervisorConfig, Tenant, TenantFleet, TenantHealth, TenantOutcome,
 };
 pub use harness::{
     run_closed_loop, run_closed_loop_recorded, run_closed_loop_with_restart, HarnessConfig,
@@ -85,9 +86,9 @@ pub use ingest::{
 };
 pub use replay::{
     model_fingerprint, replay_path, replay_trace, FileSink, MemorySink, PlanRecord, PolicyBands,
-    QosRecord, RecordedTrace, RefitRecord, RefitTrigger, ReplayMode, ReplayReport, ScalerEvent,
-    SessionKind, TraceHeader, TraceRecord, TraceRecorder, TraceSink, TraceSummary,
-    TRACE_FORMAT_VERSION,
+    QosRecord, RecordedTrace, RefitRecord, RefitTrigger, ReplayMode, ReplayReport, ResidencyEvent,
+    ScalerEvent, SessionKind, TraceHeader, TraceRecord, TraceRecorder, TraceSink, TraceSummary,
+    WakeReason, TRACE_FORMAT_VERSION,
 };
 pub use scaler::{
     OnlineConfig, OnlineScaler, OnlineStats, ScalerSnapshot, SCALER_SNAPSHOT_VERSION,

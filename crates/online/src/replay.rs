@@ -78,7 +78,12 @@ use std::sync::{Arc, Mutex};
 /// v2 added the optional `faults` / `supervisor` header fields (chaos
 /// sessions replay their injected faults and quarantine decisions); v1
 /// traces parse as fault-free sessions under the default supervisor.
-pub const TRACE_FORMAT_VERSION: u32 = 2;
+///
+/// v3 added the optional `residency` header field and the
+/// [`TraceRecord::Residency`] record (hibernate/wake transitions of
+/// activity-tiered fleets replay and validate bit-for-bit); v1/v2 traces
+/// parse as always-hot sessions.
+pub const TRACE_FORMAT_VERSION: u32 = 3;
 
 /// What kind of session a trace records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -131,6 +136,30 @@ pub enum ScalerEvent {
     },
 }
 
+/// Why a hibernated tenant woke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WakeReason {
+    /// Arrivals landed on its queue.
+    Arrival,
+    /// Its scheduled wake time (from the quiescence forecast) passed.
+    Due,
+    /// The driver touched it directly (`tenant_mut` / `ingest`).
+    Access,
+}
+
+/// One residency transition of an activity-tiered fleet (see
+/// [`crate::fleet::ResidencyConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResidencyEvent {
+    /// The tenant went cold: planning skipped until a wake trigger.
+    Hibernate,
+    /// The tenant came back hot.
+    Wake {
+        /// What woke it.
+        reason: WakeReason,
+    },
+}
+
 /// Trace line 1: everything replay needs to rebuild the session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TraceHeader {
@@ -157,6 +186,11 @@ pub struct TraceHeader {
     /// The fleet supervision policy the session ran under; absent in v1
     /// traces and single-scaler sessions (replay then uses the default).
     pub supervisor: Option<crate::fleet::SupervisorConfig>,
+    /// The residency policy, when activity tiering was enabled — replay
+    /// re-enables it (paging off: a resident-cold tenant is
+    /// bit-equivalent to a paged one) so hibernation and wake decisions
+    /// reproduce. Absent in pre-v3 traces and always-hot sessions.
+    pub residency: Option<crate::fleet::ResidencyConfig>,
 }
 
 /// One tenant's planning outcome for one round.
@@ -256,6 +290,17 @@ pub enum TraceRecord {
     Refit(RefitRecord),
     /// One tenant's planning outcome (see [`PlanRecord`]).
     Plan(PlanRecord),
+    /// One residency transition (hibernate or wake) observed by round
+    /// `round` — validated against the regenerated transition stream on
+    /// replay. Only present in v3+ traces of residency-enabled sessions.
+    Residency {
+        /// Round index the transition was recorded under.
+        round: u64,
+        /// Tenant id (equal to its index at fleet construction).
+        tenant: u64,
+        /// The transition.
+        event: ResidencyEvent,
+    },
     /// Aggregate queue stats after round `round`.
     Queue {
         /// Round index.
@@ -272,9 +317,9 @@ impl TraceRecord {
     /// against the header at parse time).
     fn tenant(&self) -> Option<u64> {
         match self {
-            TraceRecord::Install { tenant, .. } | TraceRecord::Arrivals { tenant, .. } => {
-                Some(*tenant)
-            }
+            TraceRecord::Install { tenant, .. }
+            | TraceRecord::Arrivals { tenant, .. }
+            | TraceRecord::Residency { tenant, .. } => Some(*tenant),
             TraceRecord::Refit(r) => Some(r.tenant),
             TraceRecord::Plan(p) => Some(p.tenant),
             _ => None,
@@ -526,8 +571,9 @@ impl TraceRecorder {
 
     /// Record one completed round: between-round scaler events and direct
     /// arrivals first, then the bus batches the round drained, the round
-    /// stamp itself, the refits the round triggered, every tenant's plan,
-    /// and the aggregate queue stats.
+    /// stamp itself, the round's residency transitions, the refits the
+    /// round triggered, every tenant's plan, and the aggregate queue
+    /// stats.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_round(
         &mut self,
@@ -537,6 +583,7 @@ impl TraceRecorder {
         bus_arrivals: Option<Vec<Vec<f64>>>,
         results: &[Result<PlanningRound, OnlineError>],
         post_events: Vec<Vec<ScalerEvent>>,
+        residency_events: &[(u64, ResidencyEvent)],
         queue: Option<QueueStats>,
     ) -> Result<(), OnlineError> {
         self.flush_pending(pre_events)?;
@@ -553,11 +600,41 @@ impl TraceRecorder {
                 }
             }
         }
+        // Access wakes are driver-initiated and happened *before* this
+        // round ran (they are why a cold tenant planned this round), so
+        // they go before the Round record; the replayer re-applies them
+        // like direct arrivals. Arrival/Due wakes and hibernations are
+        // round outcomes and follow the Round record for validation.
+        for &(tenant, event) in residency_events {
+            if let ResidencyEvent::Wake {
+                reason: WakeReason::Access,
+            } = event
+            {
+                self.record(&TraceRecord::Residency {
+                    round,
+                    tenant,
+                    event,
+                })?;
+            }
+        }
         self.record(&TraceRecord::Round {
             round,
             now,
             covered: covered.to_vec(),
         })?;
+        for &(tenant, event) in residency_events {
+            if let ResidencyEvent::Wake {
+                reason: WakeReason::Access,
+            } = event
+            {
+                continue;
+            }
+            self.record(&TraceRecord::Residency {
+                round,
+                tenant,
+                event,
+            })?;
+        }
         for (tenant, events) in post_events.into_iter().enumerate() {
             for event in events {
                 self.record_scaler_event(tenant as u64, event)?;
@@ -695,6 +772,12 @@ impl RecordedTrace {
                     ));
                 }
             }
+            if matches!(record, TraceRecord::Residency { .. }) && header.residency.is_none() {
+                return Err(trace_err(
+                    line,
+                    "residency transition recorded but the header declares no residency policy",
+                ));
+            }
             if let TraceRecord::Round { covered, .. } = &record {
                 if covered.len() != header.tenants {
                     return Err(trace_err(
@@ -794,6 +877,9 @@ struct Replayer {
     pending_events: Vec<std::collections::VecDeque<ScalerEvent>>,
     /// Regenerated aggregate queue stats after the last executed round.
     pending_queue: Option<QueueStats>,
+    /// Regenerated residency transitions of the last executed round, in
+    /// emission order, consumed by `Residency` records.
+    pending_residency: std::collections::VecDeque<(u64, ResidencyEvent)>,
     next_round: u64,
     saw_qos: bool,
 }
@@ -825,6 +911,13 @@ impl Replayer {
                 }
                 if let Some(faults) = header.faults {
                     fleet.set_faults(faults);
+                }
+                // Residency sessions: re-enable tiering with the recorded
+                // policy (including a recorded cold start) but *without*
+                // paging — a resident-cold tenant plans bit-identically
+                // to a paged one, so replay needs no page store.
+                if let Some(residency) = header.residency {
+                    fleet.enable_residency(residency)?;
                 }
                 fleet.set_tracing(true);
                 ReplaySession::Fleet(fleet)
@@ -864,6 +957,7 @@ impl Replayer {
             pending_plans: (0..header.tenants).map(|_| None).collect(),
             pending_events: vec![std::collections::VecDeque::new(); header.tenants],
             pending_queue: None,
+            pending_residency: std::collections::VecDeque::new(),
             next_round: 0,
             saw_qos: false,
         })
@@ -967,6 +1061,15 @@ impl Replayer {
                 )?;
             }
         }
+        while let Some((tenant, event)) = self.pending_residency.pop_front() {
+            self.diverge(
+                round,
+                tenant,
+                "residency.unrecorded",
+                "no residency transition".to_string(),
+                format!("{event:?}"),
+            )?;
+        }
         self.pending_queue = None;
         Ok(())
     }
@@ -985,20 +1088,17 @@ impl Replayer {
             ));
         }
         self.settle_round(round)?;
-        let (results, events, queue) = match &mut self.session {
+        let (results, events, queue, residency) = match &mut self.session {
             ReplaySession::Fleet(fleet) => {
                 let results = fleet.run_round(now, covered)?;
-                let events: Vec<Vec<ScalerEvent>> = (0..covered.len())
-                    .map(|index| {
-                        fleet
-                            .tenant_mut(index)
-                            .expect("tenant indices are validated at parse time")
-                            .scaler
-                            .take_trace_events()
-                    })
-                    .collect();
+                // Harvest without `tenant_mut`: the marking accessor
+                // would register direct driver activity (blocking cold
+                // entry) and wake cold tenants — perturbing the very
+                // residency stream we are validating.
+                let events = fleet.harvest_trace_events();
                 let queue = fleet.queue_stats();
-                (results, events, queue)
+                let residency = fleet.take_residency_events();
+                (results, events, queue, residency)
             }
             ReplaySession::Single {
                 scaler,
@@ -1032,6 +1132,7 @@ impl Replayer {
                     vec![result],
                     vec![scaler.take_trace_events()],
                     Some(bus.stats()),
+                    Vec::new(),
                 )
             }
         };
@@ -1042,6 +1143,7 @@ impl Replayer {
             self.pending_events[tenant].extend(tenant_events);
         }
         self.pending_queue = queue;
+        self.pending_residency.extend(residency);
         self.next_round = round + 1;
         self.report.rounds += 1;
         Ok(())
@@ -1187,6 +1289,53 @@ impl Replayer {
                 };
                 self.check_plan(plan, &result)?;
                 self.report.plans_checked += 1;
+            }
+            TraceRecord::Residency {
+                round,
+                tenant,
+                event,
+            } => {
+                if let ResidencyEvent::Wake {
+                    reason: WakeReason::Access,
+                } = event
+                {
+                    // Driver-initiated, like a direct arrival: re-apply
+                    // the access (waking the cold tenant), then validate
+                    // the wake it regenerated below.
+                    match &mut self.session {
+                        ReplaySession::Fleet(fleet) => {
+                            let _ = fleet.tenant_mut(*tenant as usize);
+                            let woken = fleet.take_pending_wakes();
+                            self.pending_residency.extend(woken);
+                        }
+                        ReplaySession::Single { .. } => {
+                            return Err(trace_err(
+                                line,
+                                "residency record in a single-scaler session",
+                            ));
+                        }
+                    }
+                }
+                match self.pending_residency.pop_front() {
+                    Some((got_tenant, got_event)) => {
+                        if (got_tenant, got_event) != (*tenant, *event) {
+                            self.diverge(
+                                *round,
+                                *tenant,
+                                "residency.event",
+                                format!("tenant {tenant} {event:?}"),
+                                format!("tenant {got_tenant} {got_event:?}"),
+                            )?;
+                        }
+                    }
+                    None => self.diverge(
+                        *round,
+                        *tenant,
+                        "residency.missing",
+                        format!("tenant {tenant} {event:?}"),
+                        "no residency transition".to_string(),
+                    )?,
+                }
             }
             TraceRecord::Queue { round, stats } => {
                 let Some(got) = self.pending_queue else {

@@ -458,6 +458,71 @@ impl OnlineScaler {
         (covered as f64) >= expected + slack
     }
 
+    /// How long this scaler can sleep from `now` before anything about its
+    /// rounds could change — the quiescence predicate behind the fleet's
+    /// hot/cold residency tiers.
+    ///
+    /// Returns `Some(wake_at)` when the tenant is quiescent: the forecast
+    /// expects no arrivals (≤ `epsilon` per planning window, with startup
+    /// lead) until `wake_at`, and no refit is due before it either. The
+    /// fleet may skip this tenant's rounds entirely until `wake_at` (or an
+    /// actual arrival, whichever is first) without changing any future
+    /// output. `Some(f64::INFINITY)` means nothing will ever happen without
+    /// external input — the untrained, never-fed case. `None` means the
+    /// tenant is active now (expected arrivals in the upcoming window, a
+    /// forecast failure, or a wake deadline that has already passed).
+    ///
+    /// The method is `&self` and touches no mutable state: calling it never
+    /// perturbs the determinism contract.
+    pub fn quiescence_horizon(&self, now: f64, epsilon: f64) -> Option<f64> {
+        let Some(forecaster) = &self.forecaster else {
+            // No model: nothing to plan with. A tenant that has never seen
+            // an arrival stays NotTrained forever without input; one with
+            // buffered history may still reach its first fit as time passes.
+            return (self.stats.arrivals_ingested == 0).then_some(f64::INFINITY);
+        };
+        // The scheduled refit is a state change even with an empty ring, so
+        // quiescence can never outlast it.
+        let refit_due = self.last_refit_at + self.config.refit_interval;
+        if refit_due <= now {
+            return None;
+        }
+        let lead = self.config.pipeline.pending.mean().max(1.0);
+        let window = self.config.pipeline.planning_interval + 2.0 * lead;
+        let from = now.max(forecaster.model().start());
+        let Ok(forecast) = forecaster.forecast(from, self.config.pipeline.forecast_horizon) else {
+            return None;
+        };
+        let horizon_end = from + self.config.pipeline.forecast_horizon;
+        // Scan forward window by window for the first expected activity;
+        // wake one window early so the tenant is resident (forecast warm,
+        // coverage planned) before the arrivals land.
+        let mut k: u64 = 0;
+        loop {
+            let lo = now + k as f64 * window;
+            if lo >= horizon_end {
+                // Nothing expected within the whole forecast horizon; sleep
+                // until the scheduled refit extends it.
+                return Some(refit_due);
+            }
+            let clipped_lo = lo.max(from);
+            let hi = (lo + window).min(horizon_end);
+            let expected = if hi > clipped_lo {
+                forecast.integrated(clipped_lo, hi)
+            } else {
+                0.0
+            };
+            if expected > epsilon {
+                if k == 0 {
+                    return None;
+                }
+                let wake_at = (now + (k - 1) as f64 * window).min(refit_due);
+                return (wake_at > now).then_some(wake_at);
+            }
+            k += 1;
+        }
+    }
+
     /// Run one serving round at `now`: advance the ring, refit if due,
     /// refresh the forecast, and plan the creations that must start within
     /// the next planning window. `covered` is the number of upcoming

@@ -383,3 +383,220 @@ fn recorded_chaos_session_survives_crash_restore_and_replays() {
     let _ = std::fs::remove_dir_all(&ckpt_dir);
     let _ = std::fs::remove_dir_all(&trace_dir);
 }
+
+// ---------------------------------------------------------------------------
+// Hibernating-tier chaos: faults at the residency seams
+// ---------------------------------------------------------------------------
+
+fn residency_config() -> robustscaler::online::ResidencyConfig {
+    robustscaler::online::ResidencyConfig {
+        cold_after: 2,
+        idle_epsilon: 1e-9,
+        start_cold: true,
+    }
+}
+
+/// Enqueue one planning window (round 0 carries the training prefix)
+/// for tenants `0..active` only; the rest stay dark.
+fn enqueue_active(fleet: &TenantFleet, round: u64, active: usize) {
+    let (lo, hi) = if round == 0 {
+        (0.0, 400.0)
+    } else {
+        (round_now(round - 1), round_now(round))
+    };
+    for index in 0..active {
+        let gap = 4.0 + index as f64;
+        let first = (lo / gap).ceil() as usize;
+        for t in (first..).map(|k| k as f64 * gap).take_while(|t| *t < hi) {
+            assert!(fleet.enqueue(index, t).unwrap(), "queue overflow");
+        }
+    }
+}
+
+/// Drive a residency fleet: steady traffic to tenants `0..3`, the dark
+/// tenant 4 poked awake at rounds 2 and 6 (hibernating again in
+/// between), collecting every round's per-tenant results.
+fn drive_residency(
+    fleet: &mut TenantFleet,
+    rounds: u64,
+) -> Vec<Vec<Result<robustscaler::scaling::PlanningRound, robustscaler::online::OnlineError>>> {
+    let mut all = Vec::new();
+    for round in 0..rounds {
+        if round == 2 || round == 6 {
+            assert!(fleet.tenant_mut(4).is_some());
+        }
+        enqueue_active(fleet, round, 3);
+        all.push(fleet.run_round_uniform(round_now(round), 0).unwrap());
+    }
+    all
+}
+
+/// A tenant faulted *while it wakes* stays isolated: every healthy
+/// neighbor's plans are bit-identical to a fault-free run, and the
+/// failing tenant never hibernates (only healthy-idle tenants go cold).
+#[test]
+fn faulty_wake_never_perturbs_healthy_neighbors() {
+    let config = chaos_config();
+    let build = || {
+        let mut fleet = TenantFleet::new(&config, 0.0, 5, 17).unwrap();
+        fleet.enable_residency(residency_config()).unwrap();
+        fleet.attach_bus(small_bus()).unwrap();
+        fleet
+    };
+
+    let clean_rounds = {
+        let mut clean = build();
+        drive_residency(&mut clean, 9)
+    };
+
+    let mut faulted = build();
+    faulted.set_faults(FaultPlan {
+        seed: 4242,
+        plan_error: 0.7,
+        target_tenant: Some(4),
+        ..FaultPlan::default()
+    });
+    let faulted_rounds = drive_residency(&mut faulted, 9);
+
+    let mut injected = 0;
+    for (round, (clean_row, faulted_row)) in clean_rounds.iter().zip(&faulted_rounds).enumerate() {
+        for tenant in 0..4 {
+            assert_eq!(
+                clean_row[tenant], faulted_row[tenant],
+                "healthy tenant {tenant} perturbed at round {round}"
+            );
+        }
+        if matches!(
+            faulted_row[4],
+            Err(robustscaler::online::OnlineError::Injected { .. })
+        ) {
+            injected += 1;
+        }
+    }
+    assert!(injected > 0, "fault plan never fired on the waking tenant");
+    // A failing tenant is never healthy-idle, so it must not hibernate
+    // while faulted; hibernation bookkeeping differs only on tenant 4.
+    let stats = faulted.residency_stats();
+    assert_eq!(
+        stats.paged + stats.hot + stats.cold,
+        5,
+        "residency accounting out of sync: {stats:?}"
+    );
+}
+
+/// Page-out I/O failure is contained: the tenant stays resident (cold
+/// but safe), the failure is counted, planning results stay
+/// bit-identical to a fleet that never pages, and the sweep retries
+/// until the storage heals.
+#[test]
+fn page_out_io_failure_keeps_tenant_resident_and_bit_identical() {
+    let config = chaos_config();
+    let reference_rounds = {
+        let mut fleet = TenantFleet::new(&config, 0.0, 5, 23).unwrap();
+        fleet.enable_residency(residency_config()).unwrap();
+        fleet.attach_bus(small_bus()).unwrap();
+        drive_residency(&mut fleet, 9)
+    };
+
+    // Every page write fails: hibernation proceeds (the tenant goes
+    // cold and is skipped), but nothing ever reaches disk.
+    let dir = scratch("pageout-fault");
+    let mut fleet = TenantFleet::new_cold(&config, 0.0, 5, 23, residency_config()).unwrap();
+    fleet.attach_bus(small_bus()).unwrap();
+    fleet.set_checkpoint_storage(Arc::new(FaultyStorage::new(FaultPlan {
+        seed: 5,
+        checkpoint_io: 1.0,
+        ..FaultPlan::default()
+    })));
+    fleet.set_hibernation_dir(&dir).unwrap();
+    let faulted_rounds = drive_residency(&mut fleet, 9);
+    assert_eq!(reference_rounds, faulted_rounds);
+    let stats = fleet.residency_stats();
+    assert_eq!(stats.page_outs, 0, "{stats:?}");
+    assert!(stats.page_out_failures > 0, "{stats:?}");
+    assert!(stats.hibernated_total > 0, "{stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Flaky storage: failed page-outs are retried by the sweep and
+    // eventually land, still bit-identically.
+    let dir = scratch("pageout-flaky");
+    let mut fleet = TenantFleet::new_cold(&config, 0.0, 5, 23, residency_config()).unwrap();
+    fleet.attach_bus(small_bus()).unwrap();
+    fleet.set_checkpoint_storage(Arc::new(FaultyStorage::new(FaultPlan {
+        seed: 11,
+        checkpoint_io: 0.35,
+        ..FaultPlan::default()
+    })));
+    fleet.set_hibernation_dir(&dir).unwrap();
+    let flaky_rounds = drive_residency(&mut fleet, 9);
+    assert_eq!(reference_rounds, flaky_rounds);
+    let stats = fleet.residency_stats();
+    assert!(stats.page_outs > 0, "nothing ever paged out: {stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash + restore with mixed residency under an active fault plan:
+/// `restore_with` re-arms the supervisor, the fault schedule and the
+/// page store, and the restored fleet continues bit-identically to the
+/// fleet that never crashed.
+#[test]
+fn crash_restore_with_mixed_residency_and_faults_is_bit_identical() {
+    let config = chaos_config();
+    let pages = scratch("mixed-fault-pages");
+    let ckpt = scratch("mixed-fault-ckpt");
+    let supervisor = SupervisorConfig {
+        quarantine_after: 3,
+        probe_backoff: 1,
+        max_backoff: 4,
+        recovery: RecoveryAction::ForceRefit,
+        snapshot_every: 0,
+    };
+    let faults = FaultPlan {
+        seed: 2024,
+        plan_error: 0.3,
+        target_tenant: Some(1),
+        ..FaultPlan::default()
+    };
+
+    let mut live = TenantFleet::new_cold(&config, 0.0, 5, 41, residency_config()).unwrap();
+    live.attach_bus(small_bus()).unwrap();
+    live.set_hibernation_dir(&pages).unwrap();
+    live.set_supervisor(supervisor);
+    live.set_faults(faults);
+    drive_residency(&mut live, 7);
+    live.checkpoint_sharded(&ckpt, 2).unwrap();
+
+    let continue_run = |fleet: &mut TenantFleet| {
+        let mut rounds = Vec::new();
+        for round in 7..10u64 {
+            enqueue_active(fleet, round, 3);
+            rounds.push(fleet.run_round_uniform(round_now(round), 0).unwrap());
+        }
+        (rounds, fleet.supervision_stats())
+    };
+    let live_result = continue_run(&mut live);
+
+    for workers in [1usize, 3, 8] {
+        let (mut restored, _) = TenantFleet::restore_with(
+            &ckpt,
+            &config,
+            robustscaler::online::RestoreOptions {
+                supervisor: Some(supervisor),
+                faults: Some(faults),
+                hibernation_dir: Some(pages.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!restored.restored_unarmed());
+        restored.set_workers(workers);
+        let restored_result = continue_run(&mut restored);
+        assert_eq!(
+            live_result, restored_result,
+            "restored chaos fleet diverged at {workers} workers"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&pages);
+    let _ = std::fs::remove_dir_all(&ckpt);
+}

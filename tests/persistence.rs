@@ -459,3 +459,148 @@ fn corrupted_shard_fails_with_a_named_checksum_error_others_loadable() {
     assert_eq!(recovered, 4);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Regression: the old GC unconditionally deleted every generation older
+/// than `current - 1`. After a shard corrupts *post-write*, later
+/// generations hard-link the corrupt bytes — so every recent generation
+/// is equally broken, and the unconditional sweep deleted exactly the
+/// older generation scan-back recovery still needed. The
+/// restorability-aware retention guard must refuse to sweep until some
+/// kept generation verifies.
+#[test]
+fn retention_guard_never_sweeps_past_the_newest_restorable_generation() {
+    let dir = temp_dir("retention-guard");
+    let config = online_config();
+    let mut fleet = TenantFleet::new(&config, 0.0, 6, 61).unwrap();
+    ingest_fleet(&mut fleet, 400.0);
+    fleet.run_round_uniform(400.0, 0).unwrap();
+    let snapshots_v1: Vec<_> = {
+        let store = CheckpointStore::new(&dir);
+        let gen1 = fleet.checkpoint_sharded(&dir, 2).unwrap();
+        assert_eq!(gen1.generation, 1);
+        store.load(2).unwrap()
+    };
+
+    // Generation 2 writes fresh bytes (the round dirtied every tenant) —
+    // its shard files share no inode with generation 1's.
+    fleet.run_round_uniform(420.0, 1).unwrap();
+    let gen2 = fleet.checkpoint_sharded(&dir, 2).unwrap();
+    assert!(gen2.shards.iter().all(|s| s.reused_from.is_none()));
+
+    // Bit rot strikes generation 2 after the write...
+    std::fs::write(dir.join(&gen2.shards[1].file), b"{ torn").unwrap();
+
+    // ...and the next two generations hard-link the corrupt bytes
+    // (store-level writes with everything marked clean, so no fleet
+    // self-heal kicks in between them).
+    let store = CheckpointStore::new(&dir);
+    let snapshots = store.load_shards(2).map(|_| ()).err();
+    assert!(snapshots.is_none(), "scan-back itself must not fail here");
+    let current = store.load(2).unwrap();
+    let clean = vec![true; gen2.shards.len()];
+    for expected_gen in [3u64, 4] {
+        let manifest = store
+            .write_with(
+                &current,
+                &robustscaler::online::WriteOptions {
+                    tenants_per_shard: 2,
+                    workers: 2,
+                    clean_shards: Some(&clean),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(manifest.generation, expected_gen);
+        assert!(
+            manifest.shards.iter().any(|s| s.reused_from.is_some()),
+            "generations after the corruption must reuse shards to pin the bug"
+        );
+    }
+
+    // The guard refused both sweeps: generation 1 — the only restorable
+    // one — is still on disk, and the refusals were counted and noted.
+    assert!(
+        dir.join("gen-000001").exists(),
+        "scan-back generation swept"
+    );
+    let io = store.io_stats();
+    assert!(io.retention_verify_failures >= 1, "{io:?}");
+    let notes = store.take_notes();
+    assert!(
+        notes.iter().any(|n| n.contains("retention guard")),
+        "{notes:?}"
+    );
+
+    // Restore still succeeds — by falling back to generation 1 — with
+    // generation 1's exact state. The old sweep made this impossible.
+    let recovered = CheckpointStore::new(&dir).load(2).unwrap();
+    assert_eq!(recovered.len(), snapshots_v1.len());
+    let restored = TenantFleet::restore(&dir, &config).unwrap();
+    assert_eq!(restored.len(), 6);
+
+    // A fresh full write (all shards reserialized) is verified by
+    // construction: the sweep resumes and prunes the corrupt history.
+    let healed = store
+        .write_with(
+            &current,
+            &robustscaler::online::WriteOptions {
+                tenants_per_shard: 2,
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(healed.generation, 5);
+    assert!(healed.shards.iter().all(|s| s.reused_from.is_none()));
+    assert!(!dir.join("gen-000001").exists(), "sweep did not resume");
+    assert!(!dir.join("gen-000003").exists(), "sweep did not resume");
+    assert!(TenantFleet::restore(&dir, &config).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fleet-level self-heal half of the GC fix: when a checkpoint's
+/// retention sweep is refused (nothing verifies), the fleet drops its
+/// incremental baseline so the *next* checkpoint is a full rewrite —
+/// restorable by construction — and reuse then resumes.
+#[test]
+fn fleet_self_heals_with_a_full_rewrite_after_a_blocked_sweep() {
+    let dir = temp_dir("retention-self-heal");
+    let config = online_config();
+    let mut fleet = TenantFleet::new(&config, 0.0, 6, 67).unwrap();
+    ingest_fleet(&mut fleet, 400.0);
+    fleet.run_round_uniform(400.0, 0).unwrap();
+    fleet.checkpoint_sharded(&dir, 2).unwrap();
+    fleet.run_round_uniform(420.0, 1).unwrap();
+    let gen2 = fleet.checkpoint_sharded(&dir, 2).unwrap();
+
+    // Corrupt a fresh generation-2 shard, then checkpoint with every
+    // tenant clean: generation 3 reuses the corrupt bytes and its sweep
+    // is refused.
+    std::fs::write(dir.join(&gen2.shards[0].file), b"{ torn").unwrap();
+    let gen3 = fleet.checkpoint_sharded(&dir, 2).unwrap();
+    assert!(gen3.shards.iter().all(|s| s.reused_from.is_some()));
+    assert!(fleet.checkpoint_io_stats().retention_verify_failures >= 1);
+    assert!(
+        dir.join("gen-000001").exists(),
+        "scan-back generation swept"
+    );
+
+    // Self-heal: the next checkpoint rewrites everything even though no
+    // tenant was touched, and the sweep resumes behind it.
+    let gen4 = fleet.checkpoint_sharded(&dir, 2).unwrap();
+    assert!(
+        gen4.shards.iter().all(|s| s.reused_from.is_none()),
+        "self-heal checkpoint must rewrite every shard: {:?}",
+        gen4.shards
+    );
+    assert!(!dir.join("gen-000001").exists(), "sweep did not resume");
+
+    // The healed directory restores the live state bit-identically.
+    let mut restored = TenantFleet::restore(&dir, &config).unwrap();
+    assert_eq!(restored.aggregate_stats(), fleet.aggregate_stats());
+    assert_eq!(
+        restored.run_round_uniform(440.0, 2).unwrap(),
+        fleet.run_round_uniform(440.0, 2).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -87,10 +87,101 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// A streaming output sink for [`Serialize::serialize`].
+///
+/// Data formats (e.g. the vendored `serde_json`) implement this to receive
+/// serialization events directly, skipping the intermediate [`Value`] tree
+/// that [`Serialize::to_value`] builds. The trait is object-safe and
+/// infallible: sinks buffer into memory and surface I/O separately.
+///
+/// Calls follow the obvious grammar: a scalar call, or
+/// `begin_arr (elem value)* end_arr`, or `begin_obj (key value)* end_obj`,
+/// where `value` is itself one serialized value.
+pub trait Serializer {
+    /// Emit a `null`.
+    fn null(&mut self);
+    /// Emit a boolean.
+    fn boolean(&mut self, b: bool);
+    /// Emit a floating-point number (non-finite values encode as `null`,
+    /// matching the [`Value::Num`] tree path).
+    fn num(&mut self, x: f64);
+    /// Emit a signed integer, kept exact.
+    fn int(&mut self, i: i64);
+    /// Emit an unsigned integer, kept exact.
+    fn uint(&mut self, u: u64);
+    /// Emit a string.
+    fn str(&mut self, s: &str);
+    /// Begin an array.
+    fn begin_arr(&mut self);
+    /// Announce the next array element (called before each element's value).
+    fn elem(&mut self);
+    /// End an array.
+    fn end_arr(&mut self);
+    /// Begin an object.
+    fn begin_obj(&mut self);
+    /// Emit the next object key (called before each member's value).
+    fn key(&mut self, k: &str);
+    /// End an object.
+    fn end_obj(&mut self);
+}
+
+/// Stream a [`Value`] tree into a [`Serializer`].
+///
+/// This is the bridge between the two serialization flavours: any
+/// `Serialize` impl that only provides `to_value` still works with
+/// streaming sinks (via the default [`Serialize::serialize`]), and the two
+/// paths produce identical event sequences for equal trees.
+pub fn serialize_value(v: &Value, s: &mut dyn Serializer) {
+    match v {
+        Value::Null => s.null(),
+        Value::Bool(b) => s.boolean(*b),
+        Value::Num(x) => s.num(*x),
+        Value::Int(i) => s.int(*i),
+        Value::UInt(u) => s.uint(*u),
+        Value::Str(text) => s.str(text),
+        Value::Arr(items) => {
+            s.begin_arr();
+            for item in items {
+                s.elem();
+                serialize_value(item, s);
+            }
+            s.end_arr();
+        }
+        Value::Obj(pairs) => {
+            s.begin_obj();
+            for (k, item) in pairs {
+                s.key(k);
+                serialize_value(item, s);
+            }
+            s.end_obj();
+        }
+    }
+}
+
 /// Types that can be converted into a [`Value`] tree.
 pub trait Serialize {
     /// Convert `self` into a [`Value`].
     fn to_value(&self) -> Value;
+
+    /// Stream `self` into a [`Serializer`] without building a [`Value`].
+    ///
+    /// The default falls back through [`Serialize::to_value`], so manual
+    /// impls stay correct; derived impls and the built-in impls below
+    /// override it with direct streaming. The contract is that both paths
+    /// emit the same event sequence.
+    fn serialize(&self, s: &mut dyn Serializer) {
+        serialize_value(&self.to_value(), s);
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        serialize_value(self, s);
+    }
 }
 
 /// Types that can be reconstructed from a [`Value`] tree.
@@ -112,11 +203,19 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        (**self).serialize(s);
+    }
 }
 
 impl<T: Serialize> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        (**self).serialize(s);
     }
 }
 
@@ -134,6 +233,10 @@ impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.boolean(*self);
+    }
 }
 
 impl Deserialize for bool {
@@ -148,6 +251,10 @@ impl Deserialize for bool {
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Num(*self)
+    }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.num(*self);
     }
 }
 
@@ -167,6 +274,10 @@ impl Deserialize for f64 {
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Num(f64::from(*self))
+    }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.num(f64::from(*self));
     }
 }
 
@@ -195,6 +306,10 @@ macro_rules! impl_serde_uint {
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::UInt(*self as u64)
+            }
+
+            fn serialize(&self, s: &mut dyn Serializer) {
+                s.uint(*self as u64);
             }
         }
         impl Deserialize for $t {
@@ -248,6 +363,10 @@ macro_rules! impl_serde_sint {
             fn to_value(&self) -> Value {
                 Value::Int(*self as i64)
             }
+
+            fn serialize(&self, s: &mut dyn Serializer) {
+                s.int(*self as i64);
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, Error> {
@@ -290,6 +409,10 @@ impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.str(self);
+    }
 }
 
 impl Deserialize for String {
@@ -305,6 +428,10 @@ impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
     }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.str(self);
+    }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
@@ -312,6 +439,13 @@ impl<T: Serialize> Serialize for Option<T> {
         match self {
             Some(x) => x.to_value(),
             None => Value::Null,
+        }
+    }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        match self {
+            Some(x) => x.serialize(s),
+            None => s.null(),
         }
     }
 }
@@ -329,9 +463,26 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+/// Shared streaming body for slice-shaped containers.
+fn serialize_seq<'a, T: Serialize + 'a>(
+    items: impl Iterator<Item = &'a T>,
+    s: &mut dyn Serializer,
+) {
+    s.begin_arr();
+    for item in items {
+        s.elem();
+        item.serialize(s);
+    }
+    s.end_arr();
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        serialize_seq(self.iter(), s);
     }
 }
 
@@ -348,11 +499,19 @@ impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Arr(self.iter().map(Serialize::to_value).collect())
     }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        serialize_seq(self.iter(), s);
+    }
 }
 
 impl<T: Serialize> Serialize for VecDeque<T> {
     fn to_value(&self) -> Value {
         Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        serialize_seq(self.iter(), s);
     }
 }
 
@@ -365,6 +524,10 @@ impl<T: Deserialize> Deserialize for VecDeque<T> {
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        serialize_seq(self.iter(), s);
     }
 }
 
@@ -387,6 +550,15 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.begin_arr();
+        s.elem();
+        self.0.serialize(s);
+        s.elem();
+        self.1.serialize(s);
+        s.end_arr();
     }
 }
 
@@ -411,6 +583,17 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
             self.1.to_value(),
             self.2.to_value(),
         ])
+    }
+
+    fn serialize(&self, s: &mut dyn Serializer) {
+        s.begin_arr();
+        s.elem();
+        self.0.serialize(s);
+        s.elem();
+        self.1.serialize(s);
+        s.elem();
+        self.2.serialize(s);
+        s.end_arr();
     }
 }
 

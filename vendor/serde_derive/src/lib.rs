@@ -234,7 +234,9 @@ fn parse_item(input: TokenStream) -> Shape {
     }
 }
 
-/// Derive `serde::Serialize` (vendored value-tree flavour).
+/// Derive `serde::Serialize` (vendored value-tree flavour, plus the
+/// streaming `serialize` override so derived types skip the `Value` tree
+/// when writing JSON).
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_item(input);
@@ -249,6 +251,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     )
                 })
                 .collect();
+            let streams: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "s.key(\"{f}\");\n\
+                         ::serde::Serialize::serialize(&self.{f}, s);\n"
+                    )
+                })
+                .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
@@ -256,28 +267,46 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                          {pushes}\
                          ::serde::Value::Obj(fields)\n\
                      }}\n\
+                     fn serialize(&self, s: &mut dyn ::serde::Serializer) {{\n\
+                         s.begin_obj();\n\
+                         {streams}\
+                         s.end_obj();\n\
+                     }}\n\
                  }}"
             )
         }
         Shape::TupleStruct { name, arity } => {
-            let body = if arity == 1 {
+            let (body, stream_body) = if arity == 1 {
                 // Newtype structs are transparent, like real serde.
-                "::serde::Serialize::to_value(&self.0)".to_string()
+                (
+                    "::serde::Serialize::to_value(&self.0)".to_string(),
+                    "::serde::Serialize::serialize(&self.0, s);".to_string(),
+                )
             } else {
                 let items: Vec<String> = (0..arity)
                     .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
                     .collect();
-                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                let streams: String = (0..arity)
+                    .map(|i| format!("s.elem();\n::serde::Serialize::serialize(&self.{i}, s);\n"))
+                    .collect();
+                (
+                    format!("::serde::Value::Arr(vec![{}])", items.join(", ")),
+                    format!("s.begin_arr();\n{streams}s.end_arr();"),
+                )
             };
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                     fn serialize(&self, s: &mut dyn ::serde::Serializer) {{\n\
+                         {stream_body}\n\
+                     }}\n\
                  }}"
             )
         }
         Shape::UnitStruct { name } => format!(
             "impl ::serde::Serialize for {name} {{\n\
                  fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+                 fn serialize(&self, s: &mut dyn ::serde::Serializer) {{ s.null(); }}\n\
              }}"
         ),
         Shape::Enum { name, variants } => {
@@ -328,10 +357,72 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     }
                 })
                 .collect();
+            let stream_arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            format!("{name}::{vname} => s.str(\"{vname}\"),\n")
+                        }
+                        VariantShape::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::serialize(f0, s);\n".to_string()
+                            } else {
+                                let elems: String = binds
+                                    .iter()
+                                    .map(|b| {
+                                        format!(
+                                            "s.elem();\n\
+                                             ::serde::Serialize::serialize({b}, s);\n"
+                                        )
+                                    })
+                                    .collect();
+                                format!("s.begin_arr();\n{elems}s.end_arr();\n")
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => {{\n\
+                                     s.begin_obj();\n\
+                                     s.key(\"{vname}\");\n\
+                                     {inner}\
+                                     s.end_obj();\n\
+                                 }}\n",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let streams: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "s.key(\"{f}\");\n\
+                                         ::serde::Serialize::serialize({f}, s);\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                     s.begin_obj();\n\
+                                     s.key(\"{vname}\");\n\
+                                     s.begin_obj();\n\
+                                     {streams}\
+                                     s.end_obj();\n\
+                                     s.end_obj();\n\
+                                 }}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
                          match self {{\n{arms}}}\n\
+                     }}\n\
+                     fn serialize(&self, s: &mut dyn ::serde::Serializer) {{\n\
+                         match self {{\n{stream_arms}}}\n\
                      }}\n\
                  }}"
             )

@@ -9,15 +9,140 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize, Serializer, Value};
 
 pub use serde::Error;
 
 /// Serialize `value` to a compact JSON string.
+///
+/// Streams directly into the output buffer via [`serde::Serializer`] —
+/// no intermediate [`Value`] tree is built. Output is byte-identical to
+/// [`value_to_string`] over `value.to_value()` (pinned by proptest).
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut s = JsonSerializer::new();
+    value.serialize(&mut s);
+    Ok(s.finish())
+}
+
+/// Serialize a [`Value`] tree to a compact JSON string.
+///
+/// This is the original tree-walking writer, kept public as the reference
+/// implementation that the streaming [`to_string`] path is checked against.
+pub fn value_to_string(value: &Value) -> String {
     let mut out = String::new();
-    write_value(&value.to_value(), &mut out);
-    Ok(out)
+    write_value(value, &mut out);
+    out
+}
+
+/// A [`serde::Serializer`] that writes compact JSON into a `String`.
+///
+/// Number and string formatting are shared with the tree writer
+/// ([`write_value`]/[`write_string`]) so both paths produce identical
+/// bytes: shortest-round-trip floats, exact u64/i64, `null` for
+/// non-finite floats.
+pub struct JsonSerializer {
+    out: String,
+    // One entry per open array/object: `true` until the first element/key
+    // is written, so commas go before every subsequent one.
+    first: Vec<bool>,
+}
+
+impl JsonSerializer {
+    /// Create a serializer with an empty output buffer.
+    pub fn new() -> Self {
+        JsonSerializer {
+            out: String::new(),
+            first: Vec::new(),
+        }
+    }
+
+    /// Consume the serializer, returning the JSON written so far.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn comma(&mut self) {
+        if let Some(first) = self.first.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+        }
+    }
+}
+
+impl Default for JsonSerializer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Serializer for JsonSerializer {
+    fn null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    fn boolean(&mut self, b: bool) {
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    fn num(&mut self, x: f64) {
+        if x.is_finite() {
+            write_f64(x, &mut self.out);
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    fn int(&mut self, i: i64) {
+        self.out.push_str(&i.to_string());
+    }
+
+    fn uint(&mut self, u: u64) {
+        self.out.push_str(&u.to_string());
+    }
+
+    fn str(&mut self, s: &str) {
+        write_string(s, &mut self.out);
+    }
+
+    fn begin_arr(&mut self) {
+        self.out.push('[');
+        self.first.push(true);
+    }
+
+    fn elem(&mut self) {
+        self.comma();
+    }
+
+    fn end_arr(&mut self) {
+        self.first.pop();
+        self.out.push(']');
+    }
+
+    fn begin_obj(&mut self) {
+        self.out.push('{');
+        self.first.push(true);
+    }
+
+    fn key(&mut self, k: &str) {
+        self.comma();
+        write_string(k, &mut self.out);
+        self.out.push(':');
+    }
+
+    fn end_obj(&mut self) {
+        self.first.pop();
+        self.out.push('}');
+    }
+}
+
+/// Shared float formatting for both writer paths: Rust's Display for f64
+/// is the shortest string that parses back to the same bits, so
+/// round-trips are exact.
+fn write_f64(x: f64, out: &mut String) {
+    out.push_str(&x.to_string());
 }
 
 /// Deserialize a `T` from a JSON string.
@@ -45,9 +170,7 @@ fn write_value(v: &Value, out: &mut String) {
         Value::Bool(false) => out.push_str("false"),
         Value::Num(x) => {
             if x.is_finite() {
-                // Rust's Display for f64 is the shortest string that parses
-                // back to the same bits, so round-trips are exact.
-                out.push_str(&x.to_string());
+                write_f64(*x, out);
             } else {
                 out.push_str("null");
             }
@@ -405,6 +528,52 @@ mod tests {
         assert_eq!(s, back);
         let surrogate: String = from_str(r#""😀""#).unwrap();
         assert_eq!(surrogate, "😀");
+    }
+
+    #[test]
+    fn streaming_matches_tree_writer() {
+        // The streaming path (Serialize::serialize → JsonSerializer) must be
+        // byte-identical to the tree path (to_value → value_to_string) for
+        // every shape the workspace serializes.
+        fn check<T: Serialize + ?Sized>(x: &T) {
+            assert_eq!(to_string(x).unwrap(), value_to_string(&x.to_value()));
+        }
+        check(&true);
+        check(&u64::MAX);
+        check(&i64::MIN);
+        check(&-0.0_f64);
+        check(&f64::NAN);
+        check(&f64::INFINITY);
+        check(&std::f64::consts::PI);
+        check("escape\nme \"now\" \\ \u{1} — ✓");
+        check(&Option::<f64>::None);
+        check(&Some(vec![1u64, 2, 3]));
+        check(&vec![Some(-0.0_f64), None, Some(f64::NEG_INFINITY)]);
+        check(&[u64::MAX, 1 << 63, 12345, 0]);
+        check(&(1u8, "two".to_string()));
+        check(&(1u8, "two".to_string(), vec![3.0_f64]));
+        check(&Vec::<bool>::new());
+        let nested = Value::Obj(vec![
+            ("empty_obj".into(), Value::Obj(vec![])),
+            ("empty_arr".into(), Value::Arr(vec![])),
+            (
+                "mixed".into(),
+                Value::Arr(vec![
+                    Value::Null,
+                    Value::UInt(u64::MAX),
+                    Value::Num(-0.0),
+                    Value::Str("k\"ey".into()),
+                ]),
+            ),
+        ]);
+        check(&nested);
+    }
+
+    #[test]
+    fn non_finite_floats_stream_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&-0.0_f64).unwrap(), "-0");
     }
 
     #[test]
