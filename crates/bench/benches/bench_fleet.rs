@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
 use robustscaler_nhpp::NhppModel;
-use robustscaler_online::{BusConfig, OnlineConfig, TenantFleet};
+use robustscaler_online::{BusConfig, OnlineConfig, SharingConfig, TenantFleet};
 use robustscaler_parallel::available_threads;
 
 /// Warm-started fleet: models installed directly so the timed loop
@@ -46,10 +46,49 @@ fn bench_fleet_round(c: &mut Criterion) {
             |b, &tenants| {
                 let mut fleet = build_fleet(tenants, 250);
                 fleet.set_workers(1);
+                // Cross-tenant batched planning on: the production
+                // configuration for large fleets (the `fleet_round_batched`
+                // group isolates its speedup against the private path).
+                fleet
+                    .set_sharing(SharingConfig::on())
+                    .expect("valid sharing");
                 let mut round = 0u64;
                 b.iter(|| {
                     // Advance time so the forecast cache is exercised like a
                     // live serving loop (refresh roughly once per horizon).
+                    let now = 86_400.0 + 10.0 * round as f64;
+                    round += 1;
+                    fleet.run_round_uniform(now, 0).expect("round succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Cross-tenant batched planning, isolated: the same 1000-tenant fleet
+/// with forecast-cluster sharing on vs off (everything else identical).
+/// The ratio of the two is the tentpole speedup — the shared path samples
+/// one arrival matrix per forecast cluster (~33 clusters for this fleet's
+/// rate mix at the default 5 % quantization) instead of one per tenant.
+fn bench_fleet_round_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_round_batched");
+    group.sample_size(10);
+    let tenants = 1_000usize;
+    for sharing in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if sharing { "sharing_on" } else { "sharing_off" }),
+            &sharing,
+            |b, &sharing| {
+                let mut fleet = build_fleet(tenants, 250);
+                fleet.set_workers(1);
+                if sharing {
+                    fleet
+                        .set_sharing(SharingConfig::on())
+                        .expect("valid sharing");
+                }
+                let mut round = 0u64;
+                b.iter(|| {
                     let now = 86_400.0 + 10.0 * round as f64;
                     round += 1;
                     fleet.run_round_uniform(now, 0).expect("round succeeds")
@@ -310,6 +349,7 @@ fn bench_fleet_hibernation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_fleet_round,
+    bench_fleet_round_batched,
     bench_fleet_round_parallel,
     bench_ingest_throughput,
     bench_pool_vs_spawn,

@@ -184,6 +184,7 @@ impl PiecewiseConstantIntensity {
         *self.cumulative.last().expect("non-empty")
     }
 
+    #[inline]
     fn bucket_of(&self, t: f64) -> usize {
         if t <= self.start {
             return 0;
@@ -194,6 +195,7 @@ impl PiecewiseConstantIntensity {
 
     /// Integrated intensity from the start of coverage up to `t` (clamping
     /// `t` into the covered range; beyond the end the final rate extends).
+    #[inline]
     fn cumulative_at(&self, t: f64) -> f64 {
         if t <= self.start {
             // Extend the first bucket's rate backwards in time.
@@ -216,6 +218,7 @@ impl PiecewiseConstantIntensity {
     /// hinted and fresh inversions agree bit for bit. On a miss the slow
     /// path resolves the piece (resuming the bucket scan at `hint.bucket`
     /// when possible) and re-primes the cache.
+    #[inline]
     fn inverse_impl(&self, from: f64, target: f64, hint: &mut InverseHint) -> f64 {
         debug_assert!(target >= 0.0, "target must be non-negative");
         if target == 0.0 {
@@ -385,6 +388,7 @@ impl Intensity for PiecewiseConstantIntensity {
         self.inverse_impl(from, target, &mut hint)
     }
 
+    #[inline]
     fn inverse_integrated_hinted(&self, from: f64, target: f64, hint: &mut InverseHint) -> f64 {
         self.inverse_impl(from, target, hint)
     }

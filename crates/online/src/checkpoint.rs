@@ -69,7 +69,7 @@ use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -195,7 +195,12 @@ pub struct SupervisionSnapshot {
 }
 
 /// Manifest entry for one shard file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written so manifests predating
+/// [`ShardEntry::bytes`] still load (the field defaults to `0`,
+/// "unknown", which disqualifies the entry from the size quick check and
+/// falls back to full read-back verification).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ShardEntry {
     /// Shard file path relative to the checkpoint directory.
     pub file: String,
@@ -203,11 +208,40 @@ pub struct ShardEntry {
     pub tenants: usize,
     /// FNV-1a 64-bit checksum of the shard file's bytes, lowercase hex.
     pub checksum: String,
+    /// Size of the shard file when its bytes were serialized, `0` when
+    /// unknown (manifests written before this field existed). The
+    /// retention guard stats reused shard files against this as a cheap
+    /// confirmation that the restorability induction still holds on disk
+    /// (truncated or torn-overwritten files change size); see
+    /// [`WriteOptions::previous_restorable`].
+    pub bytes: u64,
     /// When the shard was **reused** from an earlier generation (none of
     /// its tenants mutated since), the generation that actually serialized
     /// these bytes; `None` for freshly written shards (and all v1
     /// entries).
     pub reused_from: Option<u64>,
+}
+
+impl Deserialize for ShardEntry {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let require = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| serde::Error::msg(format!("missing field `{key}` in ShardEntry")))
+        };
+        Ok(Self {
+            file: Deserialize::from_value(require("file")?)?,
+            tenants: Deserialize::from_value(require("tenants")?)?,
+            checksum: Deserialize::from_value(require("checksum")?)?,
+            bytes: match v.get("bytes") {
+                Some(value) => Deserialize::from_value(value)?,
+                None => 0,
+            },
+            reused_from: match v.get("reused_from") {
+                Some(value) => Deserialize::from_value(value)?,
+                None => None,
+            },
+        })
+    }
 }
 
 /// The checkpoint manifest: the single swap point that makes a generation
@@ -258,6 +292,17 @@ pub struct WriteOptions<'a> {
     pub round: Option<u64>,
     /// Residency configuration to record in the manifest (format v4).
     pub residency: Option<ResidencyConfig>,
+    /// Caller's assertion that the directory's current (pre-write)
+    /// generation is restorable — it was this caller's own previous write
+    /// and that write was restorable (fresh, or inductively anchored at a
+    /// fresh/verified one). Lets the retention sweep trust the new
+    /// generation *by induction* instead of re-hashing every kept shard
+    /// file from disk: reuse only links the previous generation's bytes,
+    /// and fresh shards are trustworthy by construction. `false` (the
+    /// default, and the right value for a fresh process or a directory
+    /// another writer may have touched) keeps the sweep's read-back
+    /// verification.
+    pub previous_restorable: bool,
 }
 
 /// FNV-1a 64-bit hash — small, dependency-free, and plenty for detecting
@@ -309,6 +354,18 @@ pub trait CheckpointStorage: std::fmt::Debug + Send + Sync {
     fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
     /// Entry names (not full paths) of a directory.
     fn read_dir_names(&self, path: &Path) -> std::io::Result<Vec<String>>;
+    /// Size of `path` in bytes — the retention guard's stat-based quick
+    /// check. The default reports unsupported, which makes the guard fall
+    /// back to full read-back verification, so custom storages (including
+    /// the fault-injecting test wrapper) keep the strictest behavior
+    /// unless they opt in.
+    fn file_size(&self, path: &Path) -> std::io::Result<u64> {
+        let _ = path;
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "file_size unsupported by this storage backend",
+        ))
+    }
 }
 
 /// [`CheckpointStorage`] over the real filesystem.
@@ -350,6 +407,10 @@ impl CheckpointStorage for OsStorage {
         fs::read(path)
     }
 
+    fn file_size(&self, path: &Path) -> std::io::Result<u64> {
+        fs::metadata(path).map(|m| m.len())
+    }
+
     fn read_dir_names(&self, path: &Path) -> std::io::Result<Vec<String>> {
         let mut names = Vec::new();
         for entry in fs::read_dir(path)? {
@@ -369,6 +430,7 @@ struct IoCounters {
     reuse_fallbacks: AtomicU64,
     generation_fallbacks: AtomicU64,
     retention_verify_failures: AtomicU64,
+    last_write_restorable: AtomicBool,
     notes: Mutex<Vec<String>>,
 }
 
@@ -682,6 +744,7 @@ impl CheckpointStore {
                 file,
                 tenants: chunk.len(),
                 checksum,
+                bytes: bytes.len() as u64,
                 reused_from: None,
             })
         };
@@ -723,11 +786,55 @@ impl CheckpointStore {
         self.sync_dir(&self.dir)?;
         // A generation whose shards were all freshly serialized from live
         // state is restorable by construction (every byte was just fsynced
-        // and checksummed); one that reused shards inherits the linked
-        // files' health and must be read back before the sweep may trust it.
+        // and checksummed). One that reused shards only ever links the
+        // *previous* generation's bytes, so when the caller vouches for
+        // that generation (`previous_restorable`: it was the caller's own
+        // previous write, itself restorable), the new generation is
+        // restorable by induction — the chain is anchored at a fresh or
+        // read-back-verified generation. The induction is memory-only and
+        // cannot see out-of-band disk damage, so it is confirmed with a
+        // stat of every reused shard file against the size recorded at
+        // serialization: truncation and torn overwrites — the corruption
+        // modes the retention guard exists for — change the size, and any
+        // mismatch (or a storage backend without stat support) drops to
+        // the full read-back in `sweep_old_generations`.
         let all_fresh = manifest.shards.iter().all(|s| s.reused_from.is_none());
-        self.sweep_old_generations(&manifest, all_fresh);
+        let restorable =
+            all_fresh || (options.previous_restorable && self.reused_shard_sizes_intact(&manifest));
+        self.io
+            .last_write_restorable
+            .store(restorable, Ordering::Relaxed);
+        self.sweep_old_generations(&manifest, restorable);
         Ok(manifest)
+    }
+
+    /// Whether the last [`CheckpointStore::write_with`] on this store (or a
+    /// clone sharing its counters) produced a generation known restorable
+    /// without read-back — all shards fresh, or reuse anchored on a
+    /// restorable previous write. Callers feed this into the next write's
+    /// [`WriteOptions::previous_restorable`] to keep the induction going.
+    pub fn last_write_restorable(&self) -> bool {
+        self.io.last_write_restorable.load(Ordering::Relaxed)
+    }
+
+    /// Cheap on-disk confirmation of the restorability induction: every
+    /// reused shard's file still has the size recorded when its bytes
+    /// were serialized (one stat per reused shard, no reads). `false`
+    /// when any size is unknown (pre-`bytes` manifest), unavailable
+    /// (storage without stat support), or mismatched — all of which send
+    /// the sweep to full read-back verification instead.
+    fn reused_shard_sizes_intact(&self, manifest: &Manifest) -> bool {
+        manifest
+            .shards
+            .iter()
+            .filter(|entry| entry.reused_from.is_some())
+            .all(|entry| {
+                entry.bytes != 0
+                    && self
+                        .storage
+                        .file_size(&self.dir.join(&entry.file))
+                        .is_ok_and(|size| size == entry.bytes)
+            })
     }
 
     /// Materialize a clean shard in the new generation directory by
@@ -761,6 +868,7 @@ impl CheckpointStore {
             file: file.to_string(),
             tenants: prev.tenants,
             checksum: prev.checksum.clone(),
+            bytes: prev.bytes,
             reused_from: Some(prev.reused_from.unwrap_or(generation - 1)),
         })
     }

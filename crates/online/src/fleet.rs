@@ -74,9 +74,12 @@ use crate::replay::{
     model_fingerprint, QosRecord, ResidencyEvent, ScalerEvent, SessionKind, TraceHeader,
     TraceRecord, TraceRecorder, TraceSummary, WakeReason, TRACE_FORMAT_VERSION,
 };
-use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats, ScalerSnapshot};
+use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats, RoundPrep, ScalerSnapshot};
+use crate::sharing::{ClusterKey, SharingConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use robustscaler_parallel::{available_threads, map_chunks_mut, WorkerPool};
-use robustscaler_scaling::PlanningRound;
+use robustscaler_scaling::{ArrivalSampler, PlanningRound};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -389,8 +392,25 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// One tenant's share of a planning round, executed inside the round
-/// worker's per-tenant `catch_unwind` boundary.
+/// Outcome of one tenant's *prepare* phase — everything up to, but not
+/// including, the Monte Carlo planning stage.
+enum PrepOutcome {
+    /// The round finished in the prepare phase: it errored, the tenant is
+    /// quarantined, or the sufficiency check skipped the Monte Carlo
+    /// stage. The plan phase does not touch this tenant.
+    Done(Result<PlanningRound, OnlineError>),
+    /// The Monte Carlo stage still has to run in the plan phase.
+    Plan {
+        /// The tenant's forecast fingerprint, when sharing is enabled and
+        /// a fingerprint could be taken. `None` plans privately.
+        key: Option<ClusterKey>,
+        /// Arrival rows the tenant wants from a shared cluster matrix.
+        wanted: usize,
+    },
+}
+
+/// One tenant's *prepare* share of a planning round, executed inside the
+/// round worker's per-tenant `catch_unwind` boundary.
 ///
 /// Order matters for determinism and data retention: the recovery (if
 /// this is a probe) runs *first* so a snapshot restore cannot eat the
@@ -399,10 +419,13 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// suspension and the record/replay invariant (every round drains the
 /// bus) holds; injected corruption applies to the drained batch *after*
 /// the recorder captured the queue, so a replayed drain re-derives the
-/// identical corruption; only then is planning attempted (or skipped,
-/// for quarantined tenants).
+/// identical corruption; only then is planning prepared (refit, forecast
+/// refresh, sufficiency check) or refused, for quarantined tenants. The
+/// Monte Carlo stage itself runs in [`tenant_plan`] — split out so the
+/// fleet can batch arrival sampling across tenants in between. Prepare
+/// followed immediately by plan is bit-identical to the unsplit round.
 #[allow(clippy::too_many_arguments)]
-fn tenant_round(
+fn tenant_prepare(
     tenant: &mut Tenant,
     index: usize,
     round: u64,
@@ -412,7 +435,8 @@ fn tenant_round(
     faults: Option<&FaultInjector>,
     action: &TenantAction,
     buf: &mut Vec<f64>,
-) -> Result<PlanningRound, OnlineError> {
+    sharing: &SharingConfig,
+) -> PrepOutcome {
     let id = tenant.id;
     if let TenantAction::Probe {
         recovery,
@@ -422,9 +446,16 @@ fn tenant_round(
     {
         match (recovery, snapshot) {
             (RecoveryAction::RestoreSnapshot, Some(snapshot)) => {
-                tenant.scaler = OnlineScaler::restore((**snapshot).clone(), *config)?;
+                match OnlineScaler::restore((**snapshot).clone(), *config) {
+                    Ok(scaler) => tenant.scaler = scaler,
+                    Err(e) => return PrepOutcome::Done(Err(e)),
+                }
             }
-            _ => tenant.scaler.probe_refit(now)?,
+            _ => {
+                if let Err(e) = tenant.scaler.probe_refit(now) {
+                    return PrepOutcome::Done(Err(e));
+                }
+            }
         }
     }
     if let Some(bus) = bus {
@@ -436,23 +467,55 @@ fn tenant_round(
                 }
                 tenant.scaler.ingest_batch(buf);
             }
-            Err(e) => return Err(e),
+            Err(e) => return PrepOutcome::Done(Err(e)),
         }
     }
     if let TenantAction::Skip { until_round } = action {
-        return Err(OnlineError::Quarantined {
+        return PrepOutcome::Done(Err(OnlineError::Quarantined {
             tenant: id,
             until_round: *until_round,
-        });
+        }));
     }
     if let Some(injector) = faults {
         match injector.plan_fault(round, id) {
-            Some(PlanFault::Error) => return Err(OnlineError::Injected { round, tenant: id }),
+            Some(PlanFault::Error) => {
+                return PrepOutcome::Done(Err(OnlineError::Injected { round, tenant: id }))
+            }
             Some(PlanFault::Panic) => panic!("injected tenant panic (round {round}, tenant {id})"),
             None => {}
         }
     }
-    tenant.scaler.plan_round(now, covered)
+    match tenant.scaler.prepare_round(now, covered) {
+        Err(e) => PrepOutcome::Done(Err(e)),
+        Ok(RoundPrep::Skip(finished)) => PrepOutcome::Done(Ok(finished)),
+        Ok(RoundPrep::Plan) => {
+            let key = tenant.scaler.cluster_key(now, sharing);
+            let wanted = if key.is_some() {
+                tenant.scaler.shared_sampling_demand(now, covered)
+            } else {
+                0
+            };
+            PrepOutcome::Plan { key, wanted }
+        }
+    }
+}
+
+/// One tenant's *plan* share of a planning round: the Monte Carlo stage,
+/// against the cluster's shared sampler when one was assigned (falling
+/// back to private sampling if the shared horizon cannot serve this
+/// tenant), privately otherwise.
+fn tenant_plan(
+    tenant: &mut Tenant,
+    now: f64,
+    covered: usize,
+    sampler: Option<&ArrivalSampler>,
+) -> Result<PlanningRound, OnlineError> {
+    if let Some(sampler) = sampler {
+        if let Some(finished) = tenant.scaler.plan_shared(now, covered, sampler)? {
+            return Ok(finished);
+        }
+    }
+    tenant.scaler.plan_prepared(now, covered)
 }
 
 /// Sentinel for "no checkpoint has captured this queue yet": a mutation
@@ -475,6 +538,14 @@ struct LastCheckpoint {
     /// that holds different tenants, and linking its bytes would corrupt
     /// the checkpoint (restore then fails on duplicate/missing tenants).
     tenants_per_shard: usize,
+    /// Whether that write was known restorable without read-back (all
+    /// shards fresh, or reuse anchored — by induction — on a restorable
+    /// previous write). Feeds the next write's
+    /// [`WriteOptions::previous_restorable`], which lets the retention
+    /// sweep skip re-hashing every kept shard file on steady-state
+    /// incremental checkpoints. In-memory only: a fresh process starts
+    /// without it and pays one read-back (or full rewrite) to re-anchor.
+    restorable: bool,
 }
 
 /// Runtime wiring to re-arm atomically with a checkpoint restore (see
@@ -558,6 +629,10 @@ pub struct TenantFleet {
     /// supervisor policy, fault plan and storage wiring were *not*
     /// re-armed (see [`TenantFleet::restore_with`]).
     restored_unarmed: bool,
+    /// Cross-tenant shared-sampling policy. Runtime-only, like tracing:
+    /// not persisted in checkpoints (a restored fleet starts with sharing
+    /// off and the driver re-applies it).
+    sharing: SharingConfig,
 }
 
 impl Clone for TenantFleet {
@@ -616,6 +691,7 @@ impl Clone for TenantFleet {
             pending_wakes: Vec::new(),
             residency_events: Vec::new(),
             restored_unarmed: self.restored_unarmed,
+            sharing: self.sharing,
         }
     }
 }
@@ -744,6 +820,7 @@ impl TenantFleet {
             pending_wakes: Vec::new(),
             residency_events: Vec::new(),
             restored_unarmed: false,
+            sharing: SharingConfig::default(),
         }
     }
 
@@ -926,6 +1003,27 @@ impl TenantFleet {
     pub fn set_workers(&mut self, workers: usize) {
         self.workers = workers.max(1);
         self.pool.ensure_threads(self.workers);
+    }
+
+    /// Set the cross-tenant shared-sampling policy (see [`SharingConfig`]).
+    ///
+    /// Off (the default) keeps rounds bit-identical to a fleet without the
+    /// sharing layer, at any worker count. On, tenants whose forecasts
+    /// quantize to the same [`ClusterKey`] plan against one shared
+    /// arrival-sample matrix per cluster — deterministic (the matrix is
+    /// seeded from the key and the round counter, never a tenant RNG) but
+    /// *not* bit-identical to sharing off. Runtime-only, like tracing: the
+    /// setting is not persisted in checkpoints, and a restored fleet
+    /// starts with sharing off.
+    pub fn set_sharing(&mut self, sharing: SharingConfig) -> Result<(), OnlineError> {
+        sharing.validate()?;
+        self.sharing = sharing;
+        Ok(())
+    }
+
+    /// The active cross-tenant shared-sampling policy.
+    pub fn sharing(&self) -> SharingConfig {
+        self.sharing
     }
 
     /// Attach the event-driven ingestion runtime: one bounded arrival
@@ -1176,8 +1274,14 @@ impl TenantFleet {
         let config = self.config;
         let origin = self.origin;
         let tracing = self.tracing;
+        let sharing = self.sharing;
         let hibernation = self.hibernation.as_ref();
-        let work = |start: usize, chunk: &mut [TenantSlot]| {
+        // Phase 1 — prepare, arrival-major: each worker drains and
+        // prepares *all* of its tenants (recovery → drain → ingest →
+        // refit → sufficiency check) before any Monte Carlo planning
+        // runs, so the plan phase below sees every tenant's final
+        // forecast and can batch the sampling across them.
+        let prepare_work = |start: usize, chunk: &mut [TenantSlot]| {
             // Injected worker-thread death: fires at the chunk boundary,
             // outside any tenant, so the whole round aborts (see the
             // module docs — this fault class is worker-count-dependent).
@@ -1198,7 +1302,7 @@ impl TenantFleet {
                         // Dormant tenants are not touched at all — that
                         // is the whole round-latency win.
                         TenantAction::Dormant => {
-                            return Err(OnlineError::Hibernated { tenant: id });
+                            return PrepOutcome::Done(Err(OnlineError::Hibernated { tenant: id }));
                         }
                         TenantAction::Wake { .. } => {
                             if let TenantSlot::Paged(paged) = slot {
@@ -1231,19 +1335,19 @@ impl TenantFleet {
                                     // A failed page-in leaves the tenant
                                     // paged; the wake trigger persists,
                                     // so next round retries.
-                                    Err(e) => return Err(e),
+                                    Err(e) => return PrepOutcome::Done(Err(e)),
                                 }
                             }
                         }
                         _ => {}
                     }
                     let TenantSlot::Resident(tenant) = slot else {
-                        return Err(OnlineError::Hibernated { tenant: id });
+                        return PrepOutcome::Done(Err(OnlineError::Hibernated { tenant: id }));
                     };
                     // The tenant boundary: a panicking tenant (injected or
                     // real) poisons only its own slot.
                     catch_unwind(AssertUnwindSafe(|| {
-                        tenant_round(
+                        tenant_prepare(
                             tenant,
                             index,
                             round,
@@ -1253,35 +1357,37 @@ impl TenantFleet {
                             faults.as_ref(),
                             &actions_ref[index],
                             &mut buf,
+                            &sharing,
                         )
                     }))
                     .unwrap_or_else(|payload| {
-                        Err(OnlineError::TenantPanicked {
+                        PrepOutcome::Done(Err(OnlineError::TenantPanicked {
                             tenant: id,
                             message: panic_message(payload),
-                        })
+                        }))
                     })
                 })
-                .collect::<Vec<Result<PlanningRound, OnlineError>>>()
+                .collect::<Vec<PrepOutcome>>()
         };
-        let round_outcome = catch_unwind(AssertUnwindSafe(|| {
+        let prepare_outcome = catch_unwind(AssertUnwindSafe(|| {
             if use_pool {
-                self.pool.map_chunks_mut(&mut self.tenants, workers, work)
+                self.pool
+                    .map_chunks_mut(&mut self.tenants, workers, prepare_work)
             } else {
-                map_chunks_mut(&mut self.tenants, workers, work)
+                map_chunks_mut(&mut self.tenants, workers, prepare_work)
             }
         }));
-        // Every *planned* tenant's ring/stats advanced (plan_round touches
-        // both even on the error path), so those tenants are dirty for
-        // checkpoints; dormant tenants were not touched at all, which is
-        // what keeps their checkpoint shards clean (and reusable) across
-        // quiet rounds.
+        // Every prepared tenant's ring/stats advanced (the prepare phase
+        // drains, ingests and refits even on the error path), so those
+        // tenants are dirty for checkpoints; dormant tenants were not
+        // touched at all, which is what keeps their checkpoint shards
+        // clean (and reusable) across quiet rounds.
         for (i, action) in actions.iter().enumerate() {
             if !matches!(action, TenantAction::Dormant) {
                 self.dirty[i] = true;
             }
         }
-        let per_chunk: Vec<Vec<Result<PlanningRound, OnlineError>>> = match round_outcome {
+        let per_chunk: Vec<Vec<PrepOutcome>> = match prepare_outcome {
             Ok(per_chunk) => per_chunk,
             Err(payload) => {
                 // A panic escaped the tenant boundary (injected worker
@@ -1298,8 +1404,142 @@ impl TenantFleet {
                 });
             }
         };
-        let results: Vec<Result<PlanningRound, OnlineError>> =
-            per_chunk.into_iter().flatten().collect();
+        let prep: Vec<PrepOutcome> = per_chunk.into_iter().flatten().collect();
+        let plans_pending = prep
+            .iter()
+            .filter(|outcome| matches!(outcome, PrepOutcome::Plan { .. }))
+            .count();
+        // Phase 2 — cluster assembly, serial: group the tenants that still
+        // need Monte Carlo planning by forecast fingerprint and sample one
+        // shared arrival matrix per multi-member cluster. Serial on
+        // purpose: membership, horizons and sampler seeds become a pure
+        // function of (tenant states, round) — identical for any worker
+        // count — and the seeds come from the keys themselves, so no
+        // tenant's RNG stream is touched. Any failure to build a cluster's
+        // matrix silently degrades its members to the private path.
+        let mut samplers: Vec<ArrivalSampler> = Vec::new();
+        let mut cluster_of: Vec<Option<usize>> = vec![None; prep.len()];
+        if self.sharing.enabled && plans_pending > 0 {
+            let mut clusters: std::collections::HashMap<ClusterKey, Vec<usize>> =
+                std::collections::HashMap::new();
+            // First-seen key order, so sampler assembly never iterates the
+            // map (iteration order would leak the hasher into timing — the
+            // plans themselves stay order-independent either way).
+            let mut order: Vec<ClusterKey> = Vec::new();
+            for (i, outcome) in prep.iter().enumerate() {
+                if let PrepOutcome::Plan { key: Some(key), .. } = outcome {
+                    clusters
+                        .entry(*key)
+                        .or_insert_with(|| {
+                            order.push(*key);
+                            Vec::new()
+                        })
+                        .push(i);
+                }
+            }
+            for key in order {
+                let members = &clusters[&key];
+                if members.len() < 2 {
+                    // A singleton gains nothing from the representative
+                    // approximation — private sampling costs the same.
+                    continue;
+                }
+                let horizon = members
+                    .iter()
+                    .map(|&i| match prep[i] {
+                        PrepOutcome::Plan { wanted, .. } => wanted,
+                        PrepOutcome::Done(_) => 0,
+                    })
+                    .max()
+                    .unwrap_or(0)
+                    .max(1);
+                let Ok(representative) = key.representative_intensity() else {
+                    continue;
+                };
+                let mut rng = StdRng::seed_from_u64(key.seed(round));
+                let Ok(sampler) =
+                    ArrivalSampler::new(&representative, now, horizon, key.samples(), &mut rng)
+                else {
+                    continue;
+                };
+                let slot = samplers.len();
+                samplers.push(sampler);
+                for &i in members {
+                    cluster_of[i] = Some(slot);
+                }
+            }
+        }
+        // Phase 3 — plan, batch-major: the Monte Carlo stage for every
+        // tenant the prepare phase left pending, against its cluster's
+        // shared matrix when one was built. Skipped entirely when nothing
+        // is pending (the common case for mostly-hibernated fleets), so
+        // quiet rounds pay no second parallel pass.
+        let plan_results: Vec<Option<Result<PlanningRound, OnlineError>>> = if plans_pending == 0 {
+            prep.iter().map(|_| None).collect()
+        } else {
+            let prep_ref = &prep;
+            let cluster_ref = &cluster_of;
+            let samplers_ref = &samplers;
+            let plan_work = |start: usize, chunk: &mut [TenantSlot]| {
+                chunk
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, slot)| {
+                        let index = start + i;
+                        if !matches!(prep_ref[index], PrepOutcome::Plan { .. }) {
+                            return None;
+                        }
+                        let TenantSlot::Resident(tenant) = slot else {
+                            // The prepare phase only leaves resident
+                            // tenants pending.
+                            return Some(Err(OnlineError::Hibernated { tenant: slot.id() }));
+                        };
+                        let sampler = cluster_ref[index].map(|slot| &samplers_ref[slot]);
+                        let id = tenant.id;
+                        Some(
+                            catch_unwind(AssertUnwindSafe(|| {
+                                tenant_plan(tenant, now, covered[index], sampler)
+                            }))
+                            .unwrap_or_else(|payload| {
+                                Err(OnlineError::TenantPanicked {
+                                    tenant: id,
+                                    message: panic_message(payload),
+                                })
+                            }),
+                        )
+                    })
+                    .collect::<Vec<Option<Result<PlanningRound, OnlineError>>>>()
+            };
+            let plan_outcome = catch_unwind(AssertUnwindSafe(|| {
+                if use_pool {
+                    self.pool
+                        .map_chunks_mut(&mut self.tenants, workers, plan_work)
+                } else {
+                    map_chunks_mut(&mut self.tenants, workers, plan_work)
+                }
+            }));
+            match plan_outcome {
+                Ok(per_chunk) => per_chunk.into_iter().flatten().collect(),
+                Err(payload) => {
+                    // Same whole-round abort contract as the prepare phase.
+                    self.dirty.fill(true);
+                    self.round_counter += 1;
+                    return Err(OnlineError::RoundPanicked {
+                        message: panic_message(payload),
+                    });
+                }
+            }
+        };
+        let results: Vec<Result<PlanningRound, OnlineError>> = prep
+            .into_iter()
+            .zip(plan_results)
+            .map(|(outcome, planned)| match outcome {
+                PrepOutcome::Done(result) => result,
+                PrepOutcome::Plan { .. } => {
+                    planned.expect("plan phase produced a result for every pending tenant")
+                }
+            })
+            .collect();
         // Attribute the page-ins the parallel section performed: a wake
         // whose slot is resident now paged in successfully; one still
         // paged failed (and will retry next round).
@@ -1877,7 +2117,16 @@ impl TenantFleet {
             .into_iter()
             .collect::<Result<Vec<_>, OnlineError>>()?;
         let store = self.open_store(dir);
-        let clean: Vec<bool> = if self.previous_generation_is_ours(&store, dir, tenants_per_shard) {
+        let ours = self.previous_generation_is_ours(&store, dir, tenants_per_shard);
+        // The restorability induction may only chain through *our own*
+        // writes: `ours` proves no other writer touched the directory
+        // since the last write, and `restorable` carries the anchor.
+        let previous_restorable = ours
+            && self
+                .last_checkpoint
+                .as_ref()
+                .is_some_and(|last| last.restorable);
+        let clean: Vec<bool> = if ours {
             self.dirty
                 .chunks(tenants_per_shard)
                 .enumerate()
@@ -1904,6 +2153,7 @@ impl TenantFleet {
                 clean_shards: Some(&clean),
                 round: Some(self.round_counter),
                 residency: self.residency,
+                previous_restorable,
             },
         );
         // Accumulate I/O counters whether or not the write landed: retries
@@ -1938,6 +2188,7 @@ impl TenantFleet {
                 generation: manifest.generation,
                 checksums: manifest.shards.iter().map(|s| s.checksum.clone()).collect(),
                 tenants_per_shard,
+                restorable: store.last_write_restorable(),
             });
         }
         Ok(manifest)
@@ -2334,6 +2585,7 @@ impl TenantFleet {
             total.planning_rounds += s.planning_rounds;
             total.skipped_rounds += s.skipped_rounds;
             total.failed_rounds += s.failed_rounds;
+            total.shared_planning_rounds += s.shared_planning_rounds;
         }
         total
     }
@@ -2366,6 +2618,7 @@ mod tests {
         BusConfig {
             capacity_per_tenant: 4_096,
             tenants_per_group: 2,
+            ..BusConfig::default()
         }
     }
 
@@ -2911,5 +3164,90 @@ mod tests {
         let serial = run(1);
         assert_eq!(serial, run(2));
         assert_eq!(serial, run(5));
+    }
+
+    /// Every tenant sees one arrival every `gap` seconds — identical
+    /// traffic, so live forecasts quantize to one cluster.
+    fn ingest_identical(fleet: &mut TenantFleet, duration: f64, gap: f64) {
+        for index in 0..fleet.len() {
+            let n = (duration / gap) as usize;
+            for k in 0..n {
+                fleet.ingest(index, k as f64 * gap).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_switch_validates_and_defaults_off() {
+        let mut fleet = TenantFleet::new(&fleet_config(), 0.0, 2, 1).unwrap();
+        assert!(!fleet.sharing().enabled);
+        let mut bad = SharingConfig::on();
+        bad.quantization = 0.0;
+        assert!(fleet.set_sharing(bad).is_err());
+        bad.quantization = f64::NAN;
+        assert!(fleet.set_sharing(bad).is_err());
+        assert!(!fleet.sharing().enabled, "rejected config must not stick");
+        fleet.set_sharing(SharingConfig::on()).unwrap();
+        assert!(fleet.sharing().enabled);
+    }
+
+    #[test]
+    fn shared_planning_is_deterministic_and_worker_invariant() {
+        let run = |workers: usize| {
+            let mut fleet = TenantFleet::new(&fleet_config(), 0.0, 8, 42).unwrap();
+            fleet.set_workers(workers);
+            fleet.set_sharing(SharingConfig::on()).unwrap();
+            ingest_identical(&mut fleet, 400.0, 5.0);
+            let mut all = Vec::new();
+            for round in 0..3 {
+                let now = 400.0 + 20.0 * round as f64;
+                all.push(fleet.run_round_uniform(now, round).unwrap());
+            }
+            (all, fleet.aggregate_stats())
+        };
+        let serial = run(1);
+        assert!(
+            serial.1.shared_planning_rounds > 0,
+            "identical tenants never planned against a shared matrix: {:?}",
+            serial.1
+        );
+        assert_eq!(serial, run(3));
+        assert_eq!(serial, run(8));
+    }
+
+    /// The golden statistical-equivalence band: sharing swaps the Monte
+    /// Carlo arrival universe, so plans need not be bit-identical to the
+    /// private path — but the demand estimate (a pure function of the
+    /// tenant's own forecast) must match exactly, every tenant must still
+    /// plan, and capacity decisions must stay in a narrow band around the
+    /// private plan.
+    #[test]
+    fn shared_plans_stay_inside_the_private_plan_band() {
+        let run = |sharing: bool| {
+            let mut fleet = TenantFleet::new(&fleet_config(), 0.0, 6, 9).unwrap();
+            if sharing {
+                fleet.set_sharing(SharingConfig::on()).unwrap();
+            }
+            ingest_identical(&mut fleet, 400.0, 5.0);
+            let rounds = fleet.run_round_uniform(400.0, 0).unwrap();
+            (rounds, fleet.aggregate_stats())
+        };
+        let (private, private_stats) = run(false);
+        let (shared, shared_stats) = run(true);
+        assert_eq!(private_stats.shared_planning_rounds, 0);
+        assert!(
+            shared_stats.shared_planning_rounds > 0,
+            "sharing never engaged: {shared_stats:?}"
+        );
+        for (p, s) in private.iter().zip(shared.iter()) {
+            let p = p.as_ref().unwrap();
+            let s = s.as_ref().unwrap();
+            assert_eq!(p.expected_arrivals_in_window, s.expected_arrivals_in_window);
+            let (pl, sl) = (p.decisions.len() as f64, s.decisions.len() as f64);
+            assert!(
+                (pl - sl).abs() <= 3.0_f64.max(0.5 * pl),
+                "shared decision count {sl} left the band around private {pl}"
+            );
+        }
     }
 }

@@ -73,6 +73,7 @@ impl OnlinePolicy {
             BusConfig {
                 capacity_per_tenant: capacity.max(1),
                 tenants_per_group: 1,
+                ..BusConfig::default()
             },
         )
         .expect("a 1-tenant bus with capacity >= 1 is always valid");
@@ -340,6 +341,7 @@ fn run_closed_loop_inner(
                     bus: Some(BusConfig {
                         capacity_per_tenant: crate::ingest::DEFAULT_QUEUE_CAPACITY,
                         tenants_per_group: 1,
+                        ..BusConfig::default()
                     }),
                     faults: config.faults.filter(FaultPlan::enabled),
                     supervisor: None,
@@ -361,6 +363,7 @@ fn run_closed_loop_inner(
         BusConfig {
             capacity_per_tenant: warm_times.len().max(1),
             tenants_per_group: 1,
+            ..BusConfig::default()
         },
     )?;
     let mut reactive = Reactive::new();

@@ -22,6 +22,11 @@
 //!   queues and then plans, one parallel pass, with per-tenant
 //!   deterministic RNG seeds so fleet output is identical for any worker
 //!   count;
+//! * [`sharing`] — opt-in cross-tenant batched planning: tenants whose
+//!   live forecasts quantize to the same [`sharing::ClusterKey`] plan
+//!   against one shared arrival-sample matrix per cluster instead of each
+//!   sampling privately (off by default; off is bit-identical to a build
+//!   without it);
 //! * [`harness`] — the closed-loop validation harness: replay a trace
 //!   through the bus → `OnlineScaler` → `Simulator` end to end and report
 //!   the paper's metrics (hit rate, `rt_avg`, total/relative cost) plus
@@ -64,6 +69,7 @@ pub mod harness;
 pub mod ingest;
 pub mod replay;
 pub mod scaler;
+pub mod sharing;
 
 pub use checkpoint::{
     CheckpointIoStats, CheckpointStorage, CheckpointStore, HibernationStore, Manifest, OsStorage,
@@ -93,3 +99,4 @@ pub use replay::{
 pub use scaler::{
     OnlineConfig, OnlineScaler, OnlineStats, ScalerSnapshot, SCALER_SNAPSHOT_VERSION,
 };
+pub use sharing::{ClusterKey, SharingConfig, SHARING_PROBE_BUCKETS};

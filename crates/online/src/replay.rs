@@ -1562,6 +1562,7 @@ mod tests {
         let bus = BusConfig {
             capacity_per_tenant: 4_096,
             tenants_per_group: 2,
+            ..BusConfig::default()
         };
         fleet.attach_bus(bus).unwrap();
         let header = fleet.trace_header(seed);

@@ -16,6 +16,7 @@
 
 use crate::error::OnlineError;
 use crate::replay::{model_fingerprint, RefitTrigger, ScalerEvent};
+use crate::sharing::{ClusterKey, SharingConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustscaler_core::{RobustScalerConfig, RobustScalerPipeline};
@@ -23,7 +24,8 @@ use robustscaler_nhpp::{
     Forecaster, ForecasterSnapshot, Intensity, NhppModel, PiecewiseConstantIntensity,
 };
 use robustscaler_scaling::{
-    DecisionConfig, PlannerConfig, PlannerScratch, PlannerState, PlanningRound, SequentialPlanner,
+    ArrivalSampler, DecisionConfig, PlannerConfig, PlannerScratch, PlannerState, PlanningRound,
+    SequentialPlanner,
 };
 use robustscaler_timeseries::{CountRing, RingSnapshot};
 use serde::{Deserialize, Serialize};
@@ -98,7 +100,12 @@ impl OnlineConfig {
 }
 
 /// Serving-loop counters exposed for observability and tests.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written: the counters persist inside
+/// [`ScalerSnapshot`]s, and snapshots written before
+/// [`OnlineStats::shared_planning_rounds`] existed must load with the
+/// counter at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct OnlineStats {
     /// Arrivals accepted into the ring.
     pub arrivals_ingested: u64,
@@ -116,6 +123,35 @@ pub struct OnlineStats {
     /// `OnlinePolicy`, which swallow the error to keep serving but must not
     /// leave persistent failure invisible).
     pub failed_rounds: u64,
+    /// Planning rounds (a subset of [`OnlineStats::planning_rounds`]) that
+    /// planned against a cluster-shared arrival-sample matrix instead of
+    /// sampling privately — the observability hook proving cross-tenant
+    /// sharing actually engaged (see [`crate::sharing`]).
+    pub shared_planning_rounds: u64,
+}
+
+impl Deserialize for OnlineStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let require = |key: &str| match v.get(key) {
+            Some(value) => Deserialize::from_value(value),
+            None => Err(serde::Error::msg(format!(
+                "missing field `{key}` in OnlineStats"
+            ))),
+        };
+        Ok(Self {
+            arrivals_ingested: require("arrivals_ingested")?,
+            arrivals_dropped: require("arrivals_dropped")?,
+            refits: require("refits")?,
+            drift_refits: require("drift_refits")?,
+            planning_rounds: require("planning_rounds")?,
+            skipped_rounds: require("skipped_rounds")?,
+            failed_rounds: require("failed_rounds")?,
+            shared_planning_rounds: match v.get("shared_planning_rounds") {
+                Some(value) => Deserialize::from_value(value)?,
+                None => 0,
+            },
+        })
+    }
 }
 
 /// Format version written by [`OnlineScaler::snapshot`]; bump on any layout
@@ -157,6 +193,19 @@ pub struct ScalerSnapshot {
     /// Start time of the cached forecast, if one was live; the cache is
     /// recomputed from this anchor on restore.
     pub cached_forecast_from: Option<f64>,
+}
+
+/// Outcome of the first half of a planning round (see
+/// [`OnlineScaler::prepare_round`]).
+#[derive(Debug)]
+pub(crate) enum RoundPrep {
+    /// The sufficiency check skipped the Monte Carlo stage — the round is
+    /// already finished.
+    Skip(PlanningRound),
+    /// The Monte Carlo stage still has to run (privately via
+    /// [`OnlineScaler::plan_prepared`], or against a shared cluster sampler
+    /// via [`OnlineScaler::plan_shared`]).
+    Plan,
 }
 
 /// A continuously serving, incrementally refitting scaler for one tenant.
@@ -528,6 +577,28 @@ impl OnlineScaler {
     /// the next planning window. `covered` is the number of upcoming
     /// arrivals already covered by scheduled/pending/ready instances.
     pub fn plan_round(&mut self, now: f64, covered: usize) -> Result<PlanningRound, OnlineError> {
+        match self.prepare_round(now, covered)? {
+            RoundPrep::Skip(round) => Ok(round),
+            RoundPrep::Plan => self.plan_prepared(now, covered),
+        }
+    }
+
+    /// First half of [`OnlineScaler::plan_round`]: advance the ring, refit
+    /// if due, refresh the forecast, and run the cheap sufficiency check.
+    ///
+    /// Returns [`RoundPrep::Skip`] with the finished (empty) round when the
+    /// Monte Carlo stage can be skipped, or [`RoundPrep::Plan`] when the
+    /// caller must follow up with [`OnlineScaler::plan_prepared`] (or the
+    /// shared-sampler pair [`OnlineScaler::cluster_key`] +
+    /// [`OnlineScaler::plan_shared`]). `prepare_round` followed immediately
+    /// by `plan_prepared` is bit-identical to `plan_round`; the split exists
+    /// so a fleet can interleave the phases across tenants and batch the
+    /// expensive sampling by forecast cluster.
+    pub(crate) fn prepare_round(
+        &mut self,
+        now: f64,
+        covered: usize,
+    ) -> Result<RoundPrep, OnlineError> {
         self.maybe_refit(now)?;
         self.refresh_forecast(now)?;
         let forecast = self
@@ -537,11 +608,26 @@ impl OnlineScaler {
         if self.clearly_covered(now, covered) {
             self.stats.skipped_rounds += 1;
             let window_end = now + self.config.pipeline.planning_interval;
-            return Ok(PlanningRound {
+            return Ok(RoundPrep::Skip(PlanningRound {
                 decisions: Vec::new(),
                 expected_arrivals_in_window: forecast.integrated(now, window_end),
-            });
+            }));
         }
+        Ok(RoundPrep::Plan)
+    }
+
+    /// Second half of [`OnlineScaler::plan_round`]: the private Monte Carlo
+    /// planning stage. Must follow a [`RoundPrep::Plan`] from
+    /// [`OnlineScaler::prepare_round`] at the same `now`.
+    pub(crate) fn plan_prepared(
+        &mut self,
+        now: f64,
+        covered: usize,
+    ) -> Result<PlanningRound, OnlineError> {
+        let forecast = self
+            .cached_forecast
+            .as_ref()
+            .expect("prepare_round refreshed the forecast");
         let round = self.planner.plan_window_with(
             forecast,
             now,
@@ -550,6 +636,78 @@ impl OnlineScaler {
             &mut self.scratch,
         )?;
         self.stats.planning_rounds += 1;
+        Ok(round)
+    }
+
+    /// Fingerprint this tenant's current forecast for cross-tenant shared
+    /// sampling. `None` when sharing is disabled, no forecast is cached, or
+    /// the probe geometry degenerates — the tenant then plans privately.
+    pub(crate) fn cluster_key(&self, now: f64, sharing: &SharingConfig) -> Option<ClusterKey> {
+        if !sharing.enabled {
+            return None;
+        }
+        let forecast = self.cached_forecast.as_ref()?;
+        let decision = &self.planner.config().decision;
+        ClusterKey::from_forecast(
+            forecast,
+            now,
+            self.config.pipeline.planning_interval,
+            &decision.rule,
+            &decision.pending,
+            decision.monte_carlo_samples,
+            sharing.quantization,
+        )
+    }
+
+    /// How many arrival rows this tenant wants from a shared cluster matrix
+    /// at `now`.
+    ///
+    /// Deliberately more generous than the private planner's initial
+    /// horizon guess (30% headroom plus a constant, against 5% plus a
+    /// constant): a shared matrix cannot be extended per tenant, and a
+    /// shortfall forces a full private replan instead of a cheap
+    /// `extend_horizon`. Never exceeds the hard per-round decision ceiling.
+    pub(crate) fn shared_sampling_demand(&self, now: f64, covered: usize) -> usize {
+        let config = self.planner.config();
+        let cap = covered + config.max_decisions_per_round;
+        let lead = config.decision.pending.mean();
+        let window_end = now + config.planning_interval;
+        let expected = self
+            .cached_forecast
+            .as_ref()
+            .map(|forecast| forecast.integrated(now, window_end + lead))
+            .unwrap_or(0.0);
+        (covered + (1.3 * expected).ceil() as usize + 8).min(cap)
+    }
+
+    /// Attempt the second half of a round against a shared cluster sampler.
+    ///
+    /// `Ok(Some(round))` completes the round (counted as a planning round);
+    /// `Ok(None)` means the shared matrix could not serve this tenant
+    /// (origin/replication mismatch or horizon shortfall) and the caller
+    /// must fall back to [`OnlineScaler::plan_prepared`].
+    pub(crate) fn plan_shared(
+        &mut self,
+        now: f64,
+        covered: usize,
+        sampler: &ArrivalSampler,
+    ) -> Result<Option<PlanningRound>, OnlineError> {
+        let forecast = self
+            .cached_forecast
+            .as_ref()
+            .expect("prepare_round refreshed the forecast");
+        let round = self.planner.plan_window_shared(
+            forecast,
+            sampler,
+            now,
+            PlannerState { covered },
+            &mut self.rng,
+            &mut self.scratch,
+        )?;
+        if round.is_some() {
+            self.stats.planning_rounds += 1;
+            self.stats.shared_planning_rounds += 1;
+        }
         Ok(round)
     }
 

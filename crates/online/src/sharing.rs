@@ -1,0 +1,386 @@
+//! Cross-tenant forecast clustering for shared arrival sampling.
+//!
+//! Monte Carlo arrival sampling dominates a fleet planning round: every
+//! tenant samples `monte_carlo_samples` arrival paths over its forecast each
+//! round, and at 1000 tenants that is millions of exponential draws whose
+//! results are statistically interchangeable whenever the forecasts are
+//! (near-)identical. Multi-tenant fleets are full of such structure — tenants
+//! provisioned from the same template, or whose diurnal profiles fit to the
+//! same intensity within noise.
+//!
+//! This module exploits it. Each tenant's live forecast is *fingerprinted*
+//! into a [`ClusterKey`]: the forecast mass over a fixed grid of probe
+//! windows covering the planning horizon, quantized geometrically (ratio
+//! `1 + quantization`), together with every decision parameter that affects
+//! planning (rule, pending-time model, replication count, planning instant).
+//! Tenants with equal keys plan against one shared arrival-sample matrix
+//! built from the key's [`representative_intensity`] — sampled once per
+//! cluster, borrowed zero-copy by every member.
+//!
+//! # Determinism contract
+//!
+//! * **Sharing off** (the default) is bit-identical to a fleet without this
+//!   module, at any worker count.
+//! * **Sharing on** is itself deterministic: the shared matrix is seeded from
+//!   the cluster key's content and the round counter ([`ClusterKey::seed`]),
+//!   never from any tenant's RNG, so results do not depend on worker count,
+//!   tenant order within a cluster, or which tenants happen to co-cluster.
+//!   It is *not* bit-identical to sharing off — it is a controlled
+//!   approximation whose error is bounded by the quantization ratio, traded
+//!   for sampling cost that scales with distinct clusters instead of
+//!   tenants.
+//!
+//! [`representative_intensity`]: ClusterKey::representative_intensity
+
+use robustscaler_nhpp::{NhppError, PiecewiseConstantIntensity};
+use robustscaler_scaling::{DecisionRule, PendingTimeModel};
+use serde::{Deserialize, Serialize};
+
+use crate::error::OnlineError;
+
+/// Number of probe windows a forecast is fingerprinted over.
+///
+/// The probe grid spans the planning window plus four pending leads — the
+/// range whose forecast mass can influence this round's decisions. Eight
+/// buckets keeps the key `Copy`-small while still separating forecasts whose
+/// shape differs inside the horizon.
+pub const SHARING_PROBE_BUCKETS: usize = 8;
+
+/// Forecast mass below this is binned as "empty" rather than quantized on
+/// the log grid (log-quantizing a true zero is undefined, and masses this
+/// small cannot move a creation time).
+const EMPTY_MASS: f64 = 1e-12;
+
+/// Fleet-level switch and tuning for cross-tenant shared sampling.
+///
+/// Runtime-only, like tracing: the setting is **not** persisted in
+/// checkpoints, and a restored fleet starts with sharing off. Re-apply it
+/// after restore if wanted — sharing changes no tenant state, only how the
+/// next rounds compute their plans.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharingConfig {
+    /// Master switch. Off (the default) keeps rounds bit-identical to a
+    /// build without sharing, at any worker count.
+    pub enabled: bool,
+    /// Geometric quantization ratio for forecast-mass fingerprints: probe
+    /// masses within a multiplicative `1 + quantization` band land in the
+    /// same bin. Larger values cluster more aggressively (fewer samplers,
+    /// coarser approximation). Must be finite and positive.
+    pub quantization: f64,
+}
+
+impl Default for SharingConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            quantization: 0.05,
+        }
+    }
+}
+
+impl SharingConfig {
+    /// Sharing enabled at the default quantization.
+    pub fn on() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), OnlineError> {
+        if !self.quantization.is_finite() || self.quantization <= 0.0 {
+            return Err(OnlineError::InvalidConfig(
+                "sharing quantization must be finite and > 0",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A tenant's planning fingerprint for one round.
+///
+/// Two tenants receive the same key exactly when every input that shapes
+/// their plan matches: the planning instant, the full decision configuration
+/// (rule, pending model, replication count), the probe-grid geometry, the
+/// quantization in force, and the quantized forecast mass in every probe
+/// window. Keys are compared structurally (`Eq`), never by hash alone, so
+/// hash collisions cannot merge distinct clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterKey {
+    now_bits: u64,
+    step_bits: u64,
+    quant_bits: u64,
+    samples: usize,
+    rule: (u8, u64),
+    pending: (u8, u64, u64),
+    bins: [i64; SHARING_PROBE_BUCKETS],
+}
+
+impl ClusterKey {
+    /// Fingerprint a forecast at planning instant `now`.
+    ///
+    /// `interval` is the planning window Δ; `rule`, `pending` and `samples`
+    /// are the decision configuration in force. Returns `None` when the
+    /// geometry degenerates (non-finite instant or probe step), in which
+    /// case the tenant simply plans privately.
+    pub fn from_forecast<I>(
+        forecast: &I,
+        now: f64,
+        interval: f64,
+        rule: &DecisionRule,
+        pending: &PendingTimeModel,
+        samples: usize,
+        quantization: f64,
+    ) -> Option<Self>
+    where
+        I: robustscaler_nhpp::Intensity + ?Sized,
+    {
+        let lead = pending.mean();
+        let span = interval + 4.0 * lead.max(1.0);
+        let step = span / SHARING_PROBE_BUCKETS as f64;
+        if !now.is_finite() || !step.is_finite() || step <= 0.0 {
+            return None;
+        }
+        let log_ratio = (1.0 + quantization).ln();
+        let mut bins = [i64::MIN; SHARING_PROBE_BUCKETS];
+        for (j, bin) in bins.iter_mut().enumerate() {
+            let from = now + j as f64 * step;
+            let mass = forecast.integrated(from, from + step);
+            if !mass.is_finite() {
+                return None;
+            }
+            if mass > EMPTY_MASS {
+                *bin = (mass.ln() / log_ratio).floor() as i64;
+            }
+        }
+        Some(Self {
+            now_bits: now.to_bits(),
+            step_bits: step.to_bits(),
+            quant_bits: quantization.to_bits(),
+            samples,
+            rule: match *rule {
+                DecisionRule::HittingProbability { alpha } => (0, alpha.to_bits()),
+                DecisionRule::ResponseTime { target_waiting } => (1, target_waiting.to_bits()),
+                DecisionRule::CostBudget { target_idle } => (2, target_idle.to_bits()),
+            },
+            pending: match *pending {
+                PendingTimeModel::Deterministic(delay) => (0, delay.to_bits(), 0),
+                PendingTimeModel::LogNormal { mean, std_dev } => {
+                    (1, mean.to_bits(), std_dev.to_bits())
+                }
+            },
+            bins,
+        })
+    }
+
+    /// The planning instant this key was taken at.
+    pub fn now(&self) -> f64 {
+        f64::from_bits(self.now_bits)
+    }
+
+    /// The replication count members of this cluster plan with.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Rebuild the cluster's representative intensity from the fingerprint.
+    ///
+    /// Each probe bin is decoded to the geometric midpoint of its
+    /// quantization band (empty bins to rate zero), yielding a piecewise
+    /// constant intensity over the probe grid. Beyond the grid the last
+    /// bucket's rate extends as the tail, matching how the probe span was
+    /// chosen to cover everything the round can consume. The representative
+    /// depends only on the key, never on which member tenant built it.
+    pub fn representative_intensity(&self) -> Result<PiecewiseConstantIntensity, NhppError> {
+        let step = f64::from_bits(self.step_bits);
+        let log_ratio = (1.0 + f64::from_bits(self.quant_bits)).ln();
+        let rates: Vec<f64> = self
+            .bins
+            .iter()
+            .map(|&bin| {
+                if bin == i64::MIN {
+                    0.0
+                } else {
+                    ((bin as f64 + 0.5) * log_ratio).exp() / step
+                }
+            })
+            .collect();
+        PiecewiseConstantIntensity::new(self.now(), step, rates)
+    }
+
+    /// Deterministic seed for the cluster's shared sampler in `round`.
+    ///
+    /// Folded from the key's own content with a SplitMix64 chain, so the
+    /// shared arrival matrix is identical no matter how many workers run the
+    /// round, which tenants belong to the cluster, or in what order they
+    /// were discovered — and differs between rounds and between clusters.
+    pub fn seed(&self, round: u64) -> u64 {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ round;
+        let mut fold = |value: u64| {
+            state = splitmix64(state ^ value);
+        };
+        fold(self.now_bits);
+        fold(self.step_bits);
+        fold(self.quant_bits);
+        fold(self.samples as u64);
+        fold(self.rule.0 as u64);
+        fold(self.rule.1);
+        fold(self.pending.0 as u64);
+        fold(self.pending.1);
+        fold(self.pending.2);
+        for &bin in &self.bins {
+            fold(bin as u64);
+        }
+        state
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustscaler_nhpp::Intensity;
+
+    fn flat(rate: f64) -> PiecewiseConstantIntensity {
+        PiecewiseConstantIntensity::new(0.0, 1e7, vec![rate]).unwrap()
+    }
+
+    fn key(rate: f64, quantization: f64) -> ClusterKey {
+        ClusterKey::from_forecast(
+            &flat(rate),
+            100.0,
+            10.0,
+            &DecisionRule::HittingProbability { alpha: 0.1 },
+            &PendingTimeModel::Deterministic(13.0),
+            250,
+            quantization,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_defaults_off_and_validates() {
+        let config = SharingConfig::default();
+        assert!(!config.enabled);
+        assert!(config.validate().is_ok());
+        assert!(SharingConfig::on().enabled);
+        let bad = SharingConfig {
+            enabled: true,
+            quantization: 0.0,
+        };
+        assert!(bad.validate().is_err());
+        let nan = SharingConfig {
+            enabled: true,
+            quantization: f64::NAN,
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn near_identical_forecasts_share_a_key_and_distinct_ones_do_not() {
+        // 1% apart clusters together at 5% quantization...
+        assert_eq!(key(2.0, 0.05), key(2.02, 0.05));
+        // ...but well-separated rates do not.
+        assert_ne!(key(2.0, 0.05), key(2.5, 0.05));
+        // Tighter quantization splits the near-identical pair.
+        assert_ne!(key(2.0, 0.001), key(2.02, 0.001));
+    }
+
+    #[test]
+    fn key_covers_every_decision_parameter() {
+        let base = key(2.0, 0.05);
+        let other_rule = ClusterKey::from_forecast(
+            &flat(2.0),
+            100.0,
+            10.0,
+            &DecisionRule::ResponseTime {
+                target_waiting: 2.0,
+            },
+            &PendingTimeModel::Deterministic(13.0),
+            250,
+            0.05,
+        )
+        .unwrap();
+        assert_ne!(base, other_rule);
+        let other_pending = ClusterKey::from_forecast(
+            &flat(2.0),
+            100.0,
+            10.0,
+            &DecisionRule::HittingProbability { alpha: 0.1 },
+            &PendingTimeModel::LogNormal {
+                mean: 13.0,
+                std_dev: 1.0,
+            },
+            250,
+            0.05,
+        )
+        .unwrap();
+        assert_ne!(base, other_pending);
+        let other_samples = ClusterKey::from_forecast(
+            &flat(2.0),
+            100.0,
+            10.0,
+            &DecisionRule::HittingProbability { alpha: 0.1 },
+            &PendingTimeModel::Deterministic(13.0),
+            500,
+            0.05,
+        )
+        .unwrap();
+        assert_ne!(base, other_samples);
+        let other_now = ClusterKey::from_forecast(
+            &flat(2.0),
+            110.0,
+            10.0,
+            &DecisionRule::HittingProbability { alpha: 0.1 },
+            &PendingTimeModel::Deterministic(13.0),
+            250,
+            0.05,
+        )
+        .unwrap();
+        assert_ne!(base, other_now);
+    }
+
+    #[test]
+    fn representative_intensity_stays_inside_the_quantization_band() {
+        for &rate in &[0.01, 0.5, 2.0, 37.0] {
+            let k = key(rate, 0.05);
+            let rep = k.representative_intensity().unwrap();
+            // Probe the grid: each bucket's reconstructed mass must sit
+            // within one quantization step of the true mass.
+            let step = (10.0 + 4.0 * 13.0) / SHARING_PROBE_BUCKETS as f64;
+            for j in 0..SHARING_PROBE_BUCKETS {
+                let from = 100.0 + j as f64 * step;
+                let truth = rate * step;
+                let got = rep.integrated(from, from + step);
+                let ratio = got / truth;
+                assert!(
+                    ratio > 1.0 / 1.06 && ratio < 1.06,
+                    "rate {rate} bucket {j}: ratio {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_forecast_reconstructs_to_zero_rate() {
+        let k = key(0.0, 0.05);
+        let rep = k.representative_intensity().unwrap();
+        assert_eq!(rep.integrated(100.0, 200.0), 0.0);
+    }
+
+    #[test]
+    fn seed_is_content_deterministic_and_round_sensitive() {
+        let a = key(2.0, 0.05);
+        let b = key(2.0, 0.05);
+        assert_eq!(a.seed(7), b.seed(7));
+        assert_ne!(a.seed(7), a.seed(8));
+        assert_ne!(a.seed(7), key(2.5, 0.05).seed(7));
+    }
+}

@@ -100,6 +100,15 @@ impl ArrivalSampler {
             return Err(ScalingError::InvalidParameter("replications must be >= 1"));
         }
         let base_seed: u64 = rng.gen();
+        // Prime one inverse cursor at `now` and start every path from a copy:
+        // the bucket search that locates `now`'s linear piece of the
+        // integrated intensity then runs once per sampler instead of once per
+        // path. Bit-identical to starting from `InverseHint::default()` — the
+        // cached piece inverts with the same arithmetic the slow path uses,
+        // and a path whose first goal misses the primed piece simply takes
+        // the slow path exactly as it would have.
+        let mut template_hint = InverseHint::default();
+        intensity.inverse_integrated_hinted(now, f64::MIN_POSITIVE, &mut template_hint);
         let paths = (0..replications)
             .map(|r| PathState {
                 rng: StdRng::seed_from_u64(
@@ -107,7 +116,7 @@ impl ArrivalSampler {
                 ),
                 cumulative: 0.0,
                 previous: now,
-                hint: InverseHint::default(),
+                hint: template_hint,
             })
             .collect();
         let mut sampler = Self {
@@ -160,8 +169,10 @@ impl ArrivalSampler {
             // `count` lines (≤ a few KB for realistic horizons).
             let data = &mut self.data;
             for (r, path) in self.paths.iter_mut().enumerate() {
-                sample_row(intensity, now, count, path, |k, t| {
-                    data[(first + k) * replications + r] = t;
+                let mut slot = first * replications + r;
+                sample_row(intensity, now, count, path, |_, t| {
+                    data[slot] = t;
+                    slot += replications;
                 });
             }
         } else {

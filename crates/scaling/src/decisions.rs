@@ -14,7 +14,7 @@
 use crate::arrivals::ArrivalSampler;
 use crate::error::ScalingError;
 use crate::qos::PendingTimeModel;
-use crate::sort_search::{solve_idle_cost_root_with, solve_waiting_root_with};
+use crate::sort_search::{solve_idle_cost_root_flat, solve_waiting_root_flat, PendingColumn};
 use rand::Rng;
 use robustscaler_stats::empirical_quantile_unstable;
 use serde::{Deserialize, Serialize};
@@ -123,12 +123,11 @@ pub struct ScalingDecision {
 /// reused allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct DecisionScratch {
-    /// Pending-time samples `τ_r`.
+    /// Pending-time samples `τ_r` (stochastic pending models only — the
+    /// deterministic model is threaded through as a constant).
     pendings: Vec<f64>,
     /// HP rule: the differences `ξ_r − τ_r` (selected in place).
     diffs: Vec<f64>,
-    /// RT/cost rules: the paired `(ξ_r, τ_r)` samples.
-    pairs: Vec<(f64, f64)>,
     /// RT rule: the 2R `(position, slope delta)` breakpoints.
     breakpoints: Vec<(f64, f64)>,
     /// Cost rule: the R breakpoint positions `ξ_r − τ_r`.
@@ -179,37 +178,45 @@ pub fn decide_with<R: Rng + ?Sized>(
     scratch: &mut DecisionScratch,
 ) -> Result<ScalingDecision, ScalingError> {
     let arrivals = sampler.arrival_samples(arrival_index)?;
-    config
-        .pending
-        .sample_into(rng, arrivals.len(), &mut scratch.pendings);
-    let pendings = &scratch.pendings;
     let now = sampler.now();
+    // Deterministic pending times are threaded through as a constant: the
+    // model draws nothing from the RNG and the solvers run the identical
+    // arithmetic either way, so this is bit-identical to materializing the
+    // τ buffer while keeping the inner loops over flat, vectorizable slices.
+    let taus = match config.pending {
+        PendingTimeModel::Deterministic(value) => PendingColumn::Constant(value),
+        _ => {
+            config
+                .pending
+                .sample_into(rng, arrivals.len(), &mut scratch.pendings);
+            PendingColumn::PerReplication(&scratch.pendings)
+        }
+    };
 
     let raw = match config.rule {
         DecisionRule::HittingProbability { alpha } => {
             // x* = α-quantile of (ξ − τ), by in-place selection.
             scratch.diffs.clear();
-            scratch.diffs.extend(
-                arrivals
-                    .iter()
-                    .zip(pendings.iter())
-                    .map(|(xi, tau)| xi - tau),
-            );
+            match taus {
+                PendingColumn::Constant(tau) => {
+                    scratch.diffs.extend(arrivals.iter().map(|xi| xi - tau));
+                }
+                PendingColumn::PerReplication(pendings) => {
+                    scratch.diffs.extend(
+                        arrivals
+                            .iter()
+                            .zip(pendings.iter())
+                            .map(|(xi, tau)| xi - tau),
+                    );
+                }
+            }
             empirical_quantile_unstable(&mut scratch.diffs, alpha)?
         }
         DecisionRule::ResponseTime { target_waiting } => {
-            scratch.pairs.clear();
-            scratch
-                .pairs
-                .extend(arrivals.iter().copied().zip(pendings.iter().copied()));
-            solve_waiting_root_with(&scratch.pairs, target_waiting, &mut scratch.breakpoints)?
+            solve_waiting_root_flat(arrivals, taus, target_waiting, &mut scratch.breakpoints)?
         }
         DecisionRule::CostBudget { target_idle } => {
-            scratch.pairs.clear();
-            scratch
-                .pairs
-                .extend(arrivals.iter().copied().zip(pendings.iter().copied()));
-            solve_idle_cost_root_with(&scratch.pairs, target_idle, &mut scratch.points)?
+            solve_idle_cost_root_flat(arrivals, taus, target_idle, &mut scratch.points)?
         }
     };
 

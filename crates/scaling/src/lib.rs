@@ -41,5 +41,6 @@ pub use kappa::{kappa_deterministic_pending, kappa_monte_carlo};
 pub use planner::{PlannerConfig, PlannerScratch, PlannerState, PlanningRound, SequentialPlanner};
 pub use qos::{cost, hit, response_time, PendingTimeModel, QosOutcome};
 pub use sort_search::{
-    solve_idle_cost_root, solve_idle_cost_root_with, solve_waiting_root, solve_waiting_root_with,
+    solve_idle_cost_root, solve_idle_cost_root_flat, solve_idle_cost_root_with, solve_waiting_root,
+    solve_waiting_root_flat, solve_waiting_root_with, PendingColumn,
 };

@@ -147,12 +147,14 @@ impl SequentialPlanner {
         // Initial guess of how many arrival indices we may need to look at:
         // a creation must land inside the window when its arrival comes
         // within roughly one pending lead past the window's end, so count
-        // the forecast mass out to there, add head-room for stochastic
-        // bursts, and cover everything already covered plus a small
-        // constant.
+        // the forecast mass out to there plus a small constant. The guess is
+        // deliberately tight — sampling is the round's dominant cost and
+        // unconsumed arrival rows are pure waste, while undershooting only
+        // costs an `extend_horizon` call that continues the per-path streams
+        // (consumed samples are bit-identical for any guess/growth schedule).
         let lead = self.config.decision.pending.mean();
         let expected_to_lead = intensity.integrated(now, window_end + lead);
-        let mut horizon = state.covered + (1.2 * expected_to_lead).ceil() as usize + 8;
+        let mut horizon = state.covered + (1.05 * expected_to_lead).ceil() as usize + 3;
         horizon = horizon.min(max_horizon);
 
         // One sampler serves the whole round: when the horizon guess turns
@@ -194,8 +196,11 @@ impl SequentialPlanner {
                 break;
             }
             // Every sampled index needed a creation inside the window — the
-            // horizon was too small; enlarge and keep going.
-            horizon = (horizon * 2).min(max_horizon);
+            // horizon was too small; enlarge and keep going. Growth is
+            // geometric but gentle (+25%, at least 8 rows): the tight guess
+            // above undershoots by at most the decision rule's quantile
+            // margin, so doubling would overshoot far more than it saves.
+            horizon = (horizon + (horizon / 4).max(8)).min(max_horizon);
             sampler.extend_horizon(intensity, horizon);
         }
 
@@ -203,6 +208,80 @@ impl SequentialPlanner {
             decisions,
             expected_arrivals_in_window: expected_in_window,
         })
+    }
+
+    /// Plan one window against a *shared*, pre-built arrival-sample matrix.
+    ///
+    /// Fleets with many tenants whose forecasts quantize to the same cluster
+    /// can sample one [`ArrivalSampler`] per cluster and have every member
+    /// plan against it zero-copy, instead of each tenant paying the dominant
+    /// Monte Carlo sampling cost itself. The tenant's *own* forecast
+    /// `intensity` still provides `expected_arrivals_in_window`, and the
+    /// tenant's own `rng` still drives any stochastic pending-time draws, so
+    /// per-tenant decisions remain independent.
+    ///
+    /// Returns `Ok(None)` when the shared sampler cannot serve this tenant —
+    /// its time origin or replication count differs, or its horizon runs out
+    /// before the window is provably finished. Callers fall back to the
+    /// private [`SequentialPlanner::plan_window_with`] path in that case; a
+    /// `None` makes no decision and must have no side effects the fallback
+    /// would duplicate (pending draws burned on a partial attempt are
+    /// acceptable: shared planning is its own deterministic universe, not a
+    /// bit-replay of the private path).
+    pub fn plan_window_shared<I, R>(
+        &self,
+        intensity: &I,
+        sampler: &ArrivalSampler,
+        now: f64,
+        state: PlannerState,
+        rng: &mut R,
+        scratch: &mut PlannerScratch,
+    ) -> Result<Option<PlanningRound>, ScalingError>
+    where
+        I: Intensity + Sync,
+        R: Rng + ?Sized,
+    {
+        if sampler.now() != now
+            || sampler.replications() != self.config.decision.monte_carlo_samples
+        {
+            return Ok(None);
+        }
+        let window_end = now + self.config.planning_interval;
+        let expected_in_window = intensity.integrated(now, window_end);
+        let horizon = sampler
+            .horizon_arrivals()
+            .min(state.covered + self.config.max_decisions_per_round);
+
+        let mut decisions: Vec<ScalingDecision> = Vec::new();
+        let mut complete = false;
+        for index in (state.covered + 1)..=horizon {
+            let decision = decide_with(
+                sampler,
+                index,
+                &self.config.decision,
+                rng,
+                &mut scratch.decision,
+            )?;
+            if decision.creation_time >= window_end {
+                complete = true;
+                break;
+            }
+            decisions.push(decision);
+            if decisions.len() >= self.config.max_decisions_per_round {
+                complete = true;
+                break;
+            }
+        }
+        if !complete {
+            // The shared horizon was exhausted while creations still landed
+            // inside the window — this tenant needs more arrivals than the
+            // cluster matrix holds. Let the caller replan privately.
+            return Ok(None);
+        }
+        Ok(Some(PlanningRound {
+            decisions,
+            expected_arrivals_in_window: expected_in_window,
+        }))
     }
 }
 

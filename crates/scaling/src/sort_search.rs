@@ -17,6 +17,78 @@
 
 use crate::error::ScalingError;
 
+/// Pending-time samples `τ_r` viewed as a column: either one constant shared
+/// by every replication (the deterministic model — the common case, whose
+/// solver inner loops vectorize) or a borrowed per-replication buffer.
+#[derive(Debug, Clone, Copy)]
+pub enum PendingColumn<'a> {
+    /// Every replication has the same pending time.
+    Constant(f64),
+    /// Replication `r` has pending time `taus[r]`.
+    PerReplication(&'a [f64]),
+}
+
+/// Internal view of the `(ξ_r, τ_r)` Monte Carlo samples. The root solvers
+/// are generic over the storage so the decision hot path can feed flat
+/// column buffers (an arrival row borrowed from the sampler matrix plus a
+/// [`PendingColumn`]) while the pair-based public API keeps its shape; both
+/// instantiations run identical arithmetic in identical order, so their
+/// results are bit-for-bit equal for equal sample values.
+trait SampleView {
+    fn len(&self) -> usize;
+    fn xi(&self, r: usize) -> f64;
+    fn tau(&self, r: usize) -> f64;
+}
+
+impl SampleView for &[(f64, f64)] {
+    #[inline]
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    #[inline]
+    fn xi(&self, r: usize) -> f64 {
+        self[r].0
+    }
+    #[inline]
+    fn tau(&self, r: usize) -> f64 {
+        self[r].1
+    }
+}
+
+struct FlatSamples<'a> {
+    xis: &'a [f64],
+    taus: PendingColumn<'a>,
+}
+
+impl SampleView for FlatSamples<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.xis.len()
+    }
+    #[inline]
+    fn xi(&self, r: usize) -> f64 {
+        self.xis[r]
+    }
+    #[inline]
+    fn tau(&self, r: usize) -> f64 {
+        match self.taus {
+            PendingColumn::Constant(v) => v,
+            PendingColumn::PerReplication(taus) => taus[r],
+        }
+    }
+}
+
+fn check_pending_column(xis: &[f64], taus: PendingColumn<'_>) -> Result<(), ScalingError> {
+    if let PendingColumn::PerReplication(t) = taus {
+        if t.len() != xis.len() {
+            return Err(ScalingError::InvalidParameter(
+                "pending-time column length must match the arrival column",
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Evaluate the empirical expected waiting time `Ŵ(x)` directly (O(R)).
 /// Exposed for tests and calibration diagnostics.
 pub fn empirical_waiting(samples: &[(f64, f64)], x: f64) -> f64 {
@@ -31,10 +103,13 @@ pub fn empirical_waiting(samples: &[(f64, f64)], x: f64) -> f64 {
 
 /// Evaluate the empirical expected idle cost `Ĉ(x)` directly (O(R)).
 pub fn empirical_idle_cost(samples: &[(f64, f64)], x: f64) -> f64 {
+    idle_cost_at(&samples, x)
+}
+
+fn idle_cost_at<S: SampleView>(samples: &S, x: f64) -> f64 {
     let r = samples.len() as f64;
-    samples
-        .iter()
-        .map(|&(xi, tau)| (xi - tau - x).max(0.0))
+    (0..samples.len())
+        .map(|i| (samples.xi(i) - samples.tau(i) - x).max(0.0))
         .sum::<f64>()
         / r
 }
@@ -65,7 +140,30 @@ pub fn solve_waiting_root_with(
     target: f64,
     breakpoints: &mut Vec<(f64, f64)>,
 ) -> Result<f64, ScalingError> {
-    if samples.is_empty() {
+    waiting_root_impl(&samples, target, breakpoints)
+}
+
+/// [`solve_waiting_root_with`] over flat column buffers: the arrival samples
+/// `ξ_r` are a borrowed row of the sampler matrix and the pending times come
+/// from a [`PendingColumn`]. Bit-identical to the pair-based solver for the
+/// same `(ξ_r, τ_r)` values, without materializing the pairs.
+pub fn solve_waiting_root_flat(
+    xis: &[f64],
+    taus: PendingColumn<'_>,
+    target: f64,
+    breakpoints: &mut Vec<(f64, f64)>,
+) -> Result<f64, ScalingError> {
+    check_pending_column(xis, taus)?;
+    waiting_root_impl(&FlatSamples { xis, taus }, target, breakpoints)
+}
+
+fn waiting_root_impl<S: SampleView>(
+    samples: &S,
+    target: f64,
+    breakpoints: &mut Vec<(f64, f64)>,
+) -> Result<f64, ScalingError> {
+    let n = samples.len();
+    if n == 0 {
         return Err(ScalingError::InvalidParameter(
             "at least one Monte Carlo sample is required",
         ));
@@ -75,23 +173,23 @@ pub fn solve_waiting_root_with(
             "expected waiting-time budget is negative",
         ));
     }
-    let r = samples.len() as f64;
+    let r = n as f64;
     // Breakpoints: +1/R slope change at ξ−τ, −1/R at ξ.
     breakpoints.clear();
-    breakpoints.reserve(samples.len() * 2);
-    for &(xi, tau) in samples {
+    breakpoints.reserve(n * 2);
+    for i in 0..n {
+        let (xi, tau) = (samples.xi(i), samples.tau(i));
         breakpoints.push((xi - tau, 1.0 / r));
         breakpoints.push((xi, -1.0 / r));
     }
     breakpoints.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite breakpoints"));
 
-    let max_value = samples.iter().map(|&(_, tau)| tau).sum::<f64>() / r;
+    let max_value = (0..n).map(|i| samples.tau(i)).sum::<f64>() / r;
     if target >= max_value {
         // Any x beyond the largest arrival sample attains the maximum; the
         // paper returns ξ^{(R)}.
-        let largest_xi = samples
-            .iter()
-            .map(|&(xi, _)| xi)
+        let largest_xi = (0..n)
+            .map(|i| samples.xi(i))
             .fold(f64::NEG_INFINITY, f64::max);
         return Ok(largest_xi);
     }
@@ -140,7 +238,28 @@ pub fn solve_idle_cost_root_with(
     target: f64,
     points: &mut Vec<f64>,
 ) -> Result<f64, ScalingError> {
-    if samples.is_empty() {
+    idle_cost_root_impl(&samples, target, points)
+}
+
+/// [`solve_idle_cost_root_with`] over flat column buffers; see
+/// [`solve_waiting_root_flat`] for the storage contract.
+pub fn solve_idle_cost_root_flat(
+    xis: &[f64],
+    taus: PendingColumn<'_>,
+    target: f64,
+    points: &mut Vec<f64>,
+) -> Result<f64, ScalingError> {
+    check_pending_column(xis, taus)?;
+    idle_cost_root_impl(&FlatSamples { xis, taus }, target, points)
+}
+
+fn idle_cost_root_impl<S: SampleView>(
+    samples: &S,
+    target: f64,
+    points: &mut Vec<f64>,
+) -> Result<f64, ScalingError> {
+    let n = samples.len();
+    if n == 0 {
         return Err(ScalingError::InvalidParameter(
             "at least one Monte Carlo sample is required",
         ));
@@ -151,13 +270,13 @@ pub fn solve_idle_cost_root_with(
     // Breakpoints of Ĉ: slope is −(#{ξ_r − τ_r > x})/R, increasing by 1/R as
     // x passes each ξ_r − τ_r.
     points.clear();
-    points.reserve(samples.len());
-    points.extend(samples.iter().map(|&(xi, tau)| xi - tau));
+    points.reserve(n);
+    points.extend((0..n).map(|i| samples.xi(i) - samples.tau(i)));
     points.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
-    let r = samples.len() as f64;
+    let r = n as f64;
 
     let first = points[0];
-    let value_at_first = empirical_idle_cost(samples, first);
+    let value_at_first = idle_cost_at(samples, first);
     if target >= value_at_first {
         // The root lies left of the earliest breakpoint, where Ĉ has slope −1
         // (every sample contributes ξ_r − τ_r − x).
@@ -326,6 +445,67 @@ mod tests {
         // The reused buffers hold exactly the last call's breakpoints.
         assert_eq!(breakpoints.len(), 600);
         assert_eq!(points.len(), 300);
+    }
+
+    #[test]
+    fn flat_variants_match_the_pair_based_solvers_bit_for_bit() {
+        let mut breakpoints = Vec::new();
+        let mut points = Vec::new();
+        for seed in 50..54_u64 {
+            let samples = random_samples(250, seed);
+            let xis: Vec<f64> = samples.iter().map(|&(x, _)| x).collect();
+            let taus: Vec<f64> = samples.iter().map(|&(_, t)| t).collect();
+            let const_samples: Vec<(f64, f64)> = xis.iter().map(|&x| (x, 13.0)).collect();
+            for &target in &[0.5, 3.0, 11.0] {
+                assert_eq!(
+                    solve_waiting_root_flat(
+                        &xis,
+                        PendingColumn::PerReplication(&taus),
+                        target,
+                        &mut breakpoints
+                    )
+                    .unwrap(),
+                    solve_waiting_root(&samples, target).unwrap()
+                );
+                assert_eq!(
+                    solve_idle_cost_root_flat(
+                        &xis,
+                        PendingColumn::PerReplication(&taus),
+                        target,
+                        &mut points
+                    )
+                    .unwrap(),
+                    solve_idle_cost_root(&samples, target).unwrap()
+                );
+                assert_eq!(
+                    solve_waiting_root_flat(
+                        &xis,
+                        PendingColumn::Constant(13.0),
+                        target,
+                        &mut breakpoints
+                    )
+                    .unwrap(),
+                    solve_waiting_root(&const_samples, target).unwrap()
+                );
+                assert_eq!(
+                    solve_idle_cost_root_flat(
+                        &xis,
+                        PendingColumn::Constant(13.0),
+                        target,
+                        &mut points
+                    )
+                    .unwrap(),
+                    solve_idle_cost_root(&const_samples, target).unwrap()
+                );
+            }
+        }
+        assert!(solve_waiting_root_flat(
+            &[1.0, 2.0],
+            PendingColumn::PerReplication(&[1.0]),
+            0.5,
+            &mut breakpoints
+        )
+        .is_err());
     }
 
     #[test]

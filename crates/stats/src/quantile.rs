@@ -197,6 +197,24 @@ mod tests {
     }
 
     #[test]
+    fn heavily_duplicated_samples_select_correctly() {
+        // Exercises the equal-to-pivot grouping pass of the quickselect.
+        let mut xs = vec![5.0; 100];
+        xs.extend(vec![1.0; 100]);
+        xs.extend(vec![9.0; 57]);
+        for i in 0..=32 {
+            let p = i as f64 / 32.0;
+            let expected = empirical_quantile(&xs, p).unwrap();
+            let mut scratch = xs.clone();
+            assert_eq!(
+                empirical_quantile_unstable(&mut scratch, p).unwrap(),
+                expected,
+                "p = {p}"
+            );
+        }
+    }
+
+    #[test]
     fn quantile_is_monotone_in_level() {
         let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
         let mut prev = f64::NEG_INFINITY;

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use robustscaler::core::{RobustScalerConfig, RobustScalerVariant};
-use robustscaler::online::{BusConfig, OnlineConfig, OnlineScaler, TenantFleet};
+use robustscaler::online::{BusConfig, OnlineConfig, OnlineScaler, SharingConfig, TenantFleet};
 use robustscaler::timeseries::{CountRing, TimeSeries};
 
 fn online_config(bucket_width: f64) -> OnlineConfig {
@@ -219,6 +219,7 @@ proptest! {
                 .attach_bus(BusConfig {
                     capacity_per_tenant: 4_096,
                     tenants_per_group: 2,
+                    ..BusConfig::default()
                 })
                 .unwrap();
             let mut all = Vec::new();
@@ -272,6 +273,87 @@ proptest! {
                 all.push(fleet.run_round_uniform(now, round).unwrap());
             }
             all
+        };
+        let serial = run(1);
+        prop_assert_eq!(&serial, &run(3));
+        prop_assert_eq!(&serial, &run(8));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The cross-tenant sharing switch, left disabled (its default),
+    /// changes nothing: a fleet with `SharingConfig::default()` applied
+    /// explicitly produces bit-identical plans and stats to a fleet that
+    /// never touched it, at 1, 3 and 8 workers.
+    #[test]
+    fn disabled_sharing_is_bit_identical_at_any_worker_count(
+        tenant_count in 2usize..6,
+        base_seed in 0u64..1_000,
+        gaps in prop::collection::vec(3.0_f64..12.0, 2..6),
+        rounds in 1usize..4,
+    ) {
+        let config = online_config(10.0);
+        let run = |workers: usize, explicit_off: bool| {
+            let mut fleet = TenantFleet::new(&config, 0.0, tenant_count, base_seed).unwrap();
+            fleet.set_workers(workers);
+            if explicit_off {
+                fleet.set_sharing(SharingConfig::default()).unwrap();
+            }
+            for index in 0..tenant_count {
+                let gap = gaps[index % gaps.len()];
+                let n = (400.0 / gap) as usize;
+                for k in 0..n {
+                    fleet.ingest(index, k as f64 * gap).unwrap();
+                }
+            }
+            let mut all = Vec::new();
+            for round in 0..rounds {
+                let now = 400.0 + 20.0 * round as f64;
+                all.push(fleet.run_round_uniform(now, round).unwrap());
+            }
+            (all, fleet.aggregate_stats())
+        };
+        let baseline = run(1, false);
+        for workers in [1usize, 3, 8] {
+            let explicit = run(workers, true);
+            prop_assert_eq!(&baseline.0, &explicit.0, "plans diverged at {} workers", workers);
+            prop_assert_eq!(&baseline.1, &explicit.1, "stats diverged at {} workers", workers);
+        }
+    }
+
+    /// With sharing enabled, plans are still deterministic and
+    /// worker-count invariant — cluster sampler seeds are derived from the
+    /// cluster's *content*, never from worker or tenant order — though not
+    /// necessarily equal to the sharing-off plans. Varied per-tenant gaps
+    /// exercise the mixed case: some tenants cluster, the rest degrade to
+    /// the private path as singletons.
+    #[test]
+    fn enabled_sharing_is_worker_count_invariant(
+        tenant_count in 2usize..6,
+        base_seed in 0u64..1_000,
+        gaps in prop::collection::vec(3.0_f64..12.0, 1..4),
+        rounds in 1usize..4,
+    ) {
+        let config = online_config(10.0);
+        let run = |workers: usize| {
+            let mut fleet = TenantFleet::new(&config, 0.0, tenant_count, base_seed).unwrap();
+            fleet.set_workers(workers);
+            fleet.set_sharing(SharingConfig::on()).unwrap();
+            for index in 0..tenant_count {
+                let gap = gaps[index % gaps.len()];
+                let n = (400.0 / gap) as usize;
+                for k in 0..n {
+                    fleet.ingest(index, k as f64 * gap).unwrap();
+                }
+            }
+            let mut all = Vec::new();
+            for round in 0..rounds {
+                let now = 400.0 + 20.0 * round as f64;
+                all.push(fleet.run_round_uniform(now, round).unwrap());
+            }
+            (all, fleet.aggregate_stats())
         };
         let serial = run(1);
         prop_assert_eq!(&serial, &run(3));

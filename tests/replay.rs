@@ -61,6 +61,7 @@ fn bus_config() -> BusConfig {
     BusConfig {
         capacity_per_tenant: 8_192,
         tenants_per_group: 2,
+        ..BusConfig::default()
     }
 }
 
