@@ -37,13 +37,15 @@
 //!   fallbacks) instead of failing outright (see `--help`).
 //!
 //! Environment knobs: `FLEET_TENANTS` (default 250), `FLEET_ROUNDS`
-//! (default 20), `FLEET_SAMPLES` (Monte Carlo R, default 250).
+//! (default 20), `FLEET_SAMPLES` (Monte Carlo R, default 250),
+//! `FLEET_SHARING` (0 = off, 1 = shared sampling only, 2 = shared
+//! sampling + decision dedup + plan cache; default 0).
 
 use robustscaler_core::{RobustScalerConfig, RobustScalerVariant};
 use robustscaler_nhpp::NhppModel;
 use robustscaler_online::{
     ArrivalBus, BusConfig, CheckpointIoStats, FaultPlan, FaultyStorage, OnlineConfig, QueueStats,
-    SupervisionStats, TenantFleet, TraceRecorder, TraceSummary,
+    SharingConfig, SupervisionStats, TenantFleet, TraceRecorder, TraceSummary,
 };
 use robustscaler_parallel::available_threads;
 use serde::Serialize;
@@ -82,7 +84,8 @@ fallback) while unhealthy. Probabilities are per tenant-round:
   --fault-tenant <n>           restrict planning/arrival faults to tenant n
 
 Environment: FLEET_TENANTS (default 250), FLEET_ROUNDS (default 20),
-FLEET_SAMPLES (Monte Carlo R, default 250).";
+FLEET_SAMPLES (Monte Carlo R, default 250), FLEET_SHARING (0 = off,
+1 = shared sampling only, 2 = + decision dedup + plan cache; default 0).";
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -110,6 +113,20 @@ struct CheckpointReport {
     write_secs: f64,
     restore_secs: f64,
     identical_after_restore: bool,
+}
+
+/// Cross-tenant sharing / plan-reuse counters of the parallel stretch.
+#[derive(Debug, Clone, Serialize)]
+struct SharingReport {
+    /// The active policy.
+    config: SharingConfig,
+    /// Tenant-rounds planned against a shared cluster matrix.
+    shared_planning_rounds: u64,
+    /// Plan-group follower rounds that adopted the leader's schedule
+    /// (Layer 1 decision dedup).
+    deduped_plan_rounds: u64,
+    /// Rounds served from the per-tenant plan cache (Layer 2).
+    plan_cache_hits: u64,
 }
 
 /// Arrival-queue health of one timed stretch.
@@ -151,6 +168,8 @@ struct DemoReport {
     runs: Vec<RunReport>,
     queue: Option<QueueReport>,
     determinism_across_workers: bool,
+    /// Sharing / plan-reuse policy and counters, when `FLEET_SHARING` > 0.
+    sharing: Option<SharingReport>,
     checkpoint: Option<CheckpointReport>,
     /// Recorded-session trace (`--record`): path plus record/round counts.
     trace: Option<TraceSummary>,
@@ -409,6 +428,11 @@ fn main() {
     let tenants = env_usize("FLEET_TENANTS", 250);
     let rounds = env_usize("FLEET_ROUNDS", 20);
     let samples = env_usize("FLEET_SAMPLES", 250);
+    let sharing = match env_usize("FLEET_SHARING", 0) {
+        0 => None,
+        1 => Some(SharingConfig::sharing_only()),
+        _ => Some(SharingConfig::on()),
+    };
     let cores = available_threads();
 
     let mut checkpoint_dir: Option<String> = None;
@@ -486,6 +510,12 @@ fn main() {
         if chaos {
             fleet.set_faults(faults);
         }
+        // Sharing / plan reuse is runtime wiring too. Both the serial and
+        // parallel fleet get it, so the worker-invariance check below
+        // validates the sharing determinism contract as a side effect.
+        if let Some(sharing) = sharing {
+            fleet.set_sharing(sharing).expect("valid sharing config");
+        }
         fleet
     };
 
@@ -557,6 +587,21 @@ fn main() {
             queue.enqueued, queue.dropped_full, queue.queued_peak, queue.drained_per_round
         );
     }
+
+    let sharing_report = sharing.map(|config| {
+        let stats = parallel_fleet.aggregate_stats();
+        let report = SharingReport {
+            config,
+            shared_planning_rounds: stats.shared_planning_rounds,
+            deduped_plan_rounds: parallel_fleet.deduped_plan_rounds(),
+            plan_cache_hits: stats.plan_cache_hits,
+        };
+        println!(
+            "plan reuse: {} shared tenant-rounds, {} deduped (adopted), {} plan-cache hits",
+            report.shared_planning_rounds, report.deduped_plan_rounds, report.plan_cache_hits
+        );
+        report
+    });
 
     let supervision = chaos.then(|| parallel_fleet.supervision_stats());
     if let Some(sup) = &supervision {
@@ -636,6 +681,7 @@ fn main() {
                 },
             ],
             determinism_across_workers: identical,
+            sharing: sharing_report,
             checkpoint,
             trace,
             faults: chaos.then_some(faults),

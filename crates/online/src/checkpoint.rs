@@ -82,7 +82,7 @@ use std::time::Duration;
 ///
 /// **Format v4** adds the hot/cold residency tier: tenant snapshots
 /// optionally carry a [`ResidencySnapshot`], and the manifest records the
-/// fleet's [`ResidencyConfig`](crate::fleet::ResidencyConfig) and round
+/// fleet's [`ResidencyConfig`] and round
 /// counter so a restored fleet resumes its residency state machine exactly.
 pub const CHECKPOINT_FORMAT_VERSION: u32 = 4;
 

@@ -75,11 +75,11 @@ use crate::replay::{
     TraceRecord, TraceRecorder, TraceSummary, WakeReason, TRACE_FORMAT_VERSION,
 };
 use crate::scaler::{OnlineConfig, OnlineScaler, OnlineStats, RoundPrep, ScalerSnapshot};
-use crate::sharing::{ClusterKey, SharingConfig};
+use crate::sharing::{ClusterKey, PlanKey, SharingConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustscaler_parallel::{available_threads, map_chunks_mut, WorkerPool};
-use robustscaler_scaling::{ArrivalSampler, PlanningRound};
+use robustscaler_scaling::{ArrivalSampler, PendingTimeModel, PlanningRound};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -487,7 +487,9 @@ fn tenant_prepare(
     }
     match tenant.scaler.prepare_round(now, covered) {
         Err(e) => PrepOutcome::Done(Err(e)),
-        Ok(RoundPrep::Skip(finished)) => PrepOutcome::Done(Ok(finished)),
+        Ok(RoundPrep::Skip(finished)) | Ok(RoundPrep::Cached(finished)) => {
+            PrepOutcome::Done(Ok(finished))
+        }
         Ok(RoundPrep::Plan) => {
             let key = tenant.scaler.cluster_key(now, sharing);
             let wanted = if key.is_some() {
@@ -503,19 +505,25 @@ fn tenant_prepare(
 /// One tenant's *plan* share of a planning round: the Monte Carlo stage,
 /// against the cluster's shared sampler when one was assigned (falling
 /// back to private sampling if the shared horizon cannot serve this
-/// tenant), privately otherwise.
+/// tenant), privately otherwise. The `bool` reports whether the shared
+/// path actually produced the round — the decision-dedup pass only lets
+/// plan-group followers adopt a leader's round when it did (a private
+/// fallback depends on the leader's own forecast and RNG, so followers
+/// must then plan themselves).
 fn tenant_plan(
     tenant: &mut Tenant,
     now: f64,
     covered: usize,
     sampler: Option<&ArrivalSampler>,
-) -> Result<PlanningRound, OnlineError> {
+) -> (Result<PlanningRound, OnlineError>, bool) {
     if let Some(sampler) = sampler {
-        if let Some(finished) = tenant.scaler.plan_shared(now, covered, sampler)? {
-            return Ok(finished);
+        match tenant.scaler.plan_shared(now, covered, sampler) {
+            Ok(Some(finished)) => return (Ok(finished), true),
+            Ok(None) => {}
+            Err(e) => return (Err(e), false),
         }
     }
-    tenant.scaler.plan_prepared(now, covered)
+    (tenant.scaler.plan_prepared(now, covered), false)
 }
 
 /// Sentinel for "no checkpoint has captured this queue yet": a mutation
@@ -633,6 +641,25 @@ pub struct TenantFleet {
     /// not persisted in checkpoints (a restored fleet starts with sharing
     /// off and the driver re-applies it).
     sharing: SharingConfig,
+    /// Lifetime count of plan-group follower rounds served by adopting a
+    /// leader's decision schedule instead of re-running the decision loop
+    /// (Layer 1 decision dedup). Fleet-level on purpose: adoption is
+    /// bit-identical to planning, so the per-tenant stats must not differ
+    /// between dedup on and off.
+    deduped_plan_rounds: u64,
+}
+
+/// Arm or disarm a scaler's Layer 2 plan cache per the fleet's sharing
+/// policy — applied wherever a scaler becomes resident (set_sharing,
+/// materialize, and the in-round wake path), exactly like tracing.
+fn apply_plan_reuse(scaler: &mut OnlineScaler, sharing: &SharingConfig) {
+    if sharing.plan_cache {
+        scaler
+            .enable_plan_reuse(sharing.quantization)
+            .expect("a validated SharingConfig has a usable quantization");
+    } else {
+        scaler.disable_plan_reuse();
+    }
 }
 
 impl Clone for TenantFleet {
@@ -692,6 +719,7 @@ impl Clone for TenantFleet {
             residency_events: Vec::new(),
             restored_unarmed: self.restored_unarmed,
             sharing: self.sharing,
+            deduped_plan_rounds: self.deduped_plan_rounds,
         }
     }
 }
@@ -821,6 +849,7 @@ impl TenantFleet {
             residency_events: Vec::new(),
             restored_unarmed: false,
             sharing: SharingConfig::default(),
+            deduped_plan_rounds: 0,
         }
     }
 
@@ -909,6 +938,7 @@ impl TenantFleet {
         match scaler {
             Ok(mut scaler) => {
                 scaler.set_tracing(self.tracing);
+                apply_plan_reuse(&mut scaler, &self.sharing);
                 self.tenants[index] = TenantSlot::Resident(Box::new(Tenant { id, scaler }));
                 self.dirty[index] = true;
                 self.residency_counters.page_ins += 1;
@@ -1018,12 +1048,27 @@ impl TenantFleet {
     pub fn set_sharing(&mut self, sharing: SharingConfig) -> Result<(), OnlineError> {
         sharing.validate()?;
         self.sharing = sharing;
+        // Arm (or disarm) the Layer 2 plan cache on every resident scaler;
+        // paged tenants pick the policy up as they materialize, exactly
+        // like tracing.
+        for slot in &mut self.tenants {
+            if let TenantSlot::Resident(tenant) = slot {
+                apply_plan_reuse(&mut tenant.scaler, &sharing);
+            }
+        }
         Ok(())
     }
 
     /// The active cross-tenant shared-sampling policy.
     pub fn sharing(&self) -> SharingConfig {
         self.sharing
+    }
+
+    /// Lifetime count of plan-group follower rounds served by adopting
+    /// the leader's decision schedule (Layer 1 decision dedup) instead of
+    /// re-running the decision loop.
+    pub fn deduped_plan_rounds(&self) -> u64 {
+        self.deduped_plan_rounds
     }
 
     /// Attach the event-driven ingestion runtime: one bounded arrival
@@ -1329,6 +1374,7 @@ impl TenantFleet {
                                 match built {
                                     Ok(mut scaler) => {
                                         scaler.set_tracing(tracing);
+                                        apply_plan_reuse(&mut scaler, &sharing);
                                         *slot =
                                             TenantSlot::Resident(Box::new(Tenant { id, scaler }));
                                     }
@@ -1469,17 +1515,62 @@ impl TenantFleet {
                 }
             }
         }
+        // Phase 2b — decision-dedup grouping (Layer 1), serial: members of
+        // one sampling cluster that plan against the same shared matrix
+        // with the same covered count share a [`PlanKey`]; the cluster key
+        // already pins the rule, pending model, replication count and
+        // window geometry, so under a *deterministic* pending model (the
+        // decision loop then consumes no caller RNG) their decision
+        // schedules are provably identical. The first such member in
+        // tenant order leads; the rest adopt its schedule after the plan
+        // phase. Grouping is serial and index-ordered for the same
+        // worker-invariance reasons as the cluster assembly above.
+        let mut adopt_from: Vec<Option<usize>> = vec![None; prep.len()];
+        if self.sharing.enabled && self.sharing.decision_dedup {
+            let mut leaders: std::collections::HashMap<PlanKey, usize> =
+                std::collections::HashMap::new();
+            for (i, outcome) in prep.iter().enumerate() {
+                let PrepOutcome::Plan { key: Some(key), .. } = outcome else {
+                    continue;
+                };
+                // Only members actually planning against a shared matrix
+                // can dedup: a degraded (private) member's plan depends on
+                // its own forecast and RNG stream.
+                if cluster_of[i].is_none() {
+                    continue;
+                }
+                let TenantSlot::Resident(tenant) = &self.tenants[i] else {
+                    continue;
+                };
+                if !matches!(
+                    tenant.scaler.config().pipeline.pending,
+                    PendingTimeModel::Deterministic(_)
+                ) {
+                    continue;
+                }
+                match leaders.entry(PlanKey::new(*key, covered[i])) {
+                    std::collections::hash_map::Entry::Occupied(leader) => {
+                        adopt_from[i] = Some(*leader.get());
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(i);
+                    }
+                }
+            }
+        }
         // Phase 3 — plan, batch-major: the Monte Carlo stage for every
         // tenant the prepare phase left pending, against its cluster's
         // shared matrix when one was built. Skipped entirely when nothing
         // is pending (the common case for mostly-hibernated fleets), so
         // quiet rounds pay no second parallel pass.
-        let plan_results: Vec<Option<Result<PlanningRound, OnlineError>>> = if plans_pending == 0 {
+        type PlanResult = Option<(Result<PlanningRound, OnlineError>, bool)>;
+        let mut plan_results: Vec<PlanResult> = if plans_pending == 0 {
             prep.iter().map(|_| None).collect()
         } else {
             let prep_ref = &prep;
             let cluster_ref = &cluster_of;
             let samplers_ref = &samplers;
+            let adopt_ref = &adopt_from;
             let plan_work = |start: usize, chunk: &mut [TenantSlot]| {
                 chunk
                     .iter_mut()
@@ -1489,10 +1580,18 @@ impl TenantFleet {
                         if !matches!(prep_ref[index], PrepOutcome::Plan { .. }) {
                             return None;
                         }
+                        if adopt_ref[index].is_some() {
+                            // Plan-group follower: served in the serial
+                            // adoption pass below, after its leader planned.
+                            return None;
+                        }
                         let TenantSlot::Resident(tenant) = slot else {
                             // The prepare phase only leaves resident
                             // tenants pending.
-                            return Some(Err(OnlineError::Hibernated { tenant: slot.id() }));
+                            return Some((
+                                Err(OnlineError::Hibernated { tenant: slot.id() }),
+                                false,
+                            ));
                         };
                         let sampler = cluster_ref[index].map(|slot| &samplers_ref[slot]);
                         let id = tenant.id;
@@ -1501,14 +1600,17 @@ impl TenantFleet {
                                 tenant_plan(tenant, now, covered[index], sampler)
                             }))
                             .unwrap_or_else(|payload| {
-                                Err(OnlineError::TenantPanicked {
-                                    tenant: id,
-                                    message: panic_message(payload),
-                                })
+                                (
+                                    Err(OnlineError::TenantPanicked {
+                                        tenant: id,
+                                        message: panic_message(payload),
+                                    }),
+                                    false,
+                                )
                             }),
                         )
                     })
-                    .collect::<Vec<Option<Result<PlanningRound, OnlineError>>>>()
+                    .collect::<Vec<PlanResult>>()
             };
             let plan_outcome = catch_unwind(AssertUnwindSafe(|| {
                 if use_pool {
@@ -1530,13 +1632,54 @@ impl TenantFleet {
                 }
             }
         };
+        // Phase 3b — adoption, serial: each plan-group follower adopts its
+        // leader's decision schedule when the leader actually planned on
+        // the shared path. If the leader degraded to private sampling,
+        // errored, or panicked, the follower runs its own full plan stage
+        // instead — bit-identical to never having been grouped (adoption
+        // consumes no tenant RNG either way).
+        for i in 0..plan_results.len() {
+            let Some(leader) = adopt_from[i] else {
+                continue;
+            };
+            let adopted = match &plan_results[leader] {
+                Some((Ok(round), true)) => Some(round.clone()),
+                _ => None,
+            };
+            let id = self.tenants[i].id();
+            let TenantSlot::Resident(tenant) = &mut self.tenants[i] else {
+                plan_results[i] = Some((Err(OnlineError::Hibernated { tenant: id }), false));
+                continue;
+            };
+            let result = if let Some(round) = adopted {
+                self.deduped_plan_rounds += 1;
+                (Ok(tenant.scaler.adopt_shared(now, &round)), true)
+            } else {
+                let sampler = cluster_of[i].map(|slot| &samplers[slot]);
+                catch_unwind(AssertUnwindSafe(|| {
+                    tenant_plan(tenant, now, covered[i], sampler)
+                }))
+                .unwrap_or_else(|payload| {
+                    (
+                        Err(OnlineError::TenantPanicked {
+                            tenant: id,
+                            message: panic_message(payload),
+                        }),
+                        false,
+                    )
+                })
+            };
+            plan_results[i] = Some(result);
+        }
         let results: Vec<Result<PlanningRound, OnlineError>> = prep
             .into_iter()
             .zip(plan_results)
             .map(|(outcome, planned)| match outcome {
                 PrepOutcome::Done(result) => result,
                 PrepOutcome::Plan { .. } => {
-                    planned.expect("plan phase produced a result for every pending tenant")
+                    planned
+                        .expect("plan phase produced a result for every pending tenant")
+                        .0
                 }
             })
             .collect();
@@ -2479,6 +2622,7 @@ impl TenantFleet {
             faults: self.fault_plan(),
             supervisor: Some(self.supervisor),
             residency: self.residency,
+            sharing: Some(self.sharing),
         }
     }
 
@@ -2586,6 +2730,7 @@ impl TenantFleet {
             total.skipped_rounds += s.skipped_rounds;
             total.failed_rounds += s.failed_rounds;
             total.shared_planning_rounds += s.shared_planning_rounds;
+            total.plan_cache_hits += s.plan_cache_hits;
         }
         total
     }

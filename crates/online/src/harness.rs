@@ -226,6 +226,14 @@ pub struct HarnessConfig {
     /// disabled plan runs clean). Warm-up ingestion and the boundary refit
     /// are never faulted — chaos starts with the first live planning tick.
     pub faults: Option<FaultPlan>,
+    /// Layer 2 plan reuse for the serving scaler: `Some(quantization)` arms
+    /// the round-over-round plan cache
+    /// ([`OnlineScaler::enable_plan_reuse`]), so steady-state ticks whose
+    /// planning inputs are unchanged within the quantization band serve a
+    /// time-shifted cached plan instead of resampling. `None` (the
+    /// default) plans every round. Recorded in the trace header so replay
+    /// reproduces the same cache universe.
+    pub plan_reuse: Option<f64>,
 }
 
 /// Metrics of one closed-loop run (the paper's headline numbers plus the
@@ -326,6 +334,9 @@ fn run_closed_loop_inner(
 
     let simulator = Simulator::new(config.sim)?;
     let mut scaler = OnlineScaler::new(config.online, trace.start())?;
+    if let Some(quantization) = config.plan_reuse {
+        scaler.enable_plan_reuse(quantization)?;
+    }
     let mut recorder = match record {
         Some(path) => {
             scaler.set_tracing(true);
@@ -346,6 +357,14 @@ fn run_closed_loop_inner(
                     faults: config.faults.filter(FaultPlan::enabled),
                     supervisor: None,
                     residency: None,
+                    sharing: config
+                        .plan_reuse
+                        .map(|quantization| crate::sharing::SharingConfig {
+                            enabled: false,
+                            quantization,
+                            decision_dedup: false,
+                            plan_cache: true,
+                        }),
                 },
             )?)
         }
@@ -411,9 +430,14 @@ fn run_closed_loop_inner(
             })?;
         scaler = OnlineScaler::restore(snapshot.scaler, config.online)?;
         // Tracing is runtime wiring, not scaler state, so it is deliberately
-        // absent from snapshots — re-arm it on the restored instance.
+        // absent from snapshots — re-arm it on the restored instance. Plan
+        // reuse is the same kind of wiring (the cache *contents* restored
+        // with the snapshot; the enable switch did not), so re-arm it too.
         if recorder.is_some() {
             scaler.set_tracing(true);
+        }
+        if let Some(quantization) = config.plan_reuse {
+            scaler.enable_plan_reuse(quantization)?;
         }
     }
 
@@ -499,6 +523,7 @@ mod tests {
             },
             warmup: 2.0 * 3_600.0,
             faults: None,
+            plan_reuse: None,
         }
     }
 
@@ -616,6 +641,50 @@ mod tests {
         assert_eq!(replay.rounds, summary.rounds);
         assert!(replay.plans_checked > 0);
         assert!(replay.refits_checked >= 1, "boundary refit must be checked");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn plan_reuse_kill_and_restore_stays_bit_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "robustscaler-harness-reuse-ckpt-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace = uniform_trace(3.0 * 3_600.0, 45.0, 5.0);
+        let mut config = harness_config();
+        config.warmup = 1.5 * 3_600.0;
+        config.plan_reuse = Some(0.05);
+        let (continuous, continuous_metrics) = run_closed_loop(&trace, &config).unwrap();
+        let (restarted, restarted_metrics) =
+            run_closed_loop_with_restart(&trace, &config, &dir).unwrap();
+        // The cache contents travel in the snapshot and the restart re-arms
+        // reuse, so the interrupted session is bit-identical to the
+        // continuous one even when hits consume no RNG.
+        assert_eq!(continuous, restarted);
+        assert_eq!(continuous_metrics, restarted_metrics);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_reuse_recorded_sessions_replay_strictly() {
+        use crate::replay::{replay_path, PolicyBands, ReplayMode};
+        let path = std::env::temp_dir().join(format!(
+            "robustscaler-harness-reuse-trace-{}.jsonl",
+            std::process::id()
+        ));
+        let trace = uniform_trace(3.0 * 3_600.0, 45.0, 5.0);
+        let mut config = harness_config();
+        config.warmup = 1.5 * 3_600.0;
+        config.plan_reuse = Some(0.05);
+        let (plain, _) = run_closed_loop(&trace, &config).unwrap();
+        let (report, _, summary) = run_closed_loop_recorded(&trace, &config, &path).unwrap();
+        assert_eq!(plain, report);
+        // The header carries the reuse policy, so the replayer rebuilds the
+        // same cache universe and every round validates bit-for-bit.
+        let replay = replay_path(&path, ReplayMode::Strict, &PolicyBands::default()).unwrap();
+        assert!(replay.passed(), "divergences: {:?}", replay.divergences);
+        assert_eq!(replay.rounds, summary.rounds);
         let _ = std::fs::remove_file(&path);
     }
 

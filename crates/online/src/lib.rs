@@ -99,4 +99,4 @@ pub use replay::{
 pub use scaler::{
     OnlineConfig, OnlineScaler, OnlineStats, ScalerSnapshot, SCALER_SNAPSHOT_VERSION,
 };
-pub use sharing::{ClusterKey, SharingConfig, SHARING_PROBE_BUCKETS};
+pub use sharing::{ClusterKey, PlanCacheKey, PlanKey, SharingConfig, SHARING_PROBE_BUCKETS};

@@ -83,7 +83,14 @@ use std::sync::{Arc, Mutex};
 /// [`TraceRecord::Residency`] record (hibernate/wake transitions of
 /// activity-tiered fleets replay and validate bit-for-bit); v1/v2 traces
 /// parse as always-hot sessions.
-pub const TRACE_FORMAT_VERSION: u32 = 3;
+///
+/// v4 added the optional `sharing` header field: the cross-tenant
+/// sharing / plan-reuse policy ([`crate::sharing::SharingConfig`]) the
+/// session ran under, re-applied by replay so shared-sampling, decision
+/// dedup and plan-cache universes reproduce bit-for-bit. Pre-v4 traces
+/// parse as sharing-off sessions (which they were — the setting did not
+/// exist).
+pub const TRACE_FORMAT_VERSION: u32 = 4;
 
 /// What kind of session a trace records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -191,6 +198,11 @@ pub struct TraceHeader {
     /// bit-equivalent to a paged one) so hibernation and wake decisions
     /// reproduce. Absent in pre-v3 traces and always-hot sessions.
     pub residency: Option<crate::fleet::ResidencyConfig>,
+    /// The cross-tenant sharing / plan-reuse policy the session ran under
+    /// — replay re-applies it so the shared-sampling, decision-dedup and
+    /// plan-cache universes reproduce bit-for-bit. Absent in pre-v4
+    /// traces (sharing-off sessions by construction).
+    pub sharing: Option<crate::sharing::SharingConfig>,
 }
 
 /// One tenant's planning outcome for one round.
@@ -919,12 +931,26 @@ impl Replayer {
                 if let Some(residency) = header.residency {
                     fleet.enable_residency(residency)?;
                 }
+                // Sharing / plan-reuse sessions (v4+): re-apply the recorded
+                // policy so shared sampling, decision dedup and plan-cache
+                // hits reproduce bit-for-bit.
+                if let Some(sharing) = header.sharing {
+                    fleet.set_sharing(sharing)?;
+                }
                 fleet.set_tracing(true);
                 ReplaySession::Fleet(fleet)
             }
             SessionKind::Single => {
                 let mut scaler =
                     OnlineScaler::with_seed(header.online, header.origin, header.seed)?;
+                // A single-scaler session has no cross-tenant clustering;
+                // the recorded sharing policy matters only for its Layer 2
+                // plan cache.
+                if let Some(sharing) = header.sharing {
+                    if sharing.plan_cache {
+                        scaler.enable_plan_reuse(sharing.quantization)?;
+                    }
+                }
                 scaler.set_tracing(true);
                 let bus = ArrivalBus::new(1, header.bus.unwrap_or_default())?;
                 ReplaySession::Single {

@@ -16,7 +16,7 @@
 
 use crate::error::OnlineError;
 use crate::replay::{model_fingerprint, RefitTrigger, ScalerEvent};
-use crate::sharing::{ClusterKey, SharingConfig};
+use crate::sharing::{ClusterKey, PlanCacheKey, SharingConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robustscaler_core::{RobustScalerConfig, RobustScalerPipeline};
@@ -103,8 +103,9 @@ impl OnlineConfig {
 ///
 /// `Deserialize` is hand-written: the counters persist inside
 /// [`ScalerSnapshot`]s, and snapshots written before
-/// [`OnlineStats::shared_planning_rounds`] existed must load with the
-/// counter at zero.
+/// [`OnlineStats::shared_planning_rounds`] or
+/// [`OnlineStats::plan_cache_hits`] existed must load with those counters
+/// at zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct OnlineStats {
     /// Arrivals accepted into the ring.
@@ -128,6 +129,12 @@ pub struct OnlineStats {
     /// sampling privately — the observability hook proving cross-tenant
     /// sharing actually engaged (see [`crate::sharing`]).
     pub shared_planning_rounds: u64,
+    /// Rounds served by time-shifting the memoized previous plan instead of
+    /// re-running Monte Carlo (Layer 2 plan reuse, see
+    /// [`crate::sharing::PlanCacheKey`]). Deliberately *not* counted into
+    /// [`OnlineStats::planning_rounds`]: a cache hit runs no optimizer and
+    /// consumes no RNG.
+    pub plan_cache_hits: u64,
 }
 
 impl Deserialize for OnlineStats {
@@ -147,6 +154,10 @@ impl Deserialize for OnlineStats {
             skipped_rounds: require("skipped_rounds")?,
             failed_rounds: require("failed_rounds")?,
             shared_planning_rounds: match v.get("shared_planning_rounds") {
+                Some(value) => Deserialize::from_value(value)?,
+                None => 0,
+            },
+            plan_cache_hits: match v.get("plan_cache_hits") {
                 Some(value) => Deserialize::from_value(value)?,
                 None => 0,
             },
@@ -193,6 +204,28 @@ pub struct ScalerSnapshot {
     /// Start time of the cached forecast, if one was live; the cache is
     /// recomputed from this anchor on restore.
     pub cached_forecast_from: Option<f64>,
+    /// The memoized last planning round (Layer 2 plan reuse), if one was
+    /// live. Persisted — not rebuilt — because a cache hit consumes no RNG:
+    /// a restored scaler that re-planned where the original would have hit
+    /// would advance its Monte Carlo stream differently and diverge.
+    /// Absent in snapshots written before plan reuse existed (they load
+    /// with an empty cache, which is exact: those scalers never hit).
+    pub plan_cache: Option<PlanCacheEntry>,
+}
+
+/// One memoized planning round: the content key it was planned under, the
+/// planning instant it is anchored at, and the round itself (see
+/// [`crate::sharing::PlanCacheKey`] for the reuse contract).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanCacheEntry {
+    /// The content fingerprint of the round's planning inputs.
+    pub key: PlanCacheKey,
+    /// The planning instant the cached round was computed at. Hits shift
+    /// the cached decisions by `now - this` — always from the original
+    /// anchor, never hit-over-hit, so repeated hits stay bit-deterministic.
+    pub now: f64,
+    /// The cached planning round.
+    pub round: PlanningRound,
 }
 
 /// Outcome of the first half of a planning round (see
@@ -202,6 +235,10 @@ pub(crate) enum RoundPrep {
     /// The sufficiency check skipped the Monte Carlo stage — the round is
     /// already finished.
     Skip(PlanningRound),
+    /// The plan cache served the round (Layer 2 reuse): the memoized
+    /// previous plan, time-shifted to this instant. No Monte Carlo ran and
+    /// no RNG was consumed.
+    Cached(PlanningRound),
     /// The Monte Carlo stage still has to run (privately via
     /// [`OnlineScaler::plan_prepared`], or against a shared cluster sampler
     /// via [`OnlineScaler::plan_shared`]).
@@ -232,6 +269,19 @@ pub struct OnlineScaler {
     /// recording driver re-enables it.
     tracing: bool,
     trace_events: Vec<ScalerEvent>,
+    /// Layer 2 plan reuse: `Some(quantization)` when the round-over-round
+    /// plan cache is armed. Runtime wiring like `tracing` — not persisted;
+    /// a restored scaler starts with reuse off (its cache intact but
+    /// unreachable) until the driver re-arms it.
+    plan_reuse: Option<f64>,
+    /// The memoized last planning round, when one is live.
+    plan_cache: Option<PlanCacheEntry>,
+    /// The key computed by the last [`OnlineScaler::prepare_round`] that
+    /// missed, waiting for the planned round to populate the cache.
+    plan_cache_pending: Option<(PlanCacheKey, f64)>,
+    /// FNV-1a 64 fingerprint of the installed model (what
+    /// [`PlanCacheKey`] pins); refreshed on every refit/install.
+    model_print: Option<u64>,
 }
 
 impl OnlineScaler {
@@ -270,6 +320,10 @@ impl OnlineScaler {
             stats: OnlineStats::default(),
             tracing: false,
             trace_events: Vec::new(),
+            plan_reuse: None,
+            plan_cache: None,
+            plan_cache_pending: None,
+            model_print: None,
         })
     }
 
@@ -337,6 +391,37 @@ impl OnlineScaler {
         std::mem::take(&mut self.trace_events)
     }
 
+    /// Arm Layer 2 plan reuse (the round-over-round plan cache) at the
+    /// given geometric forecast tolerance — see
+    /// [`crate::sharing::PlanCacheKey`] for the contract.
+    ///
+    /// Runtime wiring like tracing: not persisted in snapshots. Arming
+    /// keeps any cache loaded by [`OnlineScaler::restore`], so a restored
+    /// and re-armed scaler continues bit-identically to one that never
+    /// stopped.
+    pub fn enable_plan_reuse(&mut self, quantization: f64) -> Result<(), OnlineError> {
+        if !quantization.is_finite() || quantization <= 0.0 {
+            return Err(OnlineError::InvalidConfig(
+                "plan reuse quantization must be finite and > 0",
+            ));
+        }
+        self.plan_reuse = Some(quantization);
+        Ok(())
+    }
+
+    /// Disarm plan reuse and drop the memoized round: after this call no
+    /// cached plan is reachable, by construction.
+    pub fn disable_plan_reuse(&mut self) {
+        self.plan_reuse = None;
+        self.plan_cache = None;
+        self.plan_cache_pending = None;
+    }
+
+    /// The armed plan-reuse tolerance, if any.
+    pub fn plan_reuse(&self) -> Option<f64> {
+        self.plan_reuse
+    }
+
     /// Ingest one arrival timestamp.
     pub fn ingest(&mut self, arrival: f64) {
         if self.ring.observe(arrival) {
@@ -373,6 +458,7 @@ impl OnlineScaler {
                 model: model.clone(),
             });
         }
+        let print = fingerprint64(&model);
         match &mut self.forecaster {
             Some(f) => f.refresh(model),
             None => {
@@ -385,6 +471,7 @@ impl OnlineScaler {
         self.cached_forecast = None;
         self.cached_from = None;
         self.cached_until = f64::NEG_INFINITY;
+        self.invalidate_plan_cache(print);
         self.last_refit_at = now;
         Ok(())
     }
@@ -414,6 +501,7 @@ impl OnlineScaler {
                 fingerprint: model_fingerprint(&trained.model),
             });
         }
+        let print = fingerprint64(&trained.model);
         match &mut self.forecaster {
             Some(f) => f.refresh(trained.model),
             None => self.forecaster = Some(trained.forecaster(self.pipeline.config())?),
@@ -421,9 +509,19 @@ impl OnlineScaler {
         self.cached_forecast = None;
         self.cached_from = None;
         self.cached_until = f64::NEG_INFINITY;
+        self.invalidate_plan_cache(print);
         self.last_refit_at = now;
         self.stats.refits += 1;
         Ok(())
+    }
+
+    /// Model changed (refit, drift refit, install, restore): the memoized
+    /// plan and any pending key are stale by definition — drop them and pin
+    /// the new model fingerprint future keys are built from.
+    fn invalidate_plan_cache(&mut self, print: u64) {
+        self.plan_cache = None;
+        self.plan_cache_pending = None;
+        self.model_print = Some(print);
     }
 
     /// Refit if due: first fit once enough complete buckets exist, then on
@@ -578,7 +676,7 @@ impl OnlineScaler {
     /// arrivals already covered by scheduled/pending/ready instances.
     pub fn plan_round(&mut self, now: f64, covered: usize) -> Result<PlanningRound, OnlineError> {
         match self.prepare_round(now, covered)? {
-            RoundPrep::Skip(round) => Ok(round),
+            RoundPrep::Skip(round) | RoundPrep::Cached(round) => Ok(round),
             RoundPrep::Plan => self.plan_prepared(now, covered),
         }
     }
@@ -613,7 +711,64 @@ impl OnlineScaler {
                 expected_arrivals_in_window: forecast.integrated(now, window_end),
             }));
         }
+        // Layer 2 plan reuse: when the content key of this round's inputs
+        // matches the memoized round's, serve the cached plan time-shifted
+        // to `now` (no Monte Carlo, no RNG). A miss leaves the key pending
+        // so the planned round populates the cache.
+        self.plan_cache_pending = None;
+        if let Some(quantization) = self.plan_reuse {
+            if let Some(key) = self.plan_cache_key(now, covered, quantization) {
+                let hit = self.plan_cache.as_ref().filter(|e| e.key == key).map(|e| {
+                    let forecast = self
+                        .cached_forecast
+                        .as_ref()
+                        .expect("refresh_forecast populated the cache");
+                    let window_end = now + self.config.pipeline.planning_interval;
+                    e.round
+                        .shifted_by(now - e.now, forecast.integrated(now, window_end))
+                });
+                if let Some(round) = hit {
+                    self.stats.plan_cache_hits += 1;
+                    return Ok(RoundPrep::Cached(round));
+                }
+                self.plan_cache_pending = Some((key, now));
+            }
+        }
         Ok(RoundPrep::Plan)
+    }
+
+    /// The Layer 2 content key of a round's planning inputs; `None` when no
+    /// forecast/model is live or the probe geometry degenerates (the round
+    /// then plans normally and caches nothing).
+    fn plan_cache_key(&self, now: f64, covered: usize, quantization: f64) -> Option<PlanCacheKey> {
+        let forecast = self.cached_forecast.as_ref()?;
+        let model = self.model_print?;
+        let decision = &self.planner.config().decision;
+        PlanCacheKey::from_forecast(
+            forecast,
+            model,
+            now,
+            self.config.pipeline.planning_interval,
+            &decision.rule,
+            &decision.pending,
+            decision.monte_carlo_samples,
+            covered,
+            quantization,
+        )
+    }
+
+    /// Populate the plan cache from a just-planned round when a key is
+    /// pending (reuse armed and this round's `prepare_round` missed).
+    fn store_plan_cache(&mut self, round: &PlanningRound) {
+        if self.plan_reuse.is_some() {
+            if let Some((key, at)) = self.plan_cache_pending.take() {
+                self.plan_cache = Some(PlanCacheEntry {
+                    key,
+                    now: at,
+                    round: round.clone(),
+                });
+            }
+        }
     }
 
     /// Second half of [`OnlineScaler::plan_round`]: the private Monte Carlo
@@ -636,6 +791,7 @@ impl OnlineScaler {
             &mut self.scratch,
         )?;
         self.stats.planning_rounds += 1;
+        self.store_plan_cache(&round);
         Ok(round)
     }
 
@@ -704,11 +860,37 @@ impl OnlineScaler {
             &mut self.rng,
             &mut self.scratch,
         )?;
-        if round.is_some() {
+        if let Some(round) = &round {
             self.stats.planning_rounds += 1;
             self.stats.shared_planning_rounds += 1;
+            self.store_plan_cache(round);
         }
         Ok(round)
+    }
+
+    /// Adopt a plan-group leader's decision schedule (Layer 1 decision
+    /// dedup). Must follow a [`RoundPrep::Plan`] from
+    /// [`OnlineScaler::prepare_round`] at the same `now`, and is only sound
+    /// when this tenant shares the leader's [`crate::sharing::PlanKey`]
+    /// under a deterministic pending model: the decision loop then consumes
+    /// no RNG and its output depends only on (shared sampler, rule,
+    /// pending, covered), all pinned equal by the key — so adopting is
+    /// bit-identical to running [`OnlineScaler::plan_shared`] ourselves,
+    /// and the bookkeeping (counters, plan-cache population) mirrors it
+    /// exactly. Only `expected_arrivals_in_window` is ours: it comes from
+    /// this tenant's own forecast, which the plan key deliberately does not
+    /// pin.
+    pub(crate) fn adopt_shared(&mut self, now: f64, leader: &PlanningRound) -> PlanningRound {
+        let forecast = self
+            .cached_forecast
+            .as_ref()
+            .expect("prepare_round refreshed the forecast");
+        let window_end = now + self.config.pipeline.planning_interval;
+        let round = leader.adopted_with_expected(forecast.integrated(now, window_end));
+        self.stats.planning_rounds += 1;
+        self.stats.shared_planning_rounds += 1;
+        self.store_plan_cache(&round);
+        round
     }
 
     /// Capture the scaler's full serving state as a serializable,
@@ -728,6 +910,7 @@ impl OnlineScaler {
             stats: self.stats,
             last_refit_at: self.last_refit_at.is_finite().then_some(self.last_refit_at),
             cached_forecast_from: self.cached_from,
+            plan_cache: self.plan_cache.clone(),
         }
     }
 
@@ -785,8 +968,25 @@ impl OnlineScaler {
             scaler.cached_until = from + scaler.config.pipeline.forecast_horizon;
             scaler.cached_forecast = Some(forecast);
         }
+        // The model fingerprint is recomputed rather than persisted: the
+        // restored model is bit-identical to the snapshotted one (the
+        // persistence proptests pin this), so its serialization — and hence
+        // the fingerprint every future plan-cache key embeds — matches what
+        // the uninterrupted scaler would use. The memoized round itself is
+        // restored verbatim; it stays unreachable until the driver re-arms
+        // plan reuse.
+        scaler.model_print = scaler.forecaster.as_ref().map(|f| fingerprint64(f.model()));
+        scaler.plan_cache = snapshot.plan_cache;
         Ok(scaler)
     }
+}
+
+/// FNV-1a 64 over a model's JSON — the raw form of
+/// [`crate::replay::model_fingerprint`], kept numeric for
+/// [`PlanCacheKey`]'s fixed-width fields.
+fn fingerprint64(model: &NhppModel) -> u64 {
+    let json = serde_json::to_string(model).expect("an NhppModel always serializes");
+    crate::checkpoint::fnv1a64(json.as_bytes())
 }
 
 #[cfg(test)]
@@ -1042,6 +1242,117 @@ pub(crate) mod tests {
         let mut other = config;
         other.window_buckets = config.window_buckets + 1;
         assert!(OnlineScaler::restore(snap, other).is_err());
+    }
+
+    fn flat_model(rate: f64) -> NhppModel {
+        NhppModel::from_log_rates(0.0, 10.0, vec![rate.ln(); 60], None).unwrap()
+    }
+
+    #[test]
+    fn plan_cache_hits_shift_plans_in_steady_state() {
+        let config = fast_config();
+        let mut reuse = OnlineScaler::with_seed(config, 0.0, 21).unwrap();
+        reuse.install_model(flat_model(0.5), 600.0).unwrap();
+        reuse.enable_plan_reuse(0.05).unwrap();
+        let first = reuse.plan_round(600.0, 0).unwrap();
+        assert!(!first.decisions.is_empty());
+        assert_eq!(reuse.stats().planning_rounds, 1);
+        assert_eq!(reuse.stats().plan_cache_hits, 0);
+        // Steady state: same model, same covered count, flat forecast — the
+        // next rounds hit and are the first plan translated by the spacing.
+        for i in 1..4u64 {
+            let dt = 20.0 * i as f64;
+            let round = reuse.plan_round(600.0 + dt, 0).unwrap();
+            assert_eq!(reuse.stats().planning_rounds, 1, "round {i} must hit");
+            assert_eq!(reuse.stats().plan_cache_hits, i);
+            assert_eq!(round.decisions.len(), first.decisions.len());
+            for (a, b) in first.decisions.iter().zip(&round.decisions) {
+                assert_eq!(b.arrival_index, a.arrival_index);
+                assert_eq!(b.creation_time.to_bits(), (a.creation_time + dt).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_misses_on_covered_change_and_invalidates_on_model_change() {
+        let config = fast_config();
+        let mut scaler = OnlineScaler::with_seed(config, 0.0, 22).unwrap();
+        scaler.install_model(flat_model(0.5), 600.0).unwrap();
+        scaler.enable_plan_reuse(0.05).unwrap();
+        scaler.plan_round(600.0, 0).unwrap();
+        assert_eq!(scaler.stats().planning_rounds, 1);
+        // A different covered count is a different key: full replan.
+        scaler.plan_round(620.0, 2).unwrap();
+        assert_eq!(scaler.stats().planning_rounds, 2);
+        assert_eq!(scaler.stats().plan_cache_hits, 0);
+        // Steady state again...
+        scaler.plan_round(640.0, 2).unwrap();
+        assert_eq!(scaler.stats().plan_cache_hits, 1);
+        // ...until the model changes: install clears the memoized round and
+        // repins the fingerprint, so the next round replans even though the
+        // new model forecasts identically.
+        scaler.install_model(flat_model(0.5), 650.0).unwrap();
+        scaler.plan_round(660.0, 2).unwrap();
+        assert_eq!(scaler.stats().planning_rounds, 3);
+        assert_eq!(scaler.stats().plan_cache_hits, 1);
+        // Disarming drops the cache: re-arming does not resurrect it.
+        scaler.plan_round(680.0, 2).unwrap();
+        assert_eq!(scaler.stats().plan_cache_hits, 2);
+        scaler.disable_plan_reuse();
+        scaler.enable_plan_reuse(0.05).unwrap();
+        scaler.plan_round(700.0, 2).unwrap();
+        assert_eq!(scaler.stats().plan_cache_hits, 2);
+        assert_eq!(scaler.stats().planning_rounds, 4);
+    }
+
+    #[test]
+    fn refit_invalidates_the_plan_cache() {
+        let mut config = fast_config();
+        config.refit_interval = 1e9; // only explicit refits
+        let mut scaler = OnlineScaler::with_seed(config, 0.0, 23).unwrap();
+        scaler.ingest_batch(&uniform_arrivals(900.0, 5.0));
+        // Coarse tolerance: the fitted forecast is only near-flat, and this
+        // test is about invalidation, not about the band's width.
+        scaler.enable_plan_reuse(0.5).unwrap();
+        scaler.plan_round(900.0, 0).unwrap(); // first fit + plan
+        scaler.plan_round(920.0, 0).unwrap();
+        let hits = scaler.stats().plan_cache_hits;
+        assert!(hits >= 1, "steady state must hit, got {hits}");
+        scaler.refit_now(930.0).unwrap();
+        // The refit dropped the memoized round: the next round replans.
+        let planned_before = scaler.stats().planning_rounds;
+        scaler.plan_round(940.0, 0).unwrap();
+        assert_eq!(scaler.stats().planning_rounds, planned_before + 1);
+        assert_eq!(scaler.stats().plan_cache_hits, hits);
+    }
+
+    #[test]
+    fn plan_cache_survives_snapshot_restore_and_rearm() {
+        let config = fast_config();
+        let mut live = OnlineScaler::with_seed(config, 0.0, 24).unwrap();
+        live.install_model(flat_model(0.5), 600.0).unwrap();
+        live.enable_plan_reuse(0.05).unwrap();
+        live.plan_round(600.0, 0).unwrap(); // populates the cache
+        let json = serde_json::to_string(&live.snapshot()).unwrap();
+        let snap: ScalerSnapshot = serde_json::from_str(&json).unwrap();
+        assert!(snap.plan_cache.is_some());
+        let mut restored = OnlineScaler::restore(snap, config).unwrap();
+        // Reuse is runtime wiring: off after restore, cache intact.
+        assert!(restored.plan_reuse().is_none());
+        restored.enable_plan_reuse(0.05).unwrap();
+        // Both continue bit-identically — including the restored scaler
+        // *hitting* where the uninterrupted one hits (an emptied cache
+        // would replan and diverge).
+        for i in 1..5 {
+            let now = 600.0 + 20.0 * i as f64;
+            assert_eq!(
+                live.plan_round(now, 0).unwrap(),
+                restored.plan_round(now, 0).unwrap(),
+                "round {i}"
+            );
+        }
+        assert_eq!(live.stats(), restored.stats());
+        assert!(live.stats().plan_cache_hits >= 4);
     }
 
     #[test]

@@ -67,6 +67,27 @@ pub struct SharingConfig {
     /// same bin. Larger values cluster more aggressively (fewer samplers,
     /// coarser approximation). Must be finite and positive.
     pub quantization: f64,
+    /// Layer 1 plan reuse: cluster-level decision dedup. Within a sampling
+    /// cluster, members whose *exact* planning inputs match under a
+    /// [`PlanKey`] (same covered count on top of the shared sampler's
+    /// rule/pending/replications — valid only for deterministic pending
+    /// models, whose decision loop consumes no caller RNG) provably compute
+    /// identical decision vectors; one leader runs the loop and the others
+    /// adopt its decisions. Bit-identical to running every member
+    /// individually (dedup on ≡ dedup off, given `enabled`), so this is
+    /// pure win whenever it applies. Inert while `enabled` is false.
+    pub decision_dedup: bool,
+    /// Layer 2 plan reuse: the per-scaler round-over-round plan cache.
+    /// Each scaler memoizes its last planned round under a
+    /// [`PlanCacheKey`]; an unchanged key time-shifts the cached plan
+    /// instead of resampling. Like sharing itself this is a deterministic,
+    /// worker-invariant *approximation* universe (a hit consumes no RNG, so
+    /// downstream draws differ from a resampling run); it is invalidated on
+    /// refit, drift, model install, and disable, and the cache state is
+    /// persisted in snapshots so kill-and-restore stays bit-equivalent.
+    /// Unlike `decision_dedup` this layer is honored even when `enabled` is
+    /// false (it needs no cross-tenant clustering).
+    pub plan_cache: bool,
 }
 
 impl Default for SharingConfig {
@@ -74,13 +95,30 @@ impl Default for SharingConfig {
         Self {
             enabled: false,
             quantization: 0.05,
+            decision_dedup: false,
+            plan_cache: false,
         }
     }
 }
 
 impl SharingConfig {
-    /// Sharing enabled at the default quantization.
+    /// Every layer enabled at the default quantization: cross-tenant shared
+    /// sampling plus both plan-reuse layers (decision dedup and the
+    /// round-over-round plan cache) — the production configuration for
+    /// large fleets.
     pub fn on() -> Self {
+        Self {
+            enabled: true,
+            decision_dedup: true,
+            plan_cache: true,
+            ..Self::default()
+        }
+    }
+
+    /// Only cross-tenant shared sampling, both plan-reuse layers off —
+    /// the PR 9 configuration, kept for isolating the sampling win in
+    /// benchmarks and for fleets that want sharing without reuse.
+    pub fn sharing_only() -> Self {
         Self {
             enabled: true,
             ..Self::default()
@@ -236,6 +274,147 @@ impl ClusterKey {
     }
 }
 
+/// Layer 1 dedup key: a [`ClusterKey`] made strict enough that the *full
+/// decision schedule* — not just the arrival matrix — is provably identical
+/// across tenants that share it.
+///
+/// The cluster key already pins the planning instant, probe geometry,
+/// quantized forecast mass, rule, pending model and replication count; the
+/// plan key adds the covered count (the only remaining per-tenant input of
+/// [`plan_window_shared`]). With a deterministic pending model the decision
+/// loop consumes no caller RNG, so two tenants holding equal plan keys and
+/// planning against the same shared sampler compute bit-identical decision
+/// vectors — one leader runs the loop, the rest adopt. Each adopter still
+/// supplies `expected_arrivals_in_window` from its *own* forecast, which the
+/// key deliberately does not pin.
+///
+/// [`plan_window_shared`]: robustscaler_scaling::SequentialPlanner::plan_window_shared
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    cluster: ClusterKey,
+    covered: usize,
+}
+
+impl PlanKey {
+    /// Build a plan key from a tenant's cluster key and covered count.
+    pub fn new(cluster: ClusterKey, covered: usize) -> Self {
+        Self { cluster, covered }
+    }
+
+    /// The underlying sampling-cluster key.
+    pub fn cluster(&self) -> &ClusterKey {
+        &self.cluster
+    }
+
+    /// The covered count the schedule was planned for.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+}
+
+/// Layer 2 cache key: a content fingerprint of everything a scaler's
+/// planning round depends on, *except* the absolute planning instant.
+///
+/// Every discrete planning input is pinned **exactly**: the forecast
+/// model's fingerprint (the FNV-1a 64 checkpoints use — any refit, drift
+/// refit or install changes it), the rule parameters, the pending-time
+/// model, the replication count, the window length and the covered count.
+/// The forecast itself is probed over the same grid as [`ClusterKey`] but
+/// *relative to `now`*, and the probe masses are geometrically quantized at
+/// the reuse layer's tolerance: two rounds produce equal keys exactly when
+/// the model is unchanged and the forecast's shape over the upcoming
+/// horizon, viewed from the planning instant, stayed within the
+/// quantization band. Under those conditions the previous round's creation
+/// times translate with the planning instant, so the cached
+/// [`PlanningRound`] is time-shifted instead of resampled — the same
+/// controlled-approximation contract as sharing, with the same knob
+/// bounding the error.
+///
+/// The key is serializable: a scaler's cache entry is persisted in its
+/// snapshot so kill-and-restore resumes bit-identically (a cache hit
+/// consumes no RNG — an emptied cache after restore would diverge the
+/// stream).
+///
+/// [`PlanningRound`]: robustscaler_scaling::PlanningRound
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanCacheKey {
+    model: u64,
+    interval_bits: u64,
+    step_bits: u64,
+    quant_bits: u64,
+    samples: u64,
+    covered: u64,
+    rule: (u8, u64),
+    pending: (u8, u64, u64),
+    bins: [i64; SHARING_PROBE_BUCKETS],
+}
+
+impl PlanCacheKey {
+    /// Fingerprint a scaler's planning inputs at instant `now`.
+    ///
+    /// `model` is a stable fingerprint of the fitted forecast model (the
+    /// FNV-1a 64 used by checkpoints); `forecast` is the live intensity the
+    /// round would plan against; `quantization` is the reuse layer's
+    /// geometric tolerance (probe masses within a multiplicative
+    /// `1 + quantization` band are considered unchanged). Returns `None`
+    /// when the geometry degenerates or any probe mass is non-finite — the
+    /// round then plans normally and caches nothing.
+    #[allow(clippy::too_many_arguments)] // a fingerprint is its inputs
+    pub fn from_forecast<I>(
+        forecast: &I,
+        model: u64,
+        now: f64,
+        interval: f64,
+        rule: &DecisionRule,
+        pending: &PendingTimeModel,
+        samples: usize,
+        covered: usize,
+        quantization: f64,
+    ) -> Option<Self>
+    where
+        I: robustscaler_nhpp::Intensity + ?Sized,
+    {
+        let lead = pending.mean();
+        let span = interval + 4.0 * lead.max(1.0);
+        let step = span / SHARING_PROBE_BUCKETS as f64;
+        if !now.is_finite() || !step.is_finite() || step <= 0.0 {
+            return None;
+        }
+        let log_ratio = (1.0 + quantization).ln();
+        let mut bins = [i64::MIN; SHARING_PROBE_BUCKETS];
+        for (j, bin) in bins.iter_mut().enumerate() {
+            let from = now + j as f64 * step;
+            let mass = forecast.integrated(from, from + step);
+            if !mass.is_finite() {
+                return None;
+            }
+            if mass > EMPTY_MASS {
+                *bin = (mass.ln() / log_ratio).floor() as i64;
+            }
+        }
+        Some(Self {
+            model,
+            interval_bits: interval.to_bits(),
+            step_bits: step.to_bits(),
+            quant_bits: quantization.to_bits(),
+            samples: samples as u64,
+            covered: covered as u64,
+            rule: match *rule {
+                DecisionRule::HittingProbability { alpha } => (0, alpha.to_bits()),
+                DecisionRule::ResponseTime { target_waiting } => (1, target_waiting.to_bits()),
+                DecisionRule::CostBudget { target_idle } => (2, target_idle.to_bits()),
+            },
+            pending: match *pending {
+                PendingTimeModel::Deterministic(delay) => (0, delay.to_bits(), 0),
+                PendingTimeModel::LogNormal { mean, std_dev } => {
+                    (1, mean.to_bits(), std_dev.to_bits())
+                }
+            },
+            bins,
+        })
+    }
+}
+
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -269,18 +448,77 @@ mod tests {
     fn config_defaults_off_and_validates() {
         let config = SharingConfig::default();
         assert!(!config.enabled);
+        assert!(!config.decision_dedup);
+        assert!(!config.plan_cache);
         assert!(config.validate().is_ok());
-        assert!(SharingConfig::on().enabled);
+        let on = SharingConfig::on();
+        assert!(on.enabled && on.decision_dedup && on.plan_cache);
+        let only = SharingConfig::sharing_only();
+        assert!(only.enabled && !only.decision_dedup && !only.plan_cache);
         let bad = SharingConfig {
             enabled: true,
             quantization: 0.0,
+            ..SharingConfig::default()
         };
         assert!(bad.validate().is_err());
         let nan = SharingConfig {
             enabled: true,
             quantization: f64::NAN,
+            ..SharingConfig::default()
         };
         assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn plan_keys_split_clusters_by_covered_count() {
+        let cluster = key(2.0, 0.05);
+        assert_eq!(PlanKey::new(cluster, 3), PlanKey::new(cluster, 3));
+        assert_ne!(PlanKey::new(cluster, 3), PlanKey::new(cluster, 4));
+        assert_ne!(
+            PlanKey::new(key(2.0, 0.05), 3),
+            PlanKey::new(key(2.5, 0.05), 3)
+        );
+        assert_eq!(PlanKey::new(cluster, 3).covered(), 3);
+        assert_eq!(*PlanKey::new(cluster, 3).cluster(), cluster);
+    }
+
+    fn cache_key(rate: f64, model: u64, now: f64, covered: usize) -> PlanCacheKey {
+        PlanCacheKey::from_forecast(
+            &flat(rate),
+            model,
+            now,
+            10.0,
+            &DecisionRule::HittingProbability { alpha: 0.1 },
+            &PendingTimeModel::Deterministic(13.0),
+            250,
+            covered,
+            0.05,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_cache_keys_are_translation_invariant_within_the_band() {
+        // A steady forecast looks identical relative to any planning
+        // instant: the key matches across rounds, which is exactly what
+        // lets the cached plan be time-shifted...
+        assert_eq!(cache_key(2.0, 7, 100.0, 3), cache_key(2.0, 7, 150.0, 3));
+        // ...and sub-tolerance forecast drift still matches (the same
+        // controlled approximation sharing makes).
+        assert_eq!(cache_key(2.0, 7, 100.0, 3), cache_key(2.02, 7, 100.0, 3));
+        // Every discrete input is pinned exactly: model fingerprint and
+        // covered count changes miss, as does forecast drift past the band.
+        assert_ne!(cache_key(2.0, 7, 100.0, 3), cache_key(2.0, 8, 100.0, 3));
+        assert_ne!(cache_key(2.0, 7, 100.0, 3), cache_key(2.0, 7, 100.0, 4));
+        assert_ne!(cache_key(2.0, 7, 100.0, 3), cache_key(2.5, 7, 100.0, 3));
+    }
+
+    #[test]
+    fn plan_cache_keys_round_trip_through_serde() {
+        let key = cache_key(2.0, 7, 100.0, 3);
+        let json = serde_json::to_string(&key).unwrap();
+        let back: PlanCacheKey = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, key);
     }
 
     #[test]

@@ -88,6 +88,52 @@ pub struct PlanningRound {
     pub expected_arrivals_in_window: f64,
 }
 
+impl PlanningRound {
+    /// Re-anchor this round at a planning time `dt` seconds later.
+    ///
+    /// Plan reuse (round-over-round memoization) applies this to a cached
+    /// round whose *inputs* — forecast model, decision rule, pending model,
+    /// covered count — are unchanged: under a time-invariant forecast
+    /// segment the optimal creation times simply translate with the
+    /// planning instant, so every decision's creation times shift by `dt`
+    /// while arrival indices and clamping flags are preserved.
+    /// `expected_arrivals_in_window` cannot be shifted (the window moved);
+    /// the caller recomputes it against the forecast over the new window
+    /// and passes it in.
+    pub fn shifted_by(&self, dt: f64, expected_arrivals_in_window: f64) -> PlanningRound {
+        PlanningRound {
+            decisions: self
+                .decisions
+                .iter()
+                .map(|d| ScalingDecision {
+                    arrival_index: d.arrival_index,
+                    unconstrained_creation_time: d.unconstrained_creation_time + dt,
+                    creation_time: d.creation_time + dt,
+                    clamped: d.clamped,
+                })
+                .collect(),
+            expected_arrivals_in_window,
+        }
+    }
+
+    /// Adopt another tenant's decision schedule verbatim (cluster decision
+    /// dedup).
+    ///
+    /// When two tenants plan against the *same* shared arrival sampler with
+    /// the same rule, pending model and covered count — and the pending
+    /// model is deterministic, so [`decide_with`] consumes no caller RNG —
+    /// their decision vectors are provably identical; only the
+    /// expected-arrival count comes from each tenant's own forecast. The
+    /// leader runs the loop once and followers adopt its decisions with
+    /// their own `expected_arrivals_in_window`.
+    pub fn adopted_with_expected(&self, expected_arrivals_in_window: f64) -> PlanningRound {
+        PlanningRound {
+            decisions: self.decisions.clone(),
+            expected_arrivals_in_window,
+        }
+    }
+}
+
 /// The sequential planner.
 #[derive(Debug, Clone)]
 pub struct SequentialPlanner {
@@ -426,6 +472,35 @@ mod tests {
                 .unwrap();
             assert_eq!(fresh, reused, "round {round}");
         }
+    }
+
+    #[test]
+    fn shifted_rounds_translate_creation_times_and_keep_indices() {
+        let planner = planner(DecisionRule::HittingProbability { alpha: 0.1 }, 10.0);
+        let intensity = flat_intensity(2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let round = planner
+            .plan_window(&intensity, 100.0, PlannerState { covered: 0 }, &mut rng)
+            .unwrap();
+        assert!(!round.decisions.is_empty());
+        let shifted = round.shifted_by(10.0, 21.5);
+        assert_eq!(shifted.decisions.len(), round.decisions.len());
+        assert_eq!(shifted.expected_arrivals_in_window, 21.5);
+        for (a, b) in round.decisions.iter().zip(&shifted.decisions) {
+            assert_eq!(b.arrival_index, a.arrival_index);
+            assert_eq!(b.clamped, a.clamped);
+            assert_eq!(
+                b.creation_time.to_bits(),
+                (a.creation_time + 10.0).to_bits()
+            );
+            assert_eq!(
+                b.unconstrained_creation_time.to_bits(),
+                (a.unconstrained_creation_time + 10.0).to_bits()
+            );
+        }
+        let adopted = round.adopted_with_expected(3.25);
+        assert_eq!(adopted.decisions, round.decisions);
+        assert_eq!(adopted.expected_arrivals_in_window, 3.25);
     }
 
     #[test]

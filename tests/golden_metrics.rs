@@ -146,6 +146,7 @@ fn golden_online_harness_closed_loop() {
         sim: golden_sim(),
         warmup: 24.0 * HOUR,
         faults: None,
+        plan_reuse: None,
     };
     let (report, _) = run_closed_loop(&trace, &config).unwrap();
     eprintln!(

@@ -37,7 +37,7 @@ pub fn value_to_string(value: &Value) -> String {
 /// A [`serde::Serializer`] that writes compact JSON into a `String`.
 ///
 /// Number and string formatting are shared with the tree writer
-/// ([`write_value`]/[`write_string`]) so both paths produce identical
+/// (`write_value`/`write_string`) so both paths produce identical
 /// bytes: shortest-round-trip floats, exact u64/i64, `null` for
 /// non-finite floats.
 pub struct JsonSerializer {
